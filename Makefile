@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments quick-experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/benchtab | tee experiments_raw.txt
+
+quick-experiments:
+	$(GO) run ./cmd/benchtab -quick
+
+fuzz:
+	$(GO) test -fuzz FuzzBuildInvariants -fuzztime 30s ./internal/suffixtree/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/lz/
+	$(GO) test -fuzz FuzzDecodeStream -fuzztime 30s ./internal/lz/
+
+clean:
+	rm -rf internal/*/testdata/fuzz

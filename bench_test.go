@@ -1,0 +1,279 @@
+package repro
+
+// One testing.B benchmark per experiment table of EXPERIMENTS.md. Each
+// benchmark reports, beyond ns/op, the PRAM cost metrics the paper's
+// theorems bound: pram_work/op and pram_depth (custom metrics). The full
+// parameter sweeps live in cmd/benchtab; these benchmarks pin one
+// representative configuration per claim so `go test -bench=.` regenerates
+// every headline number.
+
+import (
+	"testing"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/colorednca"
+	"repro/internal/core"
+	"repro/internal/eulertour"
+	"repro/internal/fingerprint"
+	"repro/internal/lz"
+	"repro/internal/pram"
+	"repro/internal/staticdict"
+	"repro/internal/suffixtree"
+	"repro/internal/textgen"
+)
+
+const (
+	benchTextN = 1 << 15
+	benchDictK = 128
+)
+
+func benchDict(b *testing.B, variant core.NCAVariant) (*core.Dictionary, []byte) {
+	b.Helper()
+	gen := textgen.New(2024)
+	patterns := gen.Dictionary(benchDictK, 4, 24, 4)
+	dict := core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 1, NCA: variant})
+	text := gen.Uniform(benchTextN, 4)
+	return dict, text
+}
+
+func reportPRAM(b *testing.B, m *pram.Machine, unit int) {
+	b.Helper()
+	w, d := m.Counters()
+	b.ReportMetric(float64(w)/float64(b.N)/float64(unit), "work/char")
+	b.ReportMetric(float64(d)/float64(b.N), "depth/op")
+}
+
+// BenchmarkE1DictMatchText — Theorem 3.1 text processing: O(n) work.
+func BenchmarkE1DictMatchText(b *testing.B) {
+	dict, text := benchDict(b, core.NCAAuto)
+	m := pram.NewSequential()
+	b.SetBytes(benchTextN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dict.MatchText(m, text)
+	}
+	reportPRAM(b, m, benchTextN)
+}
+
+// BenchmarkE2DictPreprocess — Theorem 3.1 preprocessing: O(d) work.
+func BenchmarkE2DictPreprocess(b *testing.B) {
+	gen := textgen.New(2025)
+	patterns := gen.Dictionary(benchDictK, 4, 24, 4)
+	var d int
+	for _, p := range patterns {
+		d += len(p)
+	}
+	m := pram.NewSequential()
+	b.SetBytes(int64(d))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Preprocess(m, patterns, core.Options{Seed: 1})
+	}
+	reportPRAM(b, m, d)
+}
+
+// BenchmarkE3Alphabet — Theorems 3.2/3.3: large-alphabet matching with the
+// van Emde Boas colored-ancestor structure.
+func BenchmarkE3Alphabet(b *testing.B) {
+	gen := textgen.New(2026)
+	patterns := gen.Dictionary(benchDictK, 4, 16, 64)
+	dict := core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 1, NCA: core.NCAImproved})
+	text := gen.Uniform(benchTextN, 64)
+	m := pram.NewSequential()
+	b.SetBytes(benchTextN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dict.MatchText(m, text)
+	}
+	reportPRAM(b, m, benchTextN)
+}
+
+// BenchmarkE4Baselines — §1.1 baseline: sequential Aho–Corasick on the same
+// workload as E1 (compare wall clock and total ops with E1).
+func BenchmarkE4Baselines(b *testing.B) {
+	gen := textgen.New(2024)
+	patterns := gen.Dictionary(benchDictK, 4, 24, 4)
+	ac := ahocorasick.New(patterns)
+	text := gen.Uniform(benchTextN, 4)
+	b.SetBytes(benchTextN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ac.Match(text)
+	}
+}
+
+// BenchmarkE5Checker — §3.4: the Las Vegas checker on honest output.
+func BenchmarkE5Checker(b *testing.B) {
+	dict, text := benchDict(b, core.NCAAuto)
+	matches := dict.MatchText(pram.NewSequential(), text)
+	m := pram.NewSequential()
+	b.SetBytes(benchTextN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !dict.Check(m, text, matches) {
+			b.Fatal("checker rejected honest output")
+		}
+	}
+	reportPRAM(b, m, benchTextN)
+}
+
+// BenchmarkE6NCA — §3.2: queries on the two nearest-colored-ancestor
+// structures.
+func BenchmarkE6NCA(b *testing.B) {
+	m := pram.NewSequential()
+	const n, colorsK = 1 << 14, 32
+	parent := make([]int, n)
+	parent[0] = -1
+	gen := textgen.New(2027)
+	noise := gen.Uniform(n, 250)
+	for v := 1; v < n; v++ {
+		parent[v] = int(noise[v]) % v
+	}
+	tree := eulertour.New(m, parent)
+	tour := tree.Euler(m)
+	var colors []colorednca.Colored
+	for v := 0; v < n; v++ {
+		colors = append(colors, colorednca.Colored{Node: v, Color: int32(v % colorsK)})
+	}
+	naive := colorednca.NewNaive(m, tree, colors)
+	impr := colorednca.NewImproved(m, tree, tour, colors)
+	b.Run("naive-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			naive.Find(i%n, int32(i%colorsK))
+		}
+	})
+	b.Run("veb-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			impr.Find(i%n, int32(i%colorsK))
+		}
+	})
+}
+
+// BenchmarkE7LZCompress — Theorem 4.2.
+func BenchmarkE7LZCompress(b *testing.B) {
+	text := textgen.New(2028).Repetitive(benchTextN, 64, 0.01)
+	m := pram.NewSequential()
+	b.SetBytes(benchTextN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lz.Compress(m, text)
+	}
+	reportPRAM(b, m, benchTextN)
+}
+
+// BenchmarkE8LZUncompress — Theorem 4.3, both forest-resolution modes.
+func BenchmarkE8LZUncompress(b *testing.B) {
+	text := textgen.New(2029).Repetitive(benchTextN, 64, 0.01)
+	c := lz.Compress(pram.NewSequential(), text)
+	for _, mode := range []struct {
+		name string
+		m    lz.UncompressMode
+	}{{"jump", lz.ByPointerJumping}, {"conncomp", lz.ByConnectedComponents}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := pram.NewSequential()
+			b.SetBytes(benchTextN)
+			for i := 0; i < b.N; i++ {
+				if _, err := lz.Uncompress(m, c, mode.m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPRAM(b, m, benchTextN)
+		})
+	}
+}
+
+// BenchmarkE9StaticParse — Theorem 5.3: optimal parse vs the BFS baseline.
+func BenchmarkE9StaticParse(b *testing.B) {
+	gen := textgen.New(2030)
+	words := gen.PrefixClosedDictionary(120, 16, 4)
+	dict := core.Preprocess(pram.NewSequential(), words, core.Options{Seed: 1})
+	text := gen.DNA(benchTextN)
+	maxLen := dict.PrefixLengths(pram.NewSequential(), text)
+	for i := range maxLen {
+		if maxLen[i] == 0 {
+			maxLen[i] = 1
+		}
+	}
+	b.Run("optimal", func(b *testing.B) {
+		m := pram.NewSequential()
+		b.SetBytes(benchTextN)
+		for i := 0; i < b.N; i++ {
+			if _, err := staticdict.OptimalParse(m, benchTextN, maxLen); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportPRAM(b, m, benchTextN)
+	})
+	b.Run("bfs-baseline", func(b *testing.B) {
+		b.SetBytes(benchTextN)
+		for i := 0; i < b.N; i++ {
+			if _, err := staticdict.BFSParse(benchTextN, maxLen); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(staticdict.EdgeCount(maxLen))/benchTextN, "edges/char")
+	})
+}
+
+// BenchmarkE10SuffixTree — Lemma 2.1 substitute.
+func BenchmarkE10SuffixTree(b *testing.B) {
+	text := textgen.New(2031).DNA(benchTextN)
+	b.Run("sequential-dc3", func(b *testing.B) {
+		m := pram.NewSequential()
+		b.SetBytes(benchTextN)
+		for i := 0; i < b.N; i++ {
+			suffixtree.Build(m, text)
+		}
+		reportPRAM(b, m, benchTextN)
+	})
+	b.Run("parallel-doubling", func(b *testing.B) {
+		m := pram.New(2)
+		b.SetBytes(benchTextN)
+		for i := 0; i < b.N; i++ {
+			suffixtree.Build(m, text)
+		}
+		reportPRAM(b, m, benchTextN)
+	})
+}
+
+// BenchmarkE11Fingerprint — Karp–Rabin table construction and substring
+// comparisons.
+func BenchmarkE11Fingerprint(b *testing.B) {
+	text := textgen.Fibonacci(benchTextN)
+	h := fingerprint.NewHasher(7, benchTextN)
+	m := pram.NewSequential()
+	tab := h.NewTable(m, text)
+	b.Run("build", func(b *testing.B) {
+		b.SetBytes(benchTextN)
+		for i := 0; i < b.N; i++ {
+			h.NewTable(m, text)
+		}
+	})
+	b.Run("compare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := 1 + i%64
+			x := i % (benchTextN - 64)
+			y := (i * 7) % (benchTextN - 64)
+			_ = tab.Substring(x, x+l) == tab.Substring(y, y+l)
+		}
+	})
+}
+
+// BenchmarkE12PhraseCounts — §1.2: LZ1 vs LZ2 parse speed (phrase-count
+// quality is in cmd/benchtab E12).
+func BenchmarkE12PhraseCounts(b *testing.B) {
+	text := textgen.New(2032).Markov(benchTextN, 8, 0.3)
+	b.Run("lz1", func(b *testing.B) {
+		m := pram.NewSequential()
+		b.SetBytes(benchTextN)
+		for i := 0; i < b.N; i++ {
+			lz.Compress(m, text)
+		}
+	})
+	b.Run("lz2", func(b *testing.B) {
+		b.SetBytes(benchTextN)
+		for i := 0; i < b.N; i++ {
+			lz.CompressLZ2(text)
+		}
+	})
+}

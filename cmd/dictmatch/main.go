@@ -1,0 +1,156 @@
+// Command dictmatch preprocesses a dictionary of patterns and reports, for
+// each position of a text, the longest pattern that starts there — the
+// paper's dictionary matching problem (§3).
+//
+// Usage:
+//
+//	dictmatch -dict patterns.txt [-text file] [-engine parallel|ac] \
+//	          [-procs N] [-nca auto|naive|veb] [-stats] [-q]
+//
+// The dictionary file holds one pattern per line. The text is read from
+// -text or stdin. Output lines are "offset<TAB>pattern". -engine=ac runs
+// the sequential Aho–Corasick baseline instead; -stats prints the PRAM
+// work/depth ledger.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/core"
+	"repro/internal/pram"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dictmatch: ")
+	dictPath := flag.String("dict", "", "file with one pattern per line (required)")
+	textPath := flag.String("text", "", "text file (default stdin)")
+	engine := flag.String("engine", "parallel", "parallel (the paper's algorithm, Las Vegas) or ac (Aho–Corasick baseline)")
+	procs := flag.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
+	ncaFlag := flag.String("nca", "auto", "nearest-colored-ancestor structure: auto, naive, veb")
+	anchorFlag := flag.String("anchor", "separator", "Step 1A locate strategy: separator (the paper's) or sa")
+	stats := flag.Bool("stats", false, "print PRAM work/depth counters to stderr")
+	quiet := flag.Bool("q", false, "suppress per-match output (useful with -stats)")
+	seed := flag.Uint64("seed", 1, "fingerprint seed")
+	flag.Parse()
+
+	if *dictPath == "" {
+		log.Fatal("-dict is required")
+	}
+	patterns, err := readPatterns(*dictPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := readText(*textPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var matches []core.Match
+	start := time.Now()
+	var m *pram.Machine
+	switch *engine {
+	case "ac":
+		ac := ahocorasick.New(patterns)
+		res := ac.Match(text)
+		matches = make([]core.Match, len(res))
+		for i, p := range res {
+			if p < 0 {
+				matches[i] = core.None
+			} else {
+				matches[i] = core.Match{PatternID: p, Length: ac.PatternLen(p)}
+			}
+		}
+	case "parallel":
+		m = pram.New(*procs)
+		var nca core.NCAVariant
+		switch *ncaFlag {
+		case "auto":
+			nca = core.NCAAuto
+		case "naive":
+			nca = core.NCANaive
+		case "veb":
+			nca = core.NCAImproved
+		default:
+			log.Fatalf("unknown -nca %q", *ncaFlag)
+		}
+		var anchor core.AnchorStrategy
+		switch *anchorFlag {
+		case "separator":
+			anchor = core.AnchorSeparator
+		case "sa":
+			anchor = core.AnchorSA
+		default:
+			log.Fatalf("unknown -anchor %q", *anchorFlag)
+		}
+		dict := core.Preprocess(m, patterns, core.Options{Seed: *seed, NCA: nca, Anchor: anchor})
+		var attempts int
+		matches, attempts = dict.MatchLasVegas(m, text)
+		if attempts > 1 {
+			fmt.Fprintf(os.Stderr, "note: %d Las Vegas attempts\n", attempts)
+		}
+	default:
+		log.Fatalf("unknown -engine %q", *engine)
+	}
+	elapsed := time.Since(start)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	found := 0
+	for i, mt := range matches {
+		if mt.Length == 0 {
+			continue
+		}
+		found++
+		if !*quiet {
+			fmt.Fprintf(out, "%d\t%s\n", i, patterns[mt.PatternID])
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "text=%dB dict=%d patterns matches=%d wall=%s\n",
+			len(text), len(patterns), found, elapsed.Round(time.Microsecond))
+		if m != nil {
+			w, d := m.Counters()
+			fmt.Fprintf(os.Stderr, "pram: work=%d (%.2f/char) depth=%d procs=%d\n",
+				w, float64(w)/float64(len(text)), d, m.Procs())
+		}
+	}
+}
+
+func readPatterns(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var patterns [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		if len(line) > 0 {
+			patterns = append(patterns, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("no patterns in %s", path)
+	}
+	return patterns, nil
+}
+
+func readText(path string) ([]byte, error) {
+	if path == "" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

@@ -1,0 +1,134 @@
+// Command optparse parses a text optimally against a static dictionary with
+// the prefix property (the paper's §5) and compares the result with the
+// greedy longest-match heuristic.
+//
+// Usage:
+//
+//	optparse -dict words.txt [-text file] [-close] [-emit] [-stats]
+//
+// The dictionary file holds one word per line. -close adds all prefixes of
+// every word (establishing the prefix property the algorithm requires);
+// without it the tool verifies the property and refuses if it fails.
+// -emit prints the parse as "offset<TAB>word" lines.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/staticdict"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optparse: ")
+	dictPath := flag.String("dict", "", "file with one word per line (required)")
+	textPath := flag.String("text", "", "text file (default stdin)")
+	closeDict := flag.Bool("close", false, "add all prefixes of every word")
+	emit := flag.Bool("emit", false, "print the optimal parse")
+	stats := flag.Bool("stats", false, "print PRAM counters")
+	procs := flag.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *dictPath == "" {
+		log.Fatal("-dict is required")
+	}
+	words, err := readWords(*dictPath, *closeDict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := readText(*textPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := pram.New(*procs)
+	start := time.Now()
+	dict := core.Preprocess(m, words, core.Options{Seed: 1})
+	maxLen := dict.PrefixLengths(m, text)
+	opt, err := staticdict.OptimalParse(m, len(text), maxLen)
+	wall := time.Since(start)
+	if err != nil {
+		log.Fatalf("%v (is every text symbol a dictionary word? try -close)", err)
+	}
+	greedy, gerr := staticdict.GreedyParse(len(text), maxLen)
+
+	if *emit {
+		out := bufio.NewWriter(os.Stdout)
+		defer out.Flush()
+		for _, p := range opt {
+			fmt.Fprintf(out, "%d\t%s\n", p.Pos, text[p.Pos:p.Pos+p.Len])
+		}
+	}
+	fmt.Fprintf(os.Stderr, "optimal: %d phrases", len(opt))
+	if gerr == nil {
+		fmt.Fprintf(os.Stderr, "; greedy: %d phrases (%.3fx)", len(greedy),
+			float64(len(greedy))/float64(len(opt)))
+	} else {
+		fmt.Fprintf(os.Stderr, "; greedy: fails (%v)", gerr)
+	}
+	fmt.Fprintf(os.Stderr, "; wall %s\n", wall.Round(time.Microsecond))
+	if *stats {
+		w, d := m.Counters()
+		fmt.Fprintf(os.Stderr, "pram: work=%d depth=%d procs=%d\n", w, d, m.Procs())
+	}
+}
+
+func readWords(path string, close bool) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seen := map[string]bool{}
+	var words [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		w := sc.Text()
+		if w == "" {
+			continue
+		}
+		if close {
+			for p := 1; p <= len(w); p++ {
+				if !seen[w[:p]] {
+					seen[w[:p]] = true
+					words = append(words, []byte(w[:p]))
+				}
+			}
+		} else if !seen[w] {
+			seen[w] = true
+			words = append(words, []byte(w))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("no words in %s", path)
+	}
+	if !close {
+		for _, w := range words {
+			for p := 1; p < len(w); p++ {
+				if !seen[string(w[:p])] {
+					return nil, fmt.Errorf("dictionary lacks the prefix property: %q present but %q missing (use -close)", w, w[:p])
+				}
+			}
+		}
+	}
+	return words, nil
+}
+
+func readText(path string) ([]byte, error) {
+	if path == "" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

@@ -1,0 +1,139 @@
+// Command streedump builds the suffix tree of a text and reports its
+// structure: node/depth statistics, optional per-node listing, optional
+// Graphviz DOT output, and pattern locate queries — a debugging and
+// teaching companion for the library.
+//
+// Usage:
+//
+//	streedump [-text file] [-stats] [-dot] [-nodes] [-locate pat]
+//	echo -n banana | streedump -dot | dot -Tsvg > tree.svg
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/pram"
+	"repro/internal/suffixtree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streedump: ")
+	textPath := flag.String("text", "", "text file (default stdin)")
+	stats := flag.Bool("stats", true, "print summary statistics")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT to stdout")
+	nodes := flag.Bool("nodes", false, "list every node")
+	locate := flag.String("locate", "", "report occurrences of this pattern")
+	procs := flag.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var text []byte
+	var err error
+	if *textPath == "" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(*textPath)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(text) == 0 {
+		log.Fatal("empty text")
+	}
+
+	m := pram.New(*procs)
+	tr := suffixtree.Build(m, text)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if *stats && !*dot {
+		internal := tr.NumNodes - tr.NumLeaves()
+		var maxDepth, sumDepth int64
+		deepest := tr.Root
+		for v := 0; v < tr.NumNodes; v++ {
+			if tr.IsLeaf(v) {
+				continue
+			}
+			d := int64(tr.StrDepth[v])
+			sumDepth += d
+			if d > maxDepth {
+				maxDepth = d
+				deepest = v
+			}
+		}
+		w, dp := m.Counters()
+		fmt.Fprintf(out, "text: %d bytes; leaves: %d; internal nodes: %d (%.2f per char)\n",
+			len(text), tr.NumLeaves(), internal, float64(internal)/float64(len(text)))
+		fmt.Fprintf(out, "deepest internal node: depth %d (longest repeated substring %q)\n",
+			maxDepth, clip(label(tr, deepest)))
+		if internal > 0 {
+			fmt.Fprintf(out, "mean internal string depth: %.2f\n", float64(sumDepth)/float64(internal))
+		}
+		fmt.Fprintf(out, "construction ledger: work=%d depth=%d\n", w, dp)
+	}
+	if *locate != "" {
+		occ := tr.Locate([]byte(*locate))
+		fmt.Fprintf(out, "%q occurs %d times:", *locate, len(occ))
+		for _, p := range occ {
+			fmt.Fprintf(out, " %d", p)
+		}
+		fmt.Fprintln(out)
+	}
+	if *nodes && !*dot {
+		for v := 0; v < tr.NumNodes; v++ {
+			kind := "node"
+			if tr.IsLeaf(v) {
+				kind = fmt.Sprintf("leaf@%d", tr.LeafOf[v])
+			}
+			fmt.Fprintf(out, "%5d %-9s depth=%-4d parent=%-5d sa=[%d,%d] label=%q\n",
+				v, kind, tr.StrDepth[v], tr.Parent[v], tr.Lo[v], tr.Hi[v], clip(label(tr, v)))
+		}
+	}
+	if *dot {
+		fmt.Fprintln(out, "digraph suffixtree {")
+		fmt.Fprintln(out, "  node [shape=circle, fontsize=10];")
+		for v := 0; v < tr.NumNodes; v++ {
+			if tr.IsLeaf(v) {
+				fmt.Fprintf(out, "  n%d [shape=box, label=\"%d\"];\n", v, tr.LeafOf[v])
+			} else {
+				fmt.Fprintf(out, "  n%d [label=\"\"];\n", v)
+			}
+			if p := tr.Parent[v]; p >= 0 {
+				edge := label(tr, v)[tr.StrDepth[p]:]
+				fmt.Fprintf(out, "  n%d -> n%d [label=%q];\n", p, v, clip(edge))
+			}
+		}
+		fmt.Fprintln(out, "}")
+	}
+}
+
+// label returns the full path label of node v in printable form (the
+// sentinel renders as $, separators as #).
+func label(tr *suffixtree.Tree, v int) string {
+	var b strings.Builder
+	wit := tr.Witness(v)
+	for k := int32(0); k < tr.StrDepth[v]; k++ {
+		switch c := tr.AugAt(wit + k); {
+		case c == 0:
+			b.WriteByte('$')
+		case c > 256:
+			b.WriteByte('#')
+		default:
+			b.WriteByte(byte(c - 1))
+		}
+	}
+	return b.String()
+}
+
+func clip(s string) string {
+	if len(s) > 32 {
+		return s[:29] + "..."
+	}
+	return s
+}

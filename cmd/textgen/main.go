@@ -1,0 +1,73 @@
+// Command textgen emits the seeded synthetic workloads used throughout the
+// experiments, so every table in EXPERIMENTS.md can be reproduced from
+// shell pipelines as well as from Go.
+//
+// Usage:
+//
+//	textgen -kind dna -n 1000000 [-seed 42] > genome.txt
+//	textgen -kind dict -count 100 -min 4 -max 24 -sigma 4 > patterns.txt
+//
+// Kinds: uniform, dna, markov, repetitive, fibonacci, thuemorse, dict,
+// prefixdict.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/textgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("textgen: ")
+	kind := flag.String("kind", "uniform", "uniform|dna|markov|repetitive|fibonacci|thuemorse|dict|prefixdict")
+	n := flag.Int("n", 1_000_000, "output length in bytes (text kinds)")
+	sigma := flag.Int("sigma", 4, "alphabet size")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	count := flag.Int("count", 100, "number of patterns (dict kinds)")
+	minLen := flag.Int("min", 4, "min pattern length (dict)")
+	maxLen := flag.Int("max", 24, "max pattern length (dict; prefixdict uses it alone)")
+	block := flag.Int("block", 64, "repeat block length (repetitive)")
+	mutate := flag.Float64("mutate", 0.01, "mutation rate (repetitive)")
+	conc := flag.Float64("conc", 0.3, "concentration (markov)")
+	flag.Parse()
+
+	gen := textgen.New(*seed)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	switch *kind {
+	case "uniform":
+		mustWrite(out, gen.Uniform(*n, *sigma))
+	case "dna":
+		mustWrite(out, gen.DNA(*n))
+	case "markov":
+		mustWrite(out, gen.Markov(*n, *sigma, *conc))
+	case "repetitive":
+		mustWrite(out, gen.Repetitive(*n, *block, *mutate))
+	case "fibonacci":
+		mustWrite(out, textgen.Fibonacci(*n))
+	case "thuemorse":
+		mustWrite(out, textgen.ThueMorse(*n))
+	case "dict":
+		for _, p := range gen.Dictionary(*count, *minLen, *maxLen, *sigma) {
+			fmt.Fprintf(out, "%s\n", p)
+		}
+	case "prefixdict":
+		for _, p := range gen.PrefixClosedDictionary(*count, *maxLen, *sigma) {
+			fmt.Fprintf(out, "%s\n", p)
+		}
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}
+
+func mustWrite(out *bufio.Writer, b []byte) {
+	if _, err := out.Write(b); err != nil {
+		log.Fatal(err)
+	}
+}

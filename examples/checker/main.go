@@ -1,0 +1,70 @@
+// Checker: demonstrate the §3.4 Las Vegas machinery — what the output
+// checker costs, and that it catches corrupted match arrays injected at
+// random (standing in for the fingerprint collisions that 61-bit hashes
+// make unobservably rare).
+//
+//	go run ./examples/checker [-n 200000] [-faults 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "text length")
+	faults := flag.Int("faults", 500, "corruptions to inject")
+	flag.Parse()
+
+	gen := textgen.New(77)
+	patterns := gen.Dictionary(64, 3, 12, 4)
+	text := gen.Uniform(*n, 4)
+
+	m := pram.New(0)
+	dict := core.Preprocess(m, patterns, core.Options{Seed: 99})
+
+	m.ResetCounters()
+	t0 := time.Now()
+	matches := dict.MatchText(m, text)
+	matchWall := time.Since(t0)
+	matchWork, _ := m.Counters()
+
+	m.ResetCounters()
+	t1 := time.Now()
+	ok := dict.Check(m, text, matches)
+	checkWall := time.Since(t1)
+	checkWork, _ := m.Counters()
+
+	fmt.Printf("match: %s, %d work; check: %s, %d work (%.1f%% of matching)\n",
+		matchWall.Round(time.Microsecond), matchWork,
+		checkWall.Round(time.Microsecond), checkWork,
+		100*float64(checkWork)/float64(matchWork))
+	fmt.Printf("checker verdict on honest output: %v\n\n", ok)
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	injected, caught := 0, 0
+	for f := 0; f < *faults; f++ {
+		bad := append([]core.Match(nil), matches...)
+		i := rng.IntN(len(bad))
+		k := int32(rng.IntN(len(patterns)))
+		if i+len(patterns[k]) <= len(text) &&
+			string(text[i:i+len(patterns[k])]) == string(patterns[k]) {
+			continue // the "corruption" would be a true match
+		}
+		bad[i] = core.Match{PatternID: k, Length: int32(len(patterns[k]))}
+		injected++
+		if !dict.Check(pram.New(0), text, bad) {
+			caught++
+		}
+	}
+	fmt.Printf("fault injection: %d/%d corrupted outputs rejected\n", caught, injected)
+	if caught == injected {
+		fmt.Println("=> every false claim detected; with honest fingerprints the Las Vegas loop terminates on attempt 1")
+	}
+}

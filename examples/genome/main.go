@@ -1,0 +1,103 @@
+// Genome: scan a simulated DNA sequence for a dictionary of motifs — the
+// Human Genome Project workload the paper's introduction motivates (§1).
+//
+//	go run ./examples/genome [-n 2000000] [-motifs 200]
+//
+// The example plants known motifs (restriction sites, TATA-like boxes and
+// random k-mers) into synthetic DNA, runs the Las Vegas matcher, and
+// cross-checks counts against the Aho–Corasick baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+func main() {
+	n := flag.Int("n", 2_000_000, "genome length (bases)")
+	motifCount := flag.Int("motifs", 200, "number of random motifs to add")
+	flag.Parse()
+
+	gen := textgen.New(20240705)
+	genome := gen.DNA(*n)
+
+	// Biological-flavoured fixed motifs plus random k-mers.
+	motifs := [][]byte{
+		[]byte("GAATTC"),   // EcoRI restriction site
+		[]byte("GGATCC"),   // BamHI
+		[]byte("AAGCTT"),   // HindIII
+		[]byte("TATAAA"),   // TATA box
+		[]byte("CCGCGG"),   // SacII
+		[]byte("GCGGCCGC"), // NotI (8-cutter)
+	}
+	motifs = append(motifs, gen.Dictionary(*motifCount, 8, 14, 4)...)
+	// Convert the random motifs to the DNA alphabet.
+	for i := 6; i < len(motifs); i++ {
+		for j, c := range motifs[i] {
+			motifs[i][j] = "ACGT"[c%4]
+		}
+	}
+	// Plant some occurrences so long motifs are actually found.
+	for pos := 1000; pos+20 < len(genome); pos += 40_000 {
+		copy(genome[pos:], motifs[pos/40_000%len(motifs)])
+	}
+
+	var d int
+	for _, m := range motifs {
+		d += len(m)
+	}
+	fmt.Printf("genome: %d bases; dictionary: %d motifs, %d bases total\n",
+		len(genome), len(motifs), d)
+
+	m := pram.New(0)
+	t0 := time.Now()
+	dict := core.Preprocess(m, motifs, core.Options{Seed: 1})
+	preWall := time.Since(t0)
+	preWork, preDepth := m.Counters()
+	m.ResetCounters()
+
+	t1 := time.Now()
+	matches, attempts := dict.MatchLasVegas(m, genome)
+	matchWall := time.Since(t1)
+	matchWork, matchDepth := m.Counters()
+
+	counts := map[string]int{}
+	for i, mt := range matches {
+		if mt.Length > 0 {
+			counts[string(genome[i:i+int(mt.Length)])]++
+		}
+	}
+	fmt.Printf("preprocess: %s (work %d = %.1f/base of dict, depth %d)\n",
+		preWall.Round(time.Millisecond), preWork, float64(preWork)/float64(d), preDepth)
+	fmt.Printf("match:      %s (work %d = %.1f/base of genome, depth %d, LV attempts %d)\n",
+		matchWall.Round(time.Millisecond), matchWork, float64(matchWork)/float64(len(genome)), matchDepth, attempts)
+
+	fmt.Println("\nnamed motif hit counts:")
+	for _, mo := range motifs[:6] {
+		fmt.Printf("  %-10s %6d\n", mo, counts[string(mo)])
+	}
+
+	// Cross-check against the sequential baseline.
+	t2 := time.Now()
+	ac := ahocorasick.New(motifs)
+	acRes := ac.Match(genome)
+	acWall := time.Since(t2)
+	for i := range acRes {
+		wantLen := int32(0)
+		if acRes[i] >= 0 {
+			wantLen = ac.PatternLen(acRes[i])
+		}
+		if matches[i].Length != wantLen {
+			log.Fatalf("MISMATCH with Aho–Corasick at base %d", i)
+		}
+	}
+	fmt.Printf("\nAho–Corasick cross-check passed in %s (sequential baseline)\n",
+		acWall.Round(time.Millisecond))
+}

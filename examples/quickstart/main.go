@@ -1,0 +1,71 @@
+// Quickstart: the three algorithms of the paper on a toy input, end to end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lz"
+	"repro/internal/pram"
+	"repro/internal/staticdict"
+)
+
+func main() {
+	// A simulated CRCW PRAM; procs is the physical worker count, the
+	// Work/Depth counters are the PRAM cost ledger.
+	m := pram.New(0)
+
+	// --- 1. Dictionary matching (§3, Theorem 3.1) -----------------------
+	patterns := [][]byte{
+		[]byte("she"), []byte("he"), []byte("hers"), []byte("his"),
+	}
+	dict := core.Preprocess(m, patterns, core.Options{Seed: 42})
+	text := []byte("ushershe")
+	matches, attempts := dict.MatchLasVegas(m, text) // checked output (§3.4)
+	fmt.Printf("dictionary matching of %q (Las Vegas attempts: %d):\n", text, attempts)
+	for i, mt := range matches {
+		if mt.Length > 0 {
+			fmt.Printf("  position %d: %q\n", i, patterns[mt.PatternID])
+		}
+	}
+
+	// --- 2. LZ1 compression (§4, Theorems 4.2/4.3) ----------------------
+	input := []byte("abracadabra abracadabra abracadabra")
+	compressed := lz.Compress(m, input)
+	fmt.Printf("\nLZ1: %d bytes -> %d phrases:\n", len(input), len(compressed.Tokens))
+	for _, t := range compressed.Tokens {
+		if t.IsLiteral() {
+			fmt.Printf("  lit %q\n", t.Lit)
+		} else {
+			fmt.Printf("  copy %d bytes from offset %d\n", t.Len, t.Src)
+		}
+	}
+	restored, err := lz.Uncompress(m, compressed, lz.ByPointerJumping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip ok: %v\n", string(restored) == string(input))
+
+	// --- 3. Optimal static compression (§5, Theorem 5.3) ----------------
+	// Prefix-closed dictionary on which greedy is suboptimal.
+	words := [][]byte{[]byte("a"), []byte("aa"), []byte("aab"), []byte("b")}
+	wdict := core.Preprocess(m, words, core.Options{Seed: 42})
+	wtext := []byte("aaab")
+	maxLen := wdict.PrefixLengths(m, wtext)
+	opt, err := staticdict.OptimalParse(m, len(wtext), maxLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, _ := staticdict.GreedyParse(len(wtext), maxLen)
+	fmt.Printf("\nstatic parse of %q: optimal %d phrases vs greedy %d:\n",
+		wtext, len(opt), len(greedy))
+	for _, p := range opt {
+		fmt.Printf("  %q\n", wtext[p.Pos:p.Pos+p.Len])
+	}
+
+	work, depth := m.Counters()
+	fmt.Printf("\nPRAM ledger for everything above: work=%d, depth=%d\n", work, depth)
+}

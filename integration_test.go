@@ -1,0 +1,182 @@
+package repro
+
+// Cross-module integration tests: each one drives several packages through
+// a realistic end-to-end flow and checks global invariants that no single
+// package can see on its own.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/lz"
+	"repro/internal/pram"
+	"repro/internal/staticdict"
+	"repro/internal/textgen"
+)
+
+// TestPipelineMatchThenParse drives the §3 matcher into the §5 parser: the
+// text is parsed optimally against a trained prefix-closed dictionary and
+// the parse is re-expanded and compared byte-for-byte.
+func TestPipelineMatchThenParse(t *testing.T) {
+	gen := textgen.New(3001)
+	m := pram.New(0)
+	text := gen.Markov(20_000, 6, 0.3)
+
+	// Train words from the text, closed under prefixes, plus all letters.
+	seen := map[string]bool{}
+	var words [][]byte
+	add := func(w []byte) {
+		for p := 1; p <= len(w); p++ {
+			if k := string(w[:p]); !seen[k] {
+				seen[k] = true
+				words = append(words, []byte(k))
+			}
+		}
+	}
+	for pos := 0; pos+12 < len(text); pos += 200 {
+		add(text[pos : pos+12])
+	}
+	for c := byte('a'); c < 'a'+6; c++ {
+		add([]byte{c})
+	}
+
+	dict := core.Preprocess(m, words, core.Options{Seed: 11})
+	maxLen := dict.PrefixLengths(m, text)
+	parse, err := staticdict.OptimalParse(m, len(text), maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-expand: every phrase must be a dictionary word equal to its slice.
+	var rebuilt []byte
+	for _, p := range parse {
+		phrase := text[p.Pos : p.Pos+p.Len]
+		if !seen[string(phrase)] {
+			t.Fatalf("phrase %q at %d is not a dictionary word", phrase, p.Pos)
+		}
+		rebuilt = append(rebuilt, phrase...)
+	}
+	if !bytes.Equal(rebuilt, text) {
+		t.Fatal("parse does not re-expand to the text")
+	}
+	// Optimality sanity vs greedy.
+	greedy, err := staticdict.GreedyParse(len(text), maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parse) > len(greedy) {
+		t.Fatalf("optimal %d > greedy %d", len(parse), len(greedy))
+	}
+}
+
+// TestPipelineCompressedSearch compresses a corpus with LZ1, uncompresses
+// it, and verifies that dictionary matches survive the round trip —
+// compression and search working on the same storage, the paper's §1
+// scenario.
+func TestPipelineCompressedSearch(t *testing.T) {
+	gen := textgen.New(3002)
+	m := pram.New(0)
+	text, patterns := gen.PlantedDictionary(30_000, 10, 12, 500, 4)
+
+	c := lz.Compress(m, text)
+	if len(c.Tokens) >= len(text) {
+		t.Fatalf("no compression achieved: %d tokens", len(c.Tokens))
+	}
+	restored, err := lz.Uncompress(m, c, lz.ByPointerJumping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := core.Preprocess(m, patterns, core.Options{Seed: 21})
+	before, attemptsB := dict.MatchLasVegas(m, text)
+	after, attemptsA := dict.MatchLasVegas(m, restored)
+	if attemptsB != 1 || attemptsA != 1 {
+		t.Fatalf("las vegas attempts %d/%d", attemptsB, attemptsA)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("matches differ at %d after compression round trip", i)
+		}
+	}
+}
+
+// TestPipelineDistributedEqualsLocal runs the simulated cluster against
+// the local matcher and the Aho–Corasick oracle simultaneously.
+func TestPipelineDistributedEqualsLocal(t *testing.T) {
+	gen := textgen.New(3003)
+	patterns := gen.Dictionary(20, 2, 10, 4)
+	text := gen.Uniform(5_000, 4)
+
+	cluster := distrib.NewCluster(5)
+	got := cluster.Match(patterns, text, 7)
+
+	ac := ahocorasick.New(patterns)
+	want := ac.Match(text)
+	for i := range text {
+		wantLen := int32(0)
+		if want[i] >= 0 {
+			wantLen = ac.PatternLen(want[i])
+		}
+		if got[i].Length != wantLen {
+			t.Fatalf("pos %d: cluster %d vs oracle %d", i, got[i].Length, wantLen)
+		}
+	}
+	if s := cluster.Stats(); s.Messages == 0 {
+		t.Fatal("no cluster traffic recorded")
+	}
+}
+
+// TestPipelineAllThreeVariantsOfLZAgree cross-checks the token parse, the
+// triple parse and LZ78 as decompressors of the same content.
+func TestPipelineAllThreeVariantsOfLZAgree(t *testing.T) {
+	gen := textgen.New(3004)
+	m := pram.New(0)
+	for _, text := range [][]byte{
+		gen.Repetitive(10_000, 80, 0.02),
+		gen.DNA(8_000),
+		textgen.Fibonacci(5_000),
+	} {
+		tok := lz.Compress(m, text)
+		a, err := lz.Uncompress(m, tok, lz.ByPointerJumping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tri := lz.CompressTriples(m, text)
+		b, err := lz.UncompressTriples(m, tri, lz.ByConnectedComponents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := lz.DecodeLZ2(lz.CompressLZ2(text))
+		if !bytes.Equal(a, text) || !bytes.Equal(b, text) || !bytes.Equal(c, text) {
+			t.Fatal("variant disagreement")
+		}
+	}
+}
+
+// TestWorkLedgerConsistency: the PRAM ledger must be identical for the
+// same computation regardless of physical worker count — determinism of
+// the cost model itself.
+func TestWorkLedgerConsistency(t *testing.T) {
+	gen := textgen.New(3005)
+	patterns := gen.Dictionary(16, 2, 8, 4)
+	text := gen.Uniform(4_000, 4)
+	type ledger struct{ w, d int64 }
+	run := func(procs int) ledger {
+		m := pram.New(procs)
+		dict := core.Preprocess(m, patterns, core.Options{Seed: 3})
+		dict.MatchText(m, text)
+		w, d := m.Counters()
+		return ledger{w, d}
+	}
+	// procs == 1 deliberately selects the sequential algorithm variants
+	// (different, linear-work ledger); among parallel machines the ledger
+	// must not depend on the physical worker count.
+	a, b, c := run(2), run(3), run(8)
+	if a != b || b != c {
+		t.Fatalf("ledger depends on worker count: %v %v %v", a, b, c)
+	}
+	if s := run(1); s == a {
+		t.Log("note: sequential ledger coincidentally equals parallel ledger")
+	}
+}

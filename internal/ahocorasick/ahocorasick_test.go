@@ -1,0 +1,152 @@
+package ahocorasick
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// bruteMatch computes M[i] = longest pattern starting at i by direct
+// comparison.
+func bruteMatch(patterns [][]byte, text []byte) []int32 {
+	res := make([]int32, len(text))
+	for i := range res {
+		res[i] = -1
+	}
+	for idx, p := range patterns {
+		for i := 0; i+len(p) <= len(text); i++ {
+			if bytes.Equal(text[i:i+len(p)], p) {
+				if res[i] == -1 || len(patterns[res[i]]) < len(p) {
+					res[i] = int32(idx)
+				}
+			}
+		}
+	}
+	return res
+}
+
+func bruteMatchEnds(patterns [][]byte, text []byte) []int32 {
+	res := make([]int32, len(text))
+	for i := range res {
+		res[i] = -1
+	}
+	for idx, p := range patterns {
+		for i := 0; i+len(p) <= len(text); i++ {
+			e := i + len(p) - 1
+			if bytes.Equal(text[i:i+len(p)], p) {
+				if res[e] == -1 || len(patterns[res[e]]) < len(p) {
+					res[e] = int32(idx)
+				}
+			}
+		}
+	}
+	return res
+}
+
+func checkSame(t *testing.T, tag string, patterns [][]byte, got, want []int32) {
+	t.Helper()
+	for i := range want {
+		g, w := got[i], want[i]
+		if (g == -1) != (w == -1) {
+			t.Fatalf("%s pos %d: got %d want %d", tag, i, g, w)
+		}
+		if g != -1 && !bytes.Equal(patterns[g], patterns[w]) {
+			t.Fatalf("%s pos %d: got pattern %q want %q", tag, i, patterns[g], patterns[w])
+		}
+	}
+}
+
+func TestMatchKnownCases(t *testing.T) {
+	cases := []struct {
+		patterns []string
+		text     string
+	}{
+		{[]string{"he", "she", "his", "hers"}, "ushers"},
+		{[]string{"a", "ab", "abc", "bc", "c"}, "abcabc"},
+		{[]string{"bc", "abc"}, "abc"}, // shadowed occurrence regression
+		{[]string{"aa", "aaa", "aaaa"}, "aaaaaaa"},
+		{[]string{"x"}, "yyy"},
+		{[]string{"ab"}, "ab"},
+		{[]string{"ab", "ab"}, "abab"}, // duplicate patterns
+	}
+	for _, c := range cases {
+		var ps [][]byte
+		for _, p := range c.patterns {
+			ps = append(ps, []byte(p))
+		}
+		a := New(ps)
+		text := []byte(c.text)
+		checkSame(t, "match", ps, a.Match(text), bruteMatch(ps, text))
+		checkSame(t, "ends", ps, a.MatchEnds(text), bruteMatchEnds(ps, text))
+	}
+}
+
+func TestMatchRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(121, 122))
+	for trial := 0; trial < 60; trial++ {
+		sigma := 2 + rng.IntN(3)
+		numPat := 1 + rng.IntN(8)
+		patterns := make([][]byte, numPat)
+		for i := range patterns {
+			l := 1 + rng.IntN(6)
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = byte('a' + rng.IntN(sigma))
+			}
+			patterns[i] = p
+		}
+		text := make([]byte, 50+rng.IntN(200))
+		for j := range text {
+			text[j] = byte('a' + rng.IntN(sigma))
+		}
+		a := New(patterns)
+		checkSame(t, "match", patterns, a.Match(text), bruteMatch(patterns, text))
+		checkSame(t, "ends", patterns, a.MatchEnds(text), bruteMatchEnds(patterns, text))
+	}
+}
+
+func TestEmptyTextAndStates(t *testing.T) {
+	a := New([][]byte{[]byte("abc")})
+	if got := a.Match(nil); len(got) != 0 {
+		t.Fatal("match on empty text")
+	}
+	if a.NumStates() != 4 {
+		t.Fatalf("states = %d want 4", a.NumStates())
+	}
+	if a.PatternLen(0) != 3 {
+		t.Fatalf("patternLen = %d", a.PatternLen(0))
+	}
+}
+
+func TestEmptyPatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty pattern did not panic")
+		}
+	}()
+	New([][]byte{{}})
+}
+
+func TestBinaryAlphabetDense(t *testing.T) {
+	// All binary strings of length <= 4 as the dictionary.
+	var patterns [][]byte
+	for l := 1; l <= 4; l++ {
+		for v := 0; v < 1<<l; v++ {
+			p := make([]byte, l)
+			for j := 0; j < l; j++ {
+				p[j] = byte('0' + (v>>j)&1)
+			}
+			patterns = append(patterns, p)
+		}
+	}
+	a := New(patterns)
+	text := []byte("0110100110010110")
+	got := a.Match(text)
+	// Every position except the last 3 must match a length-4 pattern.
+	for i := 0; i < len(text); i++ {
+		wantLen := min(4, len(text)-i)
+		if int(a.PatternLen(got[i])) != wantLen {
+			t.Fatalf("pos %d matched length %d want %d", i, a.PatternLen(got[i]), wantLen)
+		}
+	}
+}

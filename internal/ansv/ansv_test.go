@@ -1,0 +1,162 @@
+package ansv
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pram"
+)
+
+func bruteLeft(a []int64) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = -1
+		for j := i - 1; j >= 0; j-- {
+			if a[j] < a[i] {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+func bruteRight(a []int64) []int {
+	n := len(a)
+	out := make([]int, n)
+	for i := range a {
+		out[i] = n
+		for j := i + 1; j < n; j++ {
+			if a[j] < a[i] {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestANSVAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, n := range []int{0, 1, 2, 3, 10, 100, 1000} {
+			for _, valRange := range []int64{2, 5, 1000} {
+				a := make([]int64, n)
+				for i := range a {
+					a[i] = rng.Int64N(valRange)
+				}
+				wantL, wantR := bruteLeft(a), bruteRight(a)
+				gotL := LeftSmaller(m, a)
+				gotR := RightSmaller(m, a)
+				for i := 0; i < n; i++ {
+					if gotL[i] != wantL[i] {
+						t.Fatalf("procs=%d n=%d range=%d left[%d]=%d want %d (a=%v)",
+							procs, n, valRange, i, gotL[i], wantL[i], a)
+					}
+					if gotR[i] != wantR[i] {
+						t.Fatalf("procs=%d n=%d range=%d right[%d]=%d want %d (a=%v)",
+							procs, n, valRange, i, gotR[i], wantR[i], a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestANSVMonotoneArrays(t *testing.T) {
+	m := pram.New(4)
+	inc := []int64{1, 2, 3, 4, 5}
+	left := LeftSmaller(m, inc)
+	for i, v := range left {
+		if v != i-1 {
+			t.Fatalf("increasing left[%d]=%d", i, v)
+		}
+	}
+	right := RightSmaller(m, inc)
+	for i, v := range right {
+		if v != len(inc) {
+			t.Fatalf("increasing right[%d]=%d", i, v)
+		}
+	}
+	dec := []int64{5, 4, 3, 2, 1}
+	left = LeftSmaller(m, dec)
+	for i, v := range left {
+		if v != -1 {
+			t.Fatalf("decreasing left[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestANSVAllEqual(t *testing.T) {
+	m := pram.New(4)
+	a := []int64{7, 7, 7, 7}
+	for i, v := range LeftSmaller(m, a) {
+		if v != -1 {
+			t.Fatalf("equal left[%d]=%d", i, v)
+		}
+	}
+	for i, v := range RightSmaller(m, a) {
+		if v != len(a) {
+			t.Fatalf("equal right[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestANSVQuickProperty(t *testing.T) {
+	m := pram.New(4)
+	f := func(raw []uint8) bool {
+		a := make([]int64, len(raw))
+		for i, v := range raw {
+			a[i] = int64(v % 8)
+		}
+		wantL := bruteLeft(a)
+		gotL := LeftSmaller(m, a)
+		for i := range a {
+			if wantL[i] != gotL[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteLeftOrEqual(a []int64) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = -1
+		for j := i - 1; j >= 0; j-- {
+			if a[j] <= a[i] {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestLeftSmallerOrEqual(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, n := range []int{0, 1, 2, 10, 100, 500} {
+			for _, valRange := range []int64{2, 4, 100} {
+				a := make([]int64, n)
+				for i := range a {
+					a[i] = rng.Int64N(valRange)
+				}
+				want := bruteLeftOrEqual(a)
+				got := LeftSmallerOrEqual(m, a)
+				for i := 0; i < n; i++ {
+					if got[i] != want[i] {
+						t.Fatalf("procs=%d n=%d leq[%d]=%d want %d (a=%v)", procs, n, i, got[i], want[i], a)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package ansv
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func BenchmarkLeftSmaller(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 1 << 16
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int64N(1000)
+	}
+	for _, procs := range []int{1, 2} {
+		name := "seq"
+		if procs > 1 {
+			name = "par"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := pram.New(procs)
+			b.SetBytes(n)
+			for i := 0; i < b.N; i++ {
+				LeftSmaller(m, a)
+			}
+		})
+	}
+}

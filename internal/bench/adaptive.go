@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// E14Adaptive measures the adaptive-dictionary extension (the paper's
+// cited related problem [4]) built on the static matcher via the
+// logarithmic method: update throughput and the query-time factor over a
+// monolithic static dictionary.
+func E14Adaptive() Experiment {
+	return Experiment{
+		ID:    "E14",
+		Title: "Adaptive dictionary matching via the logarithmic method ([4], extension)",
+		Claim: "inserts/deletes with amortized O(|P| log k) preprocessing; queries pay an O(log k) bucket factor",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1014)
+			m := pram.NewSequential()
+			n := scale.pick(1<<13, 1<<15)
+			text := gen.Uniform(n, 4)
+
+			t := newTable(w, "k patterns", "buckets", "insert total", "query wall", "static query wall", "query factor")
+			for _, k := range []int{21, 85, 341} {
+				patterns := gen.Dictionary(k, 4, 16, 4)
+				a := core.NewAdaptive(core.Options{Seed: 1})
+				t0 := time.Now()
+				for _, p := range patterns {
+					a.Insert(m, p)
+				}
+				insWall := time.Since(t0)
+
+				t1 := time.Now()
+				a.MatchText(m, text)
+				qWall := time.Since(t1)
+
+				static := core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 1})
+				t2 := time.Now()
+				static.MatchText(pram.NewSequential(), text)
+				sWall := time.Since(t2)
+
+				t.row(k, a.Buckets(), insWall, qWall, sWall, float64(qWall)/float64(sWall))
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: buckets stay O(log k); the query factor tracks the bucket count")
+		},
+	}
+}

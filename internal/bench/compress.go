@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lz"
+	"repro/internal/pram"
+	"repro/internal/staticdict"
+	"repro/internal/textgen"
+)
+
+// E7LZCompress measures Theorem 4.2: LZ1 compression in O(n) work and
+// O(log n) time, against the previous O(n log n)-work bounds [23, 10]. The
+// post-suffix-tree stage (the paper's actual §4 contribution) is reported
+// separately from the Lemma 2.1 substitute.
+func E7LZCompress() Experiment {
+	return Experiment{
+		ID:    "E7",
+		Title: "LZ1 compression scaling (Theorem 4.2)",
+		Claim: "O(n) work, O(log n) time (prior work: O(n log n) work)",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1007)
+			t := newTable(w, "n", "class", "work/n", "tree w/n", "§4 w/n", "parse w/n", "phrases", "wall")
+			nMax := scale.pick(1<<14, 1<<16)
+			classes := []struct {
+				name string
+				mk   func(n int) []byte
+			}{
+				{"dna", gen.DNA},
+				{"repetitive", func(n int) []byte { return gen.Repetitive(n, 64, 0.01) }},
+				{"random26", func(n int) []byte { return gen.Uniform(n, 26) }},
+			}
+			for _, c := range classes {
+				for n := nMax / 4; n <= nMax; n *= 2 {
+					text := c.mk(n)
+					m := pram.NewSequential()
+					t0 := time.Now()
+					comp := lz.Compress(m, text)
+					wall := time.Since(t0)
+					wk, _ := m.Counters()
+					per := map[string]float64{}
+					for _, ph := range m.Phases() {
+						per[ph.Name] = float64(ph.Work) / float64(n)
+					}
+					t.row(n, c.name, float64(wk)/float64(n),
+						per["lz/suffixtree"], per["lz/matchstats"], per["lz/parse"],
+						len(comp.Tokens), wall)
+				}
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: the §4-specific columns (matchstats, parse) are flat = the paper's O(n); the tree column carries the Lemma 2.1 substitute's growth (see E10)")
+		},
+	}
+}
+
+// E8LZUncompress measures Theorem 4.3 plus the E8b ablation: resolving the
+// copy forest by pointer jumping versus by connected components (the
+// paper's Lemma 2.2 route).
+func E8LZUncompress() Experiment {
+	return Experiment{
+		ID:    "E8",
+		Title: "LZ1 uncompression scaling and forest-resolution ablation (Theorem 4.3)",
+		Claim: "uncompression in O(n) work, O(log n) time",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1008)
+			t := newTable(w, "n", "mode", "work", "work/n", "depth", "wall")
+			nMax := scale.pick(1<<14, 1<<16)
+			for n := nMax / 4; n <= nMax; n *= 2 {
+				text := gen.Repetitive(n, 100, 0.02)
+				comp := lz.Compress(pram.NewSequential(), text)
+				for _, mode := range []struct {
+					name string
+					m    lz.UncompressMode
+				}{
+					{"pointer-jump", lz.ByPointerJumping},
+					{"conncomp", lz.ByConnectedComponents},
+				} {
+					m := pram.NewSequential()
+					t0 := time.Now()
+					if _, err := lz.Uncompress(m, comp, mode.m); err != nil {
+						fmt.Fprintf(w, "ERROR: %v\n", err)
+						return
+					}
+					wall := time.Since(t0)
+					wk, dp := m.Counters()
+					t.row(n, mode.name, wk, float64(wk)/float64(n), dp, wall)
+				}
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: both modes near-linear work; conncomp pays a constant-factor premium (hook+jump rounds)")
+		},
+	}
+}
+
+// E9StaticParse measures Theorem 5.3: optimal static-dictionary parsing in
+// O(n) work via dominating edges, against the BFS shortest-path baseline
+// (the transitive-closure-style approach of [2]) and the greedy heuristic's
+// compression quality.
+func E9StaticParse() Experiment {
+	return Experiment{
+		ID:    "E9",
+		Title: "Optimal static compression: dominating edges vs shortest paths vs greedy (Theorem 5.3)",
+		Claim: "optimal parse in O(n) work; shortest-path baselines touch Theta(n·m) edges; greedy is suboptimal",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1009)
+			m := pram.NewSequential()
+
+			fmt.Fprintln(w, "sweep A: work against BFS edge count (prefix-closed dictionary trained on the text)")
+			t := newTable(w, "n", "optimal work", "work/n", "BFS edges", "edges/n", "phrases opt", "phrases greedy")
+			nMax := scale.pick(1<<13, 1<<15)
+			for n := nMax / 4; n <= nMax; n *= 2 {
+				text := gen.Markov(n, 4, 0.3)
+				// Train a prefix-closed dictionary from substrings of the
+				// text so matches are long (this is where the dominating-
+				// edge construction beats BFS: edges/n = average match
+				// length).
+				patterns := trainWords(text, scale.pick(60, 200), 24)
+				dict := core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 1})
+				maxLen := dict.PrefixLengths(pram.NewSequential(), text)
+				for i := range maxLen {
+					if maxLen[i] == 0 {
+						maxLen[i] = 1 // unseen symbols: implicit 1-letter words
+					}
+				}
+				m.ResetCounters()
+				opt, err := staticdict.OptimalParse(m, n, maxLen)
+				if err != nil {
+					fmt.Fprintf(w, "ERROR: %v\n", err)
+					return
+				}
+				wk, _ := m.Counters()
+				greedy, _ := staticdict.GreedyParse(n, maxLen)
+				t.row(n, wk, float64(wk)/float64(n), staticdict.EdgeCount(maxLen),
+					float64(staticdict.EdgeCount(maxLen))/float64(n), len(opt), len(greedy))
+			}
+			t.flush()
+
+			fmt.Fprintln(w, "\nsweep B: greedy suboptimality on the adversarial family (dict = prefix closure of {a^k, a^k b} + {b})")
+			t2 := newTable(w, "k", "n", "phrases optimal", "phrases greedy", "greedy/optimal")
+			for _, k := range []int{2, 4, 8, 16} {
+				text, adv := textgen.GreedyAdversarialDictionary(k, scale.pick(50, 400))
+				advDict := core.Preprocess(pram.NewSequential(), adv, core.Options{Seed: 1})
+				maxLen := advDict.PrefixLengths(pram.NewSequential(), text)
+				opt, err1 := staticdict.OptimalParse(pram.NewSequential(), len(text), maxLen)
+				greedy, err2 := staticdict.GreedyParse(len(text), maxLen)
+				if err1 != nil || err2 != nil {
+					fmt.Fprintf(w, "ERROR: %v %v\n", err1, err2)
+					return
+				}
+				t2.row(k, len(text), len(opt), len(greedy), float64(len(greedy))/float64(len(opt)))
+			}
+			t2.flush()
+			fmt.Fprintln(w, "expected shape: optimal work/n flat while BFS edges/n grows with match length; greedy/optimal -> 1.5 on the adversarial family")
+		},
+	}
+}
+
+// trainWords samples count substrings of text (length up to maxLen) and
+// returns their prefix closure — a dictionary under which the text has long
+// matches everywhere it repeats.
+func trainWords(text []byte, count, maxLen int) [][]byte {
+	seen := map[string]bool{}
+	var words [][]byte
+	add := func(word []byte) {
+		for p := 1; p <= len(word); p++ {
+			if k := string(word[:p]); !seen[k] {
+				seen[k] = true
+				words = append(words, []byte(k))
+			}
+		}
+	}
+	step := len(text) / count
+	if step < 1 {
+		step = 1
+	}
+	for pos := 0; pos < len(text); pos += step {
+		end := pos + maxLen
+		if end > len(text) {
+			end = len(text)
+		}
+		add(text[pos:end])
+	}
+	return words
+}
+
+// E12PhraseCounts compares LZ1 against LZ2/LZ78 phrase counts across text
+// classes (§1.2: "LZ1 is known to give better compressions in practice").
+func E12PhraseCounts() Experiment {
+	return Experiment{
+		ID:    "E12",
+		Title: "LZ1 vs LZ2 phrase counts (§1.2)",
+		Claim: "LZ1 compresses better in practice; LZ2 is P-complete [1] while LZ1 is in RNC",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1012)
+			n := scale.pick(1<<14, 1<<16)
+			m := pram.NewSequential()
+			t := newTable(w, "class", "n", "LZ1 phrases", "LZ2 phrases", "LZ2/LZ1")
+			classes := []struct {
+				name string
+				data []byte
+			}{
+				{"random26", gen.Uniform(n, 26)},
+				{"dna", gen.DNA(n)},
+				{"markov", gen.Markov(n, 8, 0.3)},
+				{"repetitive", gen.Repetitive(n, 64, 0.01)},
+				{"fibonacci", textgen.Fibonacci(n)},
+				{"thue-morse", textgen.ThueMorse(n)},
+			}
+			for _, c := range classes {
+				lz1 := lz.Compress(m, c.data)
+				lz2 := lz.CompressLZ2(c.data)
+				t.row(c.name, len(c.data), len(lz1.Tokens), len(lz2.Tokens),
+					float64(len(lz2.Tokens))/float64(len(lz1.Tokens)))
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: LZ2/LZ1 > 1 on structured/repetitive inputs (the paper's \"better in practice\"), approaching parity or below on incompressible random text")
+		},
+	}
+}

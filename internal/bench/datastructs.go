@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/colorednca"
+	"repro/internal/eulertour"
+	"repro/internal/fingerprint"
+	"repro/internal/pram"
+	"repro/internal/suffixtree"
+	"repro/internal/textgen"
+)
+
+// E6NCA measures the §3.2 trade-off between the paper's two nearest-
+// colored-ancestor structures: naive skeleton tables (O(n·|C|)
+// preprocessing work, O(1) query) versus the Euler-range + van Emde Boas
+// structure (O(n + C) size, O(log log n) query).
+func E6NCA() Experiment {
+	return Experiment{
+		ID:    "E6",
+		Title: "Nearest colored ancestors: naive vs improved (§3.2)",
+		Claim: "naive: O(n·|C|) preprocessing, O(1) query; improved: O(n+C) size, O(log log n) query",
+		Run: func(w io.Writer, scale Scale) {
+			rng := rand.New(rand.NewPCG(61, 62))
+			n := scale.pick(1<<12, 1<<14)
+			parent := make([]int, n)
+			parent[0] = -1
+			for v := 1; v < n; v++ {
+				parent[v] = rng.IntN(v)
+			}
+			m := pram.NewSequential()
+			tree := eulertour.New(m, parent)
+			tour := tree.Euler(m)
+
+			t := newTable(w, "|C| colors", "naive build", "improved build", "naive query", "improved query")
+			for _, numColors := range []int{2, 8, 32, 128} {
+				var colors []colorednca.Colored
+				for v := 0; v < n; v++ {
+					colors = append(colors, colorednca.Colored{Node: v, Color: int32(rng.IntN(numColors))})
+				}
+				t0 := time.Now()
+				naive := colorednca.NewNaive(m, tree, colors)
+				buildNaive := time.Since(t0)
+				t1 := time.Now()
+				impr := colorednca.NewImproved(m, tree, tour, colors)
+				buildImpr := time.Since(t1)
+
+				const queries = 200_000
+				q0 := time.Now()
+				var sink int
+				for q := 0; q < queries; q++ {
+					sink += naive.Find(q%n, int32(q%numColors))
+				}
+				qNaive := float64(time.Since(q0).Nanoseconds()) / queries
+				q1 := time.Now()
+				for q := 0; q < queries; q++ {
+					sink += impr.Find(q%n, int32(q%numColors))
+				}
+				qImpr := float64(time.Since(q1).Nanoseconds()) / queries
+				_ = sink
+				t.row(numColors, buildNaive, buildImpr,
+					fmt.Sprintf("%.1fns", qNaive), fmt.Sprintf("%.1fns", qImpr))
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: naive build grows linearly with |C|; improved build flat; both queries near-constant with improved slightly slower")
+		},
+	}
+}
+
+// E10SuffixTree measures the Lemma 2.1 substitute: suffix tree construction
+// scaling for the parallel (prefix-doubling) and sequential (DC3) paths.
+func E10SuffixTree() Experiment {
+	return Experiment{
+		ID:    "E10",
+		Title: "Suffix tree construction scaling (Lemma 2.1 substitute)",
+		Claim: "O(n) work / O(log n) time in the paper; ours: O(n log n) work at O(log^2 n) depth parallel, O(n) sequential",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1010)
+			t := newTable(w, "n", "path", "work", "work/n", "work/(n log n)", "depth", "wall")
+			nMax := scale.pick(1<<14, 1<<17)
+			for n := nMax / 8; n <= nMax; n *= 2 {
+				text := gen.DNA(n)
+				// Sequential machine: DC3 + Kasai + stack (linear).
+				ms := pram.NewSequential()
+				t0 := time.Now()
+				suffixtree.Build(ms, text)
+				wallS := time.Since(t0)
+				wkS, dpS := ms.Counters()
+				t.row(n, "seq/DC3", wkS, float64(wkS)/float64(n), float64(wkS)/(float64(n)*log2(n)), dpS, wallS)
+				// Parallel machine: prefix doubling (counters measured with
+				// the deterministic 1-worker schedule of the same parallel
+				// algorithm to keep wall noise out; counters are identical
+				// across worker counts).
+				mp := pram.New(2)
+				t1 := time.Now()
+				suffixtree.Build(mp, text)
+				wallP := time.Since(t1)
+				wkP, dpP := mp.Counters()
+				t.row(n, "par/doubling", wkP, float64(wkP)/float64(n), float64(wkP)/(float64(n)*log2(n)), dpP, wallP)
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: seq work/n flat (linear); par work/(n log n) flat; par depth grows ~log^2 n")
+		},
+	}
+}
+
+// E11Fingerprint measures the randomization justification (§1.2, [17]):
+// collision probability of b-bit fingerprints against the analytic bound,
+// on adversarially repetitive strings.
+func E11Fingerprint() Experiment {
+	return Experiment{
+		ID:    "E11",
+		Title: "Fingerprint width vs collision rate (Karp–Rabin [17])",
+		Claim: "collision probability <= len/2^b per comparison; Las Vegas retries vanish at 61 bits",
+		Run: func(w io.Writer, scale Scale) {
+			m := pram.NewSequential()
+			text := textgen.Fibonacci(scale.pick(1<<12, 1<<14)) // maximally repetitive
+			h := fingerprint.NewHasher(7, len(text))
+			tab := h.NewTable(m, text)
+			rng := rand.New(rand.NewPCG(71, 72))
+
+			t := newTable(w, "bits b", "pairs tested", "distinct pairs colliding", "rate", "bound len/2^b")
+			pairs := scale.pick(200_000, 1_000_000)
+			maxL := 64
+			for _, bits := range []int{8, 12, 16, 24, 32, 61} {
+				mask := uint64(1)<<uint(bits) - 1
+				tested, collided := 0, 0
+				for p := 0; p < pairs; p++ {
+					l := 1 + rng.IntN(maxL)
+					i := rng.IntN(len(text) - l)
+					j := rng.IntN(len(text) - l)
+					if i == j {
+						continue
+					}
+					same := string(text[i:i+l]) == string(text[j:j+l])
+					if same {
+						continue // only distinct strings can collide
+					}
+					tested++
+					if tab.Substring(i, i+l)&mask == tab.Substring(j, j+l)&mask {
+						collided++
+					}
+				}
+				bound := float64(maxL) / float64(uint64(1)<<uint(min(bits, 62)))
+				t.row(bits, tested, collided, float64(collided)/float64(tested), bound)
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: collision rate tracks 1/2^b and is zero at 61 bits")
+		},
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// E1MatchingScaling measures Theorem 3.1's text-processing bounds: after
+// preprocessing, matching a text of length n takes O(n) work and O(log d)
+// time, independent of the dictionary size d. Two sweeps: n with d fixed
+// (work/n flat), and d with n fixed (work/n flat, depth tracking log^2 d —
+// our Step 1A substitution's documented extra log, DESIGN.md §4).
+func E1MatchingScaling() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "Dictionary matching: text work/depth scaling (Theorem 3.1)",
+		Claim: "matching work O(n), time O(log d), independent of d",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1001)
+			dictSize := scale.pick(64, 256)
+			patterns := gen.Dictionary(dictSize, 4, 24, 4)
+			mPre := pram.NewSequential()
+			dict := core.Preprocess(mPre, patterns, core.Options{Seed: 1})
+
+			fmt.Fprintln(w, "sweep A: text length n (d fixed)")
+			t := newTable(w, "n", "work", "work/n", "depth", "depth/log^2 d")
+			nMax := scale.pick(1<<14, 1<<17)
+			var d int
+			for _, p := range patterns {
+				d += len(p)
+			}
+			l2 := log2(d) * log2(d)
+			for n := nMax / 16; n <= nMax; n *= 2 {
+				text := gen.Uniform(n, 4)
+				m := pram.NewSequential()
+				matches := dict.MatchText(m, text)
+				_ = matches
+				wk, dp := m.Counters()
+				t.row(n, wk, float64(wk)/float64(n), dp, float64(dp)/l2)
+			}
+			t.flush()
+
+			fmt.Fprintln(w, "\nsweep B: dictionary size d (n fixed) — text cost must not grow with d; anchor ablation")
+			t2 := newTable(w, "d", "anchor", "work", "work/n", "depth", "depth/log d")
+			n := scale.pick(1<<13, 1<<15)
+			text := gen.Uniform(n, 4)
+			for k := scale.pick(8, 16); k <= scale.pick(512, 4096); k *= 4 {
+				ps := gen.Dictionary(k, 4, 24, 4)
+				var dd int
+				for _, p := range ps {
+					dd += len(p)
+				}
+				for _, a := range []struct {
+					name string
+					s    core.AnchorStrategy
+				}{{"separator", core.AnchorSeparator}, {"sa-binsearch", core.AnchorSA}} {
+					dct := core.Preprocess(pram.NewSequential(), ps, core.Options{Seed: 1, Anchor: a.s})
+					m := pram.NewSequential()
+					dct.MatchText(m, text)
+					wk, dp := m.Counters()
+					t2.row(dd, a.name, wk, float64(wk)/float64(n), dp, float64(dp)/log2(dd))
+				}
+			}
+			t2.flush()
+			fmt.Fprintln(w, "expected shape: work/n flat for both anchors; separator depth tracks log d (the paper's Step 1A via [5]), SA-binsearch depth tracks log^2 d")
+		},
+	}
+}
+
+// E2Preprocessing measures Theorem 3.1's preprocessing bound: O(d) work,
+// O(log d) time (our pipeline carries documented log-factor substitutions,
+// so the fitted exponent of work against d is reported).
+func E2Preprocessing() Experiment {
+	return Experiment{
+		ID:    "E2",
+		Title: "Dictionary preprocessing scaling (Theorem 3.1)",
+		Claim: "preprocessing work O(d), time O(log d)",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1002)
+			t := newTable(w, "d", "work", "work/d", "work/(d log d)", "depth", "wall")
+			for k := scale.pick(16, 32); k <= scale.pick(1024, 8192); k *= 4 {
+				patterns := gen.Dictionary(k, 4, 24, 4)
+				var d int
+				for _, p := range patterns {
+					d += len(p)
+				}
+				m := pram.NewSequential()
+				start := time.Now()
+				core.Preprocess(m, patterns, core.Options{Seed: 1})
+				wall := time.Since(start)
+				wk, dp := m.Counters()
+				t.row(d, wk, float64(wk)/float64(d), float64(wk)/(float64(d)*log2(d)), dp, wall)
+			}
+			t.flush()
+		},
+	}
+}
+
+// E3Alphabet measures the alphabet-size effects of Theorems 3.1-3.3: the
+// naive (constant-alphabet) NCA keeps per-position work O(1); large
+// alphabets pay the van Emde Boas log log factor; the comparison-model
+// reduction (binary encoding) pays log sigma in string length.
+func E3Alphabet() Experiment {
+	return Experiment{
+		ID:    "E3",
+		Title: "Alphabet effects (Theorems 3.1, 3.2, 3.3)",
+		Claim: "O(n) work for constant alphabets; loglog d factor for polynomial; log sigma via binary encoding",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1003)
+			n := scale.pick(1<<13, 1<<15)
+			t := newTable(w, "sigma", "nca", "text work", "work/n", "depth", "wall")
+			for _, sigma := range []int{2, 4, 16, 64, 256} {
+				patterns := gen.Dictionary(scale.pick(32, 128), 4, 16, sigma)
+				text := gen.Uniform(n, sigma)
+				for _, variant := range []core.NCAVariant{core.NCANaive, core.NCAImproved} {
+					name := "naive"
+					if variant == core.NCAImproved {
+						name = "veb"
+					}
+					dict := core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 1, NCA: variant})
+					m := pram.NewSequential()
+					t0 := time.Now()
+					dict.MatchText(m, text)
+					wall := time.Since(t0)
+					wk, dp := m.Counters()
+					t.row(sigma, name, wk, float64(wk)/float64(n), dp, wall)
+				}
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: naive work/n constant (Thm 3.1); veb work/n larger by the charged loglog d query factor (Thm 3.2)")
+
+			fmt.Fprintln(w, "\ncomparison-model reduction: binary-encode symbols (Theorem 3.3)")
+			t2 := newTable(w, "sigma", "encoding", "n_effective", "text work", "work/n_orig")
+			for _, sigma := range []int{4, 16, 64} {
+				patterns := gen.Dictionary(scale.pick(32, 128), 4, 16, sigma)
+				text := gen.Uniform(n, sigma)
+				// Direct.
+				dict := core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 1})
+				m := pram.NewSequential()
+				dict.MatchText(m, text)
+				wk, _ := m.Counters()
+				t2.row(sigma, "direct", n, wk, float64(wk)/float64(n))
+				// Binary-encoded: log sigma bits per symbol.
+				encPat := make([][]byte, len(patterns))
+				for i, p := range patterns {
+					encPat[i] = binaryEncode(p, sigma)
+				}
+				encText := binaryEncode(text, sigma)
+				dict2 := core.Preprocess(pram.NewSequential(), encPat, core.Options{Seed: 1})
+				m2 := pram.NewSequential()
+				dict2.MatchText(m2, encText)
+				wk2, _ := m2.Counters()
+				t2.row(sigma, "binary", len(encText), wk2, float64(wk2)/float64(n))
+			}
+			t2.flush()
+		},
+	}
+}
+
+// binaryEncode expands each symbol of s (drawn from an alphabet of size
+// sigma, offset 'a') into ceil(log2 sigma) bits, realizing the Theorem
+// 3.1/3.3 reduction.
+func binaryEncode(s []byte, sigma int) []byte {
+	bits := 1
+	for 1<<bits < sigma {
+		bits++
+	}
+	out := make([]byte, 0, len(s)*bits)
+	for _, c := range s {
+		v := int(c - 'a')
+		for b := bits - 1; b >= 0; b-- {
+			out = append(out, byte('0'+(v>>b)&1))
+		}
+	}
+	return out
+}
+
+// E4Baselines compares the work-optimal matcher against (a) the sequential
+// Aho–Corasick automaton [3] (the classical optimal baseline: total ops
+// should be within a constant factor) and (b) a naive parallel matcher that
+// re-walks the trie at every position, whose work grows with the pattern
+// length m — the regime the pre-1995 parallel algorithms ([22]: O(n sqrt
+// log m), earlier: O(n log m)) sit between.
+func E4Baselines() Experiment {
+	return Experiment{
+		ID:    "E4",
+		Title: "Head-to-head vs Aho–Corasick and naive parallel matching (§1.1)",
+		Claim: "previous parallel work bounds grow with m; the paper's (and AC's sequential) work does not",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1004)
+			n := scale.pick(1<<13, 1<<15)
+			t := newTable(w, "m (pattern len)", "parallel work/n", "naive-par work/n", "AC wall", "parallel wall")
+			for _, m0 := range []int{4, 16, 64, 256} {
+				// Worst-case workload for per-position re-matching: the
+				// unary dictionary {a, aa, ..., a^m} on text a^n — every
+				// position matches a pattern of length ~m, so the naive
+				// parallel matcher does Θ(n·m) work while AC and the
+				// work-optimal matcher stay linear.
+				_ = gen
+				pats := make([][]byte, m0)
+				for k := 1; k <= m0; k++ {
+					pats[k-1] = make([]byte, k)
+					for j := range pats[k-1] {
+						pats[k-1][j] = 'a'
+					}
+				}
+				text := make([]byte, n)
+				for j := range text {
+					text[j] = 'a'
+				}
+				dict := core.Preprocess(pram.NewSequential(), pats, core.Options{Seed: 1})
+				m := pram.NewSequential()
+				t0 := time.Now()
+				dict.MatchText(m, text)
+				wallPar := time.Since(t0)
+				wk, _ := m.Counters()
+
+				ac := ahocorasick.New(pats)
+				t1 := time.Now()
+				ac.Match(text)
+				wallAC := time.Since(t1)
+
+				naive := naiveParallelWork(pats, text)
+				t.row(m0, float64(wk)/float64(n), float64(naive)/float64(n), wallAC, wallPar)
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: the work-optimal matcher's work/n stays flat as m grows, like sequential AC; the naive parallel matcher's work/n grows with planted-match length (the pre-1995 parallel regime)")
+		},
+	}
+}
+
+// naiveParallelWork counts the operations of the trivially parallel
+// matcher: every position independently walks the dictionary trie to its
+// longest match — O(n·m) work, the quantity the optimal algorithm avoids.
+func naiveParallelWork(patterns [][]byte, text []byte) int64 {
+	type node struct{ next map[byte]int32 }
+	trie := []node{{next: map[byte]int32{}}}
+	for _, p := range patterns {
+		cur := int32(0)
+		for _, c := range p {
+			nxt, ok := trie[cur].next[c]
+			if !ok {
+				nxt = int32(len(trie))
+				trie[cur].next[c] = nxt
+				trie = append(trie, node{next: map[byte]int32{}})
+			}
+			cur = nxt
+		}
+	}
+	var work int64
+	for i := range text {
+		cur := int32(0)
+		for j := i; j < len(text); j++ {
+			nxt, ok := trie[cur].next[text[j]]
+			if !ok {
+				break
+			}
+			work++
+			cur = nxt
+		}
+		work++
+	}
+	return work
+}
+
+// E5Checker measures the §3.4 Las Vegas checker: its cost relative to
+// matching, and its detection power under fault injection.
+func E5Checker() Experiment {
+	return Experiment{
+		ID:    "E5",
+		Title: "Las Vegas checker cost and detection (§3.4, Lemma 3.4)",
+		Claim: "checking is O(n) work / O(log n) time and certifies the output",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1005)
+			rng := rand.New(rand.NewPCG(42, 43))
+			n := scale.pick(1<<13, 1<<15)
+			patterns := gen.Dictionary(scale.pick(32, 128), 3, 12, 3)
+			dict := core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 1})
+			text := gen.Uniform(n, 3)
+
+			m := pram.NewSequential()
+			matches := dict.MatchText(m, text)
+			wkMatch, dpMatch := m.Counters()
+			m.ResetCounters()
+			okResult := dict.Check(m, text, matches)
+			wkCheck, dpCheck := m.Counters()
+
+			t := newTable(w, "quantity", "match", "check", "check/match")
+			t.row("work", wkMatch, wkCheck, float64(wkCheck)/float64(wkMatch))
+			t.row("depth", dpMatch, dpCheck, float64(dpCheck)/float64(dpMatch))
+			t.flush()
+			fmt.Fprintf(w, "checker accepts correct output: %v\n", okResult)
+
+			// Fault injection: flip random positions to false claims.
+			injected, caught := 0, 0
+			for f := 0; f < scale.pick(100, 400); f++ {
+				bad := append([]core.Match(nil), matches...)
+				i := rng.IntN(n)
+				k := int32(rng.IntN(len(patterns)))
+				pl := int32(len(patterns[k]))
+				if i+int(pl) <= n && string(text[i:i+int(pl)]) == string(patterns[k]) {
+					continue // accidentally true
+				}
+				bad[i] = core.Match{PatternID: k, Length: pl}
+				injected++
+				if !dict.Check(pram.NewSequential(), text, bad) {
+					caught++
+				}
+			}
+			fmt.Fprintf(w, "fault injection: %d/%d false claims detected (want all)\n", caught, injected)
+		},
+	}
+}

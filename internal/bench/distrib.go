@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/textgen"
+)
+
+// E13Distributed measures the §1.2 distributed sketch: matching cost and
+// communication as the workstation count grows, plus the randomized-vs-
+// deterministic string-equality gap of [29].
+func E13Distributed() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "Distributed dictionary matching and randomized equality (§1.2, [24], [29])",
+		Claim: "the algorithms distribute with communication O(d·W + n); remote equality needs randomization to beat n bytes",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(1013)
+			n := scale.pick(1<<16, 1<<19)
+			text, patterns := gen.PlantedDictionary(n, 40, 12, 997, 4)
+			var d int
+			for _, p := range patterns {
+				d += len(p)
+			}
+			t := newTable(w, "workers", "wall", "messages", "bytes", "bytes/n")
+			for _, workers := range []int{1, 2, 4, 8, 16} {
+				c := distrib.NewCluster(workers)
+				t0 := time.Now()
+				c.Match(patterns, text, 9)
+				wall := time.Since(t0)
+				s := c.Stats()
+				t.row(workers, wall, s.Messages, s.Bytes, float64(s.Bytes)/float64(n))
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: bytes ≈ (d+8)·W + 9n grows only mildly with W (halos + broadcast)")
+
+			fmt.Fprintln(w, "\nremote string equality (Yao [29]):")
+			t2 := newTable(w, "len", "randomized bytes", "deterministic bytes", "ratio")
+			c := distrib.NewCluster(2)
+			for _, l := range []int{1 << 10, 1 << 14, 1 << 18} {
+				a := gen.Uniform(l, 4)
+				_, exch, det := c.EqualExchange(a, a, 3)
+				t2.row(l, exch, det, float64(det)/float64(exch))
+			}
+			t2.flush()
+		},
+	}
+}

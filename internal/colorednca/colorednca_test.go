@@ -1,0 +1,157 @@
+package colorednca
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/eulertour"
+	"repro/internal/pram"
+)
+
+func randomTree(rng *rand.Rand, n int) []int {
+	p := make([]int, n)
+	p[0] = -1
+	for v := 1; v < n; v++ {
+		p[v] = rng.IntN(v)
+	}
+	return p
+}
+
+func bruteFind(parent []int, colorsOf map[int]map[int32]bool, v int, c int32) int {
+	for x := v; x != -1; x = parent[x] {
+		if colorsOf[x][c] {
+			return x
+		}
+	}
+	return -1
+}
+
+func buildColorMap(colors []Colored) map[int]map[int32]bool {
+	m := map[int]map[int32]bool{}
+	for _, cc := range colors {
+		if m[cc.Node] == nil {
+			m[cc.Node] = map[int32]bool{}
+		}
+		m[cc.Node][cc.Color] = true
+	}
+	return m
+}
+
+func TestNaiveAndImprovedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(111, 112))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, n := range []int{1, 2, 5, 50, 300} {
+			for _, numColors := range []int{1, 2, 7} {
+				parent := randomTree(rng, n)
+				tree := eulertour.New(m, parent)
+				tour := tree.Euler(m)
+				var colors []Colored
+				for v := 0; v < n; v++ {
+					k := rng.IntN(3) // 0..2 colors per node
+					for j := 0; j < k; j++ {
+						colors = append(colors, Colored{v, int32(rng.IntN(numColors))})
+					}
+				}
+				naive := NewNaive(m, tree, colors)
+				impr := NewImproved(m, tree, tour, colors)
+				cmap := buildColorMap(colors)
+				for q := 0; q < 400; q++ {
+					v := rng.IntN(n)
+					c := int32(rng.IntN(numColors + 1)) // may be an unused color
+					want := bruteFind(parent, cmap, v, c)
+					if got := naive.Find(v, c); got != want {
+						t.Fatalf("procs=%d n=%d naive Find(%d,%d)=%d want %d", procs, n, v, c, got, want)
+					}
+					if got := impr.Find(v, c); got != want {
+						t.Fatalf("procs=%d n=%d improved Find(%d,%d)=%d want %d", procs, n, v, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFindSelfColored(t *testing.T) {
+	m := pram.New(4)
+	parent := []int{-1, 0, 1, 2}
+	tree := eulertour.New(m, parent)
+	tour := tree.Euler(m)
+	colors := []Colored{{0, 5}, {2, 5}, {3, 7}}
+	impr := NewImproved(m, tree, tour, colors)
+	naive := NewNaive(m, tree, colors)
+	for _, s := range []interface{ Find(int, int32) int }{impr, naive} {
+		if got := s.Find(2, 5); got != 2 {
+			t.Fatalf("self-colored Find = %d", got)
+		}
+		if got := s.Find(3, 5); got != 2 {
+			t.Fatalf("Find(3,5) = %d", got)
+		}
+		if got := s.Find(1, 5); got != 0 {
+			t.Fatalf("Find(1,5) = %d", got)
+		}
+		if got := s.Find(3, 7); got != 3 {
+			t.Fatalf("Find(3,7) = %d", got)
+		}
+		if got := s.Find(2, 7); got != -1 {
+			t.Fatalf("Find(2,7) = %d", got)
+		}
+		if got := s.Find(3, 99); got != -1 {
+			t.Fatalf("unknown color Find = %d", got)
+		}
+	}
+}
+
+// The adversarial shape for the predecessor approach: colored nodes in
+// sibling subtrees that close just before the query node opens.
+func TestImprovedSiblingSubtreeDecoys(t *testing.T) {
+	m := pram.New(4)
+	// root 0; colored ancestor 1; below 1: decoy subtree {2,3,4} colored,
+	// then query node 5.
+	parent := []int{-1, 0, 1, 2, 2, 1}
+	tree := eulertour.New(m, parent)
+	tour := tree.Euler(m)
+	colors := []Colored{{1, 1}, {3, 1}, {4, 1}, {2, 1}}
+	impr := NewImproved(m, tree, tour, colors)
+	if got := impr.Find(5, 1); got != 1 {
+		t.Fatalf("decoy test: Find(5,1)=%d want 1", got)
+	}
+}
+
+func TestNearestMarkedAll(t *testing.T) {
+	rng := rand.New(rand.NewPCG(113, 114))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, n := range []int{1, 2, 10, 200, 1000} {
+			parent := randomTree(rng, n)
+			marked := make([]bool, n)
+			for v := range marked {
+				marked[v] = rng.IntN(4) == 0
+			}
+			got := NearestMarkedAll(m, parent, marked)
+			for v := 0; v < n; v++ {
+				want := int32(-1)
+				for x := v; x != -1; x = parent[x] {
+					if marked[x] {
+						want = int32(x)
+						break
+					}
+				}
+				if got[v] != want {
+					t.Fatalf("procs=%d n=%d nma[%d]=%d want %d", procs, n, v, got[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestMarkedAllNoneMarked(t *testing.T) {
+	m := pram.New(4)
+	parent := randomTree(rand.New(rand.NewPCG(1, 1)), 50)
+	got := NearestMarkedAll(m, parent, make([]bool, 50))
+	for v, g := range got {
+		if g != -1 {
+			t.Fatalf("nma[%d]=%d want -1", v, g)
+		}
+	}
+}

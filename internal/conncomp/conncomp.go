@@ -1,0 +1,104 @@
+// Package conncomp computes connected components of an undirected graph in
+// parallel (the paper's Lemma 2.2, Gazit). The implementation is
+// Shiloach–Vishkin-style min-label hooking interleaved with pointer
+// jumping: O(log n) hook/jump rounds, O((n+m) log n) work — a documented
+// substitution (DESIGN.md §4) for Gazit's O(m)-work randomized algorithm.
+// The paper needs components only to resolve the copy-forest during LZ1
+// uncompression (§4.2), where an O(n)-work pointer-jumping alternative is
+// also available and benchmarked as an ablation.
+package conncomp
+
+import (
+	"repro/internal/pram"
+)
+
+// Edge is an undirected edge between vertices U and V.
+type Edge struct{ U, V int32 }
+
+// Components returns a label for each of the n vertices such that two
+// vertices get equal labels iff they are connected. Labels are the smallest
+// vertex index in each component.
+func Components(m *pram.Machine, n int, edges []Edge) []int {
+	d := pram.NewCells(n)
+	m.ParallelFor(n, func(v int) { d.Write(v, int64(v)) })
+	for {
+		changed := pram.NewCells(1)
+		// Hooking: every edge proposes the smaller endpoint-label as the new
+		// parent of the larger label's root. WriteMin makes labels strictly
+		// decrease along parent pointers, keeping the forest acyclic under
+		// concurrent hooks (arbitrary CRCW is enough; combining-min makes
+		// the result deterministic given the schedule of rounds).
+		m.ParallelFor(len(edges), func(i int) {
+			du, dv := d.Read(int(edges[i].U)), d.Read(int(edges[i].V))
+			if du == dv {
+				return
+			}
+			if du > dv {
+				du, dv = dv, du
+			}
+			// du < dv: hook the root of the larger label toward the smaller.
+			if d.WriteMin(int(dv), du) {
+				changed.Write(0, 1)
+			}
+		})
+		// One pointer-jumping step.
+		m.ParallelFor(n, func(v int) {
+			dv := d.Read(v)
+			ddv := d.Read(int(dv))
+			if ddv != dv {
+				d.Write(v, ddv)
+				changed.Write(0, 1)
+			}
+		})
+		if changed.Read(0) == 0 {
+			break
+		}
+	}
+	out := make([]int, n)
+	m.ParallelFor(n, func(v int) { out[v] = int(d.Read(v)) })
+	return out
+}
+
+// ComponentsSequential is the union-find reference implementation used by
+// tests and as the one-processor baseline.
+func ComponentsSequential(n int, edges []Edge) []int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(int(e.U)), find(int(e.V))
+		if a != b {
+			if a > b {
+				a, b = b, a
+			}
+			parent[b] = a
+		}
+	}
+	out := make([]int, n)
+	// Two passes so every label is the component minimum.
+	for v := 0; v < n; v++ {
+		out[v] = find(v)
+	}
+	min := make([]int, n)
+	for i := range min {
+		min[i] = i
+	}
+	for v := 0; v < n; v++ {
+		if v < min[out[v]] {
+			min[out[v]] = v
+		}
+	}
+	for v := 0; v < n; v++ {
+		out[v] = min[out[v]]
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package conncomp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func sameLabeling(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestComponentsAgainstUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, tc := range []struct{ n, mEdges int }{
+			{1, 0}, {2, 0}, {2, 1}, {10, 5}, {100, 50}, {100, 300}, {1000, 800}, {1000, 5000},
+		} {
+			edges := make([]Edge, tc.mEdges)
+			for i := range edges {
+				edges[i] = Edge{int32(rng.IntN(tc.n)), int32(rng.IntN(tc.n))}
+			}
+			want := ComponentsSequential(tc.n, edges)
+			got := Components(m, tc.n, edges)
+			if !sameLabeling(got, want) {
+				t.Fatalf("procs=%d n=%d m=%d labeling mismatch", procs, tc.n, tc.mEdges)
+			}
+		}
+	}
+}
+
+func TestComponentsPathAndCycle(t *testing.T) {
+	m := pram.New(4)
+	const n = 500
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{int32(i), int32(i + 1)})
+	}
+	labels := Components(m, n, edges)
+	for v := 0; v < n; v++ {
+		if labels[v] != 0 {
+			t.Fatalf("path: label[%d]=%d", v, labels[v])
+		}
+	}
+	// Two disjoint cycles.
+	edges = edges[:0]
+	for i := 0; i < 250; i++ {
+		edges = append(edges, Edge{int32(i), int32((i + 1) % 250)})
+	}
+	for i := 250; i < 500; i++ {
+		j := i + 1
+		if j == 500 {
+			j = 250
+		}
+		edges = append(edges, Edge{int32(i), int32(j)})
+	}
+	labels = Components(m, n, edges)
+	for v := 0; v < 250; v++ {
+		if labels[v] != 0 {
+			t.Fatalf("cycle1 label[%d]=%d", v, labels[v])
+		}
+	}
+	for v := 250; v < 500; v++ {
+		if labels[v] != 250 {
+			t.Fatalf("cycle2 label[%d]=%d", v, labels[v])
+		}
+	}
+}
+
+func TestComponentsIsolatedAndSelfLoops(t *testing.T) {
+	m := pram.New(4)
+	labels := Components(m, 5, []Edge{{1, 1}, {3, 4}})
+	want := []int{0, 1, 2, 3, 3}
+	if !sameLabeling(labels, want) {
+		t.Fatalf("labels = %v want %v", labels, want)
+	}
+}
+
+func TestComponentsStarAndComplete(t *testing.T) {
+	m := pram.New(4)
+	const n = 200
+	star := make([]Edge, n-1)
+	for i := 1; i < n; i++ {
+		star[i-1] = Edge{0, int32(i)}
+	}
+	for _, l := range Components(m, n, star) {
+		if l != 0 {
+			t.Fatal("star not one component")
+		}
+	}
+	var complete []Edge
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			complete = append(complete, Edge{int32(i), int32(j)})
+		}
+	}
+	for _, l := range Components(m, 60, complete) {
+		if l != 0 {
+			t.Fatal("complete graph not one component")
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// bruteAdaptive computes the longest live pattern per position directly.
+func bruteAdaptive(patterns map[Handle][]byte, text []byte) []AdaptiveMatch {
+	out := make([]AdaptiveMatch, len(text))
+	for h, p := range patterns {
+		for i := 0; i+len(p) <= len(text); i++ {
+			if bytes.Equal(text[i:i+len(p)], p) && int32(len(p)) > out[i].Length {
+				out[i] = AdaptiveMatch{Pattern: h, Length: int32(len(p))}
+			}
+		}
+	}
+	return out
+}
+
+func checkAdaptive(t *testing.T, tag string, live map[Handle][]byte, got, want []AdaptiveMatch) {
+	t.Helper()
+	for i := range want {
+		if got[i].Length != want[i].Length {
+			t.Fatalf("%s pos %d: length %d want %d", tag, i, got[i].Length, want[i].Length)
+		}
+		if want[i].Length > 0 {
+			// Handles may differ when equal-length patterns exist; the
+			// matched strings must agree.
+			if !bytes.Equal(live[got[i].Pattern], live[want[i].Pattern]) {
+				t.Fatalf("%s pos %d: pattern %q want %q",
+					tag, i, live[got[i].Pattern], live[want[i].Pattern])
+			}
+		}
+	}
+}
+
+func TestAdaptiveInsertDeleteAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(241, 242))
+	m := pram.New(4)
+	a := NewAdaptive(Options{Seed: 5})
+	live := map[Handle][]byte{}
+	text := make([]byte, 300)
+	for j := range text {
+		text[j] = byte('a' + rng.IntN(3))
+	}
+	var handles []Handle
+	for op := 0; op < 120; op++ {
+		switch {
+		case len(live) == 0 || rng.IntN(3) > 0: // insert-biased
+			l := 1 + rng.IntN(6)
+			p := make([]byte, l)
+			for j := range p {
+				p[j] = byte('a' + rng.IntN(3))
+			}
+			h := a.Insert(m, p)
+			live[h] = p
+			handles = append(handles, h)
+		default:
+			k := rng.IntN(len(handles))
+			h := handles[k]
+			want := live[h] != nil
+			if got := a.Delete(m, h); got != want {
+				t.Fatalf("Delete(%d) = %v want %v", h, got, want)
+			}
+			delete(live, h)
+		}
+		if a.Len() != len(live) {
+			t.Fatalf("op %d: Len=%d want %d", op, a.Len(), len(live))
+		}
+		if op%10 == 0 {
+			got := a.MatchText(m, text)
+			want := bruteAdaptive(live, text)
+			checkAdaptive(t, "mixed", live, got, want)
+		}
+	}
+	got := a.MatchText(m, text)
+	checkAdaptive(t, "final", live, got, bruteAdaptive(live, text))
+}
+
+func TestAdaptiveBucketCountLogarithmic(t *testing.T) {
+	m := pram.New(4)
+	a := NewAdaptive(Options{Seed: 5})
+	gen := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		p := make([]byte, 1+gen.IntN(5))
+		for j := range p {
+			p[j] = byte('a' + gen.IntN(4))
+		}
+		a.Insert(m, p)
+	}
+	if a.Buckets() > 10 {
+		t.Fatalf("buckets = %d for 200 inserts (want O(log))", a.Buckets())
+	}
+	if a.Len() != 200 {
+		t.Fatalf("len = %d", a.Len())
+	}
+}
+
+func TestAdaptiveDeleteAllThenReuse(t *testing.T) {
+	m := pram.New(4)
+	a := NewAdaptive(Options{Seed: 5})
+	h1 := a.Insert(m, []byte("abc"))
+	h2 := a.Insert(m, []byte("ab"))
+	if !a.Delete(m, h1) || !a.Delete(m, h2) {
+		t.Fatal("delete failed")
+	}
+	if a.Delete(m, h1) {
+		t.Fatal("double delete succeeded")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	got := a.MatchText(m, []byte("abcabc"))
+	for i := range got {
+		if got[i].Length != 0 {
+			t.Fatalf("empty adaptive matched at %d", i)
+		}
+	}
+	h3 := a.Insert(m, []byte("bc"))
+	got = a.MatchText(m, []byte("abc"))
+	if got[1].Length != 2 || got[1].Pattern != h3 {
+		t.Fatalf("after reuse: %v", got)
+	}
+}
+
+func TestAdaptiveTombstoneShadowing(t *testing.T) {
+	// A deleted long pattern must not hide a live shorter one from the
+	// same bucket.
+	m := pram.New(4)
+	a := NewAdaptive(Options{Seed: 5})
+	hLong := a.Insert(m, []byte("abcd"))
+	hShort := a.Insert(m, []byte("ab"))
+	// Force both into one bucket (the merge rule does this on the second
+	// insert). Now delete the long one; if the bucket was not rebuilt the
+	// tombstone path must still surface "ab".
+	if !a.Delete(m, hLong) {
+		t.Fatal("delete")
+	}
+	got := a.MatchText(m, []byte("abcd"))
+	if got[0].Length != 2 || got[0].Pattern != hShort {
+		t.Fatalf("tombstone shadowing: %+v", got[0])
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"repro/internal/pram"
+)
+
+// Theorem 3.3: dictionary matching over an unbounded alphabet (the
+// comparison model). The paper first applies the randomized renaming
+// procedure of [11], mapping the symbols that occur into the range
+// 1..|Σ|, then replaces each symbol by its ceil(log2 |Σ|)-bit binary code
+// and invokes the constant-alphabet algorithm (Theorem 3.1) on a string of
+// length O(n log |Σ|). Both the time and the work pick up exactly a
+// log |Σ| factor.
+//
+// SymbolDictionary realizes that reduction for arbitrary int64 symbols.
+// Renaming uses Go's map (a hash table — the moral equivalent of the
+// randomized renaming, since the comparison model's obstacle is the lack
+// of a bounded integer key space, which hashing supplies).
+
+// SymbolDictionary is a dictionary over an unbounded int64 alphabet.
+type SymbolDictionary struct {
+	inner *Dictionary
+	code  map[int64]int32 // dictionary symbol -> dense code
+	bits  int             // code width in binary symbols
+	// foreign is the dense code used for text symbols absent from the
+	// dictionary; it matches nothing.
+	foreign int32
+}
+
+// Sigma returns the number of distinct symbols in the dictionary.
+func (sd *SymbolDictionary) Sigma() int { return len(sd.code) }
+
+// Bits returns the binary-code width (the log |Σ| of Theorem 3.3).
+func (sd *SymbolDictionary) Bits() int { return sd.bits }
+
+// PreprocessSymbols builds the Theorem 3.3 dictionary: rename, binary-
+// encode, and preprocess with the constant-alphabet algorithm.
+func PreprocessSymbols(m *pram.Machine, patterns [][]int64, opts Options) *SymbolDictionary {
+	if len(patterns) == 0 {
+		panic("core: empty dictionary")
+	}
+	sd := &SymbolDictionary{code: make(map[int64]int32)}
+	total := 0
+	for _, p := range patterns {
+		if len(p) == 0 {
+			panic("core: empty pattern")
+		}
+		total += len(p)
+		for _, s := range p {
+			if _, ok := sd.code[s]; !ok {
+				sd.code[s] = int32(len(sd.code))
+			}
+		}
+	}
+	m.Account(int64(total), 1) // renaming pass
+	sd.foreign = int32(len(sd.code))
+	sd.bits = 1
+	for 1<<sd.bits < len(sd.code)+1 {
+		sd.bits++
+	}
+	enc := make([][]byte, len(patterns))
+	for i, p := range patterns {
+		enc[i] = sd.encodeSyms(p, nil)
+	}
+	sd.inner = Preprocess(m, enc, opts)
+	return sd
+}
+
+// encodeSyms appends the fixed-width binary code of each symbol to dst.
+// Unknown symbols (text side) get the foreign code.
+func (sd *SymbolDictionary) encodeSyms(syms []int64, dst []byte) []byte {
+	for _, s := range syms {
+		c, ok := sd.code[s]
+		if !ok {
+			c = sd.foreign
+		}
+		for b := sd.bits - 1; b >= 0; b-- {
+			dst = append(dst, byte((c>>b)&1))
+		}
+	}
+	return dst
+}
+
+// MatchText returns M[i] for a text over the unbounded alphabet: the
+// longest pattern starting at each symbol position. Work and time are the
+// Theorem 3.1 bounds on the (n·bits)-length encoding — the log |Σ| factor
+// of Theorem 3.3.
+func (sd *SymbolDictionary) MatchText(m *pram.Machine, text []int64) []Match {
+	encoded := make([]byte, 0, len(text)*sd.bits)
+	encoded = sd.encodeSyms(text, encoded)
+	m.Account(int64(len(encoded)), 1)
+	encMatches := sd.inner.MatchText(m, encoded)
+	out := make([]Match, len(text))
+	bits := sd.bits
+	m.ParallelFor(len(text), func(i int) {
+		em := encMatches[i*bits]
+		if em.Length == 0 || int(em.Length)%bits != 0 {
+			out[i] = None
+			return
+		}
+		out[i] = Match{PatternID: em.PatternID, Length: em.Length / int32(bits)}
+	})
+	return out
+}
+
+// MatchLasVegas is the checked variant (the §3.4 checker runs on the
+// encoded strings, where it is exact).
+func (sd *SymbolDictionary) MatchLasVegas(m *pram.Machine, text []int64) ([]Match, int) {
+	encoded := make([]byte, 0, len(text)*sd.bits)
+	encoded = sd.encodeSyms(text, encoded)
+	m.Account(int64(len(encoded)), 1)
+	encMatches, attempts := sd.inner.MatchLasVegas(m, encoded)
+	out := make([]Match, len(text))
+	bits := sd.bits
+	m.ParallelFor(len(text), func(i int) {
+		em := encMatches[i*bits]
+		if em.Length == 0 || int(em.Length)%bits != 0 {
+			out[i] = None
+			return
+		}
+		out[i] = Match{PatternID: em.PatternID, Length: em.Length / int32(bits)}
+	})
+	return out, attempts
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// bruteSymMatch computes M[i] for int64-symbol strings directly.
+func bruteSymMatch(patterns [][]int64, text []int64) []Match {
+	out := make([]Match, len(text))
+	for i := range out {
+		out[i] = None
+	}
+	for idx, p := range patterns {
+		for i := 0; i+len(p) <= len(text); i++ {
+			ok := true
+			for j := range p {
+				if text[i+j] != p[j] {
+					ok = false
+					break
+				}
+			}
+			if ok && int(out[i].Length) < len(p) {
+				out[i] = Match{PatternID: int32(idx), Length: int32(len(p))}
+			}
+		}
+	}
+	return out
+}
+
+func TestSymbolDictionaryAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(161, 162))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for trial := 0; trial < 20; trial++ {
+			// Unbounded alphabet: huge sparse symbol values.
+			sigma := 2 + rng.IntN(10)
+			alphabet := make([]int64, sigma)
+			for i := range alphabet {
+				alphabet[i] = rng.Int64() - (1 << 62)
+			}
+			numPat := 1 + rng.IntN(6)
+			patterns := make([][]int64, numPat)
+			for i := range patterns {
+				l := 1 + rng.IntN(6)
+				patterns[i] = make([]int64, l)
+				for j := range patterns[i] {
+					patterns[i][j] = alphabet[rng.IntN(sigma)]
+				}
+			}
+			sd := PreprocessSymbols(m, patterns, Options{Seed: uint64(trial + 1)})
+			text := make([]int64, 40+rng.IntN(150))
+			for j := range text {
+				if rng.IntN(10) == 0 {
+					text[j] = rng.Int64() // foreign symbol
+				} else {
+					text[j] = alphabet[rng.IntN(sigma)]
+				}
+			}
+			want := bruteSymMatch(patterns, text)
+			got := sd.MatchText(m, text)
+			for i := range text {
+				if got[i].Length != want[i].Length {
+					t.Fatalf("procs=%d trial=%d pos %d: len %d want %d",
+						procs, trial, i, got[i].Length, want[i].Length)
+				}
+				if got[i].Length > 0 {
+					gp := patterns[got[i].PatternID]
+					wp := patterns[want[i].PatternID]
+					if len(gp) != len(wp) {
+						t.Fatalf("pattern mismatch at %d", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSymbolDictionaryLasVegas(t *testing.T) {
+	m := pram.New(4)
+	patterns := [][]int64{{1 << 40, 2 << 40}, {2 << 40}, {1 << 40, 2 << 40, 3 << 40}}
+	sd := PreprocessSymbols(m, patterns, Options{Seed: 9})
+	text := []int64{1 << 40, 2 << 40, 3 << 40, 2 << 40, 99}
+	got, attempts := sd.MatchLasVegas(m, text)
+	if attempts != 1 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	// pos 0: {1,2,3}<<40 len 3; pos 1: {2}<<40 len 1; pos 3: len 1.
+	wantLens := []int32{3, 1, 0, 1, 0}
+	for i, w := range wantLens {
+		if got[i].Length != w {
+			t.Fatalf("pos %d len %d want %d", i, got[i].Length, w)
+		}
+	}
+	if sd.Sigma() != 3 {
+		t.Fatalf("sigma = %d", sd.Sigma())
+	}
+	if sd.Bits() != 2 {
+		t.Fatalf("bits = %d", sd.Bits())
+	}
+}
+
+func TestSymbolDictionaryWorkScalesWithLogSigma(t *testing.T) {
+	// Theorem 3.3: the log sigma factor. Compare text work for sigma=4
+	// (2 bits) vs sigma=256 (9 bits with the foreign code): ratio ~4.5.
+	work := func(sigma int) int64 {
+		rng := rand.New(rand.NewPCG(163, uint64(sigma)))
+		alphabet := make([]int64, sigma)
+		for i := range alphabet {
+			alphabet[i] = int64(i) * 1000003
+		}
+		patterns := make([][]int64, 16)
+		for i := range patterns {
+			patterns[i] = make([]int64, 4)
+			for j := range patterns[i] {
+				patterns[i][j] = alphabet[rng.IntN(sigma)]
+			}
+		}
+		m := pram.NewSequential()
+		sd := PreprocessSymbols(m, patterns, Options{Seed: 5})
+		text := make([]int64, 4096)
+		for j := range text {
+			text[j] = alphabet[rng.IntN(sigma)]
+		}
+		m.ResetCounters()
+		sd.MatchText(m, text)
+		w, _ := m.Counters()
+		return w
+	}
+	w4, w256 := work(4), work(256)
+	ratio := float64(w256) / float64(w4)
+	// The encoded-string costs scale by bits(257)/bits(5) = 3; per-symbol
+	// costs (decode pass, renaming) are sigma-independent and dilute the
+	// total. Assert clear growth bounded by the pure encoding ratio.
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("work ratio sigma 256/4 = %.2f, want in [1.5, 3.5] (log-sigma scaling)", ratio)
+	}
+}
+
+func TestPreprocessSymbolsPanics(t *testing.T) {
+	m := pram.NewSequential()
+	for _, bad := range [][][]int64{nil, {{}}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PreprocessSymbols(%v) did not panic", bad)
+				}
+			}()
+			PreprocessSymbols(m, bad, Options{})
+		}()
+	}
+}

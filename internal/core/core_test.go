@@ -1,0 +1,399 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// bruteSubstring returns the length of the longest prefix of text[i:] that
+// occurs somewhere in dhat.
+func bruteSubstring(dhat []int32, text []byte, i int) int32 {
+	best := 0
+	for p := 0; p < len(dhat); p++ {
+		l := 0
+		for p+l < len(dhat) && i+l < len(text) && dhat[p+l] == int32(text[i+l]) {
+			l++
+		}
+		if l > best {
+			best = l
+		}
+	}
+	return int32(best)
+}
+
+func matchesEqualAC(t *testing.T, patterns [][]byte, text []byte, got []Match) {
+	t.Helper()
+	ac := ahocorasick.New(patterns)
+	want := ac.Match(text)
+	for i := range text {
+		wantLen := int32(0)
+		if want[i] != -1 {
+			wantLen = int32(len(patterns[want[i]]))
+		}
+		if got[i].Length != wantLen {
+			t.Fatalf("pos %d: got len %d want %d (text=%q)", i, got[i].Length, wantLen, clip(text))
+		}
+		if wantLen > 0 {
+			// The pattern id may differ if duplicate patterns exist; the
+			// matched string must be identical.
+			if !bytes.Equal(patterns[got[i].PatternID], patterns[want[i]]) {
+				t.Fatalf("pos %d: got pattern %q want %q", i, patterns[got[i].PatternID], patterns[want[i]])
+			}
+			if !bytes.Equal(text[i:i+int(wantLen)], patterns[got[i].PatternID]) {
+				t.Fatalf("pos %d: claimed pattern does not occur", i)
+			}
+		}
+	}
+}
+
+func clip(b []byte) []byte {
+	if len(b) > 64 {
+		return b[:64]
+	}
+	return b
+}
+
+func TestSubstringMatchAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(131, 132))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for trial := 0; trial < 30; trial++ {
+			sigma := 2 + rng.IntN(3)
+			numPat := 1 + rng.IntN(6)
+			patterns := make([][]byte, numPat)
+			for i := range patterns {
+				l := 1 + rng.IntN(8)
+				patterns[i] = make([]byte, l)
+				for j := range patterns[i] {
+					patterns[i][j] = byte('a' + rng.IntN(sigma))
+				}
+			}
+			d := Preprocess(m, patterns, Options{Seed: uint64(trial + 1)})
+			text := make([]byte, 30+rng.IntN(100))
+			for j := range text {
+				text[j] = byte('a' + rng.IntN(sigma))
+			}
+			loci := d.substringMatch(m, text)
+			for i := range text {
+				want := bruteSubstring(d.dhat, text, i)
+				if loci[i].l != want {
+					t.Fatalf("procs=%d trial=%d S[%d]=%d want %d (text=%q, dict=%q)",
+						procs, trial, i, loci[i].l, want, text, patterns)
+				}
+				// Locus consistency: the locus string must equal the text.
+				z, l := int(loci[i].z), int(loci[i].l)
+				if l > 0 {
+					wit := int(d.st.Witness(z))
+					for k := 0; k < l; k++ {
+						if d.dhat[wit+k] != int32(text[i+k]) {
+							t.Fatalf("locus string mismatch at pos %d offset %d", i, k)
+						}
+					}
+					if int(d.st.StrDepth[z]) < l {
+						t.Fatalf("locus below node depth at %d", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatchAgainstAhoCorasickRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(133, 134))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for trial := 0; trial < 40; trial++ {
+			sigma := 2 + rng.IntN(4)
+			numPat := 1 + rng.IntN(10)
+			patterns := make([][]byte, numPat)
+			for i := range patterns {
+				l := 1 + rng.IntN(10)
+				patterns[i] = make([]byte, l)
+				for j := range patterns[i] {
+					patterns[i][j] = byte('a' + rng.IntN(sigma))
+				}
+			}
+			variant := NCAAuto
+			if trial%3 == 1 {
+				variant = NCANaive
+			} else if trial%3 == 2 {
+				variant = NCAImproved
+			}
+			d := Preprocess(m, patterns, Options{Seed: uint64(trial + 1), NCA: variant})
+			text := make([]byte, 50+rng.IntN(300))
+			for j := range text {
+				text[j] = byte('a' + rng.IntN(sigma))
+			}
+			got := d.MatchText(m, text)
+			matchesEqualAC(t, patterns, text, got)
+		}
+	}
+}
+
+func TestMatchKnownCases(t *testing.T) {
+	m := pram.New(4)
+	cases := []struct {
+		patterns []string
+		text     string
+	}{
+		{[]string{"he", "she", "his", "hers"}, "ushers"},
+		{[]string{"a", "ab", "abc", "bc", "c"}, "abcabcx"},
+		{[]string{"bc", "abc"}, "abc"},
+		{[]string{"aa", "aaa"}, "aaaaaa"},
+		{[]string{"banana", "ana", "nan"}, "bananabanana"},
+		{[]string{"x"}, "yyyy"},
+		{[]string{"ab"}, "ab"},
+		{[]string{"ab"}, "ba"},
+		{[]string{"abab", "ba"}, "ababab"},
+	}
+	for _, c := range cases {
+		var ps [][]byte
+		for _, p := range c.patterns {
+			ps = append(ps, []byte(p))
+		}
+		d := Preprocess(m, ps, Options{Seed: 7})
+		got := d.MatchText(m, []byte(c.text))
+		matchesEqualAC(t, ps, []byte(c.text), got)
+	}
+}
+
+func TestMatchWindowBoundaries(t *testing.T) {
+	// Force tiny windows so every ExtendLeft path and anchor path is hit.
+	m := pram.New(4)
+	patterns := [][]byte{[]byte("abca"), []byte("bc"), []byte("ca"), []byte("a")}
+	for _, L := range []int{1, 2, 3, 5, 100} {
+		d := Preprocess(m, patterns, Options{Seed: 3, WindowL: L})
+		text := []byte("abcabcaabcxcabca")
+		got := d.MatchText(m, text)
+		matchesEqualAC(t, patterns, text, got)
+	}
+}
+
+func TestPrefixLengths(t *testing.T) {
+	m := pram.New(4)
+	patterns := [][]byte{[]byte("a"), []byte("ab"), []byte("abc"), []byte("x"), []byte("xy")}
+	d := Preprocess(m, patterns, Options{Seed: 5})
+	text := []byte("abcxyzabq")
+	got := d.PrefixLengths(m, text)
+	// Longest pattern prefix at each position, by hand:
+	// abcxyzabq: pos0 "abc"(3), pos1 "b"? no pattern starts with b -> 0,
+	// pos2 "c"->0, pos3 "xy"(2), pos4 "y"->0, pos5 "z"->0, pos6 "ab"(2),
+	// pos7 "b"->0, pos8 "q"->0.
+	want := []int32{3, 0, 0, 2, 0, 0, 2, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("B[%d]=%d want %d (all=%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPrefixLengthsAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(135, 136))
+	m := pram.New(4)
+	for trial := 0; trial < 25; trial++ {
+		sigma := 2 + rng.IntN(2)
+		gen := textgen.New(uint64(trial + 500))
+		patterns := gen.Dictionary(1+rng.IntN(8), 1, 7, sigma)
+		d := Preprocess(m, patterns, Options{Seed: uint64(trial + 1)})
+		text := gen.Uniform(80, sigma)
+		got := d.PrefixLengths(m, text)
+		for i := range text {
+			want := int32(0)
+			for _, p := range patterns {
+				l := 0
+				for l < len(p) && i+l < len(text) && p[l] == text[i+l] {
+					l++
+				}
+				if int32(l) > want {
+					want = int32(l)
+				}
+			}
+			if got[i] != want {
+				t.Fatalf("trial %d B[%d]=%d want %d", trial, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestWordID(t *testing.T) {
+	m := pram.New(4)
+	patterns := [][]byte{[]byte("a"), []byte("ab"), []byte("abc"), []byte("b")}
+	d := Preprocess(m, patterns, Options{Seed: 11})
+	text := []byte("abc")
+	loci := d.substringMatch(m, text)
+	for wordLen := int32(1); wordLen <= 3; wordLen++ {
+		id := d.WordID(loci[0], wordLen)
+		if id < 0 || !bytes.Equal(patterns[id], text[:wordLen]) {
+			t.Fatalf("WordID(len=%d) = %d", wordLen, id)
+		}
+	}
+	if id := d.WordID(loci[0], 4); id != -1 {
+		t.Fatalf("WordID beyond locus = %d", id)
+	}
+	// At position 1 ("bc"): word "b" exists, word "bc" does not.
+	if id := d.WordID(loci[1], 1); id != 3 {
+		t.Fatalf("WordID(b) = %d", id)
+	}
+	if id := d.WordID(loci[1], 2); id != -1 {
+		t.Fatalf("WordID(bc) = %d want -1", id)
+	}
+}
+
+func TestCheckerAcceptsCorrectOutput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(137, 138))
+	m := pram.New(4)
+	for trial := 0; trial < 20; trial++ {
+		gen := textgen.New(uint64(trial + 900))
+		patterns := gen.Dictionary(1+rng.IntN(8), 1, 6, 3)
+		d := Preprocess(m, patterns, Options{Seed: uint64(trial + 1)})
+		text := gen.Uniform(200, 3)
+		matches := d.MatchText(m, text)
+		if !d.Check(m, text, matches) {
+			t.Fatalf("trial %d: checker rejected correct output", trial)
+		}
+	}
+}
+
+func TestCheckerRejectsCorruptedOutput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(139, 140))
+	m := pram.New(4)
+	gen := textgen.New(77)
+	patterns := gen.Dictionary(6, 2, 6, 2)
+	d := Preprocess(m, patterns, Options{Seed: 13})
+	text := gen.Uniform(300, 2)
+	matches := d.MatchText(m, text)
+
+	rejected := 0
+	trials := 0
+	for f := 0; f < 200; f++ {
+		bad := append([]Match(nil), matches...)
+		i := rng.IntN(len(bad))
+		k := int32(rng.IntN(len(patterns)))
+		// Claim pattern k matches at i; skip corruptions that are
+		// accidentally true.
+		if i+len(patterns[k]) <= len(text) && bytes.Equal(text[i:i+len(patterns[k])], patterns[k]) {
+			continue
+		}
+		bad[i] = Match{PatternID: k, Length: int32(len(patterns[k]))}
+		trials++
+		if !d.Check(m, text, bad) {
+			rejected++
+		}
+	}
+	if trials == 0 {
+		t.Skip("all corruptions were accidentally valid")
+	}
+	if rejected != trials {
+		t.Fatalf("checker rejected %d of %d genuinely false claims", rejected, trials)
+	}
+}
+
+func TestCheckerRejectsMalformed(t *testing.T) {
+	m := pram.New(4)
+	patterns := [][]byte{[]byte("ab")}
+	d := Preprocess(m, patterns, Options{Seed: 1})
+	text := []byte("abab")
+	good := d.MatchText(m, text)
+	if !d.Check(m, text, good) {
+		t.Fatal("good output rejected")
+	}
+	for _, bad := range [][]Match{
+		{{0, 2}, None, None},          // wrong length slice
+		{{0, 2}, None, {0, 3}, None},  // length != pattern length
+		{{0, 2}, None, {5, 2}, None},  // pattern id out of range
+		{{0, 2}, None, None, {0, 2}},  // claim overruns the text
+		{{0, 2}, {-1, 1}, None, None}, // inconsistent sentinel
+		{{0, 2}, None, {-1, 2}, None}, // negative id with length
+	} {
+		if d.Check(m, text, bad) {
+			t.Fatalf("malformed output accepted: %v", bad)
+		}
+	}
+}
+
+func TestMatchLasVegas(t *testing.T) {
+	m := pram.New(4)
+	gen := textgen.New(88)
+	patterns := gen.Dictionary(8, 1, 8, 4)
+	d := Preprocess(m, patterns, Options{Seed: 21})
+	text := gen.Uniform(500, 4)
+	matches, attempts := d.MatchLasVegas(m, text)
+	if attempts != 1 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	matchesEqualAC(t, patterns, text, matches)
+}
+
+func TestReseedChangesFingerprintsButNotOutput(t *testing.T) {
+	m := pram.New(4)
+	gen := textgen.New(99)
+	patterns := gen.Dictionary(5, 1, 6, 3)
+	d := Preprocess(m, patterns, Options{Seed: 1})
+	text := gen.Uniform(200, 3)
+	a := d.MatchText(m, text)
+	d.Reseed(m, 999)
+	b := d.MatchText(m, text)
+	for i := range a {
+		if a[i].Length != b[i].Length {
+			t.Fatalf("output depends on seed at %d", i)
+		}
+	}
+}
+
+func TestDNAWorkload(t *testing.T) {
+	m := pram.New(4)
+	gen := textgen.New(1234)
+	text, patterns := gen.PlantedDictionary(2000, 12, 10, 37, 4)
+	d := Preprocess(m, patterns, Options{Seed: 3})
+	got, attempts := d.MatchLasVegas(m, text)
+	if attempts != 1 {
+		t.Fatalf("attempts=%d", attempts)
+	}
+	matchesEqualAC(t, patterns, text, got)
+	// Planted patterns must actually be found.
+	found := 0
+	for i := range got {
+		if got[i].Length > 0 {
+			found++
+		}
+	}
+	if found < 10 {
+		t.Fatalf("only %d matches found on planted workload", found)
+	}
+}
+
+func TestPreprocessPanics(t *testing.T) {
+	m := pram.NewSequential()
+	for _, bad := range [][][]byte{nil, {{}}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Preprocess(%v) did not panic", bad)
+				}
+			}()
+			Preprocess(m, bad, Options{})
+		}()
+	}
+}
+
+func TestSequentialAndParallelMatchAgree(t *testing.T) {
+	gen := textgen.New(555)
+	patterns := gen.Dictionary(10, 1, 9, 3)
+	text := gen.Uniform(400, 3)
+	seq := pram.NewSequential()
+	par := pram.New(4)
+	ds := Preprocess(seq, patterns, Options{Seed: 2})
+	dp := Preprocess(par, patterns, Options{Seed: 2})
+	a := ds.MatchText(seq, text)
+	b := dp.MatchText(par, text)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pos %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

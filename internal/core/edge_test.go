@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// Edge-case batteries for the matcher: degenerate dictionaries, extreme
+// byte values, window-boundary interactions, self-similar inputs.
+
+func TestSinglePatternSingleChar(t *testing.T) {
+	m := pram.New(4)
+	d := Preprocess(m, [][]byte{{'a'}}, Options{Seed: 1})
+	got := d.MatchText(m, []byte("aba"))
+	want := []int32{1, 0, 1}
+	for i, w := range want {
+		if got[i].Length != w {
+			t.Fatalf("pos %d: %d want %d", i, got[i].Length, w)
+		}
+	}
+}
+
+func TestPatternLongerThanText(t *testing.T) {
+	m := pram.New(4)
+	d := Preprocess(m, [][]byte{[]byte("abcdefgh")}, Options{Seed: 1})
+	for _, text := range [][]byte{[]byte("abc"), []byte("abcdefg"), []byte("x")} {
+		got := d.MatchText(m, text)
+		for i := range got {
+			if got[i].Length != 0 {
+				t.Fatalf("text %q pos %d matched length %d", text, i, got[i].Length)
+			}
+		}
+		if !d.Check(m, text, got) {
+			t.Fatalf("checker rejected all-empty output for %q", text)
+		}
+	}
+}
+
+func TestTextIsExactlyOnePattern(t *testing.T) {
+	m := pram.New(4)
+	d := Preprocess(m, [][]byte{[]byte("hello"), []byte("he")}, Options{Seed: 1})
+	got := d.MatchText(m, []byte("hello"))
+	if got[0].Length != 5 {
+		t.Fatalf("pos 0 length %d", got[0].Length)
+	}
+}
+
+func TestEmptyText(t *testing.T) {
+	m := pram.New(4)
+	d := Preprocess(m, [][]byte{[]byte("x")}, Options{Seed: 1})
+	if got := d.MatchText(m, nil); len(got) != 0 {
+		t.Fatal("empty text")
+	}
+	if !d.Check(m, nil, nil) {
+		t.Fatal("checker on empty")
+	}
+	if got, attempts := d.MatchLasVegas(m, nil); len(got) != 0 || attempts != 1 {
+		t.Fatal("las vegas on empty")
+	}
+}
+
+func TestExtremeByteValues(t *testing.T) {
+	m := pram.New(4)
+	patterns := [][]byte{{0}, {255}, {0, 255}, {255, 255, 255}, {0, 0}}
+	d := Preprocess(m, patterns, Options{Seed: 1})
+	text := []byte{0, 255, 255, 255, 0, 0, 255}
+	got := d.MatchText(m, text)
+	// pos 0: {0,255} len 2; pos 1: {255,255,255} len 3; pos 4: {0,0} len 2;
+	// pos 5: {0,255} len 2; pos 6: {255} len 1.
+	want := []int32{2, 3, 1, 1, 2, 2, 1}
+	for i, w := range want {
+		if got[i].Length != w {
+			t.Fatalf("pos %d: %d want %d (all %v)", i, got[i].Length, w, got)
+		}
+	}
+	if !d.Check(m, text, got) {
+		t.Fatal("checker rejected extreme-byte output")
+	}
+}
+
+func TestAllSuffixesAsDictionary(t *testing.T) {
+	// Maximal-overlap stress: every suffix of a string is a pattern.
+	m := pram.New(4)
+	base := []byte("abaababaab")
+	var patterns [][]byte
+	for i := range base {
+		patterns = append(patterns, base[i:])
+	}
+	d := Preprocess(m, patterns, Options{Seed: 1})
+	text := append(append([]byte{}, base...), base...)
+	got := d.MatchText(m, text)
+	// At each position of the first copy, the match must reach at least to
+	// the end of the first copy (a suffix pattern matches there).
+	for i := 0; i < len(base); i++ {
+		minLen := int32(len(base) - i)
+		if got[i].Length < minLen {
+			t.Fatalf("pos %d: length %d < %d", i, got[i].Length, minLen)
+		}
+		if !bytes.Equal(text[i:i+int(got[i].Length)], patterns[got[i].PatternID]) {
+			t.Fatalf("pos %d claims wrong pattern", i)
+		}
+	}
+}
+
+func TestAllPrefixesAsDictionary(t *testing.T) {
+	// Prefix-heavy: every prefix of a string is a pattern; forces deep
+	// pattern-end mark chains (the RPE machinery).
+	m := pram.New(4)
+	base := []byte("mississippi")
+	var patterns [][]byte
+	for i := 1; i <= len(base); i++ {
+		patterns = append(patterns, base[:i])
+	}
+	d := Preprocess(m, patterns, Options{Seed: 1})
+	text := append(append([]byte{}, base...), []byte("missi")...)
+	got := d.MatchText(m, text)
+	if got[0].Length != int32(len(base)) {
+		t.Fatalf("pos 0 length %d", got[0].Length)
+	}
+	if got[len(base)].Length != 5 { // "missi"
+		t.Fatalf("second copy start length %d", got[len(base)].Length)
+	}
+}
+
+func TestDuplicatePatterns(t *testing.T) {
+	m := pram.New(4)
+	d := Preprocess(m, [][]byte{[]byte("ab"), []byte("ab"), []byte("ab")}, Options{Seed: 1})
+	text := []byte("abab")
+	got := d.MatchText(m, text)
+	if got[0].Length != 2 || got[2].Length != 2 {
+		t.Fatalf("matches %v", got)
+	}
+	if !d.Check(m, text, got) {
+		t.Fatal("checker rejected duplicate-pattern output")
+	}
+}
+
+func TestPeriodicTextFibonacci(t *testing.T) {
+	// Fibonacci words maximize repetition structure in the suffix tree —
+	// the worst case for the ExtendLeft Weiner-link chains.
+	m := pram.New(4)
+	fib := []byte("abaababaabaababaababaabaababaabaab")
+	patterns := [][]byte{fib[:3], fib[:5], fib[:8], fib[2:7], []byte("aa"), []byte("b")}
+	d := Preprocess(m, patterns, Options{Seed: 1, WindowL: 3})
+	got := d.MatchText(m, fib)
+	// Cross-check against brute force.
+	for i := range fib {
+		want := int32(0)
+		for _, p := range patterns {
+			if i+len(p) <= len(fib) && bytes.Equal(fib[i:i+len(p)], p) && int32(len(p)) > want {
+				want = int32(len(p))
+			}
+		}
+		if got[i].Length != want {
+			t.Fatalf("pos %d: %d want %d", i, got[i].Length, want)
+		}
+	}
+}
+
+func TestWindowExactMultiples(t *testing.T) {
+	// Text lengths that are exact multiples and off-by-one of the window.
+	m := pram.New(4)
+	patterns := [][]byte{[]byte("ab"), []byte("ba"), []byte("aab")}
+	for _, L := range []int{2, 4, 8} {
+		d := Preprocess(m, patterns, Options{Seed: 1, WindowL: L})
+		for _, n := range []int{L - 1, L, L + 1, 2 * L, 2*L + 1, 3*L - 1} {
+			if n <= 0 {
+				continue
+			}
+			text := bytes.Repeat([]byte("ab"), (n+1)/2)[:n]
+			got := d.MatchText(m, text)
+			for i := 0; i+2 <= n; i += 2 {
+				if got[i].Length != 2 {
+					t.Fatalf("L=%d n=%d pos %d: %d", L, n, i, got[i].Length)
+				}
+			}
+			if !d.Check(m, text, got) {
+				t.Fatalf("L=%d n=%d checker rejected", L, n)
+			}
+		}
+	}
+}
+
+func TestSeparatorValueNeverMatches(t *testing.T) {
+	// Byte 0 and byte 255 in text must not match separator positions.
+	m := pram.New(4)
+	d := Preprocess(m, [][]byte{{1, 2}, {3}}, Options{Seed: 1})
+	text := []byte{1, 2, 0, 255, 3, 0}
+	got := d.MatchText(m, text)
+	want := []int32{2, 0, 0, 0, 1, 0}
+	for i, w := range want {
+		if got[i].Length != w {
+			t.Fatalf("pos %d: %d want %d", i, got[i].Length, w)
+		}
+	}
+}
+
+func TestManySmallWindows(t *testing.T) {
+	// WindowL = 1: every position is an anchor (pure Step 1A path).
+	m := pram.New(4)
+	patterns := [][]byte{[]byte("aa"), []byte("ab"), []byte("abc")}
+	d := Preprocess(m, patterns, Options{Seed: 1, WindowL: 1})
+	text := []byte("aabcabcaab")
+	got := d.MatchText(m, text)
+	for i := range text {
+		want := int32(0)
+		for _, p := range patterns {
+			if i+len(p) <= len(text) && bytes.Equal(text[i:i+len(p)], p) && int32(len(p)) > want {
+				want = int32(len(p))
+			}
+		}
+		if got[i].Length != want {
+			t.Fatalf("pos %d: %d want %d", i, got[i].Length, want)
+		}
+	}
+}
+
+func TestSubstringLengths(t *testing.T) {
+	m := pram.New(4)
+	d := Preprocess(m, [][]byte{[]byte("abc"), []byte("cab")}, Options{Seed: 1})
+	// D̂ = abc$cab$: substrings include "bc", "ca", "abc", "cab", "bca"? no.
+	text := []byte("abcab")
+	got := d.SubstringLengths(m, text)
+	// pos0 "abc"=3 (abca not in D̂), pos1 "bc"=2, pos2 "cab"=3, pos3 "ab"=2, pos4 "b"=1.
+	want := []int32{3, 2, 3, 2, 1}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("S[%d]=%d want %d (all %v)", i, got[i], w, got)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+)
+
+// Preprocess a dictionary once, then match texts with checked (Las Vegas)
+// output.
+func ExampleDictionary_MatchLasVegas() {
+	m := pram.New(0)
+	dict := core.Preprocess(m, [][]byte{
+		[]byte("he"), []byte("she"), []byte("hers"),
+	}, core.Options{Seed: 42})
+	matches, attempts := dict.MatchLasVegas(m, []byte("ushers"))
+	fmt.Println("attempts:", attempts)
+	for i, mt := range matches {
+		if mt.Length > 0 {
+			fmt.Printf("%d: %s\n", i, dict.Patterns[mt.PatternID])
+		}
+	}
+	// Output:
+	// attempts: 1
+	// 1: she
+	// 2: hers
+}
+
+// Step 2A's B[i] — longest dictionary-word prefix per position — feeds the
+// §5 optimal parser.
+func ExampleDictionary_PrefixLengths() {
+	m := pram.New(0)
+	dict := core.Preprocess(m, [][]byte{[]byte("a"), []byte("ab"), []byte("abc")}, core.Options{Seed: 1})
+	fmt.Println(dict.PrefixLengths(m, []byte("abx")))
+	// Output: [2 0 0]
+}
+
+// End-to-end §5 static compression: optimal word references.
+func ExampleDictionary_CompressStatic() {
+	m := pram.New(0)
+	// Prefix-closed dictionary on which greedy parsing is suboptimal.
+	dict := core.Preprocess(m, [][]byte{
+		[]byte("a"), []byte("aa"), []byte("aab"), []byte("b"),
+	}, core.Options{Seed: 1})
+	refs, err := dict.CompressStatic(m, []byte("aaab"))
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range refs {
+		fmt.Printf("%s ", dict.Patterns[r])
+	}
+	restored, _ := dict.DecompressStatic(m, refs)
+	fmt.Printf("-> %s\n", restored)
+	// Output: a aab -> aaab
+}
+
+// Adaptive dictionaries: insert and delete patterns between queries.
+func ExampleAdaptive() {
+	m := pram.New(0)
+	a := core.NewAdaptive(core.Options{Seed: 1})
+	hAna := a.Insert(m, []byte("ana"))
+	a.Insert(m, []byte("ban"))
+	out := a.MatchText(m, []byte("banana"))
+	fmt.Println(out[0].Length, out[1].Length)
+	a.Delete(m, hAna)
+	out = a.MatchText(m, []byte("banana"))
+	fmt.Println(out[0].Length, out[1].Length)
+	// Output:
+	// 3 3
+	// 3 0
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// The output chain invariant of §3: for every position,
+// M[i] <= B[i] <= S[i]; S is a substring of D̂, B a pattern prefix, M an
+// exact pattern — checked by content on random instances.
+func TestOutputChainInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(231, 232))
+	m := pram.New(4)
+	for trial := 0; trial < 60; trial++ {
+		sigma := 2 + rng.IntN(4)
+		numPat := 1 + rng.IntN(8)
+		patterns := make([][]byte, numPat)
+		for i := range patterns {
+			l := 1 + rng.IntN(9)
+			patterns[i] = make([]byte, l)
+			for j := range patterns[i] {
+				patterns[i][j] = byte('a' + rng.IntN(sigma))
+			}
+		}
+		text := make([]byte, 30+rng.IntN(120))
+		for j := range text {
+			text[j] = byte('a' + rng.IntN(sigma))
+		}
+		d := Preprocess(m, patterns, Options{Seed: uint64(trial + 1)})
+		S := d.SubstringLengths(m, text)
+		B := d.PrefixLengths(m, text)
+		M := d.MatchText(m, text)
+		for i := range text {
+			if M[i].Length > B[i] || B[i] > S[i] {
+				t.Fatalf("trial %d pos %d: chain violated M=%d B=%d S=%d",
+					trial, i, M[i].Length, B[i], S[i])
+			}
+			if S[i] > 0 && !containsSub(d.dhat, text[i:i+int(S[i])]) {
+				t.Fatalf("trial %d pos %d: S=%d not a dictionary substring", trial, i, S[i])
+			}
+			if B[i] > 0 && !somePatternHasPrefix(patterns, text[i:i+int(B[i])]) {
+				t.Fatalf("trial %d pos %d: B=%d not a pattern prefix", trial, i, B[i])
+			}
+			if M[i].Length > 0 &&
+				string(patterns[M[i].PatternID]) != string(text[i:i+int(M[i].Length)]) {
+				t.Fatalf("trial %d pos %d: M mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func containsSub(dhat []int32, sub []byte) bool {
+	for p := 0; p+len(sub) <= len(dhat); p++ {
+		ok := true
+		for j := range sub {
+			if dhat[p+j] != int32(sub[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func somePatternHasPrefix(patterns [][]byte, prefix []byte) bool {
+	for _, p := range patterns {
+		if len(p) >= len(prefix) && string(p[:len(prefix)]) == string(prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// Both Step 1A strategies must produce identical loci on every input.
+func TestAnchorStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(221, 222))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for trial := 0; trial < 25; trial++ {
+			sigma := 2 + rng.IntN(3)
+			gen := textgen.New(uint64(trial + 700))
+			patterns := gen.Dictionary(1+rng.IntN(10), 1, 9, sigma)
+			text := gen.Uniform(60+rng.IntN(200), sigma)
+			// WindowL = 1 makes every position an anchor, maximizing
+			// coverage of the locate code.
+			dSep := Preprocess(m, patterns, Options{Seed: uint64(trial + 1), Anchor: AnchorSeparator, WindowL: 1})
+			dSA := Preprocess(m, patterns, Options{Seed: uint64(trial + 1), Anchor: AnchorSA, WindowL: 1})
+			a := dSep.substringMatch(m, text)
+			b := dSA.substringMatch(m, text)
+			for i := range text {
+				if a[i] != b[i] {
+					t.Fatalf("procs=%d trial=%d pos %d: separator %+v vs SA %+v",
+						procs, trial, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// The separator tree must be a valid centroid decomposition: every node
+// has a chain, chains share prefixes with their components, and chain
+// lengths are logarithmic.
+func TestSeparatorTreeShape(t *testing.T) {
+	m := pram.New(4)
+	gen := textgen.New(223)
+	patterns := gen.Dictionary(64, 2, 16, 4)
+	d := Preprocess(m, patterns, Options{Seed: 1})
+	if d.sep == nil {
+		t.Fatal("separator tree not built")
+	}
+	n := d.st.NumNodes
+	maxChain := 0
+	for v := 0; v < n; v++ {
+		chain := d.sep.danc[v]
+		if len(chain) == 0 {
+			t.Fatalf("node %d has no centroid chain", v)
+		}
+		if int(chain[len(chain)-1]) != v {
+			t.Fatalf("node %d chain does not end at itself", v)
+		}
+		if len(chain) > maxChain {
+			maxChain = len(chain)
+		}
+	}
+	// Centroid decomposition depth <= log2(n) + 2.
+	lg := 1
+	for 1<<lg < n {
+		lg++
+	}
+	if maxChain > lg+2 {
+		t.Fatalf("chain length %d exceeds log bound %d (n=%d)", maxChain, lg+2, n)
+	}
+	// The decomposition root is shared by every chain.
+	root := d.sep.danc[0][0]
+	for v := 0; v < n; v++ {
+		if d.sep.danc[v][0] != root {
+			t.Fatalf("node %d chain starts at %d, want %d", v, d.sep.danc[v][0], root)
+		}
+	}
+}
+
+// Worst-case tree shapes for centroid decomposition: paths (from unary
+// strings) and stars (from uniform random single chars).
+func TestSeparatorDegenerateShapes(t *testing.T) {
+	m := pram.New(4)
+	// Path-like suffix tree: a^k patterns.
+	d := Preprocess(m, [][]byte{[]byte("aaaaaaaaaaaaaaaa")}, Options{Seed: 1})
+	text := []byte("aaaaaaaaaaaaaaaaaaaaaaaa")
+	got := d.MatchText(m, text)
+	for i := 0; i+16 <= len(text); i++ {
+		if got[i].Length != 16 {
+			t.Fatalf("pos %d: %d", i, got[i].Length)
+		}
+	}
+	// Star-like: many single-char patterns.
+	var pats [][]byte
+	for c := byte('a'); c <= 'z'; c++ {
+		pats = append(pats, []byte{c})
+	}
+	d2 := Preprocess(m, pats, Options{Seed: 1})
+	got2 := d2.MatchText(m, []byte("hello world"))
+	for i, c := range []byte("hello world") {
+		want := int32(1)
+		if c == ' ' {
+			want = 0
+		}
+		if got2[i].Length != want {
+			t.Fatalf("star pos %d: %d want %d", i, got2[i].Length, want)
+		}
+	}
+}
+
+// The separator anchor must also hold up under the Las Vegas pipeline on a
+// larger mixed workload.
+func TestSeparatorLasVegasLarge(t *testing.T) {
+	m := pram.New(4)
+	gen := textgen.New(224)
+	text, patterns := gen.PlantedDictionary(20_000, 30, 10, 101, 4)
+	d := Preprocess(m, patterns, Options{Seed: 7, Anchor: AnchorSeparator})
+	matches, attempts := d.MatchLasVegas(m, text)
+	if attempts != 1 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+	matchesEqualAC(t, patterns, text, matches)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/staticdict"
+	"repro/internal/textgen"
+)
+
+func prefixClose(words [][]byte) [][]byte {
+	seen := map[string]bool{}
+	var out [][]byte
+	for _, w := range words {
+		for p := 1; p <= len(w); p++ {
+			if k := string(w[:p]); !seen[k] {
+				seen[k] = true
+				out = append(out, []byte(k))
+			}
+		}
+	}
+	return out
+}
+
+func TestStaticCodecRoundTrip(t *testing.T) {
+	gen := textgen.New(301)
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		words := prefixClose([][]byte{
+			[]byte("abba"), []byte("bab"), []byte("caca"), []byte("c"),
+		})
+		d := Preprocess(m, words, Options{Seed: 4})
+		for trial := 0; trial < 10; trial++ {
+			text := gen.Uniform(200, 3) // over a,b,c — all single letters are words
+			refs, err := d.CompressStatic(m, text)
+			if err != nil {
+				t.Fatalf("procs=%d: %v", procs, err)
+			}
+			got, err := d.DecompressStatic(m, refs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, text) {
+				t.Fatalf("procs=%d roundtrip failed", procs)
+			}
+			// Reference count must equal the optimal phrase count.
+			maxLen := d.PrefixLengths(m, text)
+			opt, err := staticdict.OptimalParse(m, len(text), maxLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(refs) != len(opt) {
+				t.Fatalf("refs %d != optimal phrases %d", len(refs), len(opt))
+			}
+		}
+	}
+}
+
+func TestStaticCodecEmptyAndErrors(t *testing.T) {
+	m := pram.New(4)
+	words := prefixClose([][]byte{[]byte("ab")})
+	d := Preprocess(m, words, Options{Seed: 4})
+	if refs, err := d.CompressStatic(m, nil); err != nil || refs != nil {
+		t.Fatal("empty text")
+	}
+	if out, err := d.DecompressStatic(m, nil); err != nil || out != nil {
+		t.Fatal("empty refs")
+	}
+	// Unparseable text: 'z' is not in the dictionary.
+	if _, err := d.CompressStatic(m, []byte("abz")); err == nil {
+		t.Fatal("unparseable text accepted")
+	}
+	// Bad reference.
+	if _, err := d.DecompressStatic(m, []int32{0, 99}); err == nil {
+		t.Fatal("bad reference accepted")
+	}
+}
+
+func TestStaticCodecBeatsGreedyOnAdversarial(t *testing.T) {
+	m := pram.New(4)
+	text, dict := textgen.GreedyAdversarialDictionary(4, 20)
+	d := Preprocess(m, dict, Options{Seed: 4})
+	refs, err := d.CompressStatic(m, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := d.PrefixLengths(m, text)
+	greedy, err := staticdict.GreedyParse(len(text), maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) >= len(greedy) {
+		t.Fatalf("optimal refs %d not fewer than greedy %d", len(refs), len(greedy))
+	}
+	got, err := d.DecompressStatic(m, refs)
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("adversarial roundtrip failed")
+	}
+}
+
+func TestStaticCodecWordsAreExact(t *testing.T) {
+	// Every emitted reference must expand to exactly the phrase it covers.
+	m := pram.New(4)
+	gen := textgen.New(302)
+	words := prefixClose(gen.Dictionary(30, 1, 10, 3))
+	// Guarantee single letters exist so parses always succeed.
+	words = append(words, prefixClose([][]byte{{'a'}, {'b'}, {'c'}})...)
+	d := Preprocess(m, words, Options{Seed: 4})
+	text := gen.Uniform(500, 3)
+	refs, err := d.CompressStatic(m, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for _, r := range refs {
+		w := d.Patterns[r]
+		if !bytes.Equal(text[pos:pos+len(w)], w) {
+			t.Fatalf("ref %d at %d expands to %q, text has %q", r, pos, w, text[pos:pos+len(w)])
+		}
+		pos += len(w)
+	}
+	if pos != len(text) {
+		t.Fatalf("refs cover %d of %d", pos, len(text))
+	}
+}

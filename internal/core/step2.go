@@ -1,0 +1,136 @@
+package core
+
+import "repro/internal/pram"
+
+// Match is the dictionary-matching output at one text position: the longest
+// pattern starting there (the paper's M[i]). PatternID == -1 and Length == 0
+// mean no pattern matches.
+type Match struct {
+	PatternID int32
+	Length    int32
+}
+
+// None is the empty match.
+var None = Match{PatternID: -1, Length: 0}
+
+// MatchText runs the full matching pipeline (Steps 1 and 2) and returns
+// M[i] for every position. The output is Monte Carlo correct (fingerprint
+// collisions in Step 1A can corrupt it with probability O(n·log d / 2^61));
+// use MatchLasVegas for checked output.
+func (d *Dictionary) MatchText(m *pram.Machine, text []byte) []Match {
+	loci := d.substringMatch(m, text)
+	return d.extractMatches(m, loci)
+}
+
+// SubstringLengths returns S[i], the length of the longest substring of D̂
+// (not necessarily a pattern) starting at each text position — the paper's
+// "dictionary substring problem" output, the intermediate result of Step 1.
+func (d *Dictionary) SubstringLengths(m *pram.Machine, text []byte) []int32 {
+	loci := d.substringMatch(m, text)
+	out := make([]int32, len(loci))
+	m.ParallelFor(len(loci), func(i int) { out[i] = loci[i].l })
+	return out
+}
+
+// PrefixLengths returns B[i], the length of the longest pattern prefix that
+// starts at each text position (the paper's Step 2A output). This is the
+// quantity the optimal static compressor of §5 consumes.
+func (d *Dictionary) PrefixLengths(m *pram.Machine, text []byte) []int32 {
+	loci := d.substringMatch(m, text)
+	out := make([]int32, len(loci))
+	m.ParallelFor(len(loci), func(i int) {
+		b, _, _ := d.prefixAt(loci[i])
+		out[i] = b
+	})
+	return out
+}
+
+// extractMatches is Step 2: convert each locus S[i] into M[i] with O(1)
+// table lookups (Steps 2A and 2B).
+func (d *Dictionary) extractMatches(m *pram.Machine, loci []locus) []Match {
+	out := make([]Match, len(loci))
+	m.ParallelFor(len(loci), func(i int) {
+		out[i] = d.matchAt(loci[i])
+	})
+	return out
+}
+
+// prefixAt computes B = the longest pattern prefix that is a prefix of the
+// locus string X, together with how the answer was derived:
+// onEdge reports the in-subtree case (B > depth(u), X' lies on X's edge);
+// u is the deepest explicit node strictly above the locus (or the locus
+// node itself when X ends exactly at it).
+func (d *Dictionary) prefixAt(lc locus) (b int32, u int, onEdge bool) {
+	st := d.st
+	z, l := int(lc.z), lc.l
+	u = z
+	if l < st.StrDepth[z] {
+		u = st.Parent[z]
+	}
+	if u < 0 { // root locus with l == 0
+		u = st.Root
+	}
+	// In-subtree candidate: patterns whose start leaf lies under z reach
+	// min(max length, |X|). Ancestor candidate: precomputed H.
+	b1 := min32(d.m1[z], l)
+	b2 := d.h[u]
+	if b1 > b2 {
+		return b1, u, true
+	}
+	return b2, u, false
+}
+
+// matchAt computes M for one locus: the longest full pattern that is a
+// prefix of the locus string (equivalently, of its longest pattern prefix).
+func (d *Dictionary) matchAt(lc locus) Match {
+	b, u, onEdge := d.prefixAt(lc)
+	if b == 0 {
+		return None
+	}
+	var packed int64 = -1
+	if onEdge {
+		// X' (length b) lies on the edge entering z: proper-prefix patterns
+		// are marked nodes on u's root path; the exact-length pattern, if
+		// any, must be the minimum pattern under z.
+		z := int(lc.z)
+		packed = d.rpe[u]
+		if d.minPat[z] == b {
+			if cand := packLenPat(b, d.minPatID[z]); cand > packed {
+				packed = cand
+			}
+		}
+	} else {
+		// X' is the length-H[u] prefix of σ(u): precomputed at
+		// preprocessing time.
+		packed = d.fullAtH[u]
+	}
+	if packed < 0 {
+		return None
+	}
+	length, pat := unpackLenPat(packed)
+	if length == 0 {
+		return None
+	}
+	return Match{PatternID: pat, Length: length}
+}
+
+// WordID resolves the dictionary word equal to the length-wordLen prefix of
+// the locus string, or -1 if no such word exists. Used by the static
+// compressor to emit word references; O(log d) via one level-ancestor
+// query.
+func (d *Dictionary) WordID(lc locus, wordLen int32) int32 {
+	if wordLen <= 0 || wordLen > lc.l {
+		return -1
+	}
+	z := d.lift.ShallowestWithWeightAtLeast(int(lc.z), int64(wordLen))
+	if z < 0 {
+		return -1
+	}
+	// Patterns whose start leaf lies under z are at least wordLen long (the
+	// locus string has no separators), so a word of exactly that length
+	// exists iff it is the minimum.
+	if d.minPat[z] == wordLen {
+		return d.minPatID[z]
+	}
+	return -1
+}

@@ -1,0 +1,168 @@
+// Package distrib simulates the distributed implementation the paper
+// sketches in §1.2: "Versions of our algorithms seem suitable for
+// distributed implementation on a network of workstations [24]. In fact,
+// in this setting, we can conclude from Communication Complexity that even
+// checking equality of strings requires randomization for efficiency [29]."
+//
+// The cluster is simulated with one goroutine per workstation and counted
+// channel messages standing in for the network:
+//
+//   - Dictionary matching is distributed by sharding the text. The
+//     dictionary (size d) is broadcast once; each worker receives its shard
+//     plus a halo of maxPatternLen-1 bytes from the right neighbour's
+//     region — M[i] depends on at most that much lookahead — and returns
+//     its shard's matches. Communication: O(d·W + n + W·m) bytes total,
+//     independent of the number of matches.
+//   - EqualExchange demonstrates the Yao [29] point: two workstations
+//     decide equality of remote strings by exchanging an O(1)-word random
+//     fingerprint instead of n bytes, correct with probability
+//     1 - n/2^61; the deterministic alternative is the full transfer.
+package distrib
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fingerprint"
+	"repro/internal/pram"
+)
+
+// Stats counts simulated network traffic.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Cluster is a simulated network of workstations.
+type Cluster struct {
+	workers int
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewCluster returns a cluster of w workstations (w >= 1).
+func NewCluster(w int) *Cluster {
+	if w < 1 {
+		w = 1
+	}
+	return &Cluster{workers: w}
+}
+
+// Workers returns the workstation count.
+func (c *Cluster) Workers() int { return c.workers }
+
+// Stats returns the accumulated message/byte counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{Messages: c.msgs.Load(), Bytes: c.bytes.Load()}
+}
+
+// send accounts one message of the given payload size.
+func (c *Cluster) send(bytes int) {
+	c.msgs.Add(1)
+	c.bytes.Add(int64(bytes))
+}
+
+// shardResult carries one worker's output back to the coordinator.
+type shardResult struct {
+	worker  int
+	start   int
+	matches []core.Match
+}
+
+// Match runs distributed dictionary matching: broadcast the dictionary,
+// shard the text with halos, match shards concurrently (each workstation
+// is one goroutine running the paper's §3 algorithm on a sequential PRAM),
+// and gather. The output is identical to a single-machine run; tests
+// assert it.
+func (c *Cluster) Match(patterns [][]byte, text []byte, seed uint64) []core.Match {
+	n := len(text)
+	out := make([]core.Match, n)
+	if n == 0 {
+		return out
+	}
+	maxPat := 0
+	d := 0
+	for _, p := range patterns {
+		d += len(p)
+		if len(p) > maxPat {
+			maxPat = len(p)
+		}
+	}
+	// Broadcast the dictionary: one message of d bytes per workstation.
+	for w := 0; w < c.workers; w++ {
+		c.send(d)
+	}
+	results := make(chan shardResult, c.workers)
+	var wg sync.WaitGroup
+	per := (n + c.workers - 1) / c.workers
+	active := 0
+	for w := 0; w < c.workers; w++ {
+		start := w * per
+		if start >= n {
+			break
+		}
+		end := start + per
+		if end > n {
+			end = n
+		}
+		halo := end + maxPat - 1
+		if halo > n {
+			halo = n
+		}
+		// Shard + halo shipped to the workstation.
+		c.send(halo - start)
+		active++
+		wg.Add(1)
+		go func(w, start, end, halo int) {
+			defer wg.Done()
+			m := pram.NewSequential()
+			dict := core.Preprocess(m, patterns, core.Options{Seed: seed})
+			local := dict.MatchText(m, text[start:halo])
+			// Only positions within the shard proper are this worker's
+			// responsibility; halo positions belong to the neighbour.
+			res := make([]core.Match, end-start)
+			copy(res, local[:end-start])
+			// Matches that would overrun the halo cannot exist (length is
+			// bounded by maxPat), but clamp defensively.
+			for i := range res {
+				if res[i].Length > 0 && start+i+int(res[i].Length) > halo {
+					res[i] = core.None
+				}
+			}
+			results <- shardResult{worker: w, start: start, matches: res}
+		}(w, start, end, halo)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		// Result gather: one message carrying the shard's matches.
+		c.send(8 * len(r.matches))
+		copy(out[r.start:], r.matches)
+	}
+	return out
+}
+
+// EqualExchange decides whether two remote strings are equal by exchanging
+// fingerprints (the randomized protocol [29] makes efficient): each side
+// sends one 8-byte fingerprint plus an 8-byte length. Returns the verdict
+// and the bytes exchanged; deterministicBytes reports what a deterministic
+// protocol would have shipped (the whole string).
+func (c *Cluster) EqualExchange(a, b []byte, seed uint64) (equal bool, exchanged, deterministicBytes int64) {
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	if maxLen == 0 {
+		return true, 0, 0
+	}
+	h := fingerprint.NewHasher(seed, maxLen)
+	m := pram.NewSequential()
+	fa := h.NewTable(m, a).Substring(0, len(a))
+	fb := h.NewTable(m, b).Substring(0, len(b))
+	c.send(16) // (len, fp) from A to B
+	c.send(16) // (len, fp) from B to A
+	return len(a) == len(b) && fa == fb, 32, int64(len(a))
+}

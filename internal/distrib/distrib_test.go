@@ -1,0 +1,125 @@
+package distrib
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+func TestDistributedMatchEqualsSingleMachine(t *testing.T) {
+	gen := textgen.New(171)
+	patterns := gen.Dictionary(12, 2, 9, 3)
+	text := gen.Uniform(2000, 3)
+	single := core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 5})
+	want := single.MatchText(pram.NewSequential(), text)
+
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		c := NewCluster(workers)
+		got := c.Match(patterns, text, 5)
+		if len(got) != len(want) {
+			t.Fatalf("w=%d length mismatch", workers)
+		}
+		for i := range want {
+			if got[i].Length != want[i].Length {
+				t.Fatalf("w=%d pos %d: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDistributedMatchBoundarySpanningMatches(t *testing.T) {
+	// A long pattern straddling every shard boundary must still be found.
+	pattern := []byte("abcdefghij")
+	text := make([]byte, 0, 40*11)
+	for i := 0; i < 40; i++ {
+		text = append(text, pattern...)
+		text = append(text, 'x')
+	}
+	c := NewCluster(7) // shard size not aligned with the period
+	got := c.Match([][]byte{pattern}, text, 3)
+	found := 0
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if got[i].Length == int32(len(pattern)) {
+			found++
+		}
+	}
+	if found != 40 {
+		t.Fatalf("found %d of 40 straddling occurrences", found)
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	gen := textgen.New(172)
+	patterns := gen.Dictionary(5, 2, 5, 3)
+	text := gen.Uniform(1000, 3)
+	c := NewCluster(4)
+	c.Match(patterns, text, 1)
+	s := c.Stats()
+	if s.Messages == 0 || s.Bytes == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	// Broadcast (4 msgs) + shards (4) + gathers (4).
+	if s.Messages != 12 {
+		t.Fatalf("messages = %d want 12", s.Messages)
+	}
+	var d int64
+	for _, p := range patterns {
+		d += int64(len(p))
+	}
+	// Bytes: 4 dictionary replicas + ~n text + halos + 8n results.
+	min := 4*d + int64(len(text))
+	if s.Bytes < min {
+		t.Fatalf("bytes = %d, want >= %d", s.Bytes, min)
+	}
+}
+
+func TestClusterDegenerate(t *testing.T) {
+	c := NewCluster(0) // clamps to 1
+	if c.Workers() != 1 {
+		t.Fatalf("workers = %d", c.Workers())
+	}
+	got := c.Match([][]byte{[]byte("ab")}, nil, 1)
+	if len(got) != 0 {
+		t.Fatal("empty text")
+	}
+	// More workers than bytes.
+	c = NewCluster(50)
+	got = c.Match([][]byte{[]byte("ab")}, []byte("abab"), 1)
+	if got[0].Length != 2 || got[2].Length != 2 {
+		t.Fatalf("matches = %v", got)
+	}
+}
+
+func TestEqualExchange(t *testing.T) {
+	c := NewCluster(2)
+	gen := textgen.New(173)
+	a := gen.Uniform(100_000, 4)
+	b := append([]byte(nil), a...)
+	eq, exchanged, det := c.EqualExchange(a, b, 1)
+	if !eq {
+		t.Fatal("equal strings reported unequal")
+	}
+	if exchanged != 32 {
+		t.Fatalf("exchanged = %d", exchanged)
+	}
+	if det != int64(len(a)) {
+		t.Fatalf("deterministic bytes = %d", det)
+	}
+	b[50_000] ^= 1
+	eq, _, _ = c.EqualExchange(a, b, 1)
+	if eq {
+		t.Fatal("unequal strings reported equal")
+	}
+	// Different lengths.
+	eq, _, _ = c.EqualExchange(a, a[:99_999], 1)
+	if eq {
+		t.Fatal("different lengths reported equal")
+	}
+	// Empty strings.
+	eq, exchanged, _ = c.EqualExchange(nil, nil, 1)
+	if !eq || exchanged != 0 {
+		t.Fatal("empty equality")
+	}
+}

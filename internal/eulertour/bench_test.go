@@ -1,0 +1,33 @@
+package eulertour
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func BenchmarkEuler(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 1 << 15
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = rng.IntN(v)
+	}
+	for _, procs := range []int{1, 2} {
+		name := "seq-dfs"
+		if procs > 1 {
+			name = "par-listrank"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := pram.New(procs)
+			tr := New(m, parent)
+			b.SetBytes(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Euler(m)
+			}
+		})
+	}
+}

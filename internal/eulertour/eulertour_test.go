@@ -1,0 +1,199 @@
+package eulertour
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// randomTree returns parent pointers of a random tree where parents have
+// smaller indices (node 0 is the root).
+func randomTree(rng *rand.Rand, n int) []int {
+	p := make([]int, n)
+	p[0] = -1
+	for v := 1; v < n; v++ {
+		p[v] = rng.IntN(v)
+	}
+	return p
+}
+
+func TestChildrenCSR(t *testing.T) {
+	m := pram.New(4)
+	parent := []int{-1, 0, 0, 1, 1, 2, 0}
+	tr := New(m, parent)
+	if tr.Root != 0 {
+		t.Fatalf("root = %d", tr.Root)
+	}
+	wantKids := map[int][]int32{
+		0: {1, 2, 6}, 1: {3, 4}, 2: {5}, 3: {}, 4: {}, 5: {}, 6: {},
+	}
+	for v, want := range wantKids {
+		got := tr.Children(v)
+		if len(got) != len(want) {
+			t.Fatalf("children(%d) = %v want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("children(%d) = %v want %v", v, got, want)
+			}
+		}
+		if tr.Degree(v) != len(want) {
+			t.Fatalf("degree(%d) = %d", v, tr.Degree(v))
+		}
+	}
+}
+
+func checkTour(t *testing.T, parent []int, tour *Tour) {
+	t.Helper()
+	n := len(parent)
+	if len(tour.Order) != 2*n-1 {
+		t.Fatalf("tour length %d want %d", len(tour.Order), 2*n-1)
+	}
+	// Consecutive tour nodes must be tree neighbors.
+	for i := 1; i < len(tour.Order); i++ {
+		a, b := int(tour.Order[i-1]), int(tour.Order[i])
+		if parent[a] != b && parent[b] != a {
+			t.Fatalf("tour positions %d,%d: %d and %d not adjacent", i-1, i, a, b)
+		}
+	}
+	// Reference arrays by sequential DFS.
+	depth := make([]int32, n)
+	for v := 1; v < n; v++ {
+		// parents have smaller indices in our test trees
+		depth[v] = depth[parent[v]] + 1
+	}
+	size := make([]int32, n)
+	for v := n - 1; v >= 0; v-- {
+		size[v]++
+		if parent[v] >= 0 {
+			size[parent[v]] += size[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		if tour.Depth[v] != depth[v] {
+			t.Fatalf("depth[%d] = %d want %d", v, tour.Depth[v], depth[v])
+		}
+		if tour.Size[v] != size[v] {
+			t.Fatalf("size[%d] = %d want %d", v, tour.Size[v], size[v])
+		}
+		if tour.Order[tour.First[v]] != int32(v) || tour.Order[tour.Last[v]] != int32(v) {
+			t.Fatalf("first/last of %d do not point at %d", v, v)
+		}
+		for i := int32(0); i < tour.First[v]; i++ {
+			if tour.Order[i] == int32(v) {
+				t.Fatalf("node %d appears before First", v)
+			}
+		}
+		for i := tour.Last[v] + 1; i < int32(len(tour.Order)); i++ {
+			if tour.Order[i] == int32(v) {
+				t.Fatalf("node %d appears after Last", v)
+			}
+		}
+	}
+	// Preorder must be a permutation consistent with First order.
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		p := int(tour.Pre[v])
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("preorder not a permutation at node %d", v)
+		}
+		seen[p] = true
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if tour.First[u] < tour.First[v] != (tour.Pre[u] < tour.Pre[v]) {
+				t.Fatalf("preorder inconsistent with first visits (%d,%d)", u, v)
+			}
+		}
+	}
+	// VisitDepth mirrors Depth.
+	for i, nd := range tour.Order {
+		if tour.VisitDepth[i] != int64(tour.Depth[nd]) {
+			t.Fatalf("visitdepth[%d]", i)
+		}
+	}
+}
+
+func TestEulerTourSequentialAndParallelAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	seq := pram.NewSequential()
+	par4 := pram.New(4)
+	par4.SetGrain(9)
+	for _, n := range []int{2, 3, 4, 10, 100, 500} {
+		for trial := 0; trial < 5; trial++ {
+			parent := randomTree(rng, n)
+			trSeq := New(seq, parent)
+			trPar := New(par4, parent)
+			a := trSeq.Euler(seq)
+			b := trPar.Euler(par4)
+			checkTour(t, parent, a)
+			checkTour(t, parent, b)
+			for i := range a.Order {
+				if a.Order[i] != b.Order[i] {
+					t.Fatalf("n=%d order differs at %d: %d vs %d", n, i, a.Order[i], b.Order[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEulerPathTree(t *testing.T) {
+	m := pram.New(4)
+	const n = 50
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	tr := New(m, parent)
+	tour := tr.Euler(m)
+	checkTour(t, parent, tour)
+	if tour.Depth[n-1] != n-1 {
+		t.Fatalf("path depth = %d", tour.Depth[n-1])
+	}
+}
+
+func TestEulerStarTree(t *testing.T) {
+	m := pram.New(4)
+	const n = 60
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = 0
+	}
+	tr := New(m, parent)
+	tour := tr.Euler(m)
+	checkTour(t, parent, tour)
+	if tour.Size[0] != n {
+		t.Fatalf("star root size = %d", tour.Size[0])
+	}
+}
+
+func TestEulerSingleNode(t *testing.T) {
+	m := pram.New(4)
+	tr := New(m, []int{-1})
+	tour := tr.Euler(m)
+	if len(tour.Order) != 1 || tour.Order[0] != 0 || tour.Size[0] != 1 {
+		t.Fatalf("single node tour: %+v", tour)
+	}
+}
+
+func TestInSubtree(t *testing.T) {
+	m := pram.New(4)
+	parent := []int{-1, 0, 0, 1, 1, 2}
+	tr := New(m, parent)
+	tour := tr.Euler(m)
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{3, 1, true}, {4, 1, true}, {5, 2, true}, {3, 2, false},
+		{1, 1, true}, {0, 1, false}, {5, 0, true},
+	}
+	for _, c := range cases {
+		if got := tour.InSubtree(c.u, c.v); got != c.want {
+			t.Errorf("InSubtree(%d,%d) = %v want %v", c.u, c.v, got, c.want)
+		}
+	}
+}

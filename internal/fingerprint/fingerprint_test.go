@@ -1,0 +1,163 @@
+package fingerprint
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pram"
+)
+
+func TestMulmodSmallValues(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 5, 0}, {1, 7, 7}, {3, 4, 12},
+		{Prime - 1, 1, Prime - 1},
+		{Prime, 5, 0},             // Prime ≡ 0
+		{Prime + 1, 5, 5},         // Prime+1 ≡ 1
+		{Prime - 1, 2, Prime - 2}, // -1 * 2 = -2
+	}
+	for _, c := range cases {
+		if got := mulmod(c.a, c.b); got != c.want {
+			t.Errorf("mulmod(%d,%d)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulmodMatchesBigIntSemantics(t *testing.T) {
+	// Verify a*b mod p against arbitrary-precision arithmetic.
+	rng := rand.New(rand.NewPCG(81, 82))
+	p := new(big.Int).SetUint64(Prime)
+	for i := 0; i < 10000; i++ {
+		a := rng.Uint64N(Prime)
+		b := rng.Uint64N(Prime)
+		got := mulmod(a, b)
+		ref := new(big.Int).SetUint64(a)
+		ref.Mul(ref, new(big.Int).SetUint64(b)).Mod(ref, p)
+		if want := ref.Uint64(); got != want {
+			t.Fatalf("mulmod(%d,%d)=%d want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestParallelTableMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 84))
+	h := NewHasher(1, 5000)
+	m := pram.New(4)
+	m.SetGrain(33)
+	for _, n := range []int{0, 1, 255, 256, 257, 1000, 5000} {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.IntN(256))
+		}
+		a := h.NewTable(m, s)
+		b := h.NewTableSequential(s)
+		for i := 0; i <= n; i++ {
+			if a.pre[i] != b.pre[i] {
+				t.Fatalf("n=%d pre[%d] %d vs %d", n, i, a.pre[i], b.pre[i])
+			}
+		}
+	}
+}
+
+func TestSubstringEqualityMatchesBytes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(85, 86))
+	h := NewHasher(2, 2000)
+	m := pram.New(4)
+	s := make([]byte, 1000)
+	for i := range s {
+		s[i] = byte('a' + rng.IntN(3)) // small alphabet → many real repeats
+	}
+	tab := h.NewTable(m, s)
+	for trial := 0; trial < 5000; trial++ {
+		i := rng.IntN(len(s))
+		j := rng.IntN(len(s))
+		l := rng.IntN(len(s) - max(i, j) + 1)
+		fpEq := tab.Substring(i, i+l) == tab.Substring(j, j+l)
+		realEq := bytes.Equal(s[i:i+l], s[j:j+l])
+		if realEq && !fpEq {
+			t.Fatalf("equal strings with different fingerprints at i=%d j=%d l=%d", i, j, l)
+		}
+		if fpEq != realEq {
+			// A collision: astronomically unlikely with p = 2^61-1.
+			t.Fatalf("fingerprint collision at i=%d j=%d l=%d", i, j, l)
+		}
+	}
+}
+
+func TestConcatIdentity(t *testing.T) {
+	h := NewHasher(3, 100)
+	s := []byte("the quick brown fox jumps over")
+	tab := h.NewTableSequential(s)
+	for i := 0; i <= len(s); i++ {
+		for j := i; j <= len(s); j++ {
+			for k := j; k <= len(s); k++ {
+				got := h.Concat(tab.Substring(i, j), tab.Substring(j, k), k-j)
+				if got != tab.Substring(i, k) {
+					t.Fatalf("concat (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCharConcat(t *testing.T) {
+	h := NewHasher(4, 100)
+	s := []byte("abcabc")
+	tab := h.NewTableSequential(s)
+	// fp('a' + "bcabc") must equal fp("abcabc")
+	got := h.Concat(h.Char('a'), tab.Substring(1, 6), 5)
+	if got != tab.Substring(0, 6) {
+		t.Fatal("Char+Concat does not reproduce prefix fingerprint")
+	}
+}
+
+func TestDifferentSeedsDifferentBases(t *testing.T) {
+	a := NewHasher(10, 10)
+	b := NewHasher(11, 10)
+	if a.Base() == b.Base() {
+		t.Fatal("different seeds produced identical bases")
+	}
+	c := NewHasher(10, 10)
+	if a.Base() != c.Base() {
+		t.Fatal("same seed produced different bases (not reproducible)")
+	}
+}
+
+func TestTableCrossStringEqual(t *testing.T) {
+	h := NewHasher(5, 100)
+	m := pram.NewSequential()
+	t1 := h.NewTable(m, []byte("xxabcdyy"))
+	t2 := h.NewTable(m, []byte("ppabcdqq"))
+	if !t1.Equal(2, t2, 2, 4) {
+		t.Fatal("matching substrings reported unequal")
+	}
+	if t1.Equal(0, t2, 0, 4) {
+		t.Fatal("distinct substrings reported equal")
+	}
+}
+
+func TestBadRangePanics(t *testing.T) {
+	h := NewHasher(6, 10)
+	tab := h.NewTableSequential([]byte("abc"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range did not panic")
+		}
+	}()
+	tab.Substring(2, 5)
+}
+
+func TestCollisionBoundMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return CollisionBound(x) <= CollisionBound(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

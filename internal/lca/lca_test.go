@@ -1,0 +1,134 @@
+package lca
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/eulertour"
+	"repro/internal/pram"
+)
+
+func randomTree(rng *rand.Rand, n int) []int {
+	p := make([]int, n)
+	p[0] = -1
+	for v := 1; v < n; v++ {
+		p[v] = rng.IntN(v)
+	}
+	return p
+}
+
+func bruteLCA(parent []int, u, v int) int {
+	anc := map[int]bool{}
+	for x := u; x != -1; x = parent[x] {
+		anc[x] = true
+	}
+	for x := v; ; x = parent[x] {
+		if anc[x] {
+			return x
+		}
+	}
+}
+
+func TestLCAAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, n := range []int{1, 2, 5, 50, 400} {
+			parent := randomTree(rng, n)
+			idx := New(m, eulertour.New(m, parent))
+			for q := 0; q < 300; q++ {
+				u, v := rng.IntN(n), rng.IntN(n)
+				if got, want := idx.Query(u, v), bruteLCA(parent, u, v); got != want {
+					t.Fatalf("procs=%d n=%d lca(%d,%d)=%d want %d", procs, n, u, v, got, want)
+				}
+			}
+			for v := 0; v < n; v++ {
+				if idx.Query(v, v) != v {
+					t.Fatalf("lca(v,v) != v")
+				}
+			}
+		}
+	}
+}
+
+func TestLiftingAncestor(t *testing.T) {
+	m := pram.New(4)
+	// Path 0-1-2-...-63.
+	const n = 64
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	l := NewLifting(m, parent, nil)
+	for v := 0; v < n; v++ {
+		for hops := 0; hops < n+3; hops++ {
+			want := v - hops
+			if want < 0 {
+				want = 0
+			}
+			if got := l.Ancestor(v, hops); got != want {
+				t.Fatalf("Ancestor(%d,%d)=%d want %d", v, hops, got, want)
+			}
+		}
+	}
+}
+
+func TestLiftingWeightQueries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	m := pram.New(4)
+	const n = 300
+	parent := randomTree(rng, n)
+	weight := make([]int64, n)
+	for v := 1; v < n; v++ {
+		weight[v] = weight[parent[v]] + 1 + rng.Int64N(5)
+	}
+	l := NewLifting(m, parent, weight)
+	for trial := 0; trial < 2000; trial++ {
+		v := rng.IntN(n)
+		w := rng.Int64N(weight[v] + 3)
+		// Brute-force shallowest ancestor with weight >= w.
+		want := -1
+		for x := v; x != -1; x = parent[x] {
+			if weight[x] >= w {
+				want = x
+			} else {
+				break
+			}
+		}
+		if got := l.ShallowestWithWeightAtLeast(v, w); got != want {
+			t.Fatalf("ShallowestWithWeightAtLeast(%d,%d)=%d want %d", v, w, got, want)
+		}
+		// Brute-force deepest ancestor with weight < w.
+		want = -1
+		for x := v; x != -1; x = parent[x] {
+			if weight[x] < w {
+				want = x
+				break
+			}
+		}
+		if got := l.DeepestWithWeightLess(v, w); got != want {
+			t.Fatalf("DeepestWithWeightLess(%d,%d)=%d want %d", v, w, got, want)
+		}
+	}
+}
+
+func TestLiftingSingleNode(t *testing.T) {
+	m := pram.NewSequential()
+	l := NewLifting(m, []int{-1}, []int64{0})
+	if l.Ancestor(0, 5) != 0 {
+		t.Fatal("root ancestor")
+	}
+	if l.ShallowestWithWeightAtLeast(0, 0) != 0 {
+		t.Fatal("root weight>=0")
+	}
+	if l.ShallowestWithWeightAtLeast(0, 1) != -1 {
+		t.Fatal("root weight>=1")
+	}
+	if l.DeepestWithWeightLess(0, 1) != 0 {
+		t.Fatal("root weight<1")
+	}
+	if l.DeepestWithWeightLess(0, 0) != -1 {
+		t.Fatal("root weight<0")
+	}
+}

@@ -1,0 +1,128 @@
+package lz
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Container format for LZ1 parses (used by cmd/lzpack and the examples):
+//
+//	magic "LZ1R1\n"
+//	uvarint N (original length)
+//	uvarint number of tokens
+//	per token: 0x00 <literal byte>  |  0x01 uvarint(src) uvarint(len)
+//
+// The format exists so round trips are real file round trips; it makes no
+// claim of rivaling entropy-coded containers.
+
+// Magic identifies the stream format.
+const Magic = "LZ1R1\n"
+
+// EncodeStream writes c to w in the container format.
+func EncodeStream(w io.Writer, c Compressed) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(c.N)); err != nil {
+		return err
+	}
+	if err := put(uint64(len(c.Tokens))); err != nil {
+		return err
+	}
+	for _, t := range c.Tokens {
+		if t.IsLiteral() {
+			if err := bw.WriteByte(0); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(t.Lit); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := bw.WriteByte(1); err != nil {
+			return err
+		}
+		if err := put(uint64(t.Src)); err != nil {
+			return err
+		}
+		if err := put(uint64(t.Len)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeStream parses a container produced by EncodeStream. It validates
+// structure only; semantic validation (source ranges) happens in
+// Uncompress/Decode.
+func DecodeStream(data []byte) (Compressed, error) {
+	var c Compressed
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return c, fmt.Errorf("lz: not an LZ1R1 stream")
+	}
+	data = data[len(Magic):]
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("lz: truncated stream")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	n, err := get()
+	if err != nil {
+		return c, err
+	}
+	count, err := get()
+	if err != nil {
+		return c, err
+	}
+	if count > uint64(len(data)) {
+		return c, fmt.Errorf("lz: token count %d exceeds remaining bytes", count)
+	}
+	c.N = int(n)
+	c.Tokens = make([]Token, 0, count)
+	for k := uint64(0); k < count; k++ {
+		if len(data) == 0 {
+			return c, fmt.Errorf("lz: truncated stream")
+		}
+		kind := data[0]
+		data = data[1:]
+		switch kind {
+		case 0:
+			if len(data) == 0 {
+				return c, fmt.Errorf("lz: truncated literal")
+			}
+			c.Tokens = append(c.Tokens, Token{Len: 0, Lit: data[0]})
+			data = data[1:]
+		case 1:
+			src, err := get()
+			if err != nil {
+				return c, err
+			}
+			l, err := get()
+			if err != nil {
+				return c, err
+			}
+			if l == 0 {
+				return c, fmt.Errorf("lz: zero-length copy token")
+			}
+			c.Tokens = append(c.Tokens, Token{Src: int32(src), Len: int32(l)})
+		default:
+			return c, fmt.Errorf("lz: bad token kind %d", kind)
+		}
+	}
+	if len(data) != 0 {
+		return c, fmt.Errorf("lz: %d trailing bytes", len(data))
+	}
+	return c, nil
+}

@@ -1,0 +1,53 @@
+package lz_test
+
+import (
+	"fmt"
+
+	"repro/internal/lz"
+	"repro/internal/pram"
+)
+
+// Compress a string and read its phrase structure.
+func ExampleCompress() {
+	m := pram.New(0)
+	c := lz.Compress(m, []byte("abababab"))
+	for _, t := range c.Tokens {
+		if t.IsLiteral() {
+			fmt.Printf("lit %c\n", t.Lit)
+		} else {
+			fmt.Printf("copy %d bytes from %d\n", t.Len, t.Src)
+		}
+	}
+	// Output:
+	// lit a
+	// lit b
+	// copy 6 bytes from 0
+}
+
+// Round-trip through the parallel uncompressor.
+func ExampleUncompress() {
+	m := pram.New(0)
+	c := lz.Compress(m, []byte("la la la land"))
+	text, err := lz.Uncompress(m, c, lz.ByPointerJumping)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(text))
+	// Output: la la la land
+}
+
+// The LZ77 triple variant of the paper's footnote 3.
+func ExampleCompressTriples() {
+	m := pram.New(0)
+	c := lz.CompressTriples(m, []byte("aaaa"))
+	for _, t := range c.Triples {
+		if t.Last {
+			fmt.Printf("copy %d from %d\n", t.Len, t.Src)
+		} else {
+			fmt.Printf("copy %d from %d, then %c\n", t.Len, t.Src, t.Lit)
+		}
+	}
+	// Output:
+	// copy 0 from 0, then a
+	// copy 3 from 0
+}

@@ -1,0 +1,65 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// FuzzRoundTrip: compress/uncompress must reproduce any byte string, in
+// all three variants.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("abracadabra abracadabra"))
+	f.Add([]byte("aaaaaaaaaaaaaaaa"))
+	f.Add([]byte{0, 255, 0, 255, 1})
+	f.Add([]byte("x"))
+	m := pram.NewSequential()
+	f.Fuzz(func(t *testing.T, text []byte) {
+		if len(text) > 1<<12 {
+			text = text[:1<<12]
+		}
+		c := Compress(m, text)
+		got, err := Uncompress(m, c, ByPointerJumping)
+		if err != nil || !bytes.Equal(got, text) {
+			t.Fatalf("token roundtrip: %v", err)
+		}
+		tri := CompressTriples(m, text)
+		got2, err := DecodeTriples(tri)
+		if err != nil || !bytes.Equal(got2, text) {
+			t.Fatalf("triple roundtrip: %v", err)
+		}
+		if got3 := DecodeLZ2(CompressLZ2(text)); !bytes.Equal(got3, text) {
+			t.Fatal("lz2 roundtrip")
+		}
+	})
+}
+
+// FuzzDecodeStream: arbitrary bytes must never panic the container parser,
+// and valid streams must survive re-encoding.
+func FuzzDecodeStream(f *testing.F) {
+	m := pram.NewSequential()
+	c := Compress(m, []byte("abcabcabc"))
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, c); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeStream(data)
+		if err != nil {
+			return
+		}
+		// A structurally valid stream must re-encode to an equivalent one.
+		var out bytes.Buffer
+		if err := EncodeStream(&out, got); err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+		again, err := DecodeStream(out.Bytes())
+		if err != nil || again.N != got.N || len(again.Tokens) != len(got.Tokens) {
+			t.Fatalf("re-decode mismatch: %v", err)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+// Package lz implements the paper's §4: work-optimal parallel LZ1
+// (Lempel–Ziv 76) compression and uncompression.
+//
+// Compression (Theorem 4.2) follows the paper exactly:
+//
+//  1. Build the suffix tree of the text (Lemma 2.1 substitute, see
+//     package suffixtree).
+//  2. For every internal node v compute L[v], the minimum leaf (suffix
+//     start) in its subtree; for every position i find A[i], the deepest
+//     ancestor of leaf i with L[A[i]] < i, via the nearest-marked-ancestor
+//     primitive (Lemma 2.7): mark v where L[v] differs from L[parent].
+//     Then M[i] = (L[A[i]], strdepth(A[i])) is the longest earlier match
+//     (Lemma 4.1).
+//  3. The parse graph with parent(i) = i + max(1, len(M[i])) is a tree
+//     rooted at n; the LZ1 phrases are the path 1 → n, extracted in
+//     parallel by list ranking.
+//
+// Uncompression (Theorem 4.3) builds the copy forest — every position
+// points at the position it was copied from, literals are roots — and
+// resolves it either by pointer jumping or by connected components
+// (Lemma 2.2), both provided for the E8 ablation.
+package lz
+
+import (
+	"fmt"
+
+	"repro/internal/colorednca"
+	"repro/internal/conncomp"
+	"repro/internal/par"
+	"repro/internal/pram"
+	"repro/internal/rmq"
+	"repro/internal/suffixtree"
+)
+
+// Token is one LZ1 phrase: either a literal (Len == 0, Lit holds the byte)
+// or a copy of Len bytes from absolute source position Src.
+type Token struct {
+	Src int32
+	Len int32
+	Lit byte
+}
+
+// IsLiteral reports whether the token is a literal character.
+func (t Token) IsLiteral() bool { return t.Len == 0 }
+
+// Compressed is an LZ1 parse together with the original length, which the
+// paper assumes is transmitted ([23]).
+type Compressed struct {
+	N      int
+	Tokens []Token
+}
+
+// Compress computes the LZ1 parse of text. Work O(n) beyond the suffix
+// tree, depth O(log n).
+func Compress(m *pram.Machine, text []byte) Compressed {
+	n := len(text)
+	if n == 0 {
+		return Compressed{}
+	}
+	match := matchStatistics(m, text)
+	parseSnap := m.Snapshot()
+	defer func() { m.RecordPhase("lz/parse", parseSnap) }()
+	// Parse tree: parent(i) = i + max(1, matchLen(i)); node n is the root.
+	next := make([]int, n+1)
+	m.ParallelFor(n+1, func(i int) {
+		if i == n {
+			next[i] = i
+			return
+		}
+		step := int(match[i].Len)
+		if step < 1 {
+			step = 1
+		}
+		next[i] = i + step
+		if next[i] > n {
+			next[i] = n
+		}
+	})
+	path := par.ParallelPathToRoot(m, next, 0)
+	tokens := make([]Token, len(path)-1)
+	m.ParallelFor(len(tokens), func(k int) {
+		i := path[k]
+		if match[i].Len < 1 {
+			tokens[k] = Token{Len: 0, Lit: text[i]}
+		} else {
+			l := match[i].Len
+			if i+int(l) > n {
+				l = int32(n - i)
+			}
+			tokens[k] = Token{Src: match[i].Src, Len: l}
+		}
+	})
+	return Compressed{N: n, Tokens: tokens}
+}
+
+// prevMatch is M[i] of §4.1: the longest match starting at i whose other
+// occurrence starts strictly earlier.
+type prevMatch struct {
+	Src int32
+	Len int32
+}
+
+// matchStatistics computes M[i] for every position via Lemma 4.1. The
+// ledger segments are recorded as phases ("lz/suffixtree" for the Lemma
+// 2.1 substrate, "lz/matchstats" for the paper's own §4.1 steps) so
+// experiments can attribute costs.
+func matchStatistics(m *pram.Machine, text []byte) []prevMatch {
+	n := len(text)
+	snap := m.Snapshot()
+	st := suffixtree.Build(m, text)
+	m.RecordPhase("lz/suffixtree", snap)
+	snap = m.Snapshot()
+	defer func() { m.RecordPhase("lz/matchstats", snap) }()
+	// L[v] = min suffix start under v.
+	lmin := minLeafLabels(m, st)
+	// Mark v where L[v] != L[parent(v)]; then for leaf i the nearest marked
+	// ancestor v* is the top of the chain with L == i... — precisely, the
+	// paper's marking: A[i] is the parent of the nearest marked ancestor of
+	// leaf i (leaf included).
+	marked := make([]bool, st.NumNodes)
+	m.ParallelFor(st.NumNodes, func(v int) {
+		p := st.Parent[v]
+		marked[v] = p >= 0 && lmin[v] != lmin[p]
+	})
+	nma := colorednca.NearestMarkedAll(m, st.Parent, marked)
+	out := make([]prevMatch, n)
+	m.ParallelFor(n, func(i int) {
+		leaf := int(st.LeafID[i])
+		vstar := nma[leaf]
+		a := -1
+		if vstar >= 0 {
+			a = st.Parent[vstar]
+		}
+		// Walking up zero marked nodes means even the leaf's own chain
+		// reaches the root with constant L — the root always has L = min
+		// overall < i for i > 0.
+		if a < 0 {
+			a = st.Root
+		}
+		if i == 0 || lmin[a] >= int32(i) || st.StrDepth[a] == 0 {
+			out[i] = prevMatch{Src: -1, Len: 0}
+			return
+		}
+		out[i] = prevMatch{Src: lmin[a], Len: st.StrDepth[a]}
+	})
+	return out
+}
+
+// minLeafLabels computes, for every node, the minimum suffix start among
+// the leaves of its subtree. Leaves are contiguous SA ranges, so this is a
+// range-minimum over SA (Lemma 2.3): O(1) per node after the table.
+func minLeafLabels(m *pram.Machine, st *suffixtree.Tree) []int32 {
+	n1 := st.NumLeaves()
+	sa64 := make([]int64, n1)
+	m.ParallelFor(n1, func(r int) { sa64[r] = int64(st.SA[r]) })
+	t := rmq.NewMin(m, sa64)
+	out := make([]int32, st.NumNodes)
+	m.ParallelFor(st.NumNodes, func(v int) {
+		out[v] = int32(t.Query(int(st.Lo[v]), int(st.Hi[v])))
+	})
+	return out
+}
+
+// Decode reconstructs the text from an LZ1 parse sequentially; it is the
+// reference implementation and the oracle for the parallel uncompressor.
+func Decode(c Compressed) ([]byte, error) {
+	out := make([]byte, 0, c.N)
+	for _, t := range c.Tokens {
+		if t.IsLiteral() {
+			out = append(out, t.Lit)
+			continue
+		}
+		if t.Src < 0 || int(t.Src) >= len(out) {
+			return nil, fmt.Errorf("lz: token source %d out of range (have %d bytes)", t.Src, len(out))
+		}
+		// Self-referencing copies (Src+Len > len(out)) are legal in LZ1 and
+		// must be copied byte-by-byte.
+		for k := int32(0); k < t.Len; k++ {
+			out = append(out, out[int(t.Src)+int(k)])
+		}
+	}
+	if len(out) != c.N {
+		return nil, fmt.Errorf("lz: decoded %d bytes, header says %d", len(out), c.N)
+	}
+	return out, nil
+}
+
+// UncompressMode selects the §4.2 forest-resolution strategy.
+type UncompressMode int
+
+const (
+	// ByPointerJumping resolves the copy forest with pointer doubling.
+	ByPointerJumping UncompressMode = iota
+	// ByConnectedComponents resolves it with Lemma 2.2, as written in the
+	// paper.
+	ByConnectedComponents
+)
+
+// Uncompress reconstructs the text in parallel (Theorem 4.3): O(log n)
+// time, O(n) work (up to the documented log factors of the substituted
+// primitives).
+func Uncompress(m *pram.Machine, c Compressed, mode UncompressMode) ([]byte, error) {
+	n := c.N
+	if n == 0 {
+		return nil, nil
+	}
+	// Block starts by prefix sums over token lengths.
+	lens := make([]int64, len(c.Tokens))
+	m.ParallelFor(len(c.Tokens), func(k int) {
+		if c.Tokens[k].IsLiteral() {
+			lens[k] = 1
+		} else {
+			lens[k] = int64(c.Tokens[k].Len)
+		}
+	})
+	// The block-scatter below does variable work per token; charge the
+	// total and the longest block as the step cost.
+	maxLen := par.Reduce(m, lens, 1, func(x, y int64) int64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+	m.Account(int64(n), maxLen)
+	total := par.ExclusiveScan(m, lens) // lens[k] becomes the start of block k
+	if int(total) != n {
+		return nil, fmt.Errorf("lz: token lengths sum to %d, header says %d", total, n)
+	}
+	// Copy forest: src[i] = position i was copied from; literals are roots.
+	src := make([]int, n)
+	lit := make([]byte, n)
+	bad := pram.NewCells(1)
+	m.ParallelFor(len(c.Tokens), func(k int) {
+		start := int(lens[k])
+		t := c.Tokens[k]
+		if t.IsLiteral() {
+			src[start] = start
+			lit[start] = t.Lit
+			return
+		}
+		if t.Src < 0 || int(t.Src) >= start {
+			bad.Write(0, 1)
+			return
+		}
+		for off := 0; off < int(t.Len); off++ {
+			src[start+off] = int(t.Src) + off
+		}
+	})
+	if bad.Read(0) != 0 {
+		return nil, fmt.Errorf("lz: copy source out of range")
+	}
+	out := make([]byte, n)
+	switch mode {
+	case ByConnectedComponents:
+		// Every position contributes one edge to its copy source (roots
+		// contribute self-loops, which the component algorithm ignores).
+		// Sources are strictly smaller than their targets, so each
+		// component's minimum — its label — is its literal root.
+		edges := make([]conncomp.Edge, n)
+		m.ParallelFor(n, func(i int) {
+			edges[i] = conncomp.Edge{U: int32(i), V: int32(src[i])}
+		})
+		labels := conncomp.Components(m, n, edges)
+		m.ParallelFor(n, func(i int) { out[i] = lit[labels[i]] })
+	default:
+		roots := par.PointerJumpRoots(m, src)
+		m.ParallelFor(n, func(i int) { out[i] = lit[roots[i]] })
+	}
+	return out, nil
+}
+
+// CompressSequential is the classical sequential LZ1 compressor (greedy
+// longest previous match at each step), the baseline of [23]'s O(n log n)
+// and the oracle for the parallel parse. It runs in O(n) plus suffix-tree
+// construction on the sequential machine.
+func CompressSequential(m *pram.Machine, text []byte) Compressed {
+	n := len(text)
+	if n == 0 {
+		return Compressed{}
+	}
+	match := matchStatistics(m, text)
+	var tokens []Token
+	for i := 0; i < n; {
+		if match[i].Len < 1 {
+			tokens = append(tokens, Token{Len: 0, Lit: text[i]})
+			i++
+			continue
+		}
+		l := int(match[i].Len)
+		if i+l > n {
+			l = n - i
+		}
+		tokens = append(tokens, Token{Src: match[i].Src, Len: int32(l)})
+		i += l
+	}
+	m.Account(int64(n), int64(n))
+	return Compressed{N: n, Tokens: tokens}
+}

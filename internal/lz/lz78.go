@@ -1,0 +1,71 @@
+package lz
+
+// LZ2 (LZ78) support. The paper (§1.2) contrasts LZ1 with LZ2: LZ1
+// compresses better in practice, LZ2 is popular because its sequential
+// implementation is simple — and, curiously, LZ2 is P-complete [1] while
+// LZ1 admits the paper's optimal RNC algorithm. We implement the sequential
+// LZ2 parser as the comparison baseline for experiment E12 (phrase counts).
+
+// LZ2Token is one LZ78 phrase: the longest previously-seen phrase (by
+// index, 0 = empty) extended with one literal byte.
+type LZ2Token struct {
+	Prev int32 // index into the phrase list; 0 is the empty phrase
+	Lit  byte
+}
+
+// LZ2Compressed is an LZ78 parse. The final phrase may be a bare prefix
+// (Partial true: no literal extension).
+type LZ2Compressed struct {
+	N       int
+	Tokens  []LZ2Token
+	Partial bool
+}
+
+type lz2node struct {
+	next map[byte]int32
+}
+
+// CompressLZ2 computes the LZ78 parse sequentially (a trie walk; this is
+// the algorithm whose inherently sequential nature [1] the paper
+// contrasts with LZ1's parallelizability).
+func CompressLZ2(text []byte) LZ2Compressed {
+	trie := []lz2node{{next: map[byte]int32{}}}
+	out := LZ2Compressed{N: len(text)}
+	cur := int32(0)
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if nxt, ok := trie[cur].next[c]; ok {
+			cur = nxt
+			if i == len(text)-1 {
+				out.Tokens = append(out.Tokens, LZ2Token{Prev: cur})
+				out.Partial = true
+			}
+			continue
+		}
+		id := int32(len(trie))
+		trie[cur].next[c] = id
+		trie = append(trie, lz2node{next: map[byte]int32{}})
+		out.Tokens = append(out.Tokens, LZ2Token{Prev: cur, Lit: c})
+		cur = 0
+	}
+	return out
+}
+
+// DecodeLZ2 reconstructs the text from an LZ78 parse.
+func DecodeLZ2(c LZ2Compressed) []byte {
+	// phrase strings by index; rebuilt incrementally.
+	phrases := [][]byte{nil}
+	out := make([]byte, 0, c.N)
+	for k, t := range c.Tokens {
+		p := phrases[t.Prev]
+		if c.Partial && k == len(c.Tokens)-1 {
+			out = append(out, p...)
+			break
+		}
+		ph := make([]byte, 0, len(p)+1)
+		ph = append(append(ph, p...), t.Lit)
+		phrases = append(phrases, ph)
+		out = append(out, ph...)
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// bruteLZ1 computes the LZ1 parse by direct search: at each position take
+// the longest substring that also starts earlier.
+func bruteLZ1(text []byte) Compressed {
+	n := len(text)
+	var tokens []Token
+	for i := 0; i < n; {
+		bestLen, bestSrc := 0, -1
+		for j := 0; j < i; j++ {
+			l := 0
+			for i+l < n && text[j+l] == text[i+l] {
+				l++
+			}
+			if l > bestLen {
+				bestLen, bestSrc = l, j
+			}
+		}
+		if bestLen < 1 {
+			tokens = append(tokens, Token{Len: 0, Lit: text[i]})
+			i++
+		} else {
+			tokens = append(tokens, Token{Src: int32(bestSrc), Len: int32(bestLen)})
+			i += bestLen
+		}
+	}
+	return Compressed{N: n, Tokens: tokens}
+}
+
+func sameParsePhrases(a, b Compressed) bool {
+	if a.N != b.N || len(a.Tokens) != len(b.Tokens) {
+		return false
+	}
+	// Phrase boundaries and literal/copy kinds must match; copy sources may
+	// legitimately differ (any earlier occurrence is valid).
+	for k := range a.Tokens {
+		x, y := a.Tokens[k], b.Tokens[k]
+		if x.IsLiteral() != y.IsLiteral() {
+			return false
+		}
+		if x.IsLiteral() {
+			if x.Lit != y.Lit {
+				return false
+			}
+		} else if x.Len != y.Len {
+			return false
+		}
+	}
+	return true
+}
+
+var lzCases = [][]byte{
+	[]byte("a"),
+	[]byte("aa"),
+	[]byte("ab"),
+	[]byte("aaaaaaaaaaaaaaaa"),
+	[]byte("abababababab"),
+	[]byte("abcabcabcabcx"),
+	[]byte("mississippi"),
+	[]byte("banana"),
+	textgen.Fibonacci(200),
+	textgen.ThueMorse(200),
+}
+
+func TestCompressMatchesBruteParse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(141, 142))
+	all := append([][]byte{}, lzCases...)
+	for i := 0; i < 10; i++ {
+		n := 20 + rng.IntN(150)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = byte('a' + rng.IntN(2+rng.IntN(3)))
+		}
+		all = append(all, s)
+	}
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, text := range all {
+			got := Compress(m, text)
+			want := bruteLZ1(text)
+			if !sameParsePhrases(got, want) {
+				t.Fatalf("procs=%d text=%q: parse differs\n got=%v\nwant=%v",
+					procs, clip(text), got.Tokens, want.Tokens)
+			}
+			// Sources must point at genuine earlier occurrences.
+			dec, err := Decode(got)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !bytes.Equal(dec, text) {
+				t.Fatalf("roundtrip failed for %q", clip(text))
+			}
+		}
+	}
+}
+
+func clip(b []byte) []byte {
+	if len(b) > 40 {
+		return b[:40]
+	}
+	return b
+}
+
+func TestCompressSequentialAgreesWithParallel(t *testing.T) {
+	gen := textgen.New(7)
+	seq := pram.NewSequential()
+	par4 := pram.New(4)
+	for _, text := range [][]byte{
+		gen.Uniform(500, 3),
+		gen.Repetitive(800, 50, 0.01),
+		gen.DNA(600),
+	} {
+		a := Compress(par4, text)
+		b := CompressSequential(seq, text)
+		if !sameParsePhrases(a, b) {
+			t.Fatalf("parallel and sequential parses differ on %q", clip(text))
+		}
+	}
+}
+
+func TestUncompressBothModes(t *testing.T) {
+	gen := textgen.New(8)
+	m := pram.New(4)
+	texts := [][]byte{
+		gen.Uniform(400, 4),
+		gen.Repetitive(1000, 32, 0.02),
+		textgen.Fibonacci(500),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaa"), // heavy self-reference
+		[]byte("x"),
+	}
+	for _, text := range texts {
+		c := Compress(m, text)
+		for _, mode := range []UncompressMode{ByPointerJumping, ByConnectedComponents} {
+			got, err := Uncompress(m, c, mode)
+			if err != nil {
+				t.Fatalf("mode=%d: %v", mode, err)
+			}
+			if !bytes.Equal(got, text) {
+				t.Fatalf("mode=%d roundtrip failed for %q", mode, clip(text))
+			}
+		}
+	}
+}
+
+func TestUncompressEmpty(t *testing.T) {
+	m := pram.New(4)
+	got, err := Uncompress(m, Compressed{}, ByPointerJumping)
+	if err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	if c := Compress(m, nil); c.N != 0 || len(c.Tokens) != 0 {
+		t.Fatal("compress empty")
+	}
+}
+
+func TestUncompressRejectsCorrupt(t *testing.T) {
+	m := pram.New(4)
+	// Token pointing forward.
+	c := Compressed{N: 3, Tokens: []Token{{Len: 0, Lit: 'a'}, {Src: 5, Len: 2}}}
+	if _, err := Uncompress(m, c, ByPointerJumping); err == nil {
+		t.Fatal("forward source accepted")
+	}
+	// Length mismatch with header.
+	c = Compressed{N: 5, Tokens: []Token{{Len: 0, Lit: 'a'}}}
+	if _, err := Uncompress(m, c, ByPointerJumping); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Decode(c); err == nil {
+		t.Fatal("Decode accepted length mismatch")
+	}
+}
+
+func TestSelfReferencingCopy(t *testing.T) {
+	// "aaaa...": parse is literal 'a' then one self-referencing copy.
+	m := pram.New(4)
+	text := bytes.Repeat([]byte{'a'}, 64)
+	c := Compress(m, text)
+	if len(c.Tokens) != 2 {
+		t.Fatalf("tokens = %v", c.Tokens)
+	}
+	if !c.Tokens[0].IsLiteral() || c.Tokens[1].Len != 63 || c.Tokens[1].Src != 0 {
+		t.Fatalf("unexpected parse %v", c.Tokens)
+	}
+	for _, mode := range []UncompressMode{ByPointerJumping, ByConnectedComponents} {
+		got, err := Uncompress(m, c, mode)
+		if err != nil || !bytes.Equal(got, text) {
+			t.Fatalf("self-ref roundtrip mode=%d: %v", mode, err)
+		}
+	}
+}
+
+func TestPhraseCountDecreasesWithRepetitiveness(t *testing.T) {
+	m := pram.New(4)
+	gen := textgen.New(9)
+	random := Compress(m, gen.Uniform(4096, 26))
+	repet := Compress(m, gen.Repetitive(4096, 64, 0.001))
+	if len(repet.Tokens) >= len(random.Tokens) {
+		t.Fatalf("repetitive text (%d phrases) should compress better than random (%d)",
+			len(repet.Tokens), len(random.Tokens))
+	}
+}
+
+func TestCompressionWorkIsNearLinear(t *testing.T) {
+	// On the sequential machine (linear-time DC3 path), work/n must be
+	// bounded; ratio for doubled input stays near 2.
+	work := func(n int) int64 {
+		m := pram.NewSequential()
+		text := textgen.New(10).Repetitive(n, 100, 0.05)
+		m.ResetCounters()
+		Compress(m, text)
+		w, _ := m.Counters()
+		return w
+	}
+	w1, w2 := work(1<<13), work(1<<14)
+	if ratio := float64(w2) / float64(w1); ratio > 2.6 {
+		t.Errorf("sequential compression work ratio %.2f for doubled n", ratio)
+	}
+}
+
+func TestLZ2RoundTrip(t *testing.T) {
+	gen := textgen.New(11)
+	cases := append([][]byte{}, lzCases...)
+	cases = append(cases, gen.Uniform(1000, 4), gen.Repetitive(1000, 40, 0.01), nil)
+	for _, text := range cases {
+		c := CompressLZ2(text)
+		got := DecodeLZ2(c)
+		if !bytes.Equal(got, text) {
+			t.Fatalf("lz2 roundtrip failed for %q: got %q", clip(text), clip(got))
+		}
+	}
+}
+
+func TestLZ2KnownParse(t *testing.T) {
+	// "aaaa": phrases a, aa, a(partial) -> tokens (0,a)(1,a) then partial 1.
+	c := CompressLZ2([]byte("aaaa"))
+	if len(c.Tokens) != 3 || !c.Partial {
+		t.Fatalf("tokens=%v partial=%v", c.Tokens, c.Partial)
+	}
+	if c.Tokens[0] != (LZ2Token{0, 'a'}) || c.Tokens[1] != (LZ2Token{1, 'a'}) || c.Tokens[2].Prev != 1 {
+		t.Fatalf("tokens=%v", c.Tokens)
+	}
+}
+
+func TestLZ1BeatsLZ2OnRepetitive(t *testing.T) {
+	// §1.2: LZ1 gives better compression in practice. On periodic text LZ1
+	// uses O(1) phrases; LZ2 needs Θ(sqrt n).
+	m := pram.New(4)
+	text := textgen.New(12).Repetitive(8192, 64, 0)
+	lz1 := Compress(m, text)
+	lz2 := CompressLZ2(text)
+	if len(lz1.Tokens)*4 > len(lz2.Tokens) {
+		t.Fatalf("LZ1 %d phrases vs LZ2 %d: expected clear LZ1 win", len(lz1.Tokens), len(lz2.Tokens))
+	}
+}
+
+func TestEncodeDecodeStream(t *testing.T) {
+	m := pram.New(4)
+	gen := textgen.New(13)
+	for _, text := range [][]byte{
+		nil,
+		[]byte("x"),
+		gen.Uniform(500, 4),
+		gen.Repetitive(2000, 64, 0.01),
+	} {
+		c := Compress(m, text)
+		var buf bytes.Buffer
+		if err := EncodeStream(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeStream(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.N != c.N || len(got.Tokens) != len(c.Tokens) {
+			t.Fatalf("stream roundtrip sizes: %d/%d vs %d/%d", got.N, len(got.Tokens), c.N, len(c.Tokens))
+		}
+		for i := range c.Tokens {
+			if got.Tokens[i] != c.Tokens[i] {
+				t.Fatalf("token %d: %v vs %v", i, got.Tokens[i], c.Tokens[i])
+			}
+		}
+		dec, err := Decode(got)
+		if err != nil || !bytes.Equal(dec, text) {
+			t.Fatalf("full roundtrip failed: %v", err)
+		}
+	}
+}
+
+func TestDecodeStreamRejectsCorrupt(t *testing.T) {
+	m := pram.New(4)
+	c := Compress(m, []byte("abcabcabc"))
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cases := [][]byte{
+		nil,
+		[]byte("GZIP"),
+		good[:3],                                // truncated magic
+		good[:len(good)-1],                      // truncated last token
+		append(append([]byte{}, good...), 0xFF), // trailing garbage
+	}
+	for i, bad := range cases {
+		if _, err := DecodeStream(bad); err == nil {
+			t.Errorf("case %d: corrupt stream accepted", i)
+		}
+	}
+	// Bad token kind.
+	bad := append([]byte{}, good...)
+	bad[len(Magic)+2] = 0x7F
+	if _, err := DecodeStream(bad); err == nil {
+		t.Error("bad token kind accepted")
+	}
+}

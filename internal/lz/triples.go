@@ -1,0 +1,114 @@
+package lz
+
+// The paper's footnote 3: "There are several variants on how new
+// characters are handled, but they are easily convertible, and the
+// algorithms in this section serve to compress and uncompress according to
+// any of the standard LZ1 variants." This file implements the classic
+// LZ77 triple variant — every phrase is (source, copy length, next
+// literal) — on the same machinery: the match statistics M[i] define a
+// parse tree with parent(i) = i + len(M[i]) + 1, whose 0→n path is the
+// parse, extracted in parallel exactly as in §4.1.
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// Triple is one LZ77 phrase: copy Len bytes from Src, then append Lit.
+// The final phrase may have no trailing literal (Last true) when the copy
+// reaches the end of the text exactly.
+type Triple struct {
+	Src  int32
+	Len  int32
+	Lit  byte
+	Last bool
+}
+
+// TripleCompressed is an LZ77-triple parse.
+type TripleCompressed struct {
+	N       int
+	Triples []Triple
+}
+
+// CompressTriples computes the triple parse in the same bounds as Compress
+// (Theorem 4.2 plus the documented substrate factors).
+func CompressTriples(m *pram.Machine, text []byte) TripleCompressed {
+	n := len(text)
+	if n == 0 {
+		return TripleCompressed{}
+	}
+	match := matchStatistics(m, text)
+	next := make([]int, n+1)
+	m.ParallelFor(n+1, func(i int) {
+		if i == n {
+			next[i] = i
+			return
+		}
+		step := int(match[i].Len) + 1 // copy plus literal; capped at the end
+		if i+step > n {
+			step = n - i
+		}
+		next[i] = i + step
+	})
+	path := par.ParallelPathToRoot(m, next, 0)
+	triples := make([]Triple, len(path)-1)
+	m.ParallelFor(len(triples), func(k int) {
+		i := path[k]
+		ml := int(match[i].Len)
+		if ml > n-i {
+			ml = n - i
+		}
+		t := Triple{Len: int32(ml)}
+		if ml > 0 {
+			t.Src = match[i].Src
+		}
+		if i+ml < n {
+			t.Lit = text[i+ml]
+		} else {
+			t.Last = true // copy reaches the text end; no literal
+		}
+		triples[k] = t
+	})
+	return TripleCompressed{N: n, Triples: triples}
+}
+
+// DecodeTriples reconstructs the text sequentially.
+func DecodeTriples(c TripleCompressed) ([]byte, error) {
+	out := make([]byte, 0, c.N)
+	for k, t := range c.Triples {
+		if t.Len > 0 {
+			if t.Src < 0 || int(t.Src) >= len(out) {
+				return nil, fmt.Errorf("lz: triple %d source out of range", k)
+			}
+			for i := int32(0); i < t.Len; i++ {
+				out = append(out, out[int(t.Src)+int(i)])
+			}
+		}
+		if !t.Last {
+			out = append(out, t.Lit)
+		}
+	}
+	if len(out) != c.N {
+		return nil, fmt.Errorf("lz: decoded %d bytes, header says %d", len(out), c.N)
+	}
+	return out, nil
+}
+
+// UncompressTriples reconstructs the text in parallel by converting the
+// triple stream to the token form and reusing the §4.2 copy-forest
+// resolution — the paper's "easily convertible" remark made literal.
+func UncompressTriples(m *pram.Machine, c TripleCompressed, mode UncompressMode) ([]byte, error) {
+	tokens := make([]Token, 0, 2*len(c.Triples))
+	for _, t := range c.Triples {
+		if t.Len > 0 {
+			tokens = append(tokens, Token{Src: t.Src, Len: t.Len})
+		}
+		if !t.Last {
+			tokens = append(tokens, Token{Len: 0, Lit: t.Lit})
+		}
+	}
+	m.Account(int64(len(c.Triples)), 1)
+	return Uncompress(m, Compressed{N: c.N, Tokens: tokens}, mode)
+}

@@ -1,0 +1,108 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// bruteTriples is the direct sequential LZ77 triple parser.
+func bruteTriples(text []byte) TripleCompressed {
+	n := len(text)
+	var out []Triple
+	for i := 0; i < n; {
+		bestLen, bestSrc := 0, -1
+		for j := 0; j < i; j++ {
+			l := 0
+			for i+l < n && text[j+l] == text[i+l] {
+				l++
+			}
+			if l > bestLen {
+				bestLen, bestSrc = l, j
+			}
+		}
+		t := Triple{Len: int32(bestLen)}
+		if bestLen > 0 {
+			t.Src = int32(bestSrc)
+		}
+		if i+bestLen < n {
+			t.Lit = text[i+bestLen]
+			i += bestLen + 1
+		} else {
+			t.Last = true
+			i += bestLen
+		}
+		out = append(out, t)
+	}
+	return TripleCompressed{N: n, Triples: out}
+}
+
+func TestTriplesMatchBrute(t *testing.T) {
+	gen := textgen.New(14)
+	cases := append([][]byte{}, lzCases...)
+	cases = append(cases, gen.Uniform(300, 3), gen.Repetitive(300, 20, 0.05))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, text := range cases {
+			got := CompressTriples(m, text)
+			want := bruteTriples(text)
+			if len(got.Triples) != len(want.Triples) {
+				t.Fatalf("procs=%d %q: %d triples want %d", procs, clip(text), len(got.Triples), len(want.Triples))
+			}
+			for k := range want.Triples {
+				g, w := got.Triples[k], want.Triples[k]
+				if g.Len != w.Len || g.Last != w.Last || (!g.Last && g.Lit != w.Lit) {
+					t.Fatalf("procs=%d %q triple %d: %+v want %+v", procs, clip(text), k, g, w)
+				}
+			}
+			dec, err := DecodeTriples(got)
+			if err != nil || !bytes.Equal(dec, text) {
+				t.Fatalf("decode: %v", err)
+			}
+		}
+	}
+}
+
+func TestUncompressTriples(t *testing.T) {
+	gen := textgen.New(15)
+	m := pram.New(4)
+	for _, text := range [][]byte{
+		gen.Repetitive(2000, 64, 0.01),
+		gen.Uniform(1000, 4),
+		[]byte("aaaaaaaa"), // ends in a copy (Last triple)
+		[]byte("x"),
+	} {
+		c := CompressTriples(m, text)
+		for _, mode := range []UncompressMode{ByPointerJumping, ByConnectedComponents} {
+			got, err := UncompressTriples(m, c, mode)
+			if err != nil || !bytes.Equal(got, text) {
+				t.Fatalf("mode=%d roundtrip %q: %v", mode, clip(text), err)
+			}
+		}
+	}
+}
+
+func TestTriplesVsTokensPhraseRelation(t *testing.T) {
+	// The triple parse advances len+1 per phrase, so it can never use more
+	// phrases than the token parse uses tokens.
+	m := pram.New(4)
+	text := textgen.New(16).Repetitive(4000, 50, 0.02)
+	tok := Compress(m, text)
+	tri := CompressTriples(m, text)
+	if len(tri.Triples) > len(tok.Tokens) {
+		t.Fatalf("triples %d > tokens %d", len(tri.Triples), len(tok.Tokens))
+	}
+}
+
+func TestDecodeTriplesRejectsCorrupt(t *testing.T) {
+	c := TripleCompressed{N: 5, Triples: []Triple{{Len: 3, Src: 9, Lit: 'x'}}}
+	if _, err := DecodeTriples(c); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	c = TripleCompressed{N: 9, Triples: []Triple{{Len: 0, Lit: 'a'}}}
+	if _, err := DecodeTriples(c); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

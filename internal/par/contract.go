@@ -1,0 +1,121 @@
+package par
+
+import "repro/internal/pram"
+
+// ListRankContract is work-optimal list ranking by random-mate contraction
+// (Anderson–Miller style). In each round every alive element flips a coin;
+// an element splices itself out when it shows heads and its successor
+// (unless it is a terminal) shows tails — so no two adjacent elements ever
+// contract together — and its predecessors absorb its hop weight. When
+// everything has contracted, elements are reinserted in reverse round
+// order. Expected O(n) work (a constant fraction contracts per round, and
+// each round costs O(alive)) at O(log^2 n) depth (O(log n) rounds, each
+// with a compaction scan).
+//
+// Coins come from a deterministic per-(round, element) hash, so output and
+// cost ledger are reproducible — randomness affects only the round count,
+// as in the paper's Las Vegas setting.
+//
+// The input may be an in-forest (several elements sharing a successor),
+// exactly like ListRank: next[i] == i marks roots/terminals, and the
+// result is the hop distance to the terminal. ListRankContract and
+// ListRank (Wyllie doubling: O(n log n) work, O(log n) depth) compute the
+// same function; choosing between them is the work/depth trade discussed
+// in DESIGN.md.
+func ListRankContract(m *pram.Machine, next []int) []int64 {
+	n := len(next)
+	rank := make([]int64, n)
+	if n == 0 {
+		return rank
+	}
+	nxt := make([]int, n)
+	w := make([]int64, n) // hops from i to nxt[i]
+	m.ParallelFor(n, func(i int) {
+		nxt[i] = next[i]
+		if next[i] != i {
+			w[i] = 1
+		}
+	})
+	alive := Pack(m, n, func(i int) bool { return next[i] != i })
+
+	type splice struct {
+		elem int
+		tail int
+		hops int64
+	}
+	var history [][]splice
+	contracting := make([]bool, n)
+
+	for round := 0; len(alive) > 0; round++ {
+		r := round
+		// Phase 1: decide who contracts. Safe against adjacent pairs: if
+		// both i and j = nxt[i] are non-terminal, i needs heads(i) and
+		// tails(j) while j needs heads(j).
+		m.ParallelFor(len(alive), func(k int) {
+			i := alive[k]
+			if !coin(r, i) {
+				return
+			}
+			j := nxt[i]
+			if nxt[j] == j || !coin(r, j) {
+				contracting[i] = true
+			}
+		})
+		// Phase 2: predecessors absorb contracting successors. A
+		// contracting element's own successor never contracts this round,
+		// so one absorption step suffices; concurrent predecessors only
+		// read the contracted element's fields.
+		m.ParallelFor(len(alive), func(k int) {
+			j := alive[k]
+			if contracting[j] {
+				return
+			}
+			if i := nxt[j]; i != j && contracting[i] {
+				w[j] += w[i]
+				nxt[j] = nxt[i]
+			}
+		})
+		// Phase 3: one scan partitions the alive set into spliced-out and
+		// surviving elements, records the splices, and resets the marks.
+		flags := make([]int64, len(alive))
+		m.ParallelFor(len(alive), func(k int) {
+			if contracting[alive[k]] {
+				flags[k] = 1
+			}
+		})
+		gone := ExclusiveScan(m, flags) // flags[k] = #contracted before k
+		batch := make([]splice, gone)
+		newAlive := make([]int, int64(len(alive))-gone)
+		m.ParallelFor(len(alive), func(k int) {
+			i := alive[k]
+			if contracting[i] {
+				batch[flags[k]] = splice{elem: i, tail: nxt[i], hops: w[i]}
+				contracting[i] = false
+				return
+			}
+			newAlive[int64(k)-flags[k]] = i
+		})
+		history = append(history, batch)
+		alive = newAlive
+	}
+	// Expansion in reverse: a splice's tail was alive after its round (or
+	// a terminal), so its rank is already final.
+	for r := len(history) - 1; r >= 0; r-- {
+		batch := history[r]
+		m.ParallelFor(len(batch), func(k int) {
+			s := batch[k]
+			rank[s.elem] = rank[s.tail] + s.hops
+		})
+	}
+	return rank
+}
+
+// coin returns a deterministic pseudo-random bit for (round, element)
+// using a SplitMix64-style finalizer.
+func coin(round, i int) bool {
+	x := uint64(i)*0x9e3779b97f4a7c15 + uint64(round)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return x&1 == 1
+}

@@ -1,0 +1,128 @@
+package par
+
+import "repro/internal/pram"
+
+// PointerJumpRoots resolves, for every node of a pointer forest, the root of
+// its chain. parent[i] == i marks a root. The forest must be acyclic apart
+// from the self-loops at roots. Work O(n log n) (Wyllie-style pointer
+// doubling), depth O(log n). The input slice is not modified.
+func PointerJumpRoots(m *pram.Machine, parent []int) []int {
+	n := len(parent)
+	p := make([]int, n)
+	m.ParallelFor(n, func(i int) { p[i] = parent[i] })
+	q := make([]int, n)
+	for {
+		changed := pram.NewCells(1)
+		m.ParallelFor(n, func(i int) {
+			q[i] = p[p[i]]
+			if q[i] != p[i] {
+				changed.Write(0, 1)
+			}
+		})
+		p, q = q, p
+		if changed.Read(0) == 0 {
+			return p
+		}
+	}
+}
+
+// ListRank computes, for each element of a linked list given by next
+// pointers, its distance to the end of the list. next[i] == i marks the
+// terminal element (rank 0). Work O(n log n), depth O(log n) — Wyllie's
+// algorithm, which is what the paper's "many methods, e.g. tree contraction,
+// level ancestors, Euler tour techniques" boils down to at this scale.
+func ListRank(m *pram.Machine, next []int) []int64 {
+	n := len(next)
+	rank := make([]int64, n)
+	p := make([]int, n)
+	m.ParallelFor(n, func(i int) {
+		p[i] = next[i]
+		if next[i] != i {
+			rank[i] = 1
+		}
+	})
+	q := make([]int, n)
+	r2 := make([]int64, n)
+	for {
+		changed := pram.NewCells(1)
+		m.ParallelFor(n, func(i int) {
+			r2[i] = rank[i] + rank[p[i]]
+			q[i] = p[p[i]]
+			if q[i] != p[i] {
+				changed.Write(0, 1)
+			}
+		})
+		p, q = q, p
+		rank, r2 = r2, rank
+		if changed.Read(0) == 0 {
+			return rank
+		}
+	}
+}
+
+// JumpTable holds doubling successor pointers over an out-degree-1 graph:
+// level k maps each node to its 2^k-th successor (saturating at self-loop
+// terminals). Building it costs O(n log n) work and O(log n) depth; it then
+// answers "k-th successor" queries in O(log n) sequential hops.
+type JumpTable struct {
+	up [][]int
+}
+
+// NewJumpTable builds a doubling table over next (next[i] == i terminates).
+func NewJumpTable(m *pram.Machine, next []int) *JumpTable {
+	n := len(next)
+	levels := 1
+	for (1 << levels) < n {
+		levels++
+	}
+	up := make([][]int, levels+1)
+	up[0] = make([]int, n)
+	m.ParallelFor(n, func(i int) { up[0][i] = next[i] })
+	for k := 1; k <= levels; k++ {
+		up[k] = make([]int, n)
+		prev, cur := up[k-1], up[k]
+		m.ParallelFor(n, func(i int) { cur[i] = prev[prev[i]] })
+	}
+	return &JumpTable{up: up}
+}
+
+// Successor returns the node reached from i after t hops (saturating at the
+// terminal).
+func (j *JumpTable) Successor(i int, t int64) int {
+	for k := 0; t > 0 && k < len(j.up); k++ {
+		if t&1 == 1 {
+			i = j.up[k][i]
+		}
+		t >>= 1
+	}
+	return i
+}
+
+// PathToRoot returns the nodes on the chain from start following next until
+// the self-loop terminal, inclusive of both ends, sequentially. Used by
+// oracles and tests.
+func PathToRoot(next []int, start int) []int {
+	var path []int
+	for i := start; ; i = next[i] {
+		path = append(path, i)
+		if next[i] == i {
+			return path
+		}
+	}
+}
+
+// ParallelPathToRoot extracts the same path as PathToRoot but with O(log n)
+// depth: list-rank the forest, build a jump table, and have one virtual
+// processor per path position jump to its node. Work O(n log n). This is the
+// parallel path-extraction step the paper invokes for pulling the parse out
+// of its parse tree (§4.1, §5).
+func ParallelPathToRoot(m *pram.Machine, next []int, start int) []int {
+	rank := ListRank(m, next)
+	jt := NewJumpTable(m, next)
+	length := rank[start] + 1
+	out := make([]int, length)
+	m.ParallelForCost(int(length), int64(len(jt.up)), func(t int) {
+		out[t] = jt.Successor(start, int64(t))
+	})
+	return out
+}

@@ -1,0 +1,126 @@
+package par
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// randomForest builds a pointer forest where parent indices are strictly
+// smaller, plus self-loops at a few roots.
+func randomForest(rng *rand.Rand, n int) []int {
+	p := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i == 0 || rng.IntN(10) == 0 {
+			p[i] = i // root
+		} else {
+			p[i] = rng.IntN(i)
+		}
+	}
+	return p
+}
+
+func seqRoot(p []int, i int) int {
+	for p[i] != i {
+		i = p[i]
+	}
+	return i
+}
+
+func TestPointerJumpRoots(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, m := range machines() {
+		for _, n := range []int{1, 2, 17, 256, 5000} {
+			p := randomForest(rng, n)
+			roots := PointerJumpRoots(m, p)
+			for i := 0; i < n; i++ {
+				if roots[i] != seqRoot(p, i) {
+					t.Fatalf("n=%d root[%d]=%d want %d", n, i, roots[i], seqRoot(p, i))
+				}
+			}
+		}
+	}
+}
+
+func TestListRankOnChain(t *testing.T) {
+	for _, m := range machines() {
+		for _, n := range []int{1, 2, 3, 100, 1024, 1025} {
+			next := make([]int, n)
+			for i := 0; i < n-1; i++ {
+				next[i] = i + 1
+			}
+			next[n-1] = n - 1
+			rank := ListRank(m, next)
+			for i := 0; i < n; i++ {
+				if rank[i] != int64(n-1-i) {
+					t.Fatalf("n=%d rank[%d]=%d want %d", n, i, rank[i], n-1-i)
+				}
+			}
+		}
+	}
+}
+
+func TestListRankOnShuffledList(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	m := pram.New(4)
+	const n = 2000
+	order := rng.Perm(n)
+	next := make([]int, n)
+	for k := 0; k < n-1; k++ {
+		next[order[k]] = order[k+1]
+	}
+	next[order[n-1]] = order[n-1]
+	rank := ListRank(m, next)
+	for k := 0; k < n; k++ {
+		if rank[order[k]] != int64(n-1-k) {
+			t.Fatalf("rank[order[%d]]=%d want %d", k, rank[order[k]], n-1-k)
+		}
+	}
+}
+
+func TestJumpTableSuccessor(t *testing.T) {
+	m := pram.New(4)
+	const n = 300
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[i] = i + 1
+	}
+	next[n-1] = n - 1
+	jt := NewJumpTable(m, next)
+	for _, tc := range []struct{ start, hops, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 299, 299}, {0, 1000, 299},
+		{100, 7, 107}, {250, 49, 299}, {250, 50, 299},
+	} {
+		if got := jt.Successor(tc.start, int64(tc.hops)); got != tc.want {
+			t.Errorf("Successor(%d,%d)=%d want %d", tc.start, tc.hops, got, tc.want)
+		}
+	}
+}
+
+func TestParallelPathToRootMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for _, m := range machines() {
+		for _, n := range []int{1, 2, 50, 1000} {
+			// Build an increasing forest so paths terminate.
+			next := make([]int, n)
+			for i := 0; i < n-1; i++ {
+				next[i] = i + 1 + rng.IntN(min(8, n-1-i))
+				if next[i] >= n {
+					next[i] = n - 1
+				}
+			}
+			next[n-1] = n - 1
+			want := PathToRoot(next, 0)
+			got := ParallelPathToRoot(m, next, 0)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d path len %d want %d", n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d path[%d]=%d want %d", n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

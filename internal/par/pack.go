@@ -1,0 +1,55 @@
+package par
+
+import "repro/internal/pram"
+
+// Pack returns the indices i in [0, n) for which keep(i) reports true, in
+// increasing order. This is stream compaction: a flag array, an exclusive
+// scan, and a scatter. Work O(n), depth O(log n).
+func Pack(m *pram.Machine, n int, keep func(i int) bool) []int {
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int64, n)
+	m.ParallelFor(n, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := ExclusiveScan(m, flags)
+	out := make([]int, total)
+	m.ParallelFor(n, func(i int) {
+		var next int64
+		if i+1 < n {
+			next = flags[i+1]
+		} else {
+			next = total
+		}
+		if next != flags[i] {
+			out[flags[i]] = i
+		}
+	})
+	return out
+}
+
+// PackInt64 compacts the values a[i] with keep(i) true, preserving order.
+func PackInt64(m *pram.Machine, a []int64, keep func(i int) bool) []int64 {
+	idx := Pack(m, len(a), keep)
+	out := make([]int64, len(idx))
+	m.ParallelFor(len(idx), func(j int) { out[j] = a[idx[j]] })
+	return out
+}
+
+// Count returns the number of indices in [0, n) satisfying pred. Work O(n),
+// depth O(log n).
+func Count(m *pram.Machine, n int, pred func(i int) bool) int64 {
+	if n == 0 {
+		return 0
+	}
+	flags := make([]int64, n)
+	m.ParallelFor(n, func(i int) {
+		if pred(i) {
+			flags[i] = 1
+		}
+	})
+	return Reduce(m, flags, 0, func(x, y int64) int64 { return x + y })
+}

@@ -1,0 +1,242 @@
+// Package par provides the classic PRAM building blocks every algorithm in
+// this repository is assembled from: parallel prefix sums (scan), reduction,
+// stream compaction, pointer jumping / list ranking, and stable parallel
+// radix sort. Each operation runs as a sequence of pram.Machine super-steps,
+// so its work and depth are charged to the machine's ledger.
+package par
+
+import "repro/internal/pram"
+
+// ExclusiveScan replaces a with its exclusive prefix sums and returns the
+// total. a[i] becomes sum(a[0..i)). Work O(n), depth O(log n).
+//
+// The implementation is the standard two-phase (upsweep / downsweep) Blelloch
+// scan on an implicit binary tree over blocks.
+func ExclusiveScan(m *pram.Machine, a []int64) int64 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		t := a[0]
+		a[0] = 0
+		return t
+	}
+	// Upsweep: after round with stride s, a[k] for k ≡ s*2-1 (mod s*2) holds
+	// the sum of the block of size 2s ending at k.
+	for s := 1; s < n; s *= 2 {
+		stride := 2 * s
+		cnt := n / stride
+		if n%stride > s {
+			cnt++ // a partial right block still has a complete left child
+		}
+		sCopy, strideCopy := s, stride
+		m.ParallelFor(cnt, func(j int) {
+			right := j*strideCopy + strideCopy - 1
+			left := j*strideCopy + sCopy - 1
+			if right >= n {
+				right = n - 1
+			}
+			a[right] += a[left]
+		})
+	}
+	total := a[n-1]
+	a[n-1] = 0
+	// Downsweep.
+	top := 1
+	for top*2 < n {
+		top *= 2
+	}
+	for s := top; s >= 1; s /= 2 {
+		stride := 2 * s
+		cnt := n / stride
+		if n%stride > s {
+			cnt++
+		}
+		sCopy, strideCopy := s, stride
+		m.ParallelFor(cnt, func(j int) {
+			right := j*strideCopy + strideCopy - 1
+			left := j*strideCopy + sCopy - 1
+			if right >= n {
+				right = n - 1
+			}
+			t := a[left]
+			a[left] = a[right]
+			a[right] += t
+		})
+	}
+	return total
+}
+
+// InclusiveScan replaces a with its inclusive prefix sums and returns the
+// total. a[i] becomes sum(a[0..i]).
+func InclusiveScan(m *pram.Machine, a []int64) int64 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	orig := make([]int64, n)
+	m.ParallelFor(n, func(i int) { orig[i] = a[i] })
+	total := ExclusiveScan(m, a)
+	m.ParallelFor(n, func(i int) { a[i] += orig[i] })
+	return total
+}
+
+// PrefixMax replaces a with its inclusive prefix maxima: a[i] becomes
+// max(a[0..i]). Work O(n log n) in this doubling formulation, depth
+// O(log n). (Lemma 2.3's prefix-maxima can be done in O(n) work; the extra
+// log lives only in dictionary preprocessing and is called out in
+// DESIGN.md.)
+func PrefixMax(m *pram.Machine, a []int64) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	buf := make([]int64, n)
+	src, dst := a, buf
+	for s := 1; s < n; s *= 2 {
+		sCopy, srcCopy, dstCopy := s, src, dst
+		m.ParallelFor(n, func(i int) {
+			v := srcCopy[i]
+			if i >= sCopy && srcCopy[i-sCopy] > v {
+				v = srcCopy[i-sCopy]
+			}
+			dstCopy[i] = v
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		m.ParallelFor(n, func(i int) { a[i] = src[i] })
+	}
+}
+
+// PrefixMaxLinear computes inclusive prefix maxima with O(n) work: blocks
+// of constant size are scanned by one virtual processor each, block maxima
+// are combined with a doubling scan over the (n/blockSize)-length summary,
+// and each block is rewritten with its incoming carry. Depth O(log n) plus
+// the constant block size.
+func PrefixMaxLinear(m *pram.Machine, a []int64) {
+	n := len(a)
+	const block = 256
+	if n <= 2*block {
+		PrefixMax(m, a)
+		return
+	}
+	nb := (n + block - 1) / block
+	sums := make([]int64, nb)
+	m.ParallelForCost(nb, block, func(b int) {
+		lo, hi := b*block, (b+1)*block
+		if hi > n {
+			hi = n
+		}
+		best := a[lo]
+		for i := lo + 1; i < hi; i++ {
+			if a[i] > best {
+				best = a[i]
+			} else {
+				a[i] = best
+			}
+		}
+		sums[b] = best
+	})
+	PrefixMax(m, sums) // O(nb log nb) = O(n/256 * log) — linear overall
+	m.ParallelForCost(nb, block, func(b int) {
+		if b == 0 {
+			return
+		}
+		carry := sums[b-1]
+		lo, hi := b*block, (b+1)*block
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if a[i] < carry {
+				a[i] = carry
+			}
+		}
+	})
+}
+
+// SuffixMax replaces a with its inclusive suffix maxima: a[i] becomes
+// max(a[i..n)).
+func SuffixMax(m *pram.Machine, a []int64) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	buf := make([]int64, n)
+	src, dst := a, buf
+	for s := 1; s < n; s *= 2 {
+		sCopy, srcCopy, dstCopy := s, src, dst
+		m.ParallelFor(n, func(i int) {
+			v := srcCopy[i]
+			if i+sCopy < n && srcCopy[i+sCopy] > v {
+				v = srcCopy[i+sCopy]
+			}
+			dstCopy[i] = v
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		m.ParallelFor(n, func(i int) { a[i] = src[i] })
+	}
+}
+
+// Reduce returns the combine-fold of a with the given identity. combine must
+// be associative. Work O(n), depth O(log n).
+func Reduce(m *pram.Machine, a []int64, identity int64, combine func(x, y int64) int64) int64 {
+	n := len(a)
+	if n == 0 {
+		return identity
+	}
+	cur := make([]int64, n)
+	m.ParallelFor(n, func(i int) { cur[i] = a[i] })
+	for len(cur) > 1 {
+		half := (len(cur) + 1) / 2
+		next := make([]int64, half)
+		curCopy := cur
+		m.ParallelFor(half, func(i int) {
+			if 2*i+1 < len(curCopy) {
+				next[i] = combine(curCopy[2*i], curCopy[2*i+1])
+			} else {
+				next[i] = curCopy[2*i]
+			}
+		})
+		cur = next
+	}
+	return combine(identity, cur[0])
+}
+
+// MaxIndex returns the index of a maximum element of a (lowest index among
+// ties) and its value. Work O(n), depth O(log n).
+func MaxIndex(m *pram.Machine, a []int64) (idx int, val int64) {
+	n := len(a)
+	if n == 0 {
+		return -1, 0
+	}
+	type pair struct {
+		v int64
+		i int
+	}
+	cur := make([]pair, n)
+	m.ParallelFor(n, func(i int) { cur[i] = pair{a[i], i} })
+	for len(cur) > 1 {
+		half := (len(cur) + 1) / 2
+		next := make([]pair, half)
+		curCopy := cur
+		m.ParallelFor(half, func(i int) {
+			if 2*i+1 < len(curCopy) {
+				x, y := curCopy[2*i], curCopy[2*i+1]
+				if y.v > x.v || (y.v == x.v && y.i < x.i) {
+					next[i] = y
+				} else {
+					next[i] = x
+				}
+			} else {
+				next[i] = curCopy[2*i]
+			}
+		})
+		cur = next
+	}
+	return cur[0].i, cur[0].v
+}

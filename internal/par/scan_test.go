@@ -1,0 +1,219 @@
+package par
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pram"
+)
+
+func machines() []*pram.Machine {
+	seq := pram.NewSequential()
+	par := pram.New(4)
+	par.SetGrain(13) // force chunked schedules in tests
+	return []*pram.Machine{seq, par}
+}
+
+func randInt64s(rng *rand.Rand, n int, max int64) []int64 {
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int64N(max)
+	}
+	return a
+}
+
+func TestExclusiveScanMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, m := range machines() {
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 64, 100, 1023, 4096, 10000} {
+			a := randInt64s(rng, n, 100)
+			want := make([]int64, n)
+			var sum int64
+			for i := 0; i < n; i++ {
+				want[i] = sum
+				sum += a[i]
+			}
+			got := append([]int64(nil), a...)
+			total := ExclusiveScan(m, got)
+			if total != sum {
+				t.Fatalf("n=%d total=%d want %d", n, total, sum)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d scan[%d]=%d want %d", n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	m := pram.New(4)
+	a := []int64{3, 1, 4, 1, 5}
+	total := InclusiveScan(m, a)
+	want := []int64{3, 4, 8, 9, 14}
+	if total != 14 {
+		t.Fatalf("total = %d", total)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("inclusive[%d]=%d want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestPrefixAndSuffixMax(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, m := range machines() {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			a := randInt64s(rng, n, 1000)
+			pre := append([]int64(nil), a...)
+			suf := append([]int64(nil), a...)
+			PrefixMax(m, pre)
+			SuffixMax(m, suf)
+			var best int64 = -1 << 62
+			for i := 0; i < n; i++ {
+				if a[i] > best {
+					best = a[i]
+				}
+				if pre[i] != best {
+					t.Fatalf("prefixmax[%d]=%d want %d", i, pre[i], best)
+				}
+			}
+			best = -1 << 62
+			for i := n - 1; i >= 0; i-- {
+				if a[i] > best {
+					best = a[i]
+				}
+				if suf[i] != best {
+					t.Fatalf("suffixmax[%d]=%d want %d", i, suf[i], best)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceAndMaxIndex(t *testing.T) {
+	m := pram.New(4)
+	a := []int64{5, 2, 9, 9, 1}
+	sum := Reduce(m, a, 0, func(x, y int64) int64 { return x + y })
+	if sum != 26 {
+		t.Fatalf("sum = %d", sum)
+	}
+	idx, val := MaxIndex(m, a)
+	if idx != 2 || val != 9 {
+		t.Fatalf("MaxIndex = (%d,%d), want (2,9) — lowest index among ties", idx, val)
+	}
+	if i, _ := MaxIndex(m, nil); i != -1 {
+		t.Fatalf("MaxIndex(nil) = %d", i)
+	}
+}
+
+func TestScanPropertySumPreserved(t *testing.T) {
+	m := pram.New(4)
+	f := func(raw []uint16) bool {
+		a := make([]int64, len(raw))
+		var want int64
+		for i, v := range raw {
+			a[i] = int64(v)
+			want += int64(v)
+		}
+		return ExclusiveScan(m, a) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPack(t *testing.T) {
+	for _, m := range machines() {
+		idx := Pack(m, 10, func(i int) bool { return i%3 == 0 })
+		want := []int{0, 3, 6, 9}
+		if len(idx) != len(want) {
+			t.Fatalf("pack = %v", idx)
+		}
+		for i := range want {
+			if idx[i] != want[i] {
+				t.Fatalf("pack = %v want %v", idx, want)
+			}
+		}
+		if got := Pack(m, 0, func(int) bool { return true }); got != nil {
+			t.Fatalf("pack(0) = %v", got)
+		}
+		if got := Pack(m, 5, func(int) bool { return false }); len(got) != 0 {
+			t.Fatalf("pack none = %v", got)
+		}
+	}
+}
+
+func TestPackInt64AndCount(t *testing.T) {
+	m := pram.New(4)
+	a := []int64{10, 11, 12, 13, 14}
+	got := PackInt64(m, a, func(i int) bool { return a[i]%2 == 0 })
+	want := []int64{10, 12, 14}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if c := Count(m, 100, func(i int) bool { return i < 37 }); c != 37 {
+		t.Fatalf("count = %d", c)
+	}
+}
+
+func TestPackLarge(t *testing.T) {
+	m := pram.New(4)
+	m.SetGrain(17)
+	const n = 50_000
+	idx := Pack(m, n, func(i int) bool { return i%7 == 2 })
+	j := 0
+	for i := 0; i < n; i++ {
+		if i%7 == 2 {
+			if idx[j] != i {
+				t.Fatalf("idx[%d]=%d want %d", j, idx[j], i)
+			}
+			j++
+		}
+	}
+	if j != len(idx) {
+		t.Fatalf("len = %d want %d", len(idx), j)
+	}
+}
+
+func TestPrefixMaxLinearMatchesPrefixMax(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, m := range machines() {
+		for _, n := range []int{0, 1, 100, 512, 513, 5000} {
+			a := randInt64s(rng, n, 1000)
+			want := append([]int64(nil), a...)
+			got := append([]int64(nil), a...)
+			PrefixMax(m, want)
+			PrefixMaxLinear(m, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d linear prefixmax[%d]=%d want %d", n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixMaxLinearWorkIsLinear(t *testing.T) {
+	work := func(n int) int64 {
+		m := pram.NewSequential()
+		rng := rand.New(rand.NewPCG(7, 8))
+		a := randInt64s(rng, n, 1000)
+		m.ResetCounters()
+		PrefixMaxLinear(m, a)
+		w, _ := m.Counters()
+		return w
+	}
+	w1, w2 := work(1<<15), work(1<<16)
+	if ratio := float64(w2) / float64(w1); ratio > 2.3 {
+		t.Errorf("PrefixMaxLinear work ratio %.2f for doubled n, want ~2", ratio)
+	}
+}

@@ -1,0 +1,98 @@
+package par
+
+import "repro/internal/pram"
+
+// Radix-sort parameters. Blocks of sortBlock items are processed
+// sequentially by one virtual processor per pass; with a constant block size
+// the added depth per pass is O(1), and the per-pass histogram memory is
+// n/sortBlock * sortRadix = n entries.
+const (
+	sortRadix  = 256
+	sortDigits = 8 // bits per pass
+	sortBlock  = 256
+)
+
+// SortPerm returns a permutation p of [0, len(keys)) such that
+// keys[p[0]] <= keys[p[1]] <= ... , stably (equal keys keep input order).
+// Keys must be non-negative; maxKey bounds them and fixes the number of
+// radix passes. Work O(n) per pass, depth O(log n) per pass (the scan).
+func SortPerm(m *pram.Machine, keys []int64, maxKey int64) []int {
+	n := len(keys)
+	perm := make([]int, n)
+	m.ParallelFor(n, func(i int) { perm[i] = i })
+	SortPermInPlace(m, keys, maxKey, perm)
+	return perm
+}
+
+// SortPermInPlace stably sorts the index slice perm by keys[perm[i]].
+// It is the engine behind SortPerm and the multi-key sorts.
+func SortPermInPlace(m *pram.Machine, keys []int64, maxKey int64, perm []int) {
+	n := len(perm)
+	if n <= 1 {
+		return
+	}
+	passes := 1
+	for k := maxKey >> sortDigits; k > 0; k >>= sortDigits {
+		passes++
+	}
+	blocks := (n + sortBlock - 1) / sortBlock
+	hist := make([]int64, blocks*sortRadix)
+	out := make([]int, n)
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * sortDigits)
+		m.ParallelFor(blocks*sortRadix, func(i int) { hist[i] = 0 })
+		// Local histograms, bucket-major layout hist[d*blocks+b] so that the
+		// exclusive scan yields global stable scatter offsets directly.
+		m.ParallelForCost(blocks, sortBlock, func(b int) {
+			lo, hi := b*sortBlock, (b+1)*sortBlock
+			if hi > n {
+				hi = n
+			}
+			for _, idx := range perm[lo:hi] {
+				d := (keys[idx] >> shift) & (sortRadix - 1)
+				hist[int(d)*blocks+b]++
+			}
+		})
+		ExclusiveScan(m, hist)
+		m.ParallelForCost(blocks, sortBlock, func(b int) {
+			lo, hi := b*sortBlock, (b+1)*sortBlock
+			if hi > n {
+				hi = n
+			}
+			var cursor [sortRadix]int64
+			for d := 0; d < sortRadix; d++ {
+				cursor[d] = hist[d*blocks+b]
+			}
+			for _, idx := range perm[lo:hi] {
+				d := (keys[idx] >> shift) & (sortRadix - 1)
+				out[cursor[d]] = idx
+				cursor[d]++
+			}
+		})
+		copy(perm, out)
+	}
+}
+
+// SortByTriple stably sorts the indices [0, n) by the lexicographic order of
+// (k1[i], k2[i], k3[i]) using three LSD passes. All keys must lie in
+// [0, maxKey]. This is the sort DC3 suffix-array construction needs for its
+// rank triples.
+func SortByTriple(m *pram.Machine, k1, k2, k3 []int64, maxKey int64) []int {
+	n := len(k1)
+	perm := make([]int, n)
+	m.ParallelFor(n, func(i int) { perm[i] = i })
+	SortPermInPlace(m, k3, maxKey, perm)
+	SortPermInPlace(m, k2, maxKey, perm)
+	SortPermInPlace(m, k1, maxKey, perm)
+	return perm
+}
+
+// SortByPair stably sorts the indices [0, n) by (k1[i], k2[i]).
+func SortByPair(m *pram.Machine, k1, k2 []int64, maxKey int64) []int {
+	n := len(k1)
+	perm := make([]int, n)
+	m.ParallelFor(n, func(i int) { perm[i] = i })
+	SortPermInPlace(m, k2, maxKey, perm)
+	SortPermInPlace(m, k1, maxKey, perm)
+	return perm
+}

@@ -1,0 +1,123 @@
+package par
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func TestSortPermSortsAndIsStable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, m := range machines() {
+		for _, n := range []int{0, 1, 2, 255, 256, 257, 1000, 10000} {
+			for _, maxKey := range []int64{1, 2, 255, 256, 65536, 1 << 40} {
+				keys := randInt64s(rng, n, maxKey)
+				perm := SortPerm(m, keys, maxKey)
+				if len(perm) != n {
+					t.Fatalf("perm len %d", len(perm))
+				}
+				seen := make([]bool, n)
+				for i := 0; i < n; i++ {
+					if seen[perm[i]] {
+						t.Fatalf("perm not a permutation at %d", i)
+					}
+					seen[perm[i]] = true
+					if i > 0 {
+						if keys[perm[i-1]] > keys[perm[i]] {
+							t.Fatalf("n=%d maxKey=%d not sorted at %d", n, maxKey, i)
+						}
+						if keys[perm[i-1]] == keys[perm[i]] && perm[i-1] > perm[i] {
+							t.Fatalf("n=%d maxKey=%d not stable at %d", n, maxKey, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSortPermMatchesStdSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	m := pram.New(4)
+	const n = 5000
+	keys := randInt64s(rng, n, 1<<30)
+	perm := SortPerm(m, keys, 1<<30)
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		if keys[perm[i]] != want[i] {
+			t.Fatalf("mismatch at %d: %d want %d", i, keys[perm[i]], want[i])
+		}
+	}
+}
+
+func TestSortByPairAndTriple(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	m := pram.New(4)
+	const n = 3000
+	const maxKey = 50 // small range to force many ties
+	k1 := randInt64s(rng, n, maxKey)
+	k2 := randInt64s(rng, n, maxKey)
+	k3 := randInt64s(rng, n, maxKey)
+
+	perm := SortByPair(m, k1, k2, maxKey)
+	for i := 1; i < n; i++ {
+		a, b := perm[i-1], perm[i]
+		if k1[a] > k1[b] || (k1[a] == k1[b] && k2[a] > k2[b]) {
+			t.Fatalf("pair sort wrong at %d", i)
+		}
+		if k1[a] == k1[b] && k2[a] == k2[b] && a > b {
+			t.Fatalf("pair sort unstable at %d", i)
+		}
+	}
+
+	perm = SortByTriple(m, k1, k2, k3, maxKey)
+	for i := 1; i < n; i++ {
+		a, b := perm[i-1], perm[i]
+		ka := [3]int64{k1[a], k2[a], k3[a]}
+		kb := [3]int64{k1[b], k2[b], k3[b]}
+		for x := 0; x < 3; x++ {
+			if ka[x] < kb[x] {
+				break
+			}
+			if ka[x] > kb[x] {
+				t.Fatalf("triple sort wrong at %d", i)
+			}
+			if x == 2 && a > b {
+				t.Fatalf("triple sort unstable at %d", i)
+			}
+		}
+	}
+}
+
+func TestSortAllEqualKeysIsIdentity(t *testing.T) {
+	m := pram.New(4)
+	keys := make([]int64, 1000)
+	perm := SortPerm(m, keys, 0)
+	for i := range perm {
+		if perm[i] != i {
+			t.Fatalf("stable sort of equal keys moved %d to %d", i, perm[i])
+		}
+	}
+}
+
+func TestSortWorkIsLinearPerPass(t *testing.T) {
+	// Work(2n)/Work(n) should approach 2 for fixed key width.
+	work := func(n int) int64 {
+		m := pram.NewSequential()
+		rng := rand.New(rand.NewPCG(17, 18))
+		keys := randInt64s(rng, n, 1<<16)
+		m.ResetCounters()
+		SortPerm(m, keys, 1<<16)
+		w, _ := m.Counters()
+		return w
+	}
+	w1 := work(1 << 14)
+	w2 := work(1 << 15)
+	ratio := float64(w2) / float64(w1)
+	if ratio > 2.4 {
+		t.Errorf("sort work ratio for doubling n = %.2f, want ~2 (linear)", ratio)
+	}
+}

@@ -1,0 +1,115 @@
+package pram
+
+import "sync/atomic"
+
+// Cells is a shared-memory array supporting the CRCW write-conflict rules
+// used by the paper's algorithms. All operations are safe under concurrent
+// use from within a ParallelFor body.
+//
+// Conflict rules:
+//
+//   - Write      — "arbitrary": when several processors write the same cell
+//     in one super-step, one of them wins. Implemented as an atomic store;
+//     the Go runtime's scheduling picks the winner, which is a legitimate
+//     adversary for the arbitrary rule.
+//   - WriteMax / WriteMin — "combining": the cell ends up holding the
+//     max/min of the old value and all written values (CAS loop).
+//   - WritePriority — "priority": among concurrent writers the one with the
+//     smallest priority value wins. Encoded as WriteMin over (prio, value)
+//     pairs packed by the caller, or used directly when value == priority.
+type Cells struct {
+	a []int64
+}
+
+// NewCells returns n cells initialized to zero.
+func NewCells(n int) *Cells { return &Cells{a: make([]int64, n)} }
+
+// NewCellsFilled returns n cells initialized to v.
+func NewCellsFilled(n int, v int64) *Cells {
+	c := &Cells{a: make([]int64, n)}
+	for i := range c.a {
+		c.a[i] = v
+	}
+	return c
+}
+
+// Len returns the number of cells.
+func (c *Cells) Len() int { return len(c.a) }
+
+// Read returns the value of cell i.
+func (c *Cells) Read(i int) int64 { return atomic.LoadInt64(&c.a[i]) }
+
+// Write stores v into cell i under the arbitrary-CRCW rule.
+func (c *Cells) Write(i int, v int64) { atomic.StoreInt64(&c.a[i], v) }
+
+// WriteMax raises cell i to v if v is larger. Returns true if the cell
+// changed.
+func (c *Cells) WriteMax(i int, v int64) bool {
+	for {
+		old := atomic.LoadInt64(&c.a[i])
+		if v <= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&c.a[i], old, v) {
+			return true
+		}
+	}
+}
+
+// WriteMin lowers cell i to v if v is smaller. Returns true if the cell
+// changed.
+func (c *Cells) WriteMin(i int, v int64) bool {
+	for {
+		old := atomic.LoadInt64(&c.a[i])
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&c.a[i], old, v) {
+			return true
+		}
+	}
+}
+
+// CompareAndSwap performs an atomic CAS on cell i.
+func (c *Cells) CompareAndSwap(i int, old, new int64) bool {
+	return atomic.CompareAndSwapInt64(&c.a[i], old, new)
+}
+
+// Add atomically adds delta to cell i and returns the new value.
+func (c *Cells) Add(i int, delta int64) int64 {
+	return atomic.AddInt64(&c.a[i], delta)
+}
+
+// Snapshot copies the cells into a fresh []int64. Only meaningful between
+// super-steps.
+func (c *Cells) Snapshot() []int64 {
+	out := make([]int64, len(c.a))
+	for i := range c.a {
+		out[i] = atomic.LoadInt64(&c.a[i])
+	}
+	return out
+}
+
+// Fill sets every cell to v (not atomic across the array; call between
+// super-steps only).
+func (c *Cells) Fill(v int64) {
+	for i := range c.a {
+		atomic.StoreInt64(&c.a[i], v)
+	}
+}
+
+// priorityPack packs a (priority, payload) pair into one int64 so that
+// WriteMin implements the priority-CRCW rule: lower priority wins, and ties
+// are broken by payload. Priorities and payloads must fit in 31 bits.
+const priorityShift = 31
+const priorityMask = (1 << priorityShift) - 1
+
+// PackPriority encodes a priority/payload pair for use with WriteMin.
+func PackPriority(prio, payload int64) int64 {
+	return prio<<priorityShift | (payload & priorityMask)
+}
+
+// UnpackPriority decodes a value produced by PackPriority.
+func UnpackPriority(v int64) (prio, payload int64) {
+	return v >> priorityShift, v & priorityMask
+}

@@ -1,0 +1,53 @@
+package pram
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ConflictDetector records writes issued during one super-step and reports
+// exclusive-write (EREW) violations. It exists for tests and failure
+// injection: algorithms that claim to be conflict-free per step can be run
+// against the detector, and algorithms that rely on CRCW semantics can be
+// shown to actually exercise them.
+//
+// The detector is deliberately heavyweight (a mutex-guarded map); it is not
+// part of any benchmarked code path.
+type ConflictDetector struct {
+	mu      sync.Mutex
+	writers map[int]int // cell index -> count of writes this step
+	clashes []int       // cells written more than once, in detection order
+}
+
+// NewConflictDetector returns an empty detector.
+func NewConflictDetector() *ConflictDetector {
+	return &ConflictDetector{writers: make(map[int]int)}
+}
+
+// Note records a write to cell i by the current virtual processor.
+func (d *ConflictDetector) Note(i int) {
+	d.mu.Lock()
+	d.writers[i]++
+	if d.writers[i] == 2 {
+		d.clashes = append(d.clashes, i)
+	}
+	d.mu.Unlock()
+}
+
+// StepDone ends the current super-step, returning the cells that received
+// concurrent writes during it (nil if the step was exclusive-write).
+func (d *ConflictDetector) StepDone() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.clashes
+	d.clashes = nil
+	d.writers = make(map[int]int)
+	return out
+}
+
+// MustExclusive ends the step and panics if any cell was written twice.
+func (d *ConflictDetector) MustExclusive() {
+	if c := d.StepDone(); len(c) > 0 {
+		panic(fmt.Sprintf("pram: EREW violation on cells %v", c))
+	}
+}

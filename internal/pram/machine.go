@@ -1,0 +1,186 @@
+// Package pram simulates an arbitrary CRCW PRAM on top of goroutines.
+//
+// The paper's algorithms are stated in the work/depth model of the
+// concurrent-read concurrent-write PRAM with the "arbitrary" write-conflict
+// rule. Real hardware offers neither synchronous processors nor unit-cost
+// shared memory, so this package provides a faithful *cost simulator*:
+//
+//   - A Machine executes ParallelFor(n, body) as one PRAM super-step in
+//     which n virtual processors each run body once. The bodies execute on a
+//     pool of physical worker goroutines.
+//   - The Machine counts Depth (number of super-steps, the PRAM "time") and
+//     Work (total virtual-processor operations). These counters are the
+//     quantities the paper's theorems bound, and they are what the
+//     benchmark harness reports.
+//   - Concurrent writes are expressed through Cells (see cells.go), whose
+//     atomic operations realize the arbitrary / max / min / priority
+//     conflict-resolution rules without data races.
+//
+// A Machine with Procs == 1 degenerates to a deterministic sequential
+// executor, which tests use as the reference for the parallel schedules.
+package pram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Machine is a simulated CRCW PRAM instance. The zero value is not usable;
+// construct one with New or NewSequential.
+type Machine struct {
+	procs int
+	grain int
+
+	depth atomic.Int64
+	work  atomic.Int64
+
+	// inStep guards against nested super-steps. A PRAM super-step is flat:
+	// spawning a parallel loop from inside a virtual processor would make
+	// the depth accounting meaningless, so it panics instead.
+	inStep atomic.Bool
+
+	phaseState
+}
+
+// DefaultGrain is the number of virtual processors a physical worker claims
+// at a time. It trades scheduling overhead against load balance; the value
+// only affects wall-clock time, never the Work/Depth counters.
+const DefaultGrain = 2048
+
+// New returns a Machine backed by procs physical worker goroutines.
+// procs <= 0 selects runtime.GOMAXPROCS(0).
+func New(procs int) *Machine {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	return &Machine{procs: procs, grain: DefaultGrain}
+}
+
+// NewSequential returns a Machine that executes every super-step on the
+// calling goroutine in index order. Counters behave identically to the
+// parallel machine; only the schedule is serial.
+func NewSequential() *Machine { return &Machine{procs: 1, grain: DefaultGrain} }
+
+// Procs reports the number of physical workers.
+func (m *Machine) Procs() int { return m.procs }
+
+// SetGrain overrides the work-chunking granularity. Intended for tests and
+// benchmarks; pass g <= 0 to restore the default.
+func (m *Machine) SetGrain(g int) {
+	if g <= 0 {
+		g = DefaultGrain
+	}
+	m.grain = g
+}
+
+// Depth returns the number of PRAM super-steps executed so far.
+func (m *Machine) Depth() int64 { return m.depth.Load() }
+
+// Work returns the total number of virtual-processor operations charged so
+// far.
+func (m *Machine) Work() int64 { return m.work.Load() }
+
+// ResetCounters zeroes the Work and Depth counters (e.g. to separate a
+// preprocessing phase from a query phase in an experiment).
+func (m *Machine) ResetCounters() {
+	m.depth.Store(0)
+	m.work.Store(0)
+}
+
+// Counters returns (work, depth) as a single snapshot.
+func (m *Machine) Counters() (work, depth int64) {
+	return m.work.Load(), m.depth.Load()
+}
+
+// Account charges extra work and depth without running anything. Algorithms
+// use it for sequential-within-window phases whose cost must still appear in
+// the PRAM ledger (e.g. the L sequential ExtendLeft steps inside a window in
+// the paper's Step 1B).
+func (m *Machine) Account(work, depth int64) {
+	if work > 0 {
+		m.work.Add(work)
+	}
+	if depth > 0 {
+		m.depth.Add(depth)
+	}
+}
+
+// ParallelFor runs body(i) for every i in [0, n) as a single PRAM
+// super-step: Depth increases by 1 and Work by n. The body must be safe to
+// run concurrently with itself; writes to shared data must go through Cells
+// (or be provably per-index disjoint). The call returns after all n virtual
+// processors finish, i.e. there is an implicit barrier, exactly as on a
+// synchronous PRAM.
+func (m *Machine) ParallelFor(n int, body func(i int)) {
+	m.ParallelForCost(n, 1, body)
+}
+
+// ParallelForCost is ParallelFor where each virtual processor performs cost
+// unit operations: Depth increases by cost and Work by n*cost. Use it when a
+// body performs a non-constant but uniform amount of local work (for
+// example, a length-L sequential scan per window).
+func (m *Machine) ParallelForCost(n int, cost int64, body func(i int)) {
+	if n < 0 {
+		panic(fmt.Sprintf("pram: ParallelFor with negative n=%d", n))
+	}
+	if cost < 1 {
+		panic(fmt.Sprintf("pram: ParallelForCost with cost=%d < 1", cost))
+	}
+	if n == 0 {
+		return
+	}
+	if m.inStep.Swap(true) {
+		panic("pram: nested ParallelFor inside a super-step body")
+	}
+	defer m.inStep.Store(false)
+
+	m.depth.Add(cost)
+	m.work.Add(int64(n) * cost)
+
+	if m.procs == 1 || n <= m.grain {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := m.procs
+	if w := (n + m.grain - 1) / m.grain; w < workers {
+		workers = w
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(m.grain))) - m.grain
+				if lo >= n {
+					return
+				}
+				hi := lo + m.grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Do runs the given branches concurrently as one super-step of depth 1 and
+// work len(branches). It models a constant number of processors doing
+// different O(1)-dispatch jobs (each branch may itself be charged separately
+// via Account by the caller if it is not O(1)).
+func (m *Machine) Do(branches ...func()) {
+	m.ParallelFor(len(branches), func(i int) { branches[i]() })
+}
+
+// Sequential reports whether this machine runs super-steps serially.
+func (m *Machine) Sequential() bool { return m.procs == 1 }

@@ -1,0 +1,249 @@
+package pram
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		m := New(procs)
+		m.SetGrain(7) // tiny grain to force multi-chunk scheduling
+		const n = 10_000
+		hits := make([]int32, n)
+		m.ParallelFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("procs=%d index %d executed %d times", procs, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForZeroAndSmall(t *testing.T) {
+	m := New(4)
+	m.ParallelFor(0, func(int) { t.Fatal("body called for n=0") })
+	ran := false
+	m.ParallelFor(1, func(i int) {
+		if i != 0 {
+			t.Fatalf("got index %d", i)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("body not called for n=1")
+	}
+}
+
+func TestWorkDepthAccounting(t *testing.T) {
+	m := New(4)
+	m.ParallelFor(100, func(int) {})
+	m.ParallelFor(50, func(int) {})
+	m.ParallelForCost(10, 3, func(int) {})
+	m.Account(7, 2)
+	if w := m.Work(); w != 100+50+30+7 {
+		t.Errorf("work = %d, want %d", w, 187)
+	}
+	if d := m.Depth(); d != 1+1+3+2 {
+		t.Errorf("depth = %d, want %d", d, 7)
+	}
+	m.ResetCounters()
+	if w, d := m.Counters(); w != 0 || d != 0 {
+		t.Errorf("after reset: work=%d depth=%d", w, d)
+	}
+}
+
+func TestSequentialMachineIsOrdered(t *testing.T) {
+	m := NewSequential()
+	var seen []int
+	m.ParallelFor(100, func(i int) { seen = append(seen, i) })
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("sequential machine ran out of order at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestNestedParallelForPanics(t *testing.T) {
+	m := NewSequential()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested ParallelFor did not panic")
+		}
+	}()
+	m.ParallelFor(1, func(int) {
+		m.ParallelFor(1, func(int) {})
+	})
+}
+
+func TestNegativeNPanics(t *testing.T) {
+	m := NewSequential()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative n did not panic")
+		}
+	}()
+	m.ParallelFor(-1, func(int) {})
+}
+
+func TestBadCostPanics(t *testing.T) {
+	m := NewSequential()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cost 0 did not panic")
+		}
+	}()
+	m.ParallelForCost(1, 0, func(int) {})
+}
+
+func TestDoRunsAllBranches(t *testing.T) {
+	m := New(4)
+	var a, b, c atomic.Bool
+	m.Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do skipped a branch")
+	}
+	if m.Depth() != 1 {
+		t.Fatalf("Do depth = %d, want 1", m.Depth())
+	}
+}
+
+func TestCellsWriteMaxMin(t *testing.T) {
+	m := New(8)
+	c := NewCellsFilled(1, -1<<62)
+	lo := NewCellsFilled(1, 1<<62)
+	m.ParallelFor(10_000, func(i int) {
+		c.WriteMax(0, int64(i))
+		lo.WriteMin(0, int64(i))
+	})
+	if got := c.Read(0); got != 9999 {
+		t.Errorf("WriteMax result = %d, want 9999", got)
+	}
+	if got := lo.Read(0); got != 0 {
+		t.Errorf("WriteMin result = %d, want 0", got)
+	}
+}
+
+func TestCellsArbitraryWriteIsOneOfTheWriters(t *testing.T) {
+	m := New(8)
+	c := NewCells(1)
+	const n = 4096
+	m.ParallelFor(n, func(i int) { c.Write(0, int64(i)+1) })
+	got := c.Read(0)
+	if got < 1 || got > n {
+		t.Errorf("arbitrary write produced %d, not a written value", got)
+	}
+}
+
+func TestCellsSnapshotAndFill(t *testing.T) {
+	c := NewCells(5)
+	c.Fill(42)
+	s := c.Snapshot()
+	for i, v := range s {
+		if v != 42 {
+			t.Fatalf("cell %d = %d after Fill(42)", i, v)
+		}
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPriorityPackRoundTrip(t *testing.T) {
+	f := func(prio, payload int32) bool {
+		p := int64(prio) & priorityMask
+		q := int64(payload) & priorityMask
+		gp, gq := UnpackPriority(PackPriority(p, q))
+		return gp == p && gq == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPriorityWriteMinSelectsSmallestPriority(t *testing.T) {
+	m := New(8)
+	c := NewCellsFilled(1, 1<<62)
+	const n = 1000
+	m.ParallelFor(n, func(i int) {
+		// priority i, payload i+1; the winner must be priority 0.
+		c.WriteMin(0, PackPriority(int64(i), int64(i+1)))
+	})
+	prio, payload := UnpackPriority(c.Read(0))
+	if prio != 0 || payload != 1 {
+		t.Errorf("priority write winner = (%d,%d), want (0,1)", prio, payload)
+	}
+}
+
+func TestConflictDetector(t *testing.T) {
+	d := NewConflictDetector()
+	d.Note(3)
+	d.Note(4)
+	if c := d.StepDone(); len(c) != 0 {
+		t.Fatalf("false conflict: %v", c)
+	}
+	d.Note(5)
+	d.Note(5)
+	d.Note(6)
+	c := d.StepDone()
+	if len(c) != 1 || c[0] != 5 {
+		t.Fatalf("conflicts = %v, want [5]", c)
+	}
+	// MustExclusive panics on conflicts.
+	d.Note(1)
+	d.Note(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExclusive did not panic")
+		}
+	}()
+	d.MustExclusive()
+}
+
+func TestAccountingDeterministicAcrossProcs(t *testing.T) {
+	run := func(procs int) (int64, int64) {
+		m := New(procs)
+		for r := 0; r < 10; r++ {
+			m.ParallelFor(1000, func(int) {})
+		}
+		return m.Counters()
+	}
+	w1, d1 := run(1)
+	w8, d8 := run(8)
+	if w1 != w8 || d1 != d8 {
+		t.Errorf("counters depend on procs: (%d,%d) vs (%d,%d)", w1, d1, w8, d8)
+	}
+}
+
+func TestPhaseLedger(t *testing.T) {
+	m := New(2)
+	s0 := m.Snapshot()
+	m.ParallelFor(100, func(int) {})
+	m.RecordPhase("a", s0)
+	s1 := m.Snapshot()
+	m.ParallelForCost(10, 2, func(int) {})
+	m.RecordPhase("b", s1)
+	s2 := m.Snapshot()
+	m.ParallelFor(50, func(int) {})
+	m.RecordPhase("a", s2) // accumulates into "a"
+	ph := m.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("phases = %v", ph)
+	}
+	if ph[0].Name != "a" || ph[0].Work != 150 || ph[0].Depth != 2 {
+		t.Fatalf("phase a = %+v", ph[0])
+	}
+	if ph[1].Name != "b" || ph[1].Work != 20 || ph[1].Depth != 2 {
+		t.Fatalf("phase b = %+v", ph[1])
+	}
+	m.ResetPhases()
+	if len(m.Phases()) != 0 {
+		t.Fatal("phases not cleared")
+	}
+	// Phase sums must not exceed the global ledger.
+	w, _ := m.Counters()
+	if w != 170 {
+		t.Fatalf("global work = %d", w)
+	}
+}

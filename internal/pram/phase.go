@@ -1,0 +1,66 @@
+package pram
+
+import "sync"
+
+// Counters is a snapshot of the machine's ledger.
+type Counters struct {
+	Work  int64
+	Depth int64
+}
+
+// Phase is a named segment of the ledger, recorded by RecordPhase.
+type Phase struct {
+	Name string
+	Counters
+}
+
+// Snapshot returns the current ledger values, for later use with
+// RecordPhase. Call between super-steps.
+func (m *Machine) Snapshot() Counters {
+	return Counters{Work: m.work.Load(), Depth: m.depth.Load()}
+}
+
+// RecordPhase attributes the ledger delta since the given snapshot to a
+// named phase. Algorithms use it to let experiments split, e.g., suffix-
+// tree construction from the paper's own steps. Phases with equal names
+// accumulate.
+func (m *Machine) RecordPhase(name string, since Counters) {
+	now := m.Snapshot()
+	m.phaseMu.Lock()
+	defer m.phaseMu.Unlock()
+	for i := range m.phases {
+		if m.phases[i].Name == name {
+			m.phases[i].Work += now.Work - since.Work
+			m.phases[i].Depth += now.Depth - since.Depth
+			return
+		}
+	}
+	m.phases = append(m.phases, Phase{Name: name, Counters: Counters{
+		Work:  now.Work - since.Work,
+		Depth: now.Depth - since.Depth,
+	}})
+}
+
+// Phases returns the recorded phases in first-recorded order.
+func (m *Machine) Phases() []Phase {
+	m.phaseMu.Lock()
+	defer m.phaseMu.Unlock()
+	out := make([]Phase, len(m.phases))
+	copy(out, m.phases)
+	return out
+}
+
+// ResetPhases clears the recorded phases (the main counters are separate;
+// see ResetCounters).
+func (m *Machine) ResetPhases() {
+	m.phaseMu.Lock()
+	m.phases = nil
+	m.phaseMu.Unlock()
+}
+
+// phaseState is embedded in Machine (declared here to keep machine.go
+// focused on execution).
+type phaseState struct {
+	phaseMu sync.Mutex
+	phases  []Phase
+}

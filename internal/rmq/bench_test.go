@@ -1,0 +1,36 @@
+package rmq
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func benchArray(n int) []int64 {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = rng.Int64N(1 << 30)
+	}
+	return a
+}
+
+func BenchmarkBuild(b *testing.B) {
+	a := benchArray(1 << 16)
+	m := pram.NewSequential()
+	b.SetBytes(1 << 16)
+	for i := 0; i < b.N; i++ {
+		NewMin(m, a)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	a := benchArray(1 << 16)
+	t := NewMin(pram.NewSequential(), a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := i % (1 << 15)
+		t.QueryIndex(lo, lo+(i%(1<<15)))
+	}
+}

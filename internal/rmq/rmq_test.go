@@ -1,0 +1,88 @@
+package rmq
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func bruteIndex(a []int64, lo, hi int, min bool) int {
+	best := lo
+	for i := lo + 1; i <= hi; i++ {
+		if min && a[i] < a[best] || !min && a[i] > a[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestRMQAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, n := range []int{1, 2, 3, 17, 64, 257, 1000} {
+			a := make([]int64, n)
+			for i := range a {
+				a[i] = rng.Int64N(50) // small range forces ties
+			}
+			tmin := NewMin(m, a)
+			tmax := NewMax(m, a)
+			for q := 0; q < 500; q++ {
+				lo := rng.IntN(n)
+				hi := lo + rng.IntN(n-lo)
+				if got, want := tmin.QueryIndex(lo, hi), bruteIndex(a, lo, hi, true); got != want {
+					t.Fatalf("n=%d min [%d,%d] = %d want %d", n, lo, hi, got, want)
+				}
+				if got, want := tmax.QueryIndex(lo, hi), bruteIndex(a, lo, hi, false); got != want {
+					t.Fatalf("n=%d max [%d,%d] = %d want %d", n, lo, hi, got, want)
+				}
+				if tmin.Query(lo, hi) != a[bruteIndex(a, lo, hi, true)] {
+					t.Fatalf("value mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestRMQSingleElementAndFullRange(t *testing.T) {
+	m := pram.NewSequential()
+	a := []int64{5, 3, 8, 3, 9}
+	tb := NewMin(m, a)
+	if tb.QueryIndex(2, 2) != 2 {
+		t.Fatal("single-element query")
+	}
+	if tb.QueryIndex(0, 4) != 1 {
+		t.Fatalf("full-range min index = %d", tb.QueryIndex(0, 4))
+	}
+	// Tie at value 3: indices 1 and 3; lowest index wins.
+	if tb.QueryIndex(1, 3) != 1 {
+		t.Fatalf("tie break = %d, want 1", tb.QueryIndex(1, 3))
+	}
+	if tb.Len() != 5 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestRMQBadRangePanics(t *testing.T) {
+	m := pram.NewSequential()
+	tb := NewMax(m, []int64{1, 2})
+	for _, rg := range [][2]int{{1, 0}, {-1, 1}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v did not panic", rg)
+				}
+			}()
+			tb.QueryIndex(rg[0], rg[1])
+		}()
+	}
+}
+
+func TestRMQEmpty(t *testing.T) {
+	m := pram.NewSequential()
+	tb := NewMin(m, nil)
+	if tb.Len() != 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,217 @@
+// Package staticdict implements the paper's §5: work-optimal optimal
+// parsing of a text against a static dictionary with the prefix property
+// (Theorem 5.3).
+//
+// The input is B[i] — the longest dictionary-word prefix starting at each
+// text position, produced by the dictionary matcher's Step 2A
+// (core.PrefixLengths). A parse is a partition of the text into words of
+// the dictionary; it exists iff every maximal-match length is >= 1 wherever
+// a phrase must start. The paper's insight is that the shortest-path
+// instance on the graph with edges (i, i+k), k <= B[i]+... has the interval
+// structure that makes *dominating edges* sufficient (Lemma 5.1): the edge
+// (i, j) is dominated if some (i', j') with i' < i, j' >= j exists, the
+// dominating edges form a tree with one incoming edge per node (Lemma 5.2,
+// via prefix maxima and ranks), and the unique tree path from 0 to n is an
+// optimal parse.
+package staticdict
+
+import (
+	"errors"
+
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// ErrNoParse is returned when the text cannot be partitioned into
+// dictionary words (some position has no word, not even length 1).
+var ErrNoParse = errors.New("staticdict: text has no parse against this dictionary")
+
+// Phrase is one parsed word: text[Pos : Pos+Len].
+type Phrase struct {
+	Pos int32
+	Len int32
+}
+
+// OptimalParse returns a fewest-phrases parse of a text of length n, given
+// maxLen[i] = B[i], the longest dictionary word starting at i (0 if none).
+// The dictionary must have the prefix property, so any length 1..maxLen[i]
+// is a valid word at i. Work O(n), depth O(log n) (Theorem 5.3): prefix
+// maxima, a rank computation, and one parallel path extraction.
+func OptimalParse(m *pram.Machine, n int, maxLen []int32) ([]Phrase, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(maxLen) != n {
+		return nil, errors.New("staticdict: maxLen length mismatch")
+	}
+	// reach[i] = i + maxLen[i] = the furthest node reachable from i.
+	// Positions with maxLen == 0 have no outgoing edge (no parse through
+	// them); detect unreachability below rather than failing eagerly.
+	reach := make([]int64, n)
+	m.ParallelFor(n, func(i int) { reach[i] = int64(i) + int64(maxLen[i]) })
+	// Dominating edges: edge (i, j) is undominated iff no i' < i reaches
+	// >= j. After prefix-maximizing reach, node j's unique dominating
+	// predecessor is L[j] = min{ i : reachMax[i] >= j } (Lemma 5.2's rank
+	// construction): reachMax is non-decreasing, so L[j] is a rank and the
+	// dominating edges form a forest with edges pointing left.
+	reachMax := append([]int64(nil), reach...)
+	par.PrefixMaxLinear(m, reachMax)
+	// pred[j] for j in 1..n: smallest i with reachMax[i] >= j, or -1.
+	// Batch-computable by merging the sorted sequences (reachMax is
+	// non-decreasing, targets 1..n are increasing): binary search per j
+	// keeps it simple at O(n log n) work; the sequential machine does the
+	// linear merge.
+	pred := make([]int, n+1)
+	if m.Sequential() {
+		m.Account(int64(n), int64(n))
+		i := 0
+		for j := 1; j <= n; j++ {
+			for i < n && reachMax[i] < int64(j) {
+				i++
+			}
+			if i == n {
+				pred[j] = -1
+			} else {
+				pred[j] = i
+			}
+		}
+	} else {
+		logn := int64(1)
+		for 1<<logn < n {
+			logn++
+		}
+		m.ParallelForCost(n, logn, func(idx int) {
+			j := idx + 1
+			lo, hi := 0, n-1
+			if reachMax[n-1] < int64(j) {
+				pred[j] = -1
+				return
+			}
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if reachMax[mid] >= int64(j) {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			pred[j] = lo
+		})
+	}
+	pred[0] = 0 // root convention handled below
+	// Walk the unique dominating path from n back to 0 — in parallel via
+	// path extraction over next[j] = pred[j] (self-loop at 0).
+	next := make([]int, n+1)
+	bad := pram.NewCells(1)
+	m.ParallelFor(n+1, func(j int) {
+		switch {
+		case j == 0:
+			next[j] = 0
+		case pred[j] < 0:
+			next[j] = j // unreachable node: self-loop keeps the forest sane
+			if j == n {
+				bad.Write(0, 1)
+			}
+		default:
+			next[j] = pred[j]
+		}
+	})
+	if bad.Read(0) != 0 {
+		return nil, ErrNoParse
+	}
+	path := par.ParallelPathToRoot(m, next, n)
+	if path[len(path)-1] != 0 {
+		return nil, ErrNoParse
+	}
+	phrases := make([]Phrase, len(path)-1)
+	m.ParallelFor(len(phrases), func(k int) {
+		to, from := path[k], path[k+1]
+		phrases[len(phrases)-1-k] = Phrase{Pos: int32(from), Len: int32(to - from)}
+	})
+	// Every phrase must be a genuine word: length <= maxLen at its start
+	// (the domination construction guarantees it; verify as a cheap
+	// invariant).
+	m.ParallelFor(len(phrases), func(k int) {
+		p := phrases[k]
+		if p.Len < 1 || p.Len > maxLen[p.Pos] {
+			bad.Write(0, 1)
+		}
+	})
+	if bad.Read(0) != 0 {
+		return nil, ErrNoParse
+	}
+	return phrases, nil
+}
+
+// GreedyParse is the longest-match-first heuristic the paper contrasts with
+// (§1, "the greedy heuristic of always choosing the longest match need not
+// give optimal compression"). Sequential, O(#phrases).
+func GreedyParse(n int, maxLen []int32) ([]Phrase, error) {
+	var phrases []Phrase
+	for i := 0; i < n; {
+		l := int(maxLen[i])
+		if l < 1 {
+			return nil, ErrNoParse
+		}
+		phrases = append(phrases, Phrase{Pos: int32(i), Len: int32(l)})
+		i += l
+	}
+	return phrases, nil
+}
+
+// BFSParse is the general shortest-path baseline (the approach of [2] that
+// the paper improves on): breadth-first search over ALL edges (i, i+k),
+// k = 1..maxLen[i]. O(n + total edge count) work — Θ(n·m) on texts with
+// long matches — versus the dominating-edge construction's O(n).
+func BFSParse(n int, maxLen []int32) ([]Phrase, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	const unset = -1
+	prev := make([]int32, n+1)
+	dist := make([]int32, n+1)
+	for i := range prev {
+		prev[i], dist[i] = unset, unset
+	}
+	dist[0] = 0
+	queue := []int32{0}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		if i == int32(n) {
+			break
+		}
+		for k := int32(1); k <= maxLen[i]; k++ {
+			j := i + k
+			if j > int32(n) {
+				break
+			}
+			if dist[j] == unset {
+				dist[j] = dist[i] + 1
+				prev[j] = i
+				queue = append(queue, j)
+			}
+		}
+	}
+	if dist[n] == unset {
+		return nil, ErrNoParse
+	}
+	var phrases []Phrase
+	for j := int32(n); j != 0; j = prev[j] {
+		phrases = append(phrases, Phrase{Pos: prev[j], Len: j - prev[j]})
+	}
+	for l, r := 0, len(phrases)-1; l < r; l, r = l+1, r-1 {
+		phrases[l], phrases[r] = phrases[r], phrases[l]
+	}
+	return phrases, nil
+}
+
+// EdgeCount returns the number of edges the BFS baseline must consider —
+// the work-blowup quantity reported in experiment E9.
+func EdgeCount(maxLen []int32) int64 {
+	var total int64
+	for _, l := range maxLen {
+		total += int64(l)
+	}
+	return total
+}

@@ -1,0 +1,196 @@
+package staticdict
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func phraseCountOK(t *testing.T, phrases []Phrase, n int, maxLen []int32) {
+	t.Helper()
+	pos := int32(0)
+	for _, p := range phrases {
+		if p.Pos != pos {
+			t.Fatalf("phrase at %d, expected %d", p.Pos, pos)
+		}
+		if p.Len < 1 || p.Len > maxLen[p.Pos] {
+			t.Fatalf("phrase length %d at %d exceeds maxLen %d", p.Len, p.Pos, maxLen[p.Pos])
+		}
+		pos += p.Len
+	}
+	if pos != int32(n) {
+		t.Fatalf("parse covers %d of %d", pos, n)
+	}
+}
+
+func TestOptimalMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(151, 152))
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.IntN(120)
+			maxLen := make([]int32, n)
+			for i := range maxLen {
+				// Ensure parseability most of the time but test failures too.
+				if rng.IntN(20) == 0 {
+					maxLen[i] = 0
+				} else {
+					maxLen[i] = 1 + int32(rng.IntN(8))
+				}
+				if int(maxLen[i]) > n-i {
+					maxLen[i] = int32(n - i)
+				}
+			}
+			want, errWant := BFSParse(n, maxLen)
+			got, errGot := OptimalParse(m, n, maxLen)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("procs=%d trial=%d: error mismatch %v vs %v (maxLen=%v)",
+					procs, trial, errGot, errWant, maxLen)
+			}
+			if errWant != nil {
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("procs=%d trial=%d: %d phrases, BFS found %d (maxLen=%v)",
+					procs, trial, len(got), len(want), maxLen)
+			}
+			phraseCountOK(t, got, n, maxLen)
+		}
+	}
+}
+
+func TestGreedySuboptimal(t *testing.T) {
+	// Dictionary = prefix closure of {a^k, a^k·b} plus {b}; text = a^(k+1)b.
+	// Greedy: a^k | a | b = 3 phrases; optimal: a | a^k·b = 2.
+	m := pram.New(4)
+	k := 5
+	n := k + 2 // k+1 a's and one b
+	maxLen := make([]int32, n)
+	for i := 0; i <= k+1; i++ {
+		switch {
+		case i == 1:
+			maxLen[i] = int32(k + 1) // a^k·b
+		case i <= k:
+			asLeft := k + 1 - i
+			maxLen[i] = int32(min(asLeft, k)) // a-run words only
+		default:
+			maxLen[i] = 1 // b
+		}
+	}
+	greedy, err := GreedyParse(n, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimalParse(m, n, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt) >= len(greedy) {
+		t.Fatalf("optimal (%d) not better than greedy (%d)", len(opt), len(greedy))
+	}
+	if len(opt) != 2 || len(greedy) != 3 {
+		t.Fatalf("expected 2 vs 3, got %d vs %d", len(opt), len(greedy))
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(153, 154))
+	m := pram.New(4)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(150)
+		maxLen := make([]int32, n)
+		for i := range maxLen {
+			maxLen[i] = 1 + int32(rng.IntN(6))
+			if int(maxLen[i]) > n-i {
+				maxLen[i] = int32(n - i)
+			}
+		}
+		greedy, err := GreedyParse(n, maxLen)
+		if err != nil {
+			continue
+		}
+		opt, err := OptimalParse(m, n, maxLen)
+		if err != nil {
+			t.Fatalf("greedy parses but optimal fails: %v", err)
+		}
+		if len(opt) > len(greedy) {
+			t.Fatalf("optimal %d > greedy %d", len(opt), len(greedy))
+		}
+	}
+}
+
+func TestNoParse(t *testing.T) {
+	m := pram.New(4)
+	// Position 2 has no word and must be crossed... but maxLen[0]=1,
+	// maxLen[1]=1 can't jump it.
+	maxLen := []int32{1, 1, 0, 1}
+	if _, err := OptimalParse(m, 4, maxLen); err != ErrNoParse {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := BFSParse(4, maxLen); err != ErrNoParse {
+		t.Fatalf("bfs err = %v", err)
+	}
+	if _, err := GreedyParse(4, maxLen); err != ErrNoParse {
+		t.Fatalf("greedy err = %v", err)
+	}
+	// A long word can jump the hole.
+	maxLen = []int32{3, 1, 0, 1}
+	opt, err := OptimalParse(m, 4, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phraseCountOK(t, opt, 4, maxLen)
+	if len(opt) != 2 {
+		t.Fatalf("phrases = %v", opt)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	m := pram.New(4)
+	if got, err := OptimalParse(m, 0, nil); err != nil || got != nil {
+		t.Fatal("empty parse")
+	}
+	got, err := OptimalParse(m, 1, []int32{1})
+	if err != nil || len(got) != 1 || got[0] != (Phrase{0, 1}) {
+		t.Fatalf("single: %v %v", got, err)
+	}
+	if _, err := OptimalParse(m, 1, []int32{0}); err != ErrNoParse {
+		t.Fatal("unparseable single accepted")
+	}
+	if _, err := OptimalParse(m, 2, []int32{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEdgeCount(t *testing.T) {
+	if EdgeCount([]int32{3, 0, 2}) != 5 {
+		t.Fatal("edge count")
+	}
+}
+
+func TestOptimalWorkLinearVsBFSQuadratic(t *testing.T) {
+	// With maxLen ~ n/2 everywhere, BFS considers Θ(n²) edges while the
+	// dominating-edge parse does O(n) work (sequential machine).
+	n := 4000
+	maxLen := make([]int32, n)
+	for i := range maxLen {
+		l := n / 2
+		if l > n-i {
+			l = n - i
+		}
+		maxLen[i] = int32(l)
+	}
+	if ec := EdgeCount(maxLen); ec < int64(n)*int64(n)/8 {
+		t.Fatalf("edge count %d unexpectedly small", ec)
+	}
+	m := pram.NewSequential()
+	m.ResetCounters()
+	if _, err := OptimalParse(m, n, maxLen); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := m.Counters()
+	if w > int64(n)*64 {
+		t.Fatalf("optimal parse work %d not near-linear for n=%d", w, n)
+	}
+}

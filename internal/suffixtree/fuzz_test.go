@@ -1,0 +1,61 @@
+package suffixtree
+
+import (
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// FuzzBuildInvariants: any non-empty byte string must yield a suffix tree
+// satisfying the structural invariants, on both machine kinds, with
+// agreeing topologies.
+func FuzzBuildInvariants(f *testing.F) {
+	f.Add([]byte("banana"))
+	f.Add([]byte("aaaa"))
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 255})
+	f.Add([]byte("abcabcabc"))
+	seq := pram.NewSequential()
+	par := pram.New(2)
+	f.Fuzz(func(t *testing.T, s []byte) {
+		if len(s) == 0 || len(s) > 1<<10 {
+			return
+		}
+		a := Build(seq, s)
+		b := Build(par, s)
+		if a.NumNodes != b.NumNodes {
+			t.Fatalf("node counts differ: %d vs %d", a.NumNodes, b.NumNodes)
+		}
+		n1 := a.NumLeaves()
+		leaves := 0
+		for v := 0; v < a.NumNodes; v++ {
+			if a.Lo[v] != b.Lo[v] || a.Hi[v] != b.Hi[v] || a.StrDepth[v] != b.StrDepth[v] {
+				t.Fatalf("node %d differs between machines", v)
+			}
+			if a.IsLeaf(v) {
+				leaves++
+				continue
+			}
+			if v != a.Root && a.Topo.Degree(v) < 2 {
+				t.Fatalf("unary internal node %d", v)
+			}
+			if a.Parent[v] >= 0 && a.StrDepth[a.Parent[v]] >= a.StrDepth[v] {
+				t.Fatalf("non-increasing depth at %d", v)
+			}
+		}
+		if leaves != n1 {
+			t.Fatalf("%d leaves, want %d", leaves, n1)
+		}
+		// Suffix links of the parallel build must verify against LCP.
+		links := b.SuffixLinks(par)
+		for v := 0; v < b.NumNodes; v++ {
+			if v == b.Root || (b.IsLeaf(v) && int(b.LeafOf[v]) == n1-1) {
+				continue
+			}
+			w := links[v]
+			if w < 0 || b.StrDepth[w] != b.StrDepth[v]-1 {
+				t.Fatalf("bad suffix link at %d", v)
+			}
+		}
+	})
+}

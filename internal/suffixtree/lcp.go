@@ -1,0 +1,72 @@
+package suffixtree
+
+import "repro/internal/pram"
+
+// buildLCP returns the LCP array: lcp[r] = |longest common prefix of the
+// suffixes SA[r-1] and SA[r]|, with lcp[0] = 0.
+//
+// Parallel machines compute every entry independently from the doubling
+// rank tables (deterministic, O(log n) per entry, so O(n log n) work at
+// O(log n) depth). A sequential machine uses Kasai's O(n) algorithm. The
+// two paths agree exactly; tests assert it.
+func buildLCP(m *pram.Machine, a []int32, sa []int32, levels [][]int32) []int32 {
+	n := len(sa)
+	lcp := make([]int32, n)
+	if n <= 1 {
+		return lcp
+	}
+	if levels == nil {
+		m.Account(int64(2*n), int64(2*n))
+		kasai(a, sa, lcp)
+		return lcp
+	}
+	m.ParallelForCost(n-1, int64(len(levels)), func(idx int) {
+		r := idx + 1
+		lcp[r] = lcpByLevels(a, levels, int(sa[r-1]), int(sa[r]))
+	})
+	return lcp
+}
+
+// lcpByLevels computes the LCP of the suffixes at positions x and y using
+// the doubling rank tables: equal ranks at level k certify 2^k equal
+// leading characters (the unique terminal sentinel guarantees no false
+// certificates near the string end).
+func lcpByLevels(a []int32, levels [][]int32, x, y int) int32 {
+	if x == y {
+		return int32(len(a) - x)
+	}
+	n := len(a)
+	var l int32
+	for k := len(levels) - 1; k >= 0; k-- {
+		xi, yi := x+int(l), y+int(l)
+		if xi < n && yi < n && levels[k][xi] == levels[k][yi] {
+			l += 1 << k
+		}
+	}
+	return l
+}
+
+// kasai is the classical linear-time LCP construction.
+func kasai(a []int32, sa []int32, lcp []int32) {
+	n := len(sa)
+	rank := make([]int32, n)
+	for r, p := range sa {
+		rank[p] = int32(r)
+	}
+	var h int32
+	for i := 0; i < n; i++ {
+		r := rank[i]
+		if r == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[r-1])
+		for i+int(h) < n && j+int(h) < n && a[i+int(h)] == a[j+int(h)] {
+			h++
+		}
+		lcp[r] = h
+		if h > 0 {
+			h--
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package suffixtree
+
+// Pattern location queries over the suffix array — the classical
+// application the tree exists for, used by the tools and examples.
+
+// compareAt lexicographically compares pattern against the suffix starting
+// at augmented position p: -1 if the suffix is smaller, 0 if the pattern is
+// a prefix of the suffix, +1 if the suffix is larger.
+func (t *Tree) compareAt(pattern []int32, p int32) int {
+	n := int32(len(t.aug))
+	for i := 0; i < len(pattern); i++ {
+		if p+int32(i) >= n {
+			return -1 // suffix exhausted: suffix < pattern
+		}
+		c := t.aug[p+int32(i)]
+		pc := pattern[i] + 1 // pattern symbols are pre-shift
+		if c < pc {
+			return -1
+		}
+		if c > pc {
+			return 1
+		}
+	}
+	return 0
+}
+
+// SARange returns the suffix-array interval [lo, hi) of suffixes having
+// the pattern (raw symbols, not augmented) as a prefix. O(m log n).
+func (t *Tree) SARange(pattern []int32) (lo, hi int) {
+	n1 := len(t.SA)
+	lo, hi = 0, n1
+	// Lower bound: first suffix >= pattern.
+	l, r := 0, n1
+	for l < r {
+		mid := (l + r) / 2
+		if t.compareAt(pattern, t.SA[mid]) < 0 {
+			l = mid + 1
+		} else {
+			r = mid
+		}
+	}
+	lo = l
+	// Upper bound: first suffix that is > pattern and not prefixed by it.
+	l, r = lo, n1
+	for l < r {
+		mid := (l + r) / 2
+		if t.compareAt(pattern, t.SA[mid]) == 0 {
+			l = mid + 1
+		} else {
+			r = mid
+		}
+	}
+	return lo, l
+}
+
+// Locate returns the starting positions of all occurrences of the byte
+// pattern in S, in increasing order. O(m log n + occ log occ).
+func (t *Tree) Locate(pattern []byte) []int32 {
+	if len(pattern) == 0 {
+		return nil
+	}
+	syms := make([]int32, len(pattern))
+	for i, c := range pattern {
+		syms[i] = int32(c)
+	}
+	lo, hi := t.SARange(syms)
+	out := make([]int32, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, t.SA[r])
+	}
+	// SA order is lexicographic; callers want text order.
+	sortInt32(out)
+	return out
+}
+
+// Count returns the number of occurrences of the byte pattern in S.
+// O(m log n).
+func (t *Tree) Count(pattern []byte) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	syms := make([]int32, len(pattern))
+	for i, c := range pattern {
+		syms[i] = int32(c)
+	}
+	lo, hi := t.SARange(syms)
+	return hi - lo
+}
+
+// sortInt32 is an in-place pdq-free insertion/heap hybrid kept dependency-
+// light (slices of occurrence lists are usually short).
+func sortInt32(a []int32) {
+	if len(a) < 24 {
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		return
+	}
+	// Heapsort for larger lists.
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, 0, end)
+	}
+}
+
+func siftDown(a []int32, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

@@ -1,0 +1,98 @@
+package suffixtree
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func bruteLocate(text, pattern []byte) []int32 {
+	var out []int32
+	for i := 0; i+len(pattern) <= len(text); i++ {
+		if bytes.Equal(text[i:i+len(pattern)], pattern) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestLocateAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(201, 202))
+	m := pram.New(4)
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.IntN(300)
+		sigma := 2 + rng.IntN(3)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.IntN(sigma))
+		}
+		tr := Build(m, text)
+		for q := 0; q < 50; q++ {
+			// Mix of planted substrings and random patterns.
+			var pattern []byte
+			if q%2 == 0 && n > 4 {
+				s := rng.IntN(n - 3)
+				pattern = text[s : s+1+rng.IntN(3)]
+			} else {
+				pattern = make([]byte, 1+rng.IntN(5))
+				for i := range pattern {
+					pattern[i] = byte('a' + rng.IntN(sigma))
+				}
+			}
+			want := bruteLocate(text, pattern)
+			got := tr.Locate(pattern)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d pattern %q: %d occurrences want %d", trial, pattern, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d pattern %q: occ[%d]=%d want %d", trial, pattern, i, got[i], want[i])
+				}
+			}
+			if tr.Count(pattern) != len(want) {
+				t.Fatalf("count mismatch for %q", pattern)
+			}
+		}
+	}
+}
+
+func TestLocateEdgeCases(t *testing.T) {
+	m := pram.New(4)
+	tr := Build(m, []byte("banana"))
+	if got := tr.Locate(nil); got != nil {
+		t.Fatal("empty pattern")
+	}
+	if tr.Count([]byte("z")) != 0 {
+		t.Fatal("absent pattern counted")
+	}
+	if tr.Count([]byte("banana")) != 1 {
+		t.Fatal("full-text pattern")
+	}
+	if tr.Count([]byte("bananas")) != 0 {
+		t.Fatal("overlong pattern")
+	}
+	got := tr.Locate([]byte("ana"))
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("ana at %v", got)
+	}
+	if tr.Count([]byte("a")) != 3 {
+		t.Fatalf("a count = %d", tr.Count([]byte("a")))
+	}
+}
+
+func TestLocateManyOccurrences(t *testing.T) {
+	m := pram.New(4)
+	text := bytes.Repeat([]byte("ab"), 200)
+	tr := Build(m, text)
+	got := tr.Locate([]byte("ab"))
+	if len(got) != 200 {
+		t.Fatalf("%d occurrences", len(got))
+	}
+	for i, p := range got {
+		if p != int32(2*i) {
+			t.Fatalf("occ[%d]=%d (sorted order broken)", i, p)
+		}
+	}
+}

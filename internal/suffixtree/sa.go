@@ -1,0 +1,280 @@
+// Package suffixtree builds suffix trees and answers the string queries the
+// paper relies on (Lemmas 2.1 and 2.6): suffix links, O(1)
+// longest-common-prefix queries between arbitrary suffixes, and descent by
+// character.
+//
+// The paper's Lemma 2.1 is the Farach–Muthukrishnan randomized O(n)-work,
+// O(log n)-time suffix tree construction [11]. As documented in DESIGN.md §4
+// we substitute the pipeline
+//
+//	suffix array (parallel prefix doubling / sequential DC3)
+//	→ LCP array (deterministic doubling ranks / sequential Kasai)
+//	→ tree topology (Cartesian construction via all-nearest-smaller-values)
+//	→ suffix links (O(1) each, via LCA)
+//
+// which exposes the identical abstract interface. On a parallel machine the
+// construction costs O(n log n) work at O(log^2 n) depth; on a sequential
+// machine it is the classic linear-time route (DC3 + Kasai + stack).
+package suffixtree
+
+import (
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// buildSA returns the suffix array of the int32 string a (values >= 0; the
+// caller appends a unique smallest sentinel 0 at the end) and, on the
+// parallel path, the doubling rank tables used for deterministic LCP
+// computation. rankLevels[k][i] is the rank of suffix i by its first 2^k
+// characters (ties share ranks).
+func buildSA(m *pram.Machine, a []int32) (sa []int32, rankLevels [][]int32) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	if m.Sequential() {
+		return dc3(m, a), nil
+	}
+	return doublingSA(m, a)
+}
+
+// doublingSA is Manber–Myers prefix doubling with parallel radix sorts:
+// O(log n) rounds, each a stable two-key sort plus a rank pass. Work
+// O(n log n), depth O(log^2 n).
+func doublingSA(m *pram.Machine, a []int32) ([]int32, [][]int32) {
+	n := len(a)
+	rank := make([]int32, n)
+	maxSym := int64(0)
+	for _, c := range a { // cheap sequential max; charged below
+		if int64(c) > maxSym {
+			maxSym = int64(c)
+		}
+	}
+	m.Account(int64(n), 1)
+	// Round 0: rank by single symbol.
+	k1 := make([]int64, n)
+	m.ParallelFor(n, func(i int) { k1[i] = int64(a[i]) })
+	perm := par.SortPerm(m, k1, maxSym)
+	assignRanks(m, perm, rank, func(x, y int) bool { return a[x] == a[y] })
+	levels := [][]int32{append([]int32(nil), rank...)}
+
+	k2 := make([]int64, n)
+	for width := 1; width < n; width *= 2 {
+		w := width
+		m.ParallelFor(n, func(i int) {
+			k1[i] = int64(rank[i])
+			if i+w < n {
+				k2[i] = int64(rank[i+w]) + 1
+			} else {
+				k2[i] = 0
+			}
+		})
+		perm = par.SortByPair(m, k1, k2, int64(n))
+		newRank := make([]int32, n)
+		assignRanks(m, perm, newRank, func(x, y int) bool {
+			return k1[x] == k1[y] && k2[x] == k2[y]
+		})
+		copy(rank, newRank)
+		levels = append(levels, append([]int32(nil), rank...))
+		if int(rank[perm[n-1]]) == n-1 {
+			break // all ranks distinct
+		}
+	}
+	sa := make([]int32, n)
+	m.ParallelFor(n, func(i int) { sa[rank[i]] = int32(i) })
+	return sa, levels
+}
+
+// assignRanks writes dense ranks into rank given the sorted order perm;
+// same reports whether two suffix indices compare equal at this round.
+func assignRanks(m *pram.Machine, perm []int, rank []int32, same func(x, y int) bool) {
+	n := len(perm)
+	isNew := make([]int64, n)
+	m.ParallelFor(n, func(j int) {
+		if j == 0 || !same(perm[j-1], perm[j]) {
+			isNew[j] = 1
+		}
+	})
+	par.InclusiveScan(m, isNew)
+	m.ParallelFor(n, func(j int) { rank[perm[j]] = int32(isNew[j] - 1) })
+}
+
+// dc3 is the Kärkkäinen–Sanders skew algorithm: linear-time suffix array
+// construction by recursion on the suffixes at positions i mod 3 != 0. This
+// sequential path serves the one-processor machine and the test oracles.
+func dc3(m *pram.Machine, a []int32) []int32 {
+	n := len(a)
+	m.Account(int64(n), int64(n)) // linear work per level; geometric total
+	if n == 1 {
+		return []int32{0}
+	}
+	if n == 2 {
+		if less(a, 0, 1) {
+			return []int32{0, 1}
+		}
+		return []int32{1, 0}
+	}
+	// Remap symbols to 1..K (0 reserved for padding).
+	maxSym := int32(0)
+	for _, c := range a {
+		if c > maxSym {
+			maxSym = c
+		}
+	}
+	s := make([]int32, n+3)
+	for i, c := range a {
+		s[i] = c + 1
+	}
+	k := int(maxSym) + 1
+	sa := make([]int32, n)
+	skew(s, sa, n, k, m)
+	return sa
+}
+
+func less(a []int32, i, j int) bool {
+	for i < len(a) && j < len(a) {
+		if a[i] != a[j] {
+			return a[i] < a[j]
+		}
+		i++
+		j++
+	}
+	return i == len(a)
+}
+
+// skew fills sa with the suffix array of s[0:n]; s must have 3 zero-padding
+// entries past n and symbols in 1..k.
+func skew(s, sa []int32, n, k int, m *pram.Machine) {
+	n0, n1, n2 := (n+2)/3, (n+1)/3, n/3
+	n02 := n0 + n2
+	s12 := make([]int32, n02+3)
+	sa12 := make([]int32, n02+3)
+	// Positions i mod 3 != 0 (with one fake n1-position when n0 > n1).
+	j := 0
+	for i := 0; i < n+(n0-n1); i++ {
+		if i%3 != 0 {
+			s12[j] = int32(i)
+			j++
+		}
+	}
+	radixPass := func(from, to []int32, key func(int32) int32, cnt, bound int) {
+		c := make([]int32, bound+1)
+		for i := 0; i < cnt; i++ {
+			c[key(from[i])]++
+		}
+		var sum int32
+		for i := 0; i <= bound; i++ {
+			t := c[i]
+			c[i] = sum
+			sum += t
+		}
+		for i := 0; i < cnt; i++ {
+			to[c[key(from[i])]] = from[i]
+			c[key(from[i])]++
+		}
+	}
+	// Stable LSB radix sort of mod-1/2 triples.
+	radixPass(s12, sa12, func(p int32) int32 { return s[p+2] }, n02, k)
+	radixPass(sa12, s12, func(p int32) int32 { return s[p+1] }, n02, k)
+	radixPass(s12, sa12, func(p int32) int32 { return s[p] }, n02, k)
+	// Name triples.
+	name := 0
+	var c0, c1, c2 int32 = -1, -1, -1
+	for i := 0; i < n02; i++ {
+		p := sa12[i]
+		if s[p] != c0 || s[p+1] != c1 || s[p+2] != c2 {
+			name++
+			c0, c1, c2 = s[p], s[p+1], s[p+2]
+		}
+		if p%3 == 1 {
+			s12[p/3] = int32(name)
+		} else {
+			s12[p/3+int32(n0)] = int32(name)
+		}
+	}
+	if name < n02 {
+		skew(s12, sa12, n02, name, m)
+		for i := 0; i < n02; i++ {
+			s12[sa12[i]] = int32(i) + 1
+		}
+	} else {
+		for i := 0; i < n02; i++ {
+			sa12[s12[i]-1] = int32(i)
+		}
+	}
+	// Sort mod-0 suffixes by (char, rank of following mod-1 suffix).
+	s0 := make([]int32, n0)
+	sa0 := make([]int32, n0)
+	j = 0
+	for i := 0; i < n02; i++ {
+		if sa12[i] < int32(n0) {
+			s0[j] = 3 * sa12[i]
+			j++
+		}
+	}
+	radixPass(s0, sa0, func(p int32) int32 { return s[p] }, n0, k)
+	// Merge.
+	getI := func(t int) int32 {
+		if sa12[t] < int32(n0) {
+			return sa12[t]*3 + 1
+		}
+		return (sa12[t]-int32(n0))*3 + 2
+	}
+	rank12 := func(p int32) int32 {
+		if p%3 == 1 {
+			return s12[p/3]
+		}
+		return s12[p/3+int32(n0)]
+	}
+	p, t, idx := 0, n0-n1, 0
+	for ; t < n02; idx++ {
+		i := getI(t)
+		jj := sa0[p]
+		var smaller bool
+		if i%3 == 1 {
+			smaller = leq2(s[i], rank12(i+1), s[jj], rank12(jj+1))
+		} else {
+			smaller = leq3(s[i], s[i+1], rank12(i+2), s[jj], s[jj+1], rank12(jj+2))
+		}
+		if smaller {
+			sa[idx] = i
+			t++
+			if t == n02 {
+				idx++
+				for ; p < n0; p, idx = p+1, idx+1 {
+					sa[idx] = sa0[p]
+				}
+			}
+		} else {
+			sa[idx] = jj
+			p++
+			if p == n0 {
+				idx++
+				for ; t < n02; t, idx = t+1, idx+1 {
+					sa[idx] = getI(t)
+				}
+			}
+		}
+	}
+}
+
+func leq2(a1, a2, b1, b2 int32) bool {
+	return a1 < b1 || (a1 == b1 && a2 <= b2)
+}
+
+func leq3(a1, a2, a3, b1, b2, b3 int32) bool {
+	return a1 < b1 || (a1 == b1 && leq2(a2, a3, b2, b3))
+}
+
+// naiveSA is a comparison-sort oracle used by the tests only.
+func naiveSA(a []int32) []int32 {
+	n := len(a)
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(x, y int) bool { return less(a, int(sa[x]), int(sa[y])) })
+	return sa
+}

@@ -1,0 +1,269 @@
+package suffixtree
+
+import (
+	"repro/internal/ansv"
+	"repro/internal/eulertour"
+	"repro/internal/lca"
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// Tree is the suffix tree of S plus a unique terminal sentinel. Suffixes are
+// indexed 0..len(S): index len(S) is the sentinel-only suffix. Symbols are
+// remapped internally to 1..256 with 0 reserved for the sentinel, so every
+// byte string (including ones containing 0x00) is handled.
+type Tree struct {
+	S   []byte
+	aug []int32 // remapped string + sentinel, length len(S)+1
+
+	SA   []int32 // suffix array of aug
+	Rank []int32 // inverse of SA
+	LCP  []int32 // LCP[r] = lcp(SA[r-1], SA[r]); LCP[0] = 0
+
+	levels [][]int32 // doubling rank tables (parallel builds only)
+
+	// Per-node arrays. Node ids are dense; Root is the id of the root.
+	NumNodes int
+	Root     int
+	Parent   []int   // -1 at root
+	StrDepth []int32 // length of the path label
+	Lo, Hi   []int32 // SA interval covered by the node (inclusive)
+	LeafID   []int32 // suffix start -> leaf node id
+	LeafOf   []int32 // node id -> suffix start, or -1 for internal nodes
+
+	Topo *eulertour.Tree
+	Tour *eulertour.Tour
+	LCA  *lca.Index
+
+	sufLink []int32 // built on demand by SuffixLinks
+}
+
+// Build constructs the suffix tree of a byte string. s must be non-empty.
+// See the package comment for the cost profile of the parallel vs sequential
+// machine.
+func Build(m *pram.Machine, s []byte) *Tree {
+	if len(s) == 0 {
+		panic("suffixtree: empty string")
+	}
+	syms := make([]int32, len(s))
+	m.ParallelFor(len(s), func(i int) { syms[i] = int32(s[i]) })
+	t := BuildInts(m, syms)
+	t.S = s
+	return t
+}
+
+// BuildInts constructs the suffix tree of an int32 symbol string (symbols
+// must be >= 0). This is what the dictionary matcher uses: pattern bytes map
+// to 0..255 and the inter-pattern separator is symbol 256, so separators can
+// never collide with text bytes.
+func BuildInts(m *pram.Machine, syms []int32) *Tree {
+	if len(syms) == 0 {
+		panic("suffixtree: empty string")
+	}
+	n1 := len(syms) + 1
+	t := &Tree{aug: make([]int32, n1)}
+	m.ParallelFor(len(syms), func(i int) {
+		if syms[i] < 0 {
+			panic("suffixtree: negative symbol")
+		}
+		t.aug[i] = syms[i] + 1
+	})
+	t.aug[n1-1] = 0
+	t.SA, t.levels = buildSA(m, t.aug)
+	defer func() { t.levels = nil }() // only buildLCP needs the rank tables; free Θ(n log n) ints
+	t.Rank = make([]int32, n1)
+	m.ParallelFor(n1, func(r int) { t.Rank[t.SA[r]] = int32(r) })
+	t.LCP = buildLCP(m, t.aug, t.SA, t.levels)
+	t.buildTopology(m)
+	t.Topo = eulertour.New(m, t.Parent)
+	t.Tour = t.Topo.Euler(m)
+	t.LCA = lca.FromTour(m, t.Tour)
+	return t
+}
+
+// buildTopology derives the multiway tree from SA+LCP with the Cartesian
+// construction over the interleaved sequence
+//
+//	B = leafLen(SA[0]), LCP[1], leafLen(SA[1]), LCP[2], ..., leafLen(SA[n1-1])
+//
+// using all-nearest-smaller-values for binary parents and pointer jumping to
+// contract runs of equal LCP values into single multiway nodes.
+func (t *Tree) buildTopology(m *pram.Machine) {
+	n1 := len(t.SA)
+	L := 2*n1 - 1
+	b := make([]int64, L)
+	m.ParallelFor(L, func(p int) {
+		if p%2 == 0 {
+			b[p] = int64(n1 - int(t.SA[p/2])) // leaf: suffix length
+		} else {
+			b[p] = int64(t.LCP[(p+1)/2])
+		}
+	})
+	leftLE := ansv.LeftSmallerOrEqual(m, b)
+	leftS := ansv.LeftSmaller(m, b)
+	rightS := ansv.RightSmaller(m, b)
+
+	binParent := make([]int, L)
+	mergeUp := make([]int, L)
+	m.ParallelFor(L, func(p int) {
+		l, r := leftLE[p], rightS[p]
+		switch {
+		case l == -1 && r == L:
+			binParent[p] = -1
+		case l == -1:
+			binParent[p] = r
+		case r == L:
+			binParent[p] = l
+		case b[l] > b[r]:
+			// The candidate with the larger key (value, position) is the
+			// nearer ancestor; on equal values the right one wins because
+			// its position is larger.
+			binParent[p] = l
+		default:
+			binParent[p] = r
+		}
+		if bp := binParent[p]; bp != -1 && b[bp] == b[p] {
+			mergeUp[p] = bp // equal value: same multiway node
+		} else {
+			mergeUp[p] = p
+		}
+	})
+	rep := par.PointerJumpRoots(m, mergeUp)
+
+	reps := par.Pack(m, L, func(p int) bool { return rep[p] == p })
+	numNodes := len(reps)
+	posToID := make([]int32, L)
+	m.ParallelFor(numNodes, func(i int) { posToID[reps[i]] = int32(i) })
+
+	t.NumNodes = numNodes
+	t.Parent = make([]int, numNodes)
+	t.StrDepth = make([]int32, numNodes)
+	t.Lo = make([]int32, numNodes)
+	t.Hi = make([]int32, numNodes)
+	t.LeafID = make([]int32, n1)
+	t.LeafOf = make([]int32, numNodes)
+	rootCell := pram.NewCellsFilled(1, -1)
+	m.ParallelFor(numNodes, func(i int) {
+		p := reps[i]
+		t.StrDepth[i] = int32(b[p])
+		if bp := binParent[p]; bp == -1 {
+			t.Parent[i] = -1
+			rootCell.Write(0, int64(i))
+		} else {
+			t.Parent[i] = int(posToID[rep[bp]])
+		}
+		lo, hi := leftS[p], rightS[p]
+		t.Lo[i] = int32((lo + 1) / 2)
+		t.Hi[i] = int32((hi - 1) / 2)
+		if p%2 == 0 {
+			t.LeafOf[i] = t.SA[p/2]
+			t.LeafID[t.SA[p/2]] = int32(i)
+		} else {
+			t.LeafOf[i] = -1
+		}
+	})
+	t.Root = int(rootCell.Read(0))
+	if t.Root < 0 {
+		panic("suffixtree: no root")
+	}
+}
+
+// NumLeaves returns the number of leaves (len(S)+1, including the sentinel
+// suffix).
+func (t *Tree) NumLeaves() int { return len(t.SA) }
+
+// IsLeaf reports whether node v is a leaf.
+func (t *Tree) IsLeaf(v int) bool { return t.LeafOf[v] >= 0 }
+
+// Witness returns a suffix start position whose path passes through v, i.e.
+// the path label of v equals aug[Witness(v) : Witness(v)+StrDepth[v]].
+func (t *Tree) Witness(v int) int32 { return t.SA[t.Lo[v]] }
+
+// AugAt returns the remapped symbol at augmented-string position p (0 is
+// the sentinel; bytes map to 1..256).
+func (t *Tree) AugAt(p int32) int32 { return t.aug[p] }
+
+// AugLen returns len(S)+1.
+func (t *Tree) AugLen() int { return len(t.aug) }
+
+// FirstChar returns the first symbol (remapped) of the edge entering v.
+// v must not be the root.
+func (t *Tree) FirstChar(v int) int32 {
+	p := t.Parent[v]
+	return t.aug[int(t.Witness(v))+int(t.StrDepth[p])]
+}
+
+// ChildByChar returns the child of v whose edge starts with the remapped
+// symbol c, or -1. Children are stored in lexicographic order, so this is a
+// binary search: O(log sigma).
+func (t *Tree) ChildByChar(v int, c int32) int {
+	ch := t.Topo.Children(v)
+	lo, hi := 0, len(ch)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		fc := t.FirstChar(int(ch[mid]))
+		switch {
+		case fc < c:
+			lo = mid + 1
+		case fc > c:
+			hi = mid - 1
+		default:
+			return int(ch[mid])
+		}
+	}
+	return -1
+}
+
+// LCPSuffixes returns the length of the longest common prefix of the
+// suffixes starting at x and y (augmented-string positions, sentinel
+// included). O(1) via LCA — this is the paper's Lemma 2.6.
+func (t *Tree) LCPSuffixes(x, y int32) int32 {
+	if x == y {
+		return int32(len(t.aug)) - x
+	}
+	l := t.LCA.Query(int(t.LeafID[x]), int(t.LeafID[y]))
+	return t.StrDepth[l]
+}
+
+// EqualSubstrings reports whether aug[x:x+l] == aug[y:y+l] (Lemma 2.6's
+// string equality query), deterministically and in O(1).
+func (t *Tree) EqualSubstrings(x, y, l int32) bool {
+	if x == y {
+		return true
+	}
+	if int(x)+int(l) > len(t.aug) || int(y)+int(l) > len(t.aug) {
+		return false
+	}
+	return t.LCPSuffixes(x, y) >= l
+}
+
+// SuffixLinks computes (once) and returns the suffix-link array: for a node
+// v with path label c·w, sufLink[v] is the node with path label w. The root
+// maps to -1; the sentinel leaf maps to the root. Internal links are found
+// with two LCA queries (O(1) each); leaf links are LeafID[i+1].
+func (t *Tree) SuffixLinks(m *pram.Machine) []int32 {
+	if t.sufLink != nil {
+		return t.sufLink
+	}
+	n1 := len(t.SA)
+	links := make([]int32, t.NumNodes)
+	m.ParallelFor(t.NumNodes, func(v int) {
+		switch {
+		case v == t.Root:
+			links[v] = -1
+		case t.IsLeaf(v):
+			i := t.LeafOf[v]
+			if int(i) == n1-1 {
+				links[v] = int32(t.Root) // sentinel leaf: suffix link to empty
+			} else {
+				links[v] = t.LeafID[i+1]
+			}
+		default:
+			a := t.LeafID[t.SA[t.Lo[v]]+1]
+			b := t.LeafID[t.SA[t.Hi[v]]+1]
+			links[v] = int32(t.LCA.Query(int(a), int(b)))
+		}
+	})
+	t.sufLink = links
+	return links
+}

@@ -1,0 +1,321 @@
+package suffixtree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func augOf(s []byte) []int32 {
+	a := make([]int32, len(s)+1)
+	for i, c := range s {
+		a[i] = int32(c) + 1
+	}
+	return a
+}
+
+func bruteLCPOf(a []int32, x, y int) int32 {
+	var l int32
+	for int(l)+x < len(a) && int(l)+y < len(a) && a[x+int(l)] == a[y+int(l)] {
+		l++
+	}
+	return l
+}
+
+var testStrings = [][]byte{
+	[]byte("a"),
+	[]byte("aa"),
+	[]byte("ab"),
+	[]byte("aaaaaaaa"),
+	[]byte("banana"),
+	[]byte("mississippi"),
+	[]byte("abcabcabcabc"),
+	[]byte("abracadabra"),
+	{0, 1, 0, 0, 1, 0, 1, 0},       // zero bytes are fine
+	{255, 0, 255, 255, 0, 1, 2, 3}, // extreme byte values
+}
+
+func randomStrings(rng *rand.Rand) [][]byte {
+	var out [][]byte
+	for _, n := range []int{13, 50, 200, 700} {
+		for _, sigma := range []int{1, 2, 4, 26} {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte('a' + rng.IntN(sigma))
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestSuffixArrayMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	all := append(append([][]byte{}, testStrings...), randomStrings(rng)...)
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		m.SetGrain(41)
+		for _, s := range all {
+			a := augOf(s)
+			want := naiveSA(a)
+			got, _ := buildSA(m, a)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("procs=%d s=%q SA[%d]=%d want %d", procs, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLCPMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(93, 94))
+	all := append(append([][]byte{}, testStrings...), randomStrings(rng)...)
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, s := range all {
+			a := augOf(s)
+			sa, levels := buildSA(m, a)
+			lcp := buildLCP(m, a, sa, levels)
+			for r := 1; r < len(sa); r++ {
+				want := bruteLCPOf(a, int(sa[r-1]), int(sa[r]))
+				if lcp[r] != want {
+					t.Fatalf("procs=%d s=%q lcp[%d]=%d want %d", procs, s, r, lcp[r], want)
+				}
+			}
+		}
+	}
+}
+
+// checkTree verifies the structural invariants of a suffix tree.
+func checkTree(t *testing.T, tr *Tree) {
+	t.Helper()
+	n1 := tr.NumLeaves()
+	if tr.StrDepth[tr.Root] != 0 || tr.Parent[tr.Root] != -1 {
+		t.Fatal("bad root")
+	}
+	leafCount := 0
+	for v := 0; v < tr.NumNodes; v++ {
+		if tr.IsLeaf(v) {
+			leafCount++
+			if tr.Lo[v] != tr.Hi[v] {
+				t.Fatalf("leaf %d has interval [%d,%d]", v, tr.Lo[v], tr.Hi[v])
+			}
+			if int(tr.StrDepth[v]) != n1-int(tr.LeafOf[v]) {
+				t.Fatalf("leaf %d depth %d want %d", v, tr.StrDepth[v], n1-int(tr.LeafOf[v]))
+			}
+			if tr.LeafID[tr.LeafOf[v]] != int32(v) {
+				t.Fatalf("LeafID inverse broken at %d", v)
+			}
+			continue
+		}
+		if v != tr.Root && tr.Topo.Degree(v) < 2 {
+			t.Fatalf("internal node %d has %d children", v, tr.Topo.Degree(v))
+		}
+		// Interval = [min lcp boundary]: all pairs of adjacent suffixes
+		// inside share >= StrDepth, boundaries share less.
+		lo, hi, d := int(tr.Lo[v]), int(tr.Hi[v]), tr.StrDepth[v]
+		minIn := int32(1 << 30)
+		for r := lo + 1; r <= hi; r++ {
+			if tr.LCP[r] < minIn {
+				minIn = tr.LCP[r]
+			}
+		}
+		if lo != hi && minIn != d {
+			t.Fatalf("node %d: interval min LCP %d != depth %d", v, minIn, d)
+		}
+		if lo > 0 && tr.LCP[lo] >= d {
+			t.Fatalf("node %d: left boundary LCP too large", v)
+		}
+		if hi+1 < n1 && tr.LCP[hi+1] >= d {
+			t.Fatalf("node %d: right boundary LCP too large", v)
+		}
+	}
+	if leafCount != n1 {
+		t.Fatalf("leafCount = %d want %d", leafCount, n1)
+	}
+	// Parents: strictly smaller depth, enclosing interval.
+	for v := 0; v < tr.NumNodes; v++ {
+		if v == tr.Root {
+			continue
+		}
+		p := tr.Parent[v]
+		if tr.StrDepth[p] >= tr.StrDepth[v] {
+			t.Fatalf("node %d depth %d parent %d depth %d", v, tr.StrDepth[v], p, tr.StrDepth[p])
+		}
+		if tr.Lo[p] > tr.Lo[v] || tr.Hi[p] < tr.Hi[v] {
+			t.Fatalf("parent interval does not contain child")
+		}
+	}
+	// Children of every node ordered by first character, all distinct.
+	for v := 0; v < tr.NumNodes; v++ {
+		ch := tr.Topo.Children(v)
+		for i := 1; i < len(ch); i++ {
+			if tr.FirstChar(int(ch[i-1])) >= tr.FirstChar(int(ch[i])) {
+				t.Fatalf("node %d children not strictly ordered by first char", v)
+			}
+		}
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(95, 96))
+	all := append(append([][]byte{}, testStrings...), randomStrings(rng)...)
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		for _, s := range all {
+			tr := Build(m, s)
+			checkTree(t, tr)
+		}
+	}
+}
+
+func TestParallelAndSequentialTreesAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(97, 98))
+	all := append(append([][]byte{}, testStrings...), randomStrings(rng)...)
+	seq := pram.NewSequential()
+	par := pram.New(4)
+	for _, s := range all {
+		a := Build(seq, s)
+		b := Build(par, s)
+		if a.NumNodes != b.NumNodes {
+			t.Fatalf("s=%q node counts %d vs %d", s, a.NumNodes, b.NumNodes)
+		}
+		// Node identity is (Lo, Hi, StrDepth); both builds order nodes by
+		// their representative position, so arrays must match exactly.
+		for v := 0; v < a.NumNodes; v++ {
+			if a.Lo[v] != b.Lo[v] || a.Hi[v] != b.Hi[v] || a.StrDepth[v] != b.StrDepth[v] ||
+				a.Parent[v] != b.Parent[v] || a.LeafOf[v] != b.LeafOf[v] {
+				t.Fatalf("s=%q node %d differs between builds", s, v)
+			}
+		}
+	}
+}
+
+func TestLCPSuffixesAndEquality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	m := pram.New(4)
+	for _, s := range [][]byte{[]byte("banana"), []byte("abcabcabcabc"), randomStrings(rng)[5]} {
+		tr := Build(m, s)
+		a := augOf(s)
+		n1 := len(a)
+		for x := 0; x < n1; x++ {
+			for y := 0; y < n1; y++ {
+				want := bruteLCPOf(a, x, y)
+				if got := tr.LCPSuffixes(int32(x), int32(y)); got != want {
+					t.Fatalf("s=%q LCP(%d,%d)=%d want %d", s, x, y, got, want)
+				}
+				for _, l := range []int32{0, 1, want, want + 1} {
+					if int(l) > n1-max(x, y) {
+						continue
+					}
+					if got := tr.EqualSubstrings(int32(x), int32(y), l); got != (want >= l) {
+						t.Fatalf("s=%q Equal(%d,%d,%d)=%v", s, x, y, l, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSuffixLinks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+	m := pram.New(4)
+	all := append(append([][]byte{}, testStrings...), randomStrings(rng)[:8]...)
+	for _, s := range all {
+		tr := Build(m, s)
+		links := tr.SuffixLinks(m)
+		for v := 0; v < tr.NumNodes; v++ {
+			if v == tr.Root {
+				if links[v] != -1 {
+					t.Fatalf("root link = %d", links[v])
+				}
+				continue
+			}
+			w := int(links[v])
+			// Label of v is aug[wit : wit+d]; link target label must be
+			// aug[wit+1 : wit+d].
+			wit, d := tr.Witness(v), tr.StrDepth[v]
+			if tr.IsLeaf(v) && int(tr.LeafOf[v]) == tr.NumLeaves()-1 {
+				if w != tr.Root {
+					t.Fatalf("sentinel leaf link = %d", w)
+				}
+				continue
+			}
+			if tr.StrDepth[w] != d-1 {
+				t.Fatalf("s=%q node %d (depth %d) links to %d (depth %d)",
+					s, v, d, w, tr.StrDepth[w])
+			}
+			if d > 1 {
+				lw := tr.Witness(w)
+				if tr.LCPSuffixes(wit+1, lw) < d-1 {
+					t.Fatalf("s=%q link label mismatch at node %d", s, v)
+				}
+			}
+		}
+	}
+}
+
+func TestChildByChar(t *testing.T) {
+	m := pram.New(4)
+	tr := Build(m, []byte("mississippi"))
+	for v := 0; v < tr.NumNodes; v++ {
+		ch := tr.Topo.Children(v)
+		seen := map[int32]int{}
+		for _, c := range ch {
+			seen[tr.FirstChar(int(c))] = int(c)
+		}
+		for c := int32(0); c < 258; c++ {
+			want, ok := seen[c]
+			got := tr.ChildByChar(v, c)
+			if ok && got != want {
+				t.Fatalf("node %d char %d: got %d want %d", v, c, got, want)
+			}
+			if !ok && got != -1 {
+				t.Fatalf("node %d char %d: got %d want -1", v, c, got)
+			}
+		}
+	}
+}
+
+func TestBuildEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build(empty) did not panic")
+		}
+	}()
+	Build(pram.NewSequential(), nil)
+}
+
+func TestBananaKnownStructure(t *testing.T) {
+	m := pram.NewSequential()
+	tr := Build(m, []byte("banana"))
+	// "banana$": 7 leaves; internal nodes: root, "a", "na", "ana", "anana"?
+	// Known: suffix tree of banana$ has 4 internal nodes incl root:
+	// root, "a", "ana", "na".
+	if tr.NumLeaves() != 7 {
+		t.Fatalf("leaves = %d", tr.NumLeaves())
+	}
+	internal := tr.NumNodes - tr.NumLeaves()
+	if internal != 4 {
+		t.Fatalf("internal nodes = %d want 4", internal)
+	}
+	// Check the depths of the internal nodes are {0,1,2,3}.
+	var depths []int32
+	for v := 0; v < tr.NumNodes; v++ {
+		if !tr.IsLeaf(v) {
+			depths = append(depths, tr.StrDepth[v])
+		}
+	}
+	want := map[int32]bool{0: true, 1: true, 2: true, 3: true}
+	for _, d := range depths {
+		if !want[d] {
+			t.Fatalf("unexpected internal depth %d", d)
+		}
+		delete(want, d)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing internal depths: %v", want)
+	}
+}

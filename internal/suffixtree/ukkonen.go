@@ -1,0 +1,180 @@
+package suffixtree
+
+// Ukkonen's online suffix tree construction — a third, independent
+// algorithm family (besides DC3 and prefix doubling) used to cross-
+// validate the suffix array and LCP construction, and available as a fast
+// sequential builder. It constructs the implicit suffix tree of the
+// sentinel-terminated string with amortized O(n) node operations (hash-map
+// children, so O(n) expected for unbounded alphabets), then reads the
+// suffix array and LCP array off a lexicographic depth-first traversal.
+
+type ukkNode struct {
+	start, end int32 // edge label into this node: aug[start:end), end == -1 means "open"
+	slink      int32
+	children   map[int32]int32
+}
+
+type ukkonen struct {
+	aug   []int32
+	nodes []ukkNode
+	// active point
+	aNode   int32
+	aEdge   int32 // index into aug of the active edge's first symbol
+	aLen    int32
+	remain  int32
+	needSL  int32 // node awaiting a suffix link this phase
+	leafEnd int32
+}
+
+func (u *ukkonen) edgeLen(v int32) int32 {
+	if u.nodes[v].end == -1 {
+		return u.leafEnd + 1 - u.nodes[v].start
+	}
+	return u.nodes[v].end - u.nodes[v].start
+}
+
+func (u *ukkonen) newNode(start, end int32) int32 {
+	u.nodes = append(u.nodes, ukkNode{start: start, end: end, children: nil})
+	return int32(len(u.nodes) - 1)
+}
+
+func (u *ukkonen) child(v, c int32) (int32, bool) {
+	if u.nodes[v].children == nil {
+		return 0, false
+	}
+	w, ok := u.nodes[v].children[c]
+	return w, ok
+}
+
+func (u *ukkonen) setChild(v, c, w int32) {
+	if u.nodes[v].children == nil {
+		u.nodes[v].children = make(map[int32]int32, 2)
+	}
+	u.nodes[v].children[c] = w
+}
+
+func (u *ukkonen) addSuffixLink(v int32) {
+	if u.needSL > 0 {
+		u.nodes[u.needSL].slink = v
+	}
+	u.needSL = v
+}
+
+// extend runs one phase of Ukkonen's algorithm for position pos.
+func (u *ukkonen) extend(pos int32) {
+	u.leafEnd = pos
+	u.remain++
+	u.needSL = 0
+	for u.remain > 0 {
+		if u.aLen == 0 {
+			u.aEdge = pos
+		}
+		c := u.aug[u.aEdge]
+		next, ok := u.child(u.aNode, c)
+		if !ok {
+			// Rule 2: new leaf off the active node.
+			leaf := u.newNode(pos, -1)
+			u.setChild(u.aNode, c, leaf)
+			u.addSuffixLink(u.aNode)
+		} else {
+			el := u.edgeLen(next)
+			if u.aLen >= el {
+				// Walk down (skip/count).
+				u.aEdge += el
+				u.aLen -= el
+				u.aNode = next
+				continue
+			}
+			if u.aug[u.nodes[next].start+u.aLen] == u.aug[pos] {
+				// Rule 3: already present; stop this phase.
+				u.aLen++
+				u.addSuffixLink(u.aNode)
+				break
+			}
+			// Rule 2 with split.
+			split := u.newNode(u.nodes[next].start, u.nodes[next].start+u.aLen)
+			u.setChild(u.aNode, c, split)
+			leaf := u.newNode(pos, -1)
+			u.setChild(split, u.aug[pos], leaf)
+			u.nodes[next].start += u.aLen
+			u.setChild(split, u.aug[u.nodes[next].start], next)
+			u.addSuffixLink(split)
+		}
+		u.remain--
+		if u.aNode == 0 && u.aLen > 0 {
+			u.aLen--
+			u.aEdge = pos - u.remain + 1
+		} else if u.aNode != 0 {
+			u.aNode = u.nodes[u.aNode].slink
+		}
+	}
+}
+
+// ukkonenSA builds the suffix array and LCP array of aug (which must end
+// with a unique smallest sentinel) via Ukkonen's construction plus a
+// lexicographic DFS.
+func ukkonenSA(aug []int32) (sa, lcp []int32) {
+	u := &ukkonen{aug: aug}
+	u.newNode(0, 0) // root
+	for pos := range aug {
+		u.extend(int32(pos))
+	}
+	n := int32(len(aug))
+	sa = make([]int32, 0, n)
+	lcp = make([]int32, 0, n)
+	// Iterative DFS with children in symbol order; track string depth and
+	// the pending LCP value (depth of the node where the previous branch
+	// happened).
+	type frame struct {
+		node  int32
+		depth int32 // string depth of node
+		kidIx int
+		kids  []int32 // child symbols, sorted
+	}
+	sortedKids := func(v int32) []int32 {
+		ch := u.nodes[v].children
+		out := make([]int32, 0, len(ch))
+		for c := range ch {
+			out = append(out, c)
+		}
+		sortInt32(out)
+		return out
+	}
+	stack := []frame{{node: 0, depth: 0, kids: sortedKids(0)}}
+	pending := int32(0)
+	first := true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.kidIx >= len(f.kids) {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				top := &stack[len(stack)-1]
+				if pending > top.depth {
+					pending = top.depth
+				}
+			}
+			continue
+		}
+		c := f.kids[f.kidIx]
+		f.kidIx++
+		v := u.nodes[f.node].children[c]
+		d := f.depth + u.edgeLen(v)
+		if u.nodes[v].children == nil {
+			// Leaf: suffix start = n - d.
+			sa = append(sa, n-d)
+			if first {
+				lcp = append(lcp, 0)
+				first = false
+			} else {
+				lcp = append(lcp, pending)
+			}
+			pending = f.depth
+			continue
+		}
+		// Internal node: the next leaf's LCP is bounded by this depth only
+		// through the stack bookkeeping above; descending does not raise
+		// pending beyond the branch point already recorded.
+		stack = append(stack, frame{node: v, depth: d, kids: sortedKids(v)})
+	}
+	return sa, lcp
+}

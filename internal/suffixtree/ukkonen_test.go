@@ -1,0 +1,74 @@
+package suffixtree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// Ukkonen must agree with DC3 and prefix doubling on SA and LCP exactly.
+func TestUkkonenAgainstOtherBuilders(t *testing.T) {
+	rng := rand.New(rand.NewPCG(251, 252))
+	all := append(append([][]byte{}, testStrings...), randomStrings(rng)...)
+	m := pram.NewSequential()
+	for _, s := range all {
+		a := augOf(s)
+		wantSA, _ := buildSA(m, a)
+		wantLCP := buildLCP(m, a, wantSA, nil)
+		gotSA, gotLCP := ukkonenSA(a)
+		if len(gotSA) != len(wantSA) {
+			t.Fatalf("s=%q SA length %d want %d", s, len(gotSA), len(wantSA))
+		}
+		for r := range wantSA {
+			if gotSA[r] != wantSA[r] {
+				t.Fatalf("s=%q SA[%d]=%d want %d", s, r, gotSA[r], wantSA[r])
+			}
+			if gotLCP[r] != wantLCP[r] {
+				t.Fatalf("s=%q LCP[%d]=%d want %d", s, r, gotLCP[r], wantLCP[r])
+			}
+		}
+	}
+}
+
+func TestUkkonenLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(253, 254))
+	m := pram.NewSequential()
+	for _, sigma := range []int{1, 2, 4, 200} {
+		s := make([]byte, 5000)
+		for i := range s {
+			s[i] = byte(rng.IntN(sigma))
+		}
+		a := augOf(s)
+		wantSA, _ := buildSA(m, a)
+		gotSA, _ := ukkonenSA(a)
+		for r := range wantSA {
+			if gotSA[r] != wantSA[r] {
+				t.Fatalf("sigma=%d SA[%d]=%d want %d", sigma, r, gotSA[r], wantSA[r])
+			}
+		}
+	}
+}
+
+func BenchmarkBuilders(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 1 << 16
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte('a' + rng.IntN(4))
+	}
+	a := augOf(s)
+	b.Run("dc3", func(b *testing.B) {
+		m := pram.NewSequential()
+		b.SetBytes(n)
+		for i := 0; i < b.N; i++ {
+			dc3(m, a)
+		}
+	})
+	b.Run("ukkonen", func(b *testing.B) {
+		b.SetBytes(n)
+		for i := 0; i < b.N; i++ {
+			ukkonenSA(a)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package textgen generates the seeded, reproducible workloads used by the
+// tests, examples and the experiment harness: texts of controlled entropy
+// and repetitiveness, and pattern dictionaries with controlled structure
+// (prefix-heavy, overlapping, adversarial-for-greedy). The paper motivates
+// its algorithms with multi-media and genome databases (§1); the DNA and
+// Markov generators stand in for those corpora.
+package textgen
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Gen is a seeded workload generator. Distinct seeds give independent
+// streams; the same seed always regenerates identical data.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Gen {
+	return &Gen{rng: rand.New(rand.NewPCG(seed, 0x5bf0_3635))}
+}
+
+// Uniform returns n bytes drawn uniformly from the first sigma letters
+// starting at 'a' (sigma <= 26) or from sigma byte values starting at 0.
+func (g *Gen) Uniform(n, sigma int) []byte {
+	out := make([]byte, n)
+	base := byte('a')
+	if sigma > 26 {
+		base = 0
+	}
+	for i := range out {
+		out[i] = base + byte(g.rng.IntN(sigma))
+	}
+	return out
+}
+
+// DNA returns n bytes over ACGT with mildly skewed frequencies (GC-content
+// ~ 0.42, roughly human-like).
+func (g *Gen) DNA(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		switch r := g.rng.Float64(); {
+		case r < 0.29:
+			out[i] = 'A'
+		case r < 0.58:
+			out[i] = 'T'
+		case r < 0.79:
+			out[i] = 'G'
+		default:
+			out[i] = 'C'
+		}
+	}
+	return out
+}
+
+// Repetitive returns n bytes built from a random seed block of length
+// blockLen copied with point mutations at the given rate — the highly
+// compressible regime where LZ1 shines.
+func (g *Gen) Repetitive(n, blockLen int, mutationRate float64) []byte {
+	if blockLen <= 0 {
+		blockLen = 32
+	}
+	block := g.Uniform(blockLen, 4)
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		out = append(out, block...)
+	}
+	out = out[:n]
+	for i := range out {
+		if g.rng.Float64() < mutationRate {
+			out[i] = 'a' + byte(g.rng.IntN(4))
+		}
+	}
+	return out
+}
+
+// Markov returns n bytes from an order-1 Markov chain over sigma letters
+// with random (but seeded) transition structure; concentration < 1 skews
+// the rows to be more deterministic, giving English-like redundancy.
+func (g *Gen) Markov(n, sigma int, concentration float64) []byte {
+	if sigma < 2 {
+		sigma = 2
+	}
+	// Row-stochastic matrix from exponential weights.
+	trans := make([][]float64, sigma)
+	for i := range trans {
+		row := make([]float64, sigma)
+		var sum float64
+		for j := range row {
+			w := -concentration * logUniform(g.rng)
+			row[j] = w
+			sum += w
+		}
+		acc := 0.0
+		for j := range row {
+			acc += row[j] / sum
+			row[j] = acc
+		}
+		trans[i] = row
+	}
+	out := make([]byte, n)
+	state := g.rng.IntN(sigma)
+	for i := range out {
+		out[i] = 'a' + byte(state)
+		r := g.rng.Float64()
+		row := trans[state]
+		state = sigma - 1
+		for j, c := range row {
+			if r < c {
+				state = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+func logUniform(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	return -math.Log(u)
+}
+
+// Fibonacci returns the prefix of length n of the Fibonacci word over
+// {a, b} — a classic highly-repetitive worst case for repetition-detecting
+// structures.
+func Fibonacci(n int) []byte {
+	a, b := []byte("a"), []byte("ab")
+	for len(b) < n {
+		a, b = b, append(append([]byte{}, b...), a...)
+	}
+	return b[:n]
+}
+
+// ThueMorse returns the prefix of length n of the Thue–Morse word over
+// {a, b} — cube-free, the opposite extreme from Fibonacci.
+func ThueMorse(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		if popcount(uint(i))%2 == 0 {
+			out[i] = 'a'
+		} else {
+			out[i] = 'b'
+		}
+	}
+	return out
+}
+
+func popcount(x uint) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// Dictionary draws numPatterns patterns with lengths in [minLen, maxLen]
+// over sigma letters. Patterns are distinct with high probability but
+// duplicates are allowed (the matcher must tolerate them).
+func (g *Gen) Dictionary(numPatterns, minLen, maxLen, sigma int) [][]byte {
+	out := make([][]byte, numPatterns)
+	for i := range out {
+		l := minLen
+		if maxLen > minLen {
+			l += g.rng.IntN(maxLen - minLen + 1)
+		}
+		out[i] = g.Uniform(l, sigma)
+	}
+	return out
+}
+
+// PrefixClosedDictionary returns a dictionary satisfying the prefix
+// property required by the static compression scheme (§5): every prefix of
+// every word is also a word. It draws base words and adds all their
+// prefixes, deduplicated.
+func (g *Gen) PrefixClosedDictionary(numBase, maxLen, sigma int) [][]byte {
+	seen := map[string]bool{}
+	var out [][]byte
+	for i := 0; i < numBase; i++ {
+		l := 1 + g.rng.IntN(maxLen)
+		w := g.Uniform(l, sigma)
+		for p := 1; p <= len(w); p++ {
+			key := string(w[:p])
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, []byte(key))
+			}
+		}
+	}
+	return out
+}
+
+// PlantedDictionary embeds occurrences: it returns a text of length n and a
+// dictionary of numPatterns patterns such that patterns are planted in the
+// text every gap positions (the rest of the text is uniform noise). Used to
+// control match density in experiments.
+func (g *Gen) PlantedDictionary(n, numPatterns, patLen, gap, sigma int) ([]byte, [][]byte) {
+	dict := g.Dictionary(numPatterns, patLen, patLen, sigma)
+	text := g.Uniform(n, sigma)
+	for pos := 0; pos+patLen <= n; pos += gap {
+		copy(text[pos:], dict[g.rng.IntN(numPatterns)])
+	}
+	return text, dict
+}
+
+// GreedyAdversarialDictionary returns a prefix-closed dictionary and a text
+// on which greedy longest-match parsing is suboptimal by a factor of 3/2:
+// the dictionary is the prefix closure of {a^k, a^k·b} plus {b}, and the
+// text is (a^(k+1)·b)^reps. In each block greedy parses a^k | a | b
+// (3 phrases) while the optimal parse is a | a^k·b (2 phrases): greedy's
+// longest first jump overshoots the start of the long word a^k·b.
+func GreedyAdversarialDictionary(k, reps int) (text []byte, dict [][]byte) {
+	for i := 1; i <= k; i++ {
+		dict = append(dict, bytesRepeat('a', i))
+	}
+	w := append(bytesRepeat('a', k), 'b')
+	// Prefix property: the proper prefixes of w are a^1..a^k, all present.
+	dict = append(dict, w, []byte{'b'})
+	for r := 0; r < reps; r++ {
+		text = append(text, bytesRepeat('a', k+1)...)
+		text = append(text, 'b')
+	}
+	return text, dict
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package textgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReproducibility(t *testing.T) {
+	a := New(42).Uniform(1000, 4)
+	b := New(42).Uniform(1000, 4)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different output")
+	}
+	c := New(43).Uniform(1000, 4)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestUniformAlphabet(t *testing.T) {
+	s := New(1).Uniform(10000, 4)
+	counts := map[byte]int{}
+	for _, c := range s {
+		counts[c]++
+		if c < 'a' || c > 'd' {
+			t.Fatalf("out-of-alphabet byte %q", c)
+		}
+	}
+	for c := byte('a'); c <= 'd'; c++ {
+		if counts[c] < 2000 || counts[c] > 3000 {
+			t.Fatalf("letter %q count %d not near uniform", c, counts[c])
+		}
+	}
+}
+
+func TestDNAAlphabet(t *testing.T) {
+	s := New(2).DNA(5000)
+	for _, c := range s {
+		if c != 'A' && c != 'C' && c != 'G' && c != 'T' {
+			t.Fatalf("non-DNA byte %q", c)
+		}
+	}
+}
+
+func TestRepetitiveIsCompressible(t *testing.T) {
+	s := New(3).Repetitive(4096, 64, 0)
+	// With zero mutations the text is periodic with period 64.
+	for i := 64; i < len(s); i++ {
+		if s[i] != s[i-64] {
+			t.Fatalf("period violated at %d", i)
+		}
+	}
+}
+
+func TestMarkovLengthAndAlphabet(t *testing.T) {
+	s := New(4).Markov(2000, 5, 0.5)
+	if len(s) != 2000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, c := range s {
+		if c < 'a' || c >= 'a'+5 {
+			t.Fatalf("out-of-alphabet byte %q", c)
+		}
+	}
+}
+
+func TestFibonacciWord(t *testing.T) {
+	got := Fibonacci(13)
+	want := "abaababaabaab"
+	if string(got) != want {
+		t.Fatalf("fibonacci = %q want %q", got, want)
+	}
+}
+
+func TestThueMorse(t *testing.T) {
+	got := ThueMorse(16)
+	want := "abbabaabbaababba"
+	if string(got) != want {
+		t.Fatalf("thue-morse = %q want %q", got, want)
+	}
+	// Cube-free: no www substring.
+	s := ThueMorse(200)
+	for l := 1; l <= 20; l++ {
+		for i := 0; i+3*l <= len(s); i++ {
+			if bytes.Equal(s[i:i+l], s[i+l:i+2*l]) && bytes.Equal(s[i:i+l], s[i+2*l:i+3*l]) {
+				t.Fatalf("cube of length %d at %d", l, i)
+			}
+		}
+	}
+}
+
+func TestPrefixClosedDictionary(t *testing.T) {
+	dict := New(5).PrefixClosedDictionary(20, 8, 3)
+	seen := map[string]bool{}
+	for _, w := range dict {
+		if len(w) == 0 {
+			t.Fatal("empty word")
+		}
+		if seen[string(w)] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[string(w)] = true
+	}
+	for _, w := range dict {
+		for p := 1; p < len(w); p++ {
+			if !seen[string(w[:p])] {
+				t.Fatalf("prefix %q of %q missing", w[:p], w)
+			}
+		}
+	}
+}
+
+func TestPlantedDictionary(t *testing.T) {
+	text, dict := New(6).PlantedDictionary(1000, 5, 8, 50, 4)
+	if len(text) != 1000 || len(dict) != 5 {
+		t.Fatal("sizes")
+	}
+	// At least one planted occurrence must be present verbatim.
+	found := false
+	for _, p := range dict {
+		if bytes.Contains(text, p) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no planted pattern found in text")
+	}
+}
+
+func TestGreedyAdversarial(t *testing.T) {
+	text, dict := GreedyAdversarialDictionary(4, 3)
+	// Text is (a^5 b)^3.
+	if len(text) != 3*6 {
+		t.Fatalf("text len = %d", len(text))
+	}
+	// Dictionary contains a..aaaa, aaab, b and is prefix closed.
+	seen := map[string]bool{}
+	for _, w := range dict {
+		seen[string(w)] = true
+	}
+	for _, w := range dict {
+		for p := 1; p < len(w); p++ {
+			if !seen[string(w[:p])] {
+				t.Fatalf("prefix property violated for %q", w)
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package veb
+
+import "testing"
+
+func BenchmarkInsertDelete(b *testing.B) {
+	t := New(1 << 20)
+	for i := 0; i < b.N; i++ {
+		x := (i * 2654435761) & (1<<20 - 1)
+		t.Insert(x)
+		if i%2 == 1 {
+			t.Delete((x + 7) & (1<<20 - 1))
+		}
+	}
+}
+
+func BenchmarkPredecessor(b *testing.B) {
+	t := New(1 << 20)
+	for i := 0; i < 1<<16; i++ {
+		t.Insert((i * 31) & (1<<20 - 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Predecessor((i * 2654435761) & (1<<20 - 1))
+	}
+}

@@ -1,0 +1,156 @@
+package repro
+
+// End-to-end tests of the command-line tools: build each binary once and
+// drive it through its documented flows.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "repro-bins")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"dictmatch", "lzpack", "optparse", "benchtab", "textgen", "streedump"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
+			cmd.Dir = "."
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return buildDir
+}
+
+func run(t *testing.T, stdin []byte, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdin = bytes.NewReader(stdin)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", filepath.Base(bin), args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+func TestToolDictmatch(t *testing.T) {
+	bins := binaries(t)
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "pats.txt")
+	if err := os.WriteFile(dict, []byte("she\nhe\nhers\nhis\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := run(t, []byte("ushers"), filepath.Join(bins, "dictmatch"), "-dict", dict)
+	want := "1\tshe\n2\thers\n"
+	if out != want {
+		t.Fatalf("dictmatch output %q want %q", out, want)
+	}
+	// AC engine must agree.
+	out2, _ := run(t, []byte("ushers"), filepath.Join(bins, "dictmatch"), "-dict", dict, "-engine", "ac")
+	if out2 != want {
+		t.Fatalf("ac engine output %q", out2)
+	}
+	// Stats mode mentions the PRAM ledger.
+	_, errOut := run(t, []byte("ushers"), filepath.Join(bins, "dictmatch"), "-dict", dict, "-stats", "-q")
+	if !strings.Contains(errOut, "work=") {
+		t.Fatalf("stats output missing ledger: %q", errOut)
+	}
+}
+
+func TestToolLzpackRoundTrip(t *testing.T) {
+	bins := binaries(t)
+	payload := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200)
+	packed, _ := run(t, payload, filepath.Join(bins, "lzpack"), "-c")
+	if len(packed) >= len(payload) {
+		t.Fatalf("no compression: %d >= %d", len(packed), len(payload))
+	}
+	for _, mode := range []string{"jump", "cc"} {
+		restored, _ := run(t, []byte(packed), filepath.Join(bins, "lzpack"), "-d", "-mode", mode)
+		if restored != string(payload) {
+			t.Fatalf("mode %s roundtrip failed", mode)
+		}
+	}
+}
+
+func TestToolOptparse(t *testing.T) {
+	bins := binaries(t)
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "words.txt")
+	if err := os.WriteFile(dict, []byte("a\nb\naa\naab\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut := run(t, []byte("aaab"), filepath.Join(bins, "optparse"), "-dict", dict, "-emit")
+	if out != "0\ta\n1\taab\n" {
+		t.Fatalf("optparse parse %q", out)
+	}
+	if !strings.Contains(errOut, "optimal: 2 phrases") || !strings.Contains(errOut, "greedy: 3 phrases") {
+		t.Fatalf("optparse summary %q", errOut)
+	}
+	// Missing prefix property must be rejected without -close.
+	if err := os.WriteFile(dict, []byte("abc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(bins, "optparse"), "-dict", dict)
+	cmd.Stdin = strings.NewReader("abc")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("optparse accepted a non-prefix-closed dictionary")
+	}
+}
+
+func TestToolTextgenAndBenchtab(t *testing.T) {
+	bins := binaries(t)
+	out, _ := run(t, nil, filepath.Join(bins, "textgen"), "-kind", "fibonacci", "-n", "13")
+	if out != "abaababaabaab" {
+		t.Fatalf("textgen fibonacci = %q", out)
+	}
+	// Determinism across runs.
+	a, _ := run(t, nil, filepath.Join(bins, "textgen"), "-kind", "dna", "-n", "100", "-seed", "9")
+	b, _ := run(t, nil, filepath.Join(bins, "textgen"), "-kind", "dna", "-n", "100", "-seed", "9")
+	if a != b {
+		t.Fatal("textgen not deterministic")
+	}
+	list, _ := run(t, nil, filepath.Join(bins, "benchtab"), "-list")
+	if !strings.Contains(list, "E1") || !strings.Contains(list, "E13") {
+		t.Fatalf("benchtab -list: %q", list)
+	}
+	tbl, _ := run(t, nil, filepath.Join(bins, "benchtab"), "-quick", "-run", "E5")
+	if !strings.Contains(tbl, "fault injection") {
+		t.Fatalf("benchtab E5 output missing: %q", tbl)
+	}
+}
+
+func TestToolStreedump(t *testing.T) {
+	bins := binaries(t)
+	out, _ := run(t, []byte("banana"), filepath.Join(bins, "streedump"), "-locate", "ana")
+	if !strings.Contains(out, `"ana" occurs 2 times: 1 3`) {
+		t.Fatalf("streedump locate: %q", out)
+	}
+	if !strings.Contains(out, "longest repeated substring \"ana\"") {
+		t.Fatalf("streedump stats: %q", out)
+	}
+	dot, _ := run(t, []byte("banana"), filepath.Join(bins, "streedump"), "-dot")
+	if !strings.Contains(dot, "digraph suffixtree") || strings.Count(dot, "->") != 10 {
+		t.Fatalf("streedump dot: %d edges", strings.Count(dot, "->"))
+	}
+}
