@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments quick-experiments fuzz clean
+.PHONY: all build test race bench experiments quick-experiments fuzz serve clean
 
 all: build test
 
@@ -29,6 +29,11 @@ fuzz:
 	$(GO) test -fuzz FuzzBuildInvariants -fuzztime 30s ./internal/suffixtree/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/lz/
 	$(GO) test -fuzz FuzzDecodeStream -fuzztime 30s ./internal/lz/
+	$(GO) test -fuzz FuzzHandleRequests -fuzztime 30s ./internal/server/
+
+# Flags: -addr :8080 -procs N -max-dicts N -max-inflight N -timeout 30s
+serve:
+	$(GO) run ./cmd/matchd $(SERVE_FLAGS)
 
 clean:
 	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,66 @@
+// Command matchd serves the paper's algorithms over HTTP: dictionary
+// matching (§3) against a registry of preprocessed dictionaries, LZ1
+// compression/uncompression (§4), and optimal static parsing (§5).
+//
+// Usage:
+//
+//	matchd [-addr :8080] [-procs N] [-max-dicts N] [-max-inflight N] \
+//	       [-timeout 30s] [-max-body BYTES]
+//
+// Endpoints (JSON bodies; binary payloads base64 in "textB64"/"dataB64"):
+//
+//	POST   /v1/dicts              preprocess {"patterns": [...]} once → {"id": "d1"}
+//	GET    /v1/dicts              list resident dictionaries (MRU first)
+//	GET    /v1/dicts/{id}         one dictionary's stats
+//	DELETE /v1/dicts/{id}         drop a dictionary
+//	POST   /v1/dicts/{id}/match   {"text": ...} → longest pattern per position
+//	POST   /v1/dicts/{id}/parse   {"text": ...} → §5 optimal word references
+//	POST   /v1/dicts/{id}/expand  {"refs": [...]} → original text
+//	POST   /v1/compress           {"text": ...} → LZ1R1 container (base64)
+//	POST   /v1/decompress         {"dataB64": ...} → original text
+//	GET    /metrics               counters, latency histograms, PRAM ledger
+//	GET    /healthz               liveness
+//
+// The process drains in-flight requests and exits cleanly on SIGINT or
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("matchd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	procs := flag.Int("procs", 0, "worker goroutines per request (0 = GOMAXPROCS)")
+	maxDicts := flag.Int("max-dicts", 64, "resident preprocessed dictionaries before LRU eviction")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		Procs:          *procs,
+		MaxDicts:       *maxDicts,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Log:            log.Default(),
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("clean shutdown")
+}

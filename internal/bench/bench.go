@@ -136,5 +136,6 @@ func All() []Experiment {
 		E12PhraseCounts(),
 		E13Distributed(),
 		E14Adaptive(),
+		E15Serving(),
 	}
 }

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/server"
+	"repro/internal/textgen"
+)
+
+// E15Serving measures the serving layer (internal/server): how the
+// preprocess-once/match-many split amortizes the §3 preprocessing cost, in
+// PRAM work, and what request throughput the HTTP service sustains as
+// client concurrency grows.
+func E15Serving() Experiment {
+	return Experiment{
+		ID:    "E15",
+		Title: "Serving: preprocess-once amortization and matchd throughput (§3, ROADMAP)",
+		Claim: "a resident preprocessed dictionary amortizes preprocessing across requests; per-request work converges to the pure matching cost",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(2027)
+			n := scale.pick(1<<13, 1<<16)
+			text, patterns := gen.PlantedDictionary(n, 32, 10, 211, 4)
+
+			// Part 1 — amortization in exact PRAM work. The one-shot
+			// regime (the CLIs) pays preprocessing on every request; the
+			// registry pays it once.
+			pm := pram.NewSequential()
+			dict := core.Preprocess(pm, patterns, core.Options{Seed: 7})
+			preWork, _ := pm.Counters()
+			pm.ResetCounters()
+			dict.MatchText(pm, text)
+			matchWork, _ := pm.Counters()
+
+			t := newTable(w, "requests", "one-shot work/req", "resident work/req", "ratio")
+			for _, reqs := range []int{1, 10, 100, 1000} {
+				oneShot := float64(preWork + matchWork)
+				resident := (float64(preWork) + float64(reqs)*float64(matchWork)) / float64(reqs)
+				t.row(reqs, formatFloat(oneShot), formatFloat(resident), oneShot/resident)
+			}
+			t.flush()
+			fmt.Fprintf(w, "expected shape: resident work/req → pure matching cost (%d) as requests grow; preprocessing (%d) is paid once\n\n",
+				matchWork, preWork)
+
+			// Part 2 — measured throughput of the real HTTP service under
+			// concurrent clients, one resident dictionary.
+			srv := server.New(server.Config{
+				Procs:       1, // per-request machines; concurrency comes from the clients
+				MaxDicts:    4,
+				MaxInflight: 256,
+				Log:         log.New(io.Discard, "", 0),
+			})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			patStrs := make([]string, len(patterns))
+			for i, p := range patterns {
+				patStrs[i] = string(p)
+			}
+			body, _ := json.Marshal(map[string]any{"patterns": patStrs, "seed": 7})
+			resp, err := http.Post(ts.URL+"/v1/dicts", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fmt.Fprintf(w, "register failed: %v\n", err)
+				return
+			}
+			var created struct {
+				ID string `json:"id"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&created)
+			resp.Body.Close()
+
+			reqBody, _ := json.Marshal(map[string]any{
+				"textB64": base64.StdEncoding.EncodeToString(text),
+			})
+			url := fmt.Sprintf("%s/v1/dicts/%s/match", ts.URL, created.ID)
+			total := scale.pick(48, 256)
+			t2 := newTable(w, "clients", "requests", "wall", "req/s", "MB/s matched")
+			for _, clients := range []int{1, 2, 4, 8} {
+				var wg sync.WaitGroup
+				t0 := time.Now()
+				per := total / clients
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							r, err := http.Post(url, "application/json", bytes.NewReader(reqBody))
+							if err != nil {
+								continue
+							}
+							io.Copy(io.Discard, r.Body)
+							r.Body.Close()
+						}
+					}()
+				}
+				wg.Wait()
+				wall := time.Since(t0)
+				done := per * clients
+				rps := float64(done) / wall.Seconds()
+				t2.row(clients, done, wall, rps, rps*float64(n)/1e6)
+			}
+			t2.flush()
+			fmt.Fprintln(w, "expected shape: req/s grows with clients until cores saturate; no request pays preprocessing")
+		},
+	}
+}

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/lz"
+	"repro/internal/pram"
+)
+
+// JSON plumbing ------------------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client went away; nothing sensible to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON reads and decodes the request body into dst, rejecting
+// oversized bodies, malformed JSON, and trailing garbage. It writes the
+// error response itself and reports whether decoding succeeded.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// textPayload is the common "give me bytes" request shape: Text for UTF-8
+// friendly payloads, TextB64 for arbitrary binary (it wins when both are
+// set).
+type textPayload struct {
+	Text    string `json:"text"`
+	TextB64 string `json:"textB64"`
+}
+
+func (p *textPayload) bytes() ([]byte, error) {
+	if p.TextB64 != "" {
+		return base64.StdEncoding.DecodeString(p.TextB64)
+	}
+	return []byte(p.Text), nil
+}
+
+// writeCtxError maps a context error to 503 (deadline) or 499-style close.
+func writeCtxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded")
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+}
+
+// Dictionary registry endpoints --------------------------------------------
+
+type dictCreateRequest struct {
+	Patterns    []string `json:"patterns"`
+	PatternsB64 []string `json:"patternsB64"`
+	Seed        uint64   `json:"seed"`
+}
+
+type dictCreateResponse struct {
+	ID       string   `json:"id"`
+	Patterns int      `json:"patterns"`
+	TotalLen int      `json:"totalLen"`
+	Evicted  []string `json:"evicted,omitempty"`
+}
+
+// handleDictCreate preprocesses a pattern set once (§3) and makes it
+// resident. This is the expensive endpoint; everything under /v1/dicts/{id}
+// afterwards runs at query cost.
+func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
+	var req dictCreateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	patterns := make([][]byte, 0, len(req.Patterns)+len(req.PatternsB64))
+	for _, p := range req.Patterns {
+		patterns = append(patterns, []byte(p))
+	}
+	for _, p := range req.PatternsB64 {
+		b, err := base64.StdEncoding.DecodeString(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad patternsB64 entry: %v", err)
+			return
+		}
+		patterns = append(patterns, b)
+	}
+	if len(patterns) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one pattern required")
+		return
+	}
+	total := 0
+	for _, p := range patterns {
+		if len(p) == 0 {
+			writeError(w, http.StatusBadRequest, "empty patterns are not allowed")
+			return
+		}
+		total += len(p)
+	}
+	if int64(total) > s.cfg.MaxDictBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"dictionary is %d bytes, limit %d", total, s.cfg.MaxDictBytes)
+		return
+	}
+	m := pram.New(s.cfg.Procs)
+	entry, evicted := s.reg.Register(m, patterns, core.Options{Seed: req.Seed})
+	s.metrics.ChargePRAM("preprocess", m.Work(), m.Depth())
+	writeJSON(w, http.StatusCreated, dictCreateResponse{
+		ID:       entry.ID,
+		Patterns: entry.NumPatterns,
+		TotalLen: entry.TotalLen,
+		Evicted:  evicted,
+	})
+}
+
+func (s *Server) handleDictList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"dicts": s.reg.Infos()})
+}
+
+func (s *Server) handleDictGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, EntryInfo{
+		ID:       e.ID,
+		Patterns: e.NumPatterns,
+		TotalLen: e.TotalLen,
+		Created:  e.Created,
+		Hits:     e.Hits(),
+	})
+}
+
+func (s *Server) handleDictDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.reg.Remove(id) {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+// Matching ------------------------------------------------------------------
+
+type matchHit struct {
+	Pos     int `json:"pos"`
+	Pattern int `json:"pattern"`
+	Length  int `json:"length"`
+}
+
+type matchResponse struct {
+	N        int        `json:"n"`
+	Attempts int        `json:"attempts"`
+	Matched  int        `json:"matched"`
+	Hits     []matchHit `json:"hits"`
+}
+
+// handleMatch answers the paper's dictionary matching problem (§3) for one
+// text against a resident dictionary: for every position, the longest
+// pattern starting there. Large texts are sharded across a worker pool
+// with a pattern-length halo (see matchSharded); the output is Las Vegas
+// verified by the §3.4 checker.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+	var req textPayload
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	text, err := req.bytes()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad textB64: %v", err)
+		return
+	}
+	resp := matchResponse{N: len(text), Hits: []matchHit{}}
+	if len(text) == 0 {
+		resp.Attempts = 1
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	matches, attempts, err := e.MatchChecked(r.Context(), text, s.cfg.Procs, s.metrics)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.metrics.timeouts.Add(1)
+			writeCtxError(w, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "matching failed: %v", err)
+		return
+	}
+	resp.Attempts = attempts
+	for i, mt := range matches {
+		if mt.Length > 0 {
+			resp.Hits = append(resp.Hits, matchHit{Pos: i, Pattern: int(mt.PatternID), Length: int(mt.Length)})
+		}
+	}
+	resp.Matched = len(resp.Hits)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Optimal static parse (§5) -------------------------------------------------
+
+type parseResponse struct {
+	Phrases int     `json:"phrases"`
+	Refs    []int32 `json:"refs"`
+	Ratio   float64 `json:"ratio"` // text bytes per phrase
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+	var req textPayload
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	text, err := req.bytes()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad textB64: %v", err)
+		return
+	}
+	refs, err := e.Parse(r.Context(), text, s.cfg.Procs, s.metrics)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.metrics.timeouts.Add(1)
+			writeCtxError(w, err)
+			return
+		}
+		// The dictionary cannot express this text (§5 requires the prefix
+		// property and alphabet coverage) — a client-data problem.
+		writeError(w, http.StatusUnprocessableEntity, "no parse: %v", err)
+		return
+	}
+	resp := parseResponse{Phrases: len(refs), Refs: refs}
+	if resp.Refs == nil {
+		resp.Refs = []int32{}
+	}
+	if len(refs) > 0 {
+		resp.Ratio = float64(len(text)) / float64(len(refs))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type expandRequest struct {
+	Refs []int32 `json:"refs"`
+}
+
+type expandResponse struct {
+	N       int    `json:"n"`
+	TextB64 string `json:"textB64"`
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+	var req expandRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if int64(len(req.Refs))*int64(e.MaxPatLen) > s.cfg.MaxExpandBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"expansion could exceed %d bytes", s.cfg.MaxExpandBytes)
+		return
+	}
+	text, err := e.Expand(r.Context(), req.Refs, s.cfg.Procs, s.metrics)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.metrics.timeouts.Add(1)
+			writeCtxError(w, err)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, "bad reference sequence: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, expandResponse{
+		N:       len(text),
+		TextB64: base64.StdEncoding.EncodeToString(text),
+	})
+}
+
+// LZ1 compression (§4) ------------------------------------------------------
+
+type compressResponse struct {
+	N       int     `json:"n"`
+	Tokens  int     `json:"tokens"`
+	DataB64 string  `json:"dataB64"` // LZ1R1 container, base64
+	Ratio   float64 `json:"ratio"`   // container bytes / text bytes
+}
+
+// handleCompress runs the §4 work-optimal parallel LZ1 parse. It needs no
+// resident dictionary — LZ1 is self-referential — so it lives outside
+// /v1/dicts.
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	var req textPayload
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	text, err := req.bytes()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad textB64: %v", err)
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		s.metrics.timeouts.Add(1)
+		writeCtxError(w, err)
+		return
+	}
+	m := pram.New(s.cfg.Procs)
+	c := lz.Compress(m, text)
+	s.metrics.ChargePRAM("compress", m.Work(), m.Depth())
+	var buf bytes.Buffer
+	if err := lz.EncodeStream(&buf, c); err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	resp := compressResponse{
+		N:       c.N,
+		Tokens:  len(c.Tokens),
+		DataB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+	}
+	if len(text) > 0 {
+		resp.Ratio = float64(buf.Len()) / float64(len(text))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type decompressRequest struct {
+	DataB64 string `json:"dataB64"`
+}
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	var req decompressRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	data, err := base64.StdEncoding.DecodeString(req.DataB64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad dataB64: %v", err)
+		return
+	}
+	c, err := lz.DecodeStream(data)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "bad LZ1R1 stream: %v", err)
+		return
+	}
+	if int64(c.N) > s.cfg.MaxExpandBytes || c.N < 0 {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"decompressed size %d exceeds %d bytes", c.N, s.cfg.MaxExpandBytes)
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		s.metrics.timeouts.Add(1)
+		writeCtxError(w, err)
+		return
+	}
+	m := pram.New(s.cfg.Procs)
+	text, err := lz.Uncompress(m, c, lz.ByPointerJumping)
+	s.metrics.ChargePRAM("uncompress", m.Work(), m.Depth())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "corrupt stream: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, expandResponse{
+		N:       len(text),
+		TextB64: base64.StdEncoding.EncodeToString(text),
+	})
+}
+
+// Observability -------------------------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg, s.limiter))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

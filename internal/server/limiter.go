@@ -1,0 +1,46 @@
+package server
+
+import "sync/atomic"
+
+// Limiter is a semaphore-based concurrency limiter. A request that cannot
+// acquire a slot immediately is shed with 429 rather than queued: under
+// saturation the service degrades by rejecting, never by building an
+// unbounded backlog (the paper's algorithms are work-optimal per request,
+// but only bounded admission keeps the *service* work-optimal under load).
+type Limiter struct {
+	sem      chan struct{}
+	rejected atomic.Int64
+}
+
+// NewLimiter returns a limiter admitting at most n concurrent requests
+// (n < 1 is clamped to 1).
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot if one is free. It never blocks; the caller must
+// Release exactly once per successful acquire.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+		l.rejected.Add(1)
+		return false
+	}
+}
+
+// Release frees a slot claimed by TryAcquire.
+func (l *Limiter) Release() { <-l.sem }
+
+// Inflight returns the number of currently held slots.
+func (l *Limiter) Inflight() int { return len(l.sem) }
+
+// Capacity returns the maximum number of concurrent requests.
+func (l *Limiter) Capacity() int { return cap(l.sem) }
+
+// Rejected returns the cumulative count of shed requests.
+func (l *Limiter) Rejected() int64 { return l.rejected.Load() }

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+)
+
+// minShardLen is the smallest text shard worth a dedicated worker. Below
+// ~32 KiB the per-shard window ramp-up (Step 1 windows are O(log² d) long)
+// costs more than the parallelism buys.
+const minShardLen = 1 << 15
+
+// matchSharded runs dictionary matching over text against a resident
+// dictionary, sharding large texts across a worker pool the same way
+// internal/distrib shards across workstations: each shard carries a halo of
+// maxPatternLen-1 bytes from its right neighbour, because M[i] depends on
+// at most that much lookahead. Unlike distrib — where every workstation
+// re-preprocesses the dictionary — all workers here share the single
+// resident structure; the read path of core.Dictionary is pure.
+//
+// Returned counters follow the parallel composition rule: Work is the sum
+// over shards, Depth the maximum (the shards run concurrently).
+func matchSharded(dict *core.Dictionary, text []byte, procs int) ([]core.Match, pram.Counters) {
+	n := len(text)
+	if procs < 1 {
+		procs = 1
+	}
+	shards := procs
+	if maxShards := (n + minShardLen - 1) / minShardLen; shards > maxShards {
+		shards = maxShards
+	}
+	if shards <= 1 {
+		m := pram.New(procs)
+		out := dict.MatchText(m, text)
+		return out, m.Snapshot()
+	}
+
+	maxPat := 0
+	for _, p := range dict.Patterns {
+		if len(p) > maxPat {
+			maxPat = len(p)
+		}
+	}
+	out := make([]core.Match, n)
+	counters := make([]pram.Counters, shards)
+	per := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		start := w * per
+		if start >= n {
+			break
+		}
+		end := start + per
+		if end > n {
+			end = n
+		}
+		halo := end + maxPat - 1
+		if halo > n {
+			halo = n
+		}
+		wg.Add(1)
+		go func(w, start, end, halo int) {
+			defer wg.Done()
+			m := pram.NewSequential()
+			local := dict.MatchText(m, text[start:halo])
+			// Positions in the halo belong to the right neighbour.
+			copy(out[start:end], local[:end-start])
+			counters[w] = m.Snapshot()
+		}(w, start, end, halo)
+	}
+	wg.Wait()
+	var total pram.Counters
+	for _, c := range counters {
+		total.Work += c.Work
+		if c.Depth > total.Depth {
+			total.Depth = c.Depth
+		}
+	}
+	return out, total
+}
+
+// matchAttempts bounds the Las Vegas loop. With 61-bit fingerprints even a
+// second attempt is essentially unobservable; six failures mean something
+// is wrong beyond bad luck.
+const matchAttempts = 6
+
+// MatchChecked runs the Las Vegas matching loop against the entry: sharded
+// Monte Carlo matching, then the deterministic §3.4 checker over the full
+// text (the checker must see the whole text — shard-local checks would miss
+// inconsistencies straddling a boundary). On a fingerprint failure the
+// dictionary is reseeded under the write lock and the attempt repeats.
+// PRAM costs are charged to the "match", "check" and (for reseeds)
+// "preprocess" ledgers of mt; mt may be nil.
+func (e *Entry) MatchChecked(ctx context.Context, text []byte, procs int, mt *Metrics) ([]core.Match, int, error) {
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, attempt - 1, err
+		}
+		e.mu.RLock()
+		matches, mc := matchSharded(e.dict, text, procs)
+		cm := pram.New(procs)
+		ok := e.dict.Check(cm, text, matches)
+		e.mu.RUnlock()
+		if mt != nil {
+			mt.ChargePRAM("match", mc.Work, mc.Depth)
+			mt.ChargePRAM("check", cm.Work(), cm.Depth())
+		}
+		if ok {
+			return matches, attempt, nil
+		}
+		if attempt == matchAttempts {
+			return nil, attempt, fmt.Errorf("server: %d consecutive fingerprint failures on %s", attempt, e.ID)
+		}
+		e.reseed(uint64(attempt), mt)
+	}
+}
+
+// reseed replaces the entry's fingerprint randomness under the write lock.
+// In-flight readers finish on the old tables first; the next attempt sees
+// the new ones.
+func (e *Entry) reseed(attempt uint64, mt *Metrics) {
+	m := pram.NewSequential()
+	e.mu.Lock()
+	e.seed += attempt * 0x9e3779b97f4a7c15
+	if e.seed == 0 {
+		e.seed = 1
+	}
+	e.dict.Reseed(m, e.seed)
+	e.mu.Unlock()
+	if mt != nil {
+		mt.ChargePRAM("preprocess", m.Work(), m.Depth())
+	}
+}
+
+// Parse runs the §5 optimal static parse of text against the entry's
+// dictionary, charging the "parse" ledger.
+func (e *Entry) Parse(ctx context.Context, text []byte, procs int, mt *Metrics) ([]int32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := pram.New(procs)
+	e.mu.RLock()
+	refs, err := e.dict.CompressStatic(m, text)
+	e.mu.RUnlock()
+	if mt != nil {
+		mt.ChargePRAM("parse", m.Work(), m.Depth())
+	}
+	return refs, err
+}
+
+// Expand reverses Parse, charging the "parse" ledger as well (it is the
+// same §5 codec).
+func (e *Entry) Expand(ctx context.Context, refs []int32, procs int, mt *Metrics) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := pram.New(procs)
+	e.mu.RLock()
+	text, err := e.dict.DecompressStatic(m, refs)
+	e.mu.RUnlock()
+	if mt != nil {
+		mt.ChargePRAM("parse", m.Work(), m.Depth())
+	}
+	return text, err
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency histogram buckets. Bucket i counts
+// requests with latency < 2^i microseconds; the last bucket is the
+// overflow (everything slower than ~2^18 µs ≈ 262 ms lands there too).
+const histBuckets = 20
+
+// routeMetrics accumulates per-route request statistics. All fields are
+// atomics so the hot path never takes a lock.
+type routeMetrics struct {
+	count       atomic.Int64
+	errors      atomic.Int64 // responses with status >= 400
+	totalMicros atomic.Int64
+	maxMicros   atomic.Int64
+	hist        [histBuckets]atomic.Int64
+}
+
+func (rm *routeMetrics) observe(d time.Duration, status int) {
+	us := d.Microseconds()
+	rm.count.Add(1)
+	if status >= 400 {
+		rm.errors.Add(1)
+	}
+	rm.totalMicros.Add(us)
+	for {
+		old := rm.maxMicros.Load()
+		if us <= old || rm.maxMicros.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	b := 0
+	for b < histBuckets-1 && int64(1)<<b <= us {
+		b++
+	}
+	rm.hist[b].Add(1)
+}
+
+// quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1)
+// in microseconds from the power-of-two histogram.
+func (rm *routeMetrics) quantile(q float64) int64 {
+	total := int64(0)
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = rm.hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(float64(total) * q)
+	if target < 1 {
+		target = 1
+	}
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			return int64(1) << i // bucket upper bound
+		}
+	}
+	return rm.maxMicros.Load()
+}
+
+// ledger accumulates the PRAM work/depth charged to one algorithm family
+// across all requests — the serving-side continuation of the paper's
+// work/depth accounting (DESIGN.md §3).
+type ledger struct {
+	ops   atomic.Int64 // requests that charged this ledger
+	work  atomic.Int64
+	depth atomic.Int64
+}
+
+// Metrics is the server-wide observability state behind GET /metrics.
+type Metrics struct {
+	start time.Time
+
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+
+	algos map[string]*ledger // fixed key set, created up front
+
+	rejected atomic.Int64 // 429s from the limiter
+	timeouts atomic.Int64 // 503s from per-request deadlines
+	panics   atomic.Int64 // requests converted to 500 by the recover wrapper
+}
+
+// pramAlgos is the fixed set of ledger keys. Registration charges
+// "preprocess" (including Las Vegas reseeds); the request handlers charge
+// the rest.
+var pramAlgos = []string{"preprocess", "match", "check", "compress", "uncompress", "parse"}
+
+func newMetrics() *Metrics {
+	mt := &Metrics{
+		start:  time.Now(),
+		routes: make(map[string]*routeMetrics),
+		algos:  make(map[string]*ledger, len(pramAlgos)),
+	}
+	for _, a := range pramAlgos {
+		mt.algos[a] = &ledger{}
+	}
+	return mt
+}
+
+// route returns (creating if needed) the stats bucket for a route pattern.
+func (mt *Metrics) route(pattern string) *routeMetrics {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	rm, ok := mt.routes[pattern]
+	if !ok {
+		rm = &routeMetrics{}
+		mt.routes[pattern] = rm
+	}
+	return rm
+}
+
+// ChargePRAM adds work/depth to the named algorithm ledger. Unknown names
+// are dropped rather than allocated so a typo cannot grow the map forever.
+func (mt *Metrics) ChargePRAM(algo string, work, depth int64) {
+	l, ok := mt.algos[algo]
+	if !ok {
+		return
+	}
+	l.ops.Add(1)
+	l.work.Add(work)
+	l.depth.Add(depth)
+}
+
+// routeSnapshot is the JSON shape of one route's statistics.
+type routeSnapshot struct {
+	Count       int64   `json:"count"`
+	Errors      int64   `json:"errors"`
+	AvgMicros   float64 `json:"avgMicros"`
+	P50Micros   int64   `json:"p50Micros"`
+	P95Micros   int64   `json:"p95Micros"`
+	P99Micros   int64   `json:"p99Micros"`
+	MaxMicros   int64   `json:"maxMicros"`
+	HistPow2Mic []int64 `json:"histPow2Micros"`
+}
+
+// ledgerSnapshot is the JSON shape of one algorithm's PRAM ledger.
+type ledgerSnapshot struct {
+	Ops   int64 `json:"ops"`
+	Work  int64 `json:"work"`
+	Depth int64 `json:"depth"`
+}
+
+// MetricsSnapshot is the GET /metrics payload.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                   `json:"uptimeSeconds"`
+	Requests      map[string]routeSnapshot  `json:"requests"`
+	PRAM          map[string]ledgerSnapshot `json:"pram"`
+	Registry      RegistrySnapshot          `json:"registry"`
+	Limiter       limiterSnapshot           `json:"limiter"`
+	Timeouts      int64                     `json:"timeouts"`
+	Panics        int64                     `json:"panics"`
+	RouteOrder    []string                  `json:"routeOrder"`
+}
+
+type limiterSnapshot struct {
+	Inflight int   `json:"inflight"`
+	Capacity int   `json:"capacity"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Snapshot assembles the full metrics payload.
+func (mt *Metrics) Snapshot(reg *Registry, lim *Limiter) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(mt.start).Seconds(),
+		Requests:      make(map[string]routeSnapshot),
+		PRAM:          make(map[string]ledgerSnapshot, len(mt.algos)),
+		Timeouts:      mt.timeouts.Load(),
+		Panics:        mt.panics.Load(),
+	}
+	mt.mu.Lock()
+	patterns := make([]string, 0, len(mt.routes))
+	for p := range mt.routes {
+		patterns = append(patterns, p)
+	}
+	mt.mu.Unlock()
+	sort.Strings(patterns)
+	snap.RouteOrder = patterns
+	for _, p := range patterns {
+		rm := mt.route(p)
+		n := rm.count.Load()
+		rs := routeSnapshot{
+			Count:     n,
+			Errors:    rm.errors.Load(),
+			P50Micros: rm.quantile(0.50),
+			P95Micros: rm.quantile(0.95),
+			P99Micros: rm.quantile(0.99),
+			MaxMicros: rm.maxMicros.Load(),
+		}
+		if n > 0 {
+			rs.AvgMicros = float64(rm.totalMicros.Load()) / float64(n)
+		}
+		rs.HistPow2Mic = make([]int64, histBuckets)
+		for i := range rs.HistPow2Mic {
+			rs.HistPow2Mic[i] = rm.hist[i].Load()
+		}
+		snap.Requests[p] = rs
+	}
+	for name, l := range mt.algos {
+		snap.PRAM[name] = ledgerSnapshot{Ops: l.ops.Load(), Work: l.work.Load(), Depth: l.depth.Load()}
+	}
+	if reg != nil {
+		snap.Registry = reg.Snapshot()
+	}
+	if lim != nil {
+		snap.Limiter = limiterSnapshot{
+			Inflight: lim.Inflight(),
+			Capacity: lim.Capacity(),
+			Rejected: lim.Rejected(),
+		}
+	}
+	return snap
+}

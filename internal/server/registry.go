@@ -1,0 +1,192 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+)
+
+// Registry holds preprocessed dictionaries keyed by server-assigned IDs.
+// It realizes the paper's preprocess-once/match-many split at the service
+// level: POST /v1/dicts pays the §3 preprocessing cost exactly once, and
+// every subsequent match/parse request against that ID reuses the resident
+// structures at pure query cost.
+//
+// The registry is bounded: at most capacity dictionaries are resident, and
+// inserting beyond that evicts the least-recently-used entry. Eviction only
+// unlinks the entry from the registry — requests already holding the
+// *Entry keep using it safely until they finish (the memory is reclaimed by
+// GC when the last reference drops), so eviction never races a request.
+type Registry struct {
+	mu        sync.Mutex
+	capacity  int
+	seq       int64
+	byID      map[string]*list.Element // element value is *Entry
+	lru       *list.List               // front = most recently used
+	evictions int64
+	bytes     int64 // sum of resident TotalLen
+}
+
+// Entry is one resident preprocessed dictionary.
+//
+// The matching read path of core.Dictionary is pure; the only mutation is
+// Reseed (the Las Vegas retry after a fingerprint failure). Entry therefore
+// guards the dictionary with an RWMutex: queries hold the read lock, and
+// the astronomically rare reseed takes the write lock.
+type Entry struct {
+	ID          string
+	NumPatterns int
+	TotalLen    int // the paper's d
+	MaxPatLen   int
+	Created     time.Time
+
+	hits atomic.Int64
+
+	mu   sync.RWMutex
+	dict *core.Dictionary
+	seed uint64
+}
+
+// Hits returns how many requests have looked this entry up.
+func (e *Entry) Hits() int64 { return e.hits.Load() }
+
+// NewRegistry returns a registry bounded to capacity resident dictionaries
+// (capacity < 1 is clamped to 1).
+func NewRegistry(capacity int) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Registry{
+		capacity: capacity,
+		byID:     make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Register preprocesses patterns on machine m (the expensive §3 step, run
+// outside the registry lock) and inserts the result, evicting LRU entries
+// beyond capacity. It returns the new entry and the IDs it evicted.
+func (r *Registry) Register(m *pram.Machine, patterns [][]byte, opts core.Options) (*Entry, []string) {
+	dict := core.Preprocess(m, patterns, opts)
+	total, maxPat := 0, 0
+	for _, p := range patterns {
+		total += len(p)
+		if len(p) > maxPat {
+			maxPat = len(p)
+		}
+	}
+	e := &Entry{
+		NumPatterns: len(patterns),
+		TotalLen:    total,
+		MaxPatLen:   maxPat,
+		Created:     time.Now(),
+		dict:        dict,
+		seed:        opts.Seed,
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.ID = fmt.Sprintf("d%d", r.seq)
+	r.byID[e.ID] = r.lru.PushFront(e)
+	r.bytes += int64(total)
+	var evicted []string
+	for r.lru.Len() > r.capacity {
+		back := r.lru.Back()
+		victim := back.Value.(*Entry)
+		r.lru.Remove(back)
+		delete(r.byID, victim.ID)
+		r.bytes -= int64(victim.TotalLen)
+		r.evictions++
+		evicted = append(evicted, victim.ID)
+	}
+	return e, evicted
+}
+
+// Get returns the entry for id, refreshing its LRU position.
+func (r *Registry) Get(id string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		return nil, false
+	}
+	r.lru.MoveToFront(el)
+	e := el.Value.(*Entry)
+	e.hits.Add(1)
+	return e, true
+}
+
+// Remove deletes the entry for id, reporting whether it was resident.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	r.lru.Remove(el)
+	delete(r.byID, id)
+	r.bytes -= int64(el.Value.(*Entry).TotalLen)
+	return true
+}
+
+// Len returns the number of resident entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// EntryInfo is the externally visible description of a resident entry,
+// in most-recently-used-first order.
+type EntryInfo struct {
+	ID       string    `json:"id"`
+	Patterns int       `json:"patterns"`
+	TotalLen int       `json:"totalLen"`
+	Created  time.Time `json:"created"`
+	Hits     int64     `json:"hits"`
+}
+
+// Infos lists the resident entries, most recently used first.
+func (r *Registry) Infos() []EntryInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EntryInfo, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*Entry)
+		out = append(out, EntryInfo{
+			ID:       e.ID,
+			Patterns: e.NumPatterns,
+			TotalLen: e.TotalLen,
+			Created:  e.Created,
+			Hits:     e.hits.Load(),
+		})
+	}
+	return out
+}
+
+// RegistrySnapshot is the registry section of the metrics payload.
+type RegistrySnapshot struct {
+	Dicts        int   `json:"dicts"`
+	Capacity     int   `json:"capacity"`
+	Evictions    int64 `json:"evictions"`
+	PatternBytes int64 `json:"patternBytes"`
+}
+
+// Snapshot returns occupancy counters for GET /metrics.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistrySnapshot{
+		Dicts:        r.lru.Len(),
+		Capacity:     r.capacity,
+		Evictions:    r.evictions,
+		PatternBytes: r.bytes,
+	}
+}

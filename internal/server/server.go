@@ -1,0 +1,231 @@
+// Package server exposes the repo's three headline algorithms — dictionary
+// matching (§3), LZ1 compression (§4), and optimal static-dictionary
+// parsing (§5) — as a long-running HTTP service.
+//
+// The paper's central economic argument is that dictionary preprocessing is
+// paid once and amortized over many texts; the one-shot CLIs in cmd/ pay it
+// on every invocation. This package keeps prepared dictionaries resident in
+// a bounded LRU registry (registry.go) so the service runs in the
+// preprocess-once/match-many regime the paper (and the follow-up serving
+// literature, PAPERS.md) actually targets.
+//
+// Layers:
+//
+//   - Registry: concurrent-safe preprocessed-dictionary store with LRU
+//     eviction; evicted entries stay usable by in-flight requests.
+//   - Handlers: JSON endpoints under /v1 (handlers.go); large match texts
+//     are sharded across a worker pool with pattern-length halos
+//     (match.go), mirroring internal/distrib's workstation sharding.
+//   - Robustness/observability: per-request timeouts via context, a
+//     semaphore admission limiter that sheds with 429 (limiter.go),
+//     graceful shutdown, and GET /metrics reporting request counts,
+//     latency histograms, registry occupancy, and the per-algorithm PRAM
+//     work/depth ledger (metrics.go).
+//
+// Only the standard library is used; go.mod stays dependency-free.
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value is usable; fillDefaults
+// supplies production-ish settings.
+type Config struct {
+	Addr           string        // listen address, e.g. ":8080"
+	Procs          int           // PRAM workers per request (0 = GOMAXPROCS)
+	MaxDicts       int           // registry capacity (resident dictionaries)
+	MaxInflight    int           // concurrent /v1 requests before 429
+	RequestTimeout time.Duration // per-request deadline
+	ShutdownGrace  time.Duration // drain window on shutdown
+	MaxBodyBytes   int64         // request body cap
+	MaxDictBytes   int64         // total pattern bytes per dictionary
+	MaxExpandBytes int64         // decompression/expansion output cap
+	Log            *log.Logger   // nil = log.Default
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Procs <= 0 {
+		c.Procs = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxDicts <= 0 {
+		c.MaxDicts = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxDictBytes <= 0 {
+		c.MaxDictBytes = 16 << 20
+	}
+	if c.MaxExpandBytes <= 0 {
+		c.MaxExpandBytes = 256 << 20
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+}
+
+// Server is the matching/compression service.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	metrics *Metrics
+	limiter *Limiter
+	handler http.Handler
+}
+
+// New assembles a server from cfg.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.MaxDicts),
+		metrics: newMetrics(),
+		limiter: NewLimiter(cfg.MaxInflight),
+	}
+	s.handler = s.buildMux()
+	return s
+}
+
+// Handler returns the fully assembled HTTP handler (exported so tests and
+// the bench harness can drive the service without a socket).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry returns the dictionary registry (exported for tests/bench).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the server metrics (exported for tests/bench).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Limiter returns the admission limiter (exported for tests/bench).
+func (s *Server) Limiter() *Limiter { return s.limiter }
+
+func (s *Server) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	// handle wraps each route with the middleware stack, labelling metrics
+	// with the registration pattern (self-describing; no reliance on the
+	// router echoing the matched pattern back).
+	api := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, true, h))
+	}
+	obs := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, false, h))
+	}
+
+	api("POST /v1/dicts", s.handleDictCreate)
+	api("GET /v1/dicts", s.handleDictList)
+	api("GET /v1/dicts/{id}", s.handleDictGet)
+	api("DELETE /v1/dicts/{id}", s.handleDictDelete)
+	api("POST /v1/dicts/{id}/match", s.handleMatch)
+	api("POST /v1/dicts/{id}/parse", s.handleParse)
+	api("POST /v1/dicts/{id}/expand", s.handleExpand)
+	api("POST /v1/compress", s.handleCompress)
+	api("POST /v1/decompress", s.handleDecompress)
+	// Observability must answer even under saturation: no limiter.
+	obs("GET /metrics", s.handleMetrics)
+	obs("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the per-route middleware stack: panic containment, load
+// shedding (limited routes only), per-request deadline, and latency/status
+// accounting under the route's pattern label.
+func (s *Server) instrument(pattern string, limited bool, h http.HandlerFunc) http.Handler {
+	rm := s.metrics.route(pattern)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				s.cfg.Log.Printf("panic in %s: %v", pattern, p)
+				if sr.status == http.StatusOK {
+					// Nothing written yet; tell the client something.
+					writeError(sr, http.StatusInternalServerError, "internal error")
+				}
+			}
+			rm.observe(time.Since(start), sr.status)
+		}()
+		if limited {
+			if !s.limiter.TryAcquire() {
+				s.metrics.rejected.Add(1)
+				sr.Header().Set("Retry-After", "1")
+				writeError(sr, http.StatusTooManyRequests, "server saturated (%d in flight)", s.limiter.Capacity())
+				return
+			}
+			defer s.limiter.Release()
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(sr, r.WithContext(ctx))
+	})
+}
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then drains
+// gracefully for up to cfg.ShutdownGrace. It returns nil on a clean
+// shutdown.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.RunListener(ctx, ln)
+}
+
+// RunListener is Run on a caller-provided listener (tests use a loopback
+// listener on port 0).
+func (s *Server) RunListener(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          s.cfg.Log,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	s.cfg.Log.Printf("listening on %s (procs=%d max-dicts=%d max-inflight=%d)",
+		ln.Addr(), s.cfg.Procs, s.cfg.MaxDicts, s.cfg.MaxInflight)
+	select {
+	case err := <-serveErr:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	s.cfg.Log.Printf("shutting down, draining for up to %s", s.cfg.ShutdownGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

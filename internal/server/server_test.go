@@ -1,0 +1,391 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/textgen"
+)
+
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// startServer runs a server on a loopback port and returns its base URL
+// plus a shutdown func that cancels the serve context and reports Run's
+// error (nil means a clean graceful shutdown).
+func startServer(t *testing.T, cfg Config) (*Server, string, func() error) {
+	t.Helper()
+	if cfg.Log == nil {
+		cfg.Log = quietLogger()
+	}
+	srv := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.RunListener(ctx, ln) }()
+	url := "http://" + ln.Addr().String()
+	shutdown := func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(15 * time.Second):
+			return fmt.Errorf("server did not shut down within 15s")
+		}
+	}
+	return srv, url, shutdown
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string, dst any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != nil {
+		if err := json.Unmarshal(body, dst); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestEndToEndServing is the acceptance test: start matchd's server on a
+// loopback port, register a dictionary once, issue >= 120 concurrent match
+// and compress/decompress requests, check every result against independent
+// oracles, check that /metrics reports the traffic with nonzero PRAM work
+// counters, and shut down gracefully. Under -race this exercises every
+// lock in the package.
+func TestEndToEndServing(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2, MaxDicts: 4, MaxInflight: 256})
+
+	// One dictionary, preprocessed once (the paper's amortized regime).
+	gen := textgen.New(42)
+	text, patterns := gen.PlantedDictionary(1<<14, 24, 8, 101, 4)
+	patStrs := make([]string, len(patterns))
+	for i, p := range patterns {
+		patStrs[i] = string(p)
+	}
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": patStrs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	// Independent oracle for the match answers.
+	ac := ahocorasick.New(patterns)
+	oracle := ac.Match(text)
+	wantHits := 0
+	for _, p := range oracle {
+		if p >= 0 {
+			wantHits++
+		}
+	}
+	if wantHits == 0 {
+		t.Fatal("degenerate workload: oracle found no matches")
+	}
+
+	// Pre-generate the compression payloads: textgen.Gen is a single rng
+	// stream, not safe for concurrent use.
+	const matchReqs, lzReqs = 64, 64
+	lzPayloads := make([][]byte, lzReqs)
+	for i := range lzPayloads {
+		lzPayloads[i] = gen.Repetitive(2048+16*i, 64, 0.02)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, matchReqs+lzReqs)
+	textB64 := base64.StdEncoding.EncodeToString(text)
+	for i := 0; i < matchReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := postJSON(t, fmt.Sprintf("%s/v1/dicts/%s/match", base, created.ID),
+				map[string]any{"textB64": textB64})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("match %d: status %d: %s", i, status, body)
+				return
+			}
+			var mr matchResponse
+			if err := json.Unmarshal(body, &mr); err != nil {
+				errs <- fmt.Errorf("match %d: %v", i, err)
+				return
+			}
+			if mr.Matched != wantHits || mr.N != len(text) || mr.Attempts < 1 {
+				errs <- fmt.Errorf("match %d: %d hits over %d bytes (attempts %d), oracle says %d over %d",
+					i, mr.Matched, mr.N, mr.Attempts, wantHits, len(text))
+				return
+			}
+			for _, h := range mr.Hits {
+				if p := oracle[h.Pos]; int(p) != h.Pattern || int(ac.PatternLen(p)) != h.Length {
+					errs <- fmt.Errorf("match %d pos %d: got pattern %d len %d, oracle %d len %d",
+						i, h.Pos, h.Pattern, h.Length, p, ac.PatternLen(p))
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < lzReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := lzPayloads[i]
+			status, body := postJSON(t, base+"/v1/compress",
+				map[string]any{"textB64": base64.StdEncoding.EncodeToString(payload)})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("compress %d: status %d: %s", i, status, body)
+				return
+			}
+			var cr compressResponse
+			if err := json.Unmarshal(body, &cr); err != nil {
+				errs <- fmt.Errorf("compress %d: %v", i, err)
+				return
+			}
+			if cr.N != len(payload) || cr.Tokens == 0 {
+				errs <- fmt.Errorf("compress %d: N=%d tokens=%d for %d bytes", i, cr.N, cr.Tokens, len(payload))
+				return
+			}
+			status, body = postJSON(t, base+"/v1/decompress", map[string]any{"dataB64": cr.DataB64})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("decompress %d: status %d: %s", i, status, body)
+				return
+			}
+			var dr expandResponse
+			if err := json.Unmarshal(body, &dr); err != nil {
+				errs <- fmt.Errorf("decompress %d: %v", i, err)
+				return
+			}
+			round, err := base64.StdEncoding.DecodeString(dr.TextB64)
+			if err != nil || !bytes.Equal(round, payload) {
+				errs <- fmt.Errorf("decompress %d: round trip mismatch (err=%v)", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The metrics payload must reflect the traffic, including nonzero PRAM
+	// work per exercised algorithm.
+	var snap MetricsSnapshot
+	if status := getJSON(t, base+"/metrics", &snap); status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if got := snap.Requests["POST /v1/dicts/{id}/match"].Count; got != matchReqs {
+		t.Errorf("metrics: %d match requests recorded, want %d", got, matchReqs)
+	}
+	if got := snap.Requests["POST /v1/compress"].Count; got != lzReqs {
+		t.Errorf("metrics: %d compress requests recorded, want %d", got, lzReqs)
+	}
+	for _, algo := range []string{"preprocess", "match", "check", "compress", "uncompress"} {
+		l := snap.PRAM[algo]
+		if l.Work <= 0 || l.Depth <= 0 {
+			t.Errorf("metrics: PRAM ledger %q empty: %+v", algo, l)
+		}
+	}
+	if snap.PRAM["match"].Ops != matchReqs {
+		t.Errorf("metrics: match ops = %d, want %d", snap.PRAM["match"].Ops, matchReqs)
+	}
+	if snap.Registry.Dicts != 1 || snap.Registry.Capacity != 4 {
+		t.Errorf("metrics: registry = %+v", snap.Registry)
+	}
+	if rm := snap.Requests["POST /v1/dicts/{id}/match"]; rm.P50Micros <= 0 || rm.MaxMicros <= 0 {
+		t.Errorf("metrics: empty latency histogram: %+v", rm)
+	}
+	if srv.Registry().Len() != 1 {
+		t.Errorf("registry length = %d", srv.Registry().Len())
+	}
+
+	// Graceful shutdown: Run must return nil and the port must close.
+	if err := shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}
+
+// TestParseExpandRoundTrip exercises the §5 endpoints: optimal parse into
+// word references, then expansion back to the text.
+func TestParseExpandRoundTrip(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// Prefix-closed dictionary over {a,b} — every text is parseable.
+	status, body := postJSON(t, base+"/v1/dicts",
+		map[string]any{"patterns": []string{"a", "b", "ab", "aba", "bb"}})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	text := "abababbbabaab"
+	status, body = postJSON(t, fmt.Sprintf("%s/v1/dicts/%s/parse", base, created.ID),
+		map[string]any{"text": text})
+	if status != http.StatusOK {
+		t.Fatalf("parse: %d %s", status, body)
+	}
+	var pr parseResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Phrases == 0 || pr.Phrases > len(text) {
+		t.Fatalf("parse: %d phrases for %d bytes", pr.Phrases, len(text))
+	}
+	status, body = postJSON(t, fmt.Sprintf("%s/v1/dicts/%s/expand", base, created.ID),
+		map[string]any{"refs": pr.Refs})
+	if status != http.StatusOK {
+		t.Fatalf("expand: %d %s", status, body)
+	}
+	var er expandResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	round, err := base64.StdEncoding.DecodeString(er.TextB64)
+	if err != nil || string(round) != text {
+		t.Fatalf("expand round trip: %q err=%v", round, err)
+	}
+
+	// A text outside the alphabet cannot be parsed: 422, not a hang or 500.
+	status, body = postJSON(t, fmt.Sprintf("%s/v1/dicts/%s/parse", base, created.ID),
+		map[string]any{"text": "abcab"})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("unparseable text: status %d %s, want 422", status, body)
+	}
+}
+
+// TestErrorPaths covers the robustness layer: unknown IDs, malformed
+// bodies, oversized payloads, saturation shedding, and request deadlines.
+func TestErrorPaths(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{
+		Addr:         "127.0.0.1:0",
+		Procs:        1,
+		MaxInflight:  2,
+		MaxBodyBytes: 1 << 12,
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	if status, _ := postJSON(t, base+"/v1/dicts/nope/match", map[string]any{"text": "x"}); status != http.StatusNotFound {
+		t.Errorf("unknown dict: status %d, want 404", status)
+	}
+	resp, err := http.Post(base+"/v1/dicts", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	if status, _ := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": []string{""}}); status != http.StatusBadRequest {
+		t.Errorf("empty pattern: status %d, want 400", status)
+	}
+	big := bytes.Repeat([]byte("a"), 1<<13) // over MaxBodyBytes once JSON-wrapped
+	if status, _ := postJSON(t, base+"/v1/compress", map[string]any{"text": string(big)}); status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: want 413")
+	}
+	if status, _ := postJSON(t, base+"/v1/decompress", map[string]any{"dataB64": "AAAA"}); status != http.StatusUnprocessableEntity {
+		t.Errorf("bad stream: want 422")
+	}
+
+	// Saturation: hold both limiter slots, then any /v1 request sheds 429
+	// while /metrics (unlimited) still answers.
+	if !srv.Limiter().TryAcquire() || !srv.Limiter().TryAcquire() {
+		t.Fatal("could not saturate limiter")
+	}
+	status, body := postJSON(t, base+"/v1/compress", map[string]any{"text": "hello"})
+	if status != http.StatusTooManyRequests {
+		t.Errorf("saturated: status %d %s, want 429", status, body)
+	}
+	if status := getJSON(t, base+"/metrics", nil); status != http.StatusOK {
+		t.Errorf("metrics under saturation: status %d", status)
+	}
+	srv.Limiter().Release()
+	srv.Limiter().Release()
+	if status, _ := postJSON(t, base+"/v1/compress", map[string]any{"text": "hello"}); status != http.StatusOK {
+		t.Errorf("after release: status %d, want 200", status)
+	}
+	var snap MetricsSnapshot
+	getJSON(t, base+"/metrics", &snap)
+	if snap.Limiter.Rejected == 0 {
+		t.Error("metrics: limiter rejection not recorded")
+	}
+}
+
+// TestRequestDeadline pins the per-request timeout: with a deadline that
+// has always already expired, handlers answer 503 instead of running the
+// algorithms.
+func TestRequestDeadline(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr:           "127.0.0.1:0",
+		Procs:          1,
+		RequestTimeout: time.Nanosecond,
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	status, body := postJSON(t, base+"/v1/compress", map[string]any{"text": "aaaa"})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: status %d %s, want 503", status, body)
+	}
+	var snap MetricsSnapshot
+	getJSON(t, base+"/metrics", &snap)
+	if snap.Timeouts == 0 {
+		t.Error("metrics: timeout not recorded")
+	}
+}
