@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments quick-experiments fuzz serve clean
+.PHONY: all build test race bench bench-json experiments quick-experiments fuzz serve clean
 
 all: build test
 
@@ -18,6 +18,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates the committed runtime-benchmark record (legacy vs pooled
+# execution engine, see internal/bench/perf.go).
+bench-json:
+	$(GO) run ./cmd/benchtab -json BENCH_PR2.json
 
 experiments:
 	$(GO) run ./cmd/benchtab | tee experiments_raw.txt

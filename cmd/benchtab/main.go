@@ -3,31 +3,50 @@
 //
 // Usage:
 //
-//	benchtab [-quick] [-run E7] [-list]
+//	benchtab [-quick] [-run E7] [-list] [-json out.json]
 //
 // With no flags it runs every experiment at full scale, which takes a few
 // minutes on one core; -quick shrinks the inputs for a fast smoke pass.
+// With -json it instead runs the P-series runtime benchmarks (legacy vs
+// pooled execution engine) and writes machine-readable results — id,
+// ns/op, allocs/op, PRAM work and depth — to the given path; this is what
+// `make bench-json` uses to regenerate BENCH_PR2.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
+// perfFile is the BENCH_PR*.json document shape.
+type perfFile struct {
+	GoMaxProcs int                `json:"goMaxProcs"`
+	GoVersion  string             `json:"goVersion"`
+	Scale      string             `json:"scale"`
+	Results    []bench.PerfResult `json:"results"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "use small inputs (seconds instead of minutes)")
 	runID := flag.String("run", "", "comma-separated experiment ids to run (e.g. E1,E7); empty = all")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "run the P-series runtime benchmarks and write JSON results to this path")
 	flag.Parse()
 
 	scale := bench.Full
 	if *quick {
 		scale = bench.Quick
+	}
+	if *jsonOut != "" {
+		writePerfJSON(*jsonOut, scale)
+		return
 	}
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*runID, ",") {
@@ -57,4 +76,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiments matched -run=%s\n", *runID)
 		os.Exit(1)
 	}
+}
+
+func writePerfJSON(path string, scale bench.Scale) {
+	scaleName := "full"
+	if scale == bench.Quick {
+		scaleName = "quick"
+	}
+	doc := perfFile{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Scale:      scaleName,
+		Results:    bench.RunPerf(scale),
+	}
+	// Also echo a human-readable summary so the run is not silent.
+	for _, r := range doc.Results {
+		fmt.Printf("%-4s %-22s %-7s n=%-8d %12d ns/op %8d allocs/op  work=%d depth=%d\n",
+			r.ID, r.Name, r.Config, r.N, r.NsPerOp, r.AllocsPerOp, r.Work, r.Depth)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (%d results)\n", path, len(doc.Results))
 }

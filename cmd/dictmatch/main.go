@@ -70,6 +70,7 @@ func main() {
 		}
 	case "parallel":
 		m = pram.New(*procs)
+		defer m.Close()
 		var nca core.NCAVariant
 		switch *ncaFlag {
 		case "auto":

@@ -52,6 +52,7 @@ func main() {
 	defer w.Flush()
 
 	m := pram.New(*procs)
+	defer m.Close()
 	start := time.Now()
 	if *compress {
 		c := lz.Compress(m, in)

@@ -50,6 +50,7 @@ func main() {
 	}
 
 	m := pram.New(*procs)
+	defer m.Close()
 	start := time.Now()
 	dict := core.Preprocess(m, words, core.Options{Seed: 1})
 	maxLen := dict.PrefixLengths(m, text)

@@ -48,6 +48,7 @@ func main() {
 	}
 
 	m := pram.New(*procs)
+	defer m.Close()
 	tr := suffixtree.Build(m, text)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()

@@ -1,0 +1,179 @@
+// Runtime performance experiments behind `benchtab -json`. Unlike the
+// E-series (which reproduce the paper's complexity claims through the
+// work/depth ledger), the P-series measures the physical execution engine:
+// ns/op, allocations, and the ledger of the same workload under the legacy
+// spawn-per-step dispatch versus the pooled runtime. The ledger columns
+// double as a regression guard — every config of a workload must report
+// identical Work/Depth, or the engines have diverged from the cost model.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// PerfResult is one (workload, engine config) measurement, shaped for
+// machine consumption (BENCH_PR2.json and future BENCH_PRn files).
+type PerfResult struct {
+	ID          string `json:"id"`     // P-series experiment id
+	Name        string `json:"name"`   // workload name
+	Config      string `json:"config"` // engine configuration
+	N           int    `json:"n"`      // problem size
+	NsPerOp     int64  `json:"nsPerOp"`
+	AllocsPerOp int64  `json:"allocsPerOp"`
+	BytesPerOp  int64  `json:"bytesPerOp"`
+	Work        int64  `json:"work"`  // PRAM work of one op (0 if not ledgered)
+	Depth       int64  `json:"depth"` // PRAM depth of one op
+}
+
+// perfProcs is the simulated processor count of the P-series machines. It
+// is deliberately fixed (not GOMAXPROCS) so ledgers and grain decisions are
+// comparable across hosts; the pool caps physical helpers at the core count
+// on its own.
+const perfProcs = 4
+
+// legacyGrain reproduces the seed runtime's fixed DefaultGrain.
+const legacyGrain = 2048
+
+// perfConfigs are the engine configurations every workload runs under.
+// "legacy" replicates the seed runtime: goroutines spawned per super-step,
+// fixed grain 2048, no inline threshold beyond n <= grain. "pooled" is the
+// current default: parked workers, adaptive grain, inline threshold.
+var perfConfigs = []struct {
+	Name string
+	Make func() *pram.Machine
+}{
+	{"legacy", func() *pram.Machine {
+		m := pram.NewWithEngine(perfProcs, pram.EngineSpawn)
+		m.SetGrain(legacyGrain)
+		return m
+	}},
+	{"pooled", func() *pram.Machine {
+		return pram.New(perfProcs)
+	}},
+}
+
+// perfWorkload is one benchmarked kernel. Op must be self-contained and
+// deterministic; it runs b.N times under testing.Benchmark.
+type perfWorkload struct {
+	ID   string
+	Name string
+	N    func(s Scale) int
+	Op   func(m *pram.Machine, n int)
+}
+
+func perfWorkloads() []perfWorkload {
+	return []perfWorkload{
+		{
+			// The many-super-step overhead regime: rounds of small steps with
+			// trivial bodies, the shape of every contraction/doubling tail.
+			// Legacy fans out whenever n > 2048; the adaptive runtime inlines
+			// steps this cheap, so this is pure dispatch overhead.
+			ID: "P1", Name: "superstep_small_x128",
+			N: func(s Scale) int { return 3000 },
+			Op: func(m *pram.Machine, n int) {
+				dst := make([]int64, n)
+				for r := 0; r < 128; r++ {
+					m.ParallelFor(n, func(i int) { dst[i] = int64(i) })
+				}
+			},
+		},
+		{
+			// One large step: dispatch cost amortized, body-bound.
+			ID: "P2", Name: "superstep_large",
+			N: func(s Scale) int { return s.pick(1<<16, 1<<18) },
+			Op: func(m *pram.Machine, n int) {
+				dst := make([]int64, n)
+				m.ParallelFor(n, func(i int) { dst[i] = int64(i)*2654435761 + 17 })
+			},
+		},
+		{
+			// The acceptance microbench: randomized list contraction runs
+			// O(log n) rounds of shrinking super-steps.
+			ID: "P3", Name: "listrank_contract",
+			N: func(s Scale) int { return s.pick(1<<14, 1<<16) },
+			Op: func(m *pram.Machine, n int) {
+				next := make([]int, n)
+				for i := 0; i < n-1; i++ {
+					next[i] = i + 1
+				}
+				next[n-1] = n - 1
+				par.ListRankContract(m, next)
+			},
+		},
+		{
+			// Pointer doubling at the same size: log n full-width rounds.
+			ID: "P4", Name: "listrank_jump",
+			N: func(s Scale) int { return s.pick(1<<14, 1<<16) },
+			Op: func(m *pram.Machine, n int) {
+				next := make([]int, n)
+				for i := 0; i < n-1; i++ {
+					next[i] = i + 1
+				}
+				next[n-1] = n - 1
+				par.ListRank(m, next)
+			},
+		},
+		{
+			// Scan + pack: the allocation-hot primitives converted to the
+			// scratch arena; allocs/op is the interesting column.
+			ID: "P5", Name: "scan_pack",
+			N: func(s Scale) int { return s.pick(1<<14, 1<<16) },
+			Op: func(m *pram.Machine, n int) {
+				a := make([]int64, n)
+				m.ParallelFor(n, func(i int) { a[i] = int64(i % 7) })
+				par.ExclusiveScan(m, a)
+				par.Pack(m, n, func(i int) bool { return a[i]&1 == 0 })
+			},
+		},
+		{
+			// Radix sort: histogram + scatter rounds.
+			ID: "P6", Name: "sort_perm",
+			N: func(s Scale) int { return s.pick(1<<14, 1<<16) },
+			Op: func(m *pram.Machine, n int) {
+				keys := make([]int64, n)
+				for i := range keys {
+					keys[i] = int64((i * 48271) % n)
+				}
+				par.SortPerm(m, keys, int64(n))
+			},
+		},
+	}
+}
+
+// RunPerf measures every P-series workload under every engine config and
+// returns the flat result list in (workload, config) order.
+func RunPerf(scale Scale) []PerfResult {
+	var out []PerfResult
+	for _, w := range perfWorkloads() {
+		n := w.N(scale)
+		for _, cfg := range perfConfigs {
+			m := cfg.Make()
+			// Ledger of a single op, measured outside the timing loop.
+			m.ResetCounters()
+			w.Op(m, n)
+			work, depth := m.Counters()
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w.Op(m, n)
+				}
+			})
+			m.Close()
+			out = append(out, PerfResult{
+				ID:          w.ID,
+				Name:        w.Name,
+				Config:      cfg.Name,
+				N:           n,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Work:        work,
+				Depth:       depth,
+			})
+		}
+	}
+	return out
+}

@@ -198,7 +198,7 @@ func (s *Improved) Find(v int, c int32) int {
 // rounds, O(n log n) work.
 func NearestMarkedAll(m *pram.Machine, parent []int, marked []bool) []int32 {
 	n := len(parent)
-	f := make([]int, n)
+	f := m.GetInts(n)
 	m.ParallelFor(n, func(v int) {
 		if marked[v] || parent[v] < 0 {
 			f[v] = v
@@ -207,6 +207,7 @@ func NearestMarkedAll(m *pram.Machine, parent []int, marked []bool) []int32 {
 		}
 	})
 	roots := par.PointerJumpRoots(m, f)
+	m.PutInts(f)
 	out := make([]int32, n)
 	m.ParallelFor(n, func(v int) {
 		r := roots[v]
@@ -216,5 +217,6 @@ func NearestMarkedAll(m *pram.Machine, parent []int, marked []bool) []int32 {
 			out[v] = -1
 		}
 	})
+	m.PutInts(roots)
 	return out
 }

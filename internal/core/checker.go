@@ -29,7 +29,8 @@ func (d *Dictionary) Check(m *pram.Machine, text []byte, matches []Match) bool {
 	ok := pram.NewCellsFilled(1, 1)
 	// Effective match length: undefined positions become length-1
 	// singletons T[i], exactly as the paper prescribes.
-	lenAt := make([]int64, n)
+	lenAt := m.GetInt64s(n)
+	defer m.PutInt64s(lenAt)
 	m.ParallelFor(n, func(i int) {
 		mt := matches[i]
 		switch {
@@ -58,11 +59,12 @@ func (d *Dictionary) Check(m *pram.Machine, text []byte, matches []Match) bool {
 	}
 	// reach[i] = i + lenAt[i]; prefix maxima identify dominating positions
 	// and a dominator for each dominated one.
-	reach := make([]int64, n)
-	m.ParallelFor(n, func(i int) { reach[i] = packLenPat(int32(int64(i)+lenAt[i]), int32(i)) })
-	pmax := append([]int64(nil), reach...)
+	pmax := m.GetInt64s(n)
+	defer m.PutInt64s(pmax)
+	m.ParallelFor(n, func(i int) { pmax[i] = packLenPat(int32(int64(i)+lenAt[i]), int32(i)) })
 	par.PrefixMaxLinear(m, pmax)
-	dominated := make([]bool, n)
+	dominated := m.GetBools(n)
+	defer m.PutBools(dominated)
 	m.ParallelFor(n, func(j int) {
 		if j == 0 {
 			return

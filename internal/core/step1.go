@@ -29,7 +29,8 @@ func (d *Dictionary) substringMatch(m *pram.Machine, text []byte) []locus {
 	if n == 0 {
 		return out
 	}
-	tsym := make([]int32, n)
+	tsym := m.GetInt32s(n)
+	defer m.PutInt32s(tsym) // fpText hashes tsym up front and does not retain it
 	m.ParallelFor(n, func(i int) { tsym[i] = int32(text[i]) + 1 })
 	hasher := d.hasher.WithCapacity(n)
 	fpText := hasher.NewTableInts(m, tsym)

@@ -61,7 +61,7 @@ func Compress(m *pram.Machine, text []byte) Compressed {
 	parseSnap := m.Snapshot()
 	defer func() { m.RecordPhase("lz/parse", parseSnap) }()
 	// Parse tree: parent(i) = i + max(1, matchLen(i)); node n is the root.
-	next := make([]int, n+1)
+	next := m.GetInts(n + 1)
 	m.ParallelFor(n+1, func(i int) {
 		if i == n {
 			next[i] = i
@@ -77,6 +77,7 @@ func Compress(m *pram.Machine, text []byte) Compressed {
 		}
 	})
 	path := par.ParallelPathToRoot(m, next, 0)
+	m.PutInts(next)
 	tokens := make([]Token, len(path)-1)
 	m.ParallelFor(len(tokens), func(k int) {
 		i := path[k]
@@ -117,12 +118,13 @@ func matchStatistics(m *pram.Machine, text []byte) []prevMatch {
 	// ancestor v* is the top of the chain with L == i... — precisely, the
 	// paper's marking: A[i] is the parent of the nearest marked ancestor of
 	// leaf i (leaf included).
-	marked := make([]bool, st.NumNodes)
+	marked := m.GetBools(st.NumNodes)
 	m.ParallelFor(st.NumNodes, func(v int) {
 		p := st.Parent[v]
 		marked[v] = p >= 0 && lmin[v] != lmin[p]
 	})
 	nma := colorednca.NearestMarkedAll(m, st.Parent, marked)
+	m.PutBools(marked)
 	out := make([]prevMatch, n)
 	m.ParallelFor(n, func(i int) {
 		leaf := int(st.LeafID[i])
@@ -151,13 +153,14 @@ func matchStatistics(m *pram.Machine, text []byte) []prevMatch {
 // range-minimum over SA (Lemma 2.3): O(1) per node after the table.
 func minLeafLabels(m *pram.Machine, st *suffixtree.Tree) []int32 {
 	n1 := st.NumLeaves()
-	sa64 := make([]int64, n1)
+	sa64 := m.GetInt64s(n1)
 	m.ParallelFor(n1, func(r int) { sa64[r] = int64(st.SA[r]) })
 	t := rmq.NewMin(m, sa64)
 	out := make([]int32, st.NumNodes)
 	m.ParallelFor(st.NumNodes, func(v int) {
 		out[v] = int32(t.Query(int(st.Lo[v]), int(st.Hi[v])))
 	})
+	m.PutInt64s(sa64) // t retains sa64, but t dies with this frame
 	return out
 }
 
@@ -205,7 +208,8 @@ func Uncompress(m *pram.Machine, c Compressed, mode UncompressMode) ([]byte, err
 		return nil, nil
 	}
 	// Block starts by prefix sums over token lengths.
-	lens := make([]int64, len(c.Tokens))
+	lens := m.GetInt64s(len(c.Tokens))
+	defer m.PutInt64s(lens)
 	m.ParallelFor(len(c.Tokens), func(k int) {
 		if c.Tokens[k].IsLiteral() {
 			lens[k] = 1
@@ -227,8 +231,10 @@ func Uncompress(m *pram.Machine, c Compressed, mode UncompressMode) ([]byte, err
 		return nil, fmt.Errorf("lz: token lengths sum to %d, header says %d", total, n)
 	}
 	// Copy forest: src[i] = position i was copied from; literals are roots.
-	src := make([]int, n)
-	lit := make([]byte, n)
+	src := m.GetInts(n)
+	defer m.PutInts(src)
+	lit := m.GetBytes(n)
+	defer m.PutBytes(lit)
 	bad := pram.NewCells(1)
 	m.ParallelFor(len(c.Tokens), func(k int) {
 		start := int(lens[k])
@@ -265,6 +271,7 @@ func Uncompress(m *pram.Machine, c Compressed, mode UncompressMode) ([]byte, err
 	default:
 		roots := par.PointerJumpRoots(m, src)
 		m.ParallelFor(n, func(i int) { out[i] = lit[roots[i]] })
+		m.PutInts(roots)
 	}
 	return out, nil
 }

@@ -28,8 +28,8 @@ func ListRankContract(m *pram.Machine, next []int) []int64 {
 	if n == 0 {
 		return rank
 	}
-	nxt := make([]int, n)
-	w := make([]int64, n) // hops from i to nxt[i]
+	nxt := m.GetInts(n)
+	w := m.GetInt64s(n) // hops from i to nxt[i]
 	m.ParallelFor(n, func(i int) {
 		nxt[i] = next[i]
 		if next[i] != i {
@@ -44,7 +44,7 @@ func ListRankContract(m *pram.Machine, next []int) []int64 {
 		hops int64
 	}
 	var history [][]splice
-	contracting := make([]bool, n)
+	contracting := m.GetBools(n)
 
 	for round := 0; len(alive) > 0; round++ {
 		r := round
@@ -77,7 +77,7 @@ func ListRankContract(m *pram.Machine, next []int) []int64 {
 		})
 		// Phase 3: one scan partitions the alive set into spliced-out and
 		// surviving elements, records the splices, and resets the marks.
-		flags := make([]int64, len(alive))
+		flags := m.GetInt64s(len(alive))
 		m.ParallelFor(len(alive), func(k int) {
 			if contracting[alive[k]] {
 				flags[k] = 1
@@ -85,7 +85,7 @@ func ListRankContract(m *pram.Machine, next []int) []int64 {
 		})
 		gone := ExclusiveScan(m, flags) // flags[k] = #contracted before k
 		batch := make([]splice, gone)
-		newAlive := make([]int, int64(len(alive))-gone)
+		newAlive := m.GetInts(int(int64(len(alive)) - gone))
 		m.ParallelFor(len(alive), func(k int) {
 			i := alive[k]
 			if contracting[i] {
@@ -95,9 +95,17 @@ func ListRankContract(m *pram.Machine, next []int) []int64 {
 			}
 			newAlive[int64(k)-flags[k]] = i
 		})
+		m.PutInt64s(flags)
+		m.PutInts(alive) // dead: survivors moved to newAlive
 		history = append(history, batch)
 		alive = newAlive
 	}
+	if len(history) > 0 {
+		m.PutInts(alive) // the final (empty) round buffer
+	}
+	m.PutInts(nxt)
+	m.PutInt64s(w)
+	m.PutBools(contracting)
 	// Expansion in reverse: a splice's tail was alive after its round (or
 	// a terminal), so its rank is already final.
 	for r := len(history) - 1; r >= 0; r-- {

@@ -8,9 +8,9 @@ import "repro/internal/pram"
 // doubling), depth O(log n). The input slice is not modified.
 func PointerJumpRoots(m *pram.Machine, parent []int) []int {
 	n := len(parent)
-	p := make([]int, n)
+	p := m.GetInts(n)
 	m.ParallelFor(n, func(i int) { p[i] = parent[i] })
-	q := make([]int, n)
+	q := m.GetInts(n)
 	for {
 		changed := pram.NewCells(1)
 		m.ParallelFor(n, func(i int) {
@@ -21,6 +21,9 @@ func PointerJumpRoots(m *pram.Machine, parent []int) []int {
 		})
 		p, q = q, p
 		if changed.Read(0) == 0 {
+			// Ownership of p transfers to the caller (it simply never
+			// returns to the arena); q is scratch and gets recycled.
+			m.PutInts(q)
 			return p
 		}
 	}
@@ -33,16 +36,16 @@ func PointerJumpRoots(m *pram.Machine, parent []int) []int {
 // level ancestors, Euler tour techniques" boils down to at this scale.
 func ListRank(m *pram.Machine, next []int) []int64 {
 	n := len(next)
-	rank := make([]int64, n)
-	p := make([]int, n)
+	rank := m.GetInt64s(n)
+	p := m.GetInts(n)
 	m.ParallelFor(n, func(i int) {
 		p[i] = next[i]
 		if next[i] != i {
 			rank[i] = 1
 		}
 	})
-	q := make([]int, n)
-	r2 := make([]int64, n)
+	q := m.GetInts(n)
+	r2 := m.GetInt64s(n)
 	for {
 		changed := pram.NewCells(1)
 		m.ParallelFor(n, func(i int) {
@@ -55,6 +58,10 @@ func ListRank(m *pram.Machine, next []int) []int64 {
 		p, q = q, p
 		rank, r2 = r2, rank
 		if changed.Read(0) == 0 {
+			// rank transfers to the caller; the other three are scratch.
+			m.PutInts(p)
+			m.PutInts(q)
+			m.PutInt64s(r2)
 			return rank
 		}
 	}
@@ -120,6 +127,7 @@ func ParallelPathToRoot(m *pram.Machine, next []int, start int) []int {
 	rank := ListRank(m, next)
 	jt := NewJumpTable(m, next)
 	length := rank[start] + 1
+	m.PutInt64s(rank)
 	out := make([]int, length)
 	m.ParallelForCost(int(length), int64(len(jt.up)), func(t int) {
 		out[t] = jt.Successor(start, int64(t))

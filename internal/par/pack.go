@@ -9,7 +9,7 @@ func Pack(m *pram.Machine, n int, keep func(i int) bool) []int {
 	if n == 0 {
 		return nil
 	}
-	flags := make([]int64, n)
+	flags := m.GetInt64s(n)
 	m.ParallelFor(n, func(i int) {
 		if keep(i) {
 			flags[i] = 1
@@ -28,6 +28,7 @@ func Pack(m *pram.Machine, n int, keep func(i int) bool) []int {
 			out[flags[i]] = i
 		}
 	})
+	m.PutInt64s(flags)
 	return out
 }
 
@@ -45,7 +46,8 @@ func Count(m *pram.Machine, n int, pred func(i int) bool) int64 {
 	if n == 0 {
 		return 0
 	}
-	flags := make([]int64, n)
+	flags := m.GetInt64s(n)
+	defer m.PutInt64s(flags)
 	m.ParallelFor(n, func(i int) {
 		if pred(i) {
 			flags[i] = 1

@@ -75,10 +75,11 @@ func InclusiveScan(m *pram.Machine, a []int64) int64 {
 	if n == 0 {
 		return 0
 	}
-	orig := make([]int64, n)
+	orig := m.GetInt64s(n)
 	m.ParallelFor(n, func(i int) { orig[i] = a[i] })
 	total := ExclusiveScan(m, a)
 	m.ParallelFor(n, func(i int) { a[i] += orig[i] })
+	m.PutInt64s(orig)
 	return total
 }
 
@@ -92,7 +93,7 @@ func PrefixMax(m *pram.Machine, a []int64) {
 	if n <= 1 {
 		return
 	}
-	buf := make([]int64, n)
+	buf := m.GetInt64s(n)
 	src, dst := a, buf
 	for s := 1; s < n; s *= 2 {
 		sCopy, srcCopy, dstCopy := s, src, dst
@@ -108,6 +109,7 @@ func PrefixMax(m *pram.Machine, a []int64) {
 	if &src[0] != &a[0] {
 		m.ParallelFor(n, func(i int) { a[i] = src[i] })
 	}
+	m.PutInt64s(buf)
 }
 
 // PrefixMaxLinear computes inclusive prefix maxima with O(n) work: blocks
@@ -123,7 +125,8 @@ func PrefixMaxLinear(m *pram.Machine, a []int64) {
 		return
 	}
 	nb := (n + block - 1) / block
-	sums := make([]int64, nb)
+	sums := m.GetInt64s(nb)
+	defer m.PutInt64s(sums)
 	m.ParallelForCost(nb, block, func(b int) {
 		lo, hi := b*block, (b+1)*block
 		if hi > n {
@@ -164,7 +167,7 @@ func SuffixMax(m *pram.Machine, a []int64) {
 	if n <= 1 {
 		return
 	}
-	buf := make([]int64, n)
+	buf := m.GetInt64s(n)
 	src, dst := a, buf
 	for s := 1; s < n; s *= 2 {
 		sCopy, srcCopy, dstCopy := s, src, dst
@@ -180,6 +183,7 @@ func SuffixMax(m *pram.Machine, a []int64) {
 	if &src[0] != &a[0] {
 		m.ParallelFor(n, func(i int) { a[i] = src[i] })
 	}
+	m.PutInt64s(buf)
 }
 
 // Reduce returns the combine-fold of a with the given identity. combine must
@@ -189,11 +193,12 @@ func Reduce(m *pram.Machine, a []int64, identity int64, combine func(x, y int64)
 	if n == 0 {
 		return identity
 	}
-	cur := make([]int64, n)
+	cur := m.GetInt64s(n)
+	buf := m.GetInt64s((n + 1) / 2)
 	m.ParallelFor(n, func(i int) { cur[i] = a[i] })
 	for len(cur) > 1 {
 		half := (len(cur) + 1) / 2
-		next := make([]int64, half)
+		next := buf[:half]
 		curCopy := cur
 		m.ParallelFor(half, func(i int) {
 			if 2*i+1 < len(curCopy) {
@@ -202,9 +207,12 @@ func Reduce(m *pram.Machine, a []int64, identity int64, combine func(x, y int64)
 				next[i] = curCopy[2*i]
 			}
 		})
-		cur = next
+		cur, buf = next, cur
 	}
-	return combine(identity, cur[0])
+	out := combine(identity, cur[0])
+	m.PutInt64s(cur)
+	m.PutInt64s(buf)
+	return out
 }
 
 // MaxIndex returns the index of a maximum element of a (lowest index among
@@ -214,29 +222,34 @@ func MaxIndex(m *pram.Machine, a []int64) (idx int, val int64) {
 	if n == 0 {
 		return -1, 0
 	}
-	type pair struct {
-		v int64
-		i int
-	}
-	cur := make([]pair, n)
-	m.ParallelFor(n, func(i int) { cur[i] = pair{a[i], i} })
-	for len(cur) > 1 {
-		half := (len(cur) + 1) / 2
-		next := make([]pair, half)
-		curCopy := cur
+	// Tournament over (value, index) pairs held in parallel scratch arrays.
+	curV, curI := m.GetInt64s(n), m.GetInt64s(n)
+	bufV, bufI := m.GetInt64s((n+1)/2), m.GetInt64s((n+1)/2)
+	m.ParallelFor(n, func(i int) { curV[i], curI[i] = a[i], int64(i) })
+	for len(curV) > 1 {
+		half := (len(curV) + 1) / 2
+		nextV, nextI := bufV[:half], bufI[:half]
+		cv, ci := curV, curI
 		m.ParallelFor(half, func(i int) {
-			if 2*i+1 < len(curCopy) {
-				x, y := curCopy[2*i], curCopy[2*i+1]
-				if y.v > x.v || (y.v == x.v && y.i < x.i) {
-					next[i] = y
+			if 2*i+1 < len(cv) {
+				xv, xi := cv[2*i], ci[2*i]
+				yv, yi := cv[2*i+1], ci[2*i+1]
+				if yv > xv || (yv == xv && yi < xi) {
+					nextV[i], nextI[i] = yv, yi
 				} else {
-					next[i] = x
+					nextV[i], nextI[i] = xv, xi
 				}
 			} else {
-				next[i] = curCopy[2*i]
+				nextV[i], nextI[i] = cv[2*i], ci[2*i]
 			}
 		})
-		cur = next
+		curV, bufV = nextV, curV
+		curI, bufI = nextI, curI
 	}
-	return cur[0].i, cur[0].v
+	idx, val = int(curI[0]), curV[0]
+	m.PutInt64s(curV)
+	m.PutInt64s(curI)
+	m.PutInt64s(bufV)
+	m.PutInt64s(bufI)
+	return idx, val
 }

@@ -36,8 +36,12 @@ func SortPermInPlace(m *pram.Machine, keys []int64, maxKey int64, perm []int) {
 		passes++
 	}
 	blocks := (n + sortBlock - 1) / sortBlock
-	hist := make([]int64, blocks*sortRadix)
-	out := make([]int, n)
+	hist := m.GetInt64s(blocks * sortRadix)
+	out := m.GetInts(n)
+	defer func() {
+		m.PutInt64s(hist)
+		m.PutInts(out)
+	}()
 	for pass := 0; pass < passes; pass++ {
 		shift := uint(pass * sortDigits)
 		m.ParallelFor(blocks*sortRadix, func(i int) { hist[i] = 0 })

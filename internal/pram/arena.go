@@ -1,0 +1,123 @@
+package pram
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch arena
+//
+// Round-based algorithms (list contraction, doubling scans, radix passes)
+// allocate the same flag/batch/histogram slices once per round for O(log n)
+// rounds; across internal/par that was ~50 make([]T) sites feeding the GC.
+// The arena recycles those buffers: Get*(n) returns a zeroed length-n slice
+// drawn from a size-class pool, Put* returns it. The API hangs off Machine
+// so call sites read as part of the execution model, but the backing pools
+// are process-wide sync.Pools — scratch released by a per-request Machine in
+// the serving layer is immediately reusable by the next request, and the
+// pools drain under memory pressure like any sync.Pool.
+//
+// Rules, mirroring PRAM shared-memory discipline:
+//
+//   - Get and Put only between super-steps (never inside a ParallelFor
+//     body — bodies are the virtual processors, the arena is the host).
+//   - A buffer must not be used after Put. Put of a slice not obtained from
+//     Get is allowed (it is simply adopted if its capacity fits a class).
+//   - Returned slices are zeroed, exactly like make([]T, n), so flag-array
+//     call sites can switch without auditing their init assumptions.
+//
+// The arena never changes Work/Depth: zeroing happens on the host, like the
+// allocation it replaces (the PRAM model charges algorithmic steps, not
+// host memory management — see DESIGN.md §3).
+
+// arenaClasses covers 2^0 .. 2^(arenaClasses-1) element buffers; larger
+// requests fall through to plain make and are dropped on Put.
+const arenaClasses = 28 // up to 2^27 = 134M elements per class
+
+// typedArena is a size-class pool set for one element type.
+type typedArena[T any] struct {
+	classes [arenaClasses]sync.Pool
+}
+
+// class returns the pool index for a request of n elements: the smallest
+// power of two >= n.
+func class(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func (a *typedArena[T]) get(n int) []T {
+	if n < 0 {
+		panic("pram: negative scratch length")
+	}
+	c := class(n)
+	if c < arenaClasses {
+		if v := a.classes[c].Get(); v != nil {
+			s := (*(v.(*[]T)))[:n]
+			var zero T
+			for i := range s {
+				s[i] = zero
+			}
+			return s
+		}
+		return make([]T, n, 1<<c)
+	}
+	return make([]T, n)
+}
+
+func (a *typedArena[T]) put(s []T) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	k := class(c)
+	if 1<<k != c || k >= arenaClasses {
+		// Only exact power-of-two capacities are pooled so every pooled
+		// buffer of class k can serve any request of size (2^(k-1), 2^k].
+		return
+	}
+	s = s[:c]
+	a.classes[k].Put(&s)
+}
+
+// Process-wide backing pools, one per element type the algorithms use.
+var (
+	arenaInt64 typedArena[int64]
+	arenaInt   typedArena[int]
+	arenaInt32 typedArena[int32]
+	arenaByte  typedArena[byte]
+	arenaBool  typedArena[bool]
+)
+
+// GetInt64s returns a zeroed scratch []int64 of length n. Pair with
+// PutInt64s when the buffer is dead.
+func (m *Machine) GetInt64s(n int) []int64 { return arenaInt64.get(n) }
+
+// PutInt64s recycles a scratch buffer obtained from GetInt64s.
+func (m *Machine) PutInt64s(s []int64) { arenaInt64.put(s) }
+
+// GetInts returns a zeroed scratch []int of length n.
+func (m *Machine) GetInts(n int) []int { return arenaInt.get(n) }
+
+// PutInts recycles a scratch buffer obtained from GetInts.
+func (m *Machine) PutInts(s []int) { arenaInt.put(s) }
+
+// GetInt32s returns a zeroed scratch []int32 of length n.
+func (m *Machine) GetInt32s(n int) []int32 { return arenaInt32.get(n) }
+
+// PutInt32s recycles a scratch buffer obtained from GetInt32s.
+func (m *Machine) PutInt32s(s []int32) { arenaInt32.put(s) }
+
+// GetBytes returns a zeroed scratch []byte of length n.
+func (m *Machine) GetBytes(n int) []byte { return arenaByte.get(n) }
+
+// PutBytes recycles a scratch buffer obtained from GetBytes.
+func (m *Machine) PutBytes(s []byte) { arenaByte.put(s) }
+
+// GetBools returns a zeroed scratch []bool of length n.
+func (m *Machine) GetBools(n int) []bool { return arenaBool.get(n) }
+
+// PutBools recycles a scratch buffer obtained from GetBools.
+func (m *Machine) PutBools(s []bool) { arenaBool.put(s) }

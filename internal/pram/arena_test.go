@@ -1,0 +1,94 @@
+package pram
+
+import "testing"
+
+func TestArenaReturnsZeroedExactLength(t *testing.T) {
+	m := NewSequential()
+	for _, n := range []int{0, 1, 2, 3, 63, 64, 65, 1000} {
+		s := m.GetInt64s(n)
+		if len(s) != n {
+			t.Fatalf("GetInt64s(%d) has length %d", n, len(s))
+		}
+		for i := range s {
+			if s[i] != 0 {
+				t.Fatalf("GetInt64s(%d)[%d] = %d, want 0", n, i, s[i])
+			}
+			s[i] = int64(i) + 1 // dirty it for the recycled round
+		}
+		m.PutInt64s(s)
+		s2 := m.GetInt64s(n)
+		for i := range s2 {
+			if s2[i] != 0 {
+				t.Fatalf("recycled GetInt64s(%d)[%d] = %d, want 0", n, i, s2[i])
+			}
+		}
+		m.PutInt64s(s2)
+	}
+}
+
+func TestArenaRecyclesAcrossSizesInClass(t *testing.T) {
+	m := NewSequential()
+	s := m.GetInts(100) // class 128
+	s[0] = 7
+	m.PutInts(s)
+	// A smaller request in the same class may reuse the buffer — and must
+	// see zeros either way.
+	r := m.GetInts(70)
+	if len(r) != 70 {
+		t.Fatalf("length %d", len(r))
+	}
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("r[%d] = %d", i, v)
+		}
+	}
+	m.PutInts(r)
+}
+
+func TestArenaForeignAndOddCapacityPut(t *testing.T) {
+	m := NewSequential()
+	m.PutInt32s(nil)                 // no-op
+	m.PutInt32s(make([]int32, 0, 3)) // non-power-of-two capacity: dropped
+	m.PutBytes(make([]byte, 16))     // adoptable: exact power of two
+	b := m.GetBytes(16)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("b[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestArenaAllTypes(t *testing.T) {
+	m := NewSequential()
+	i64 := m.GetInt64s(10)
+	i32 := m.GetInt32s(10)
+	ii := m.GetInts(10)
+	bb := m.GetBytes(10)
+	fl := m.GetBools(10)
+	if len(i64)+len(i32)+len(ii)+len(bb)+len(fl) != 50 {
+		t.Fatal("bad lengths")
+	}
+	m.PutInt64s(i64)
+	m.PutInt32s(i32)
+	m.PutInts(ii)
+	m.PutBytes(bb)
+	m.PutBools(fl)
+}
+
+func TestArenaNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative length did not panic")
+		}
+	}()
+	NewSequential().GetInts(-1)
+}
+
+func TestClassBoundaries(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 64: 6, 65: 7}
+	for n, want := range cases {
+		if got := class(n); got != want {
+			t.Errorf("class(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

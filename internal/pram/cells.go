@@ -1,6 +1,9 @@
 package pram
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Cells is a shared-memory array supporting the CRCW write-conflict rules
 // used by the paper's algorithms. All operations are safe under concurrent
@@ -104,9 +107,19 @@ func (c *Cells) Fill(v int64) {
 const priorityShift = 31
 const priorityMask = (1 << priorityShift) - 1
 
-// PackPriority encodes a priority/payload pair for use with WriteMin.
+// PackPriority encodes a priority/payload pair for use with WriteMin. Both
+// values must lie in [0, 2^31): anything wider would silently collide with
+// another pair's encoding (the payload would bleed into the priority bits),
+// so out-of-range arguments panic instead of corrupting the CRCW
+// resolution.
 func PackPriority(prio, payload int64) int64 {
-	return prio<<priorityShift | (payload & priorityMask)
+	if prio < 0 || prio > priorityMask {
+		panic(fmt.Sprintf("pram: PackPriority priority %d outside [0, 2^%d)", prio, priorityShift))
+	}
+	if payload < 0 || payload > priorityMask {
+		panic(fmt.Sprintf("pram: PackPriority payload %d outside [0, 2^%d)", payload, priorityShift))
+	}
+	return prio<<priorityShift | payload
 }
 
 // UnpackPriority decodes a value produced by PackPriority.

@@ -7,11 +7,14 @@
 //
 //   - A Machine executes ParallelFor(n, body) as one PRAM super-step in
 //     which n virtual processors each run body once. The bodies execute on a
-//     pool of physical worker goroutines.
+//     persistent pool of physical worker goroutines that park between
+//     super-steps (pool.go).
 //   - The Machine counts Depth (number of super-steps, the PRAM "time") and
 //     Work (total virtual-processor operations). These counters are the
 //     quantities the paper's theorems bound, and they are what the
-//     benchmark harness reports.
+//     benchmark harness reports. They depend only on (n, cost) per call —
+//     never on procs, grain, or the engine — so every schedule produces the
+//     same ledger.
 //   - Concurrent writes are expressed through Cells (see cells.go), whose
 //     atomic operations realize the arbitrary / max / min / priority
 //     conflict-resolution rules without data races.
@@ -27,11 +30,27 @@ import (
 	"sync/atomic"
 )
 
+// Engine selects the physical execution strategy of a parallel Machine.
+// The engine affects wall-clock time only; Work/Depth are engine-blind.
+type Engine int
+
+const (
+	// EnginePooled dispatches super-steps to persistent workers parked on
+	// per-worker epoch channels (pool.go). This is the default.
+	EnginePooled Engine = iota
+	// EngineSpawn spawns fresh goroutines plus a WaitGroup for every
+	// super-step — the pre-pool behaviour, kept selectable so benchmarks
+	// can measure the dispatch overhead the pool removes.
+	EngineSpawn
+)
+
 // Machine is a simulated CRCW PRAM instance. The zero value is not usable;
-// construct one with New or NewSequential.
+// construct one with New, NewWithEngine, or NewSequential.
 type Machine struct {
-	procs int
-	grain int
+	procs  int
+	grain  int // explicit SetGrain override; 0 = adaptive
+	engine Engine
+	pool   *pool // non-nil iff engine == EnginePooled and procs > 1
 
 	depth atomic.Int64
 	work  atomic.Int64
@@ -44,35 +63,117 @@ type Machine struct {
 	phaseState
 }
 
-// DefaultGrain is the number of virtual processors a physical worker claims
-// at a time. It trades scheduling overhead against load balance; the value
-// only affects wall-clock time, never the Work/Depth counters.
-const DefaultGrain = 2048
+// Adaptive-grain parameters. With no SetGrain override the grain of a
+// super-step is derived from its size: n/(procs*grainChunksPerProc) chunks
+// of roughly equal size keep every worker busy with a few refills for load
+// balance, the minGrain floor stops tiny rounds from shattering into
+// per-element chunks, and maxChunkWork caps the units of *charged* work per
+// chunk so high-cost bodies (ParallelForCost) still split finely enough to
+// balance. Steps below minParallelWork charged units run inline on the
+// caller: at that size the pool's wake-up latency exceeds the body work.
+const (
+	grainChunksPerProc = 4
+	minGrain           = 64
+	maxChunkWork       = 4096
+	minParallelWork    = 4096
+)
 
-// New returns a Machine backed by procs physical worker goroutines.
-// procs <= 0 selects runtime.GOMAXPROCS(0).
+// New returns a pooled Machine backed by procs physical workers (the caller
+// participates, so procs-1 goroutines are parked between super-steps).
+// procs <= 0 selects runtime.GOMAXPROCS(0). Machines hold parked goroutines
+// once used; Close releases them promptly, and a finalizer releases them on
+// garbage collection otherwise.
 func New(procs int) *Machine {
-	if procs <= 0 {
-		procs = runtime.GOMAXPROCS(0)
+	return NewWithEngine(procs, EnginePooled)
+}
+
+// NewWithEngine is New with an explicit execution engine.
+func NewWithEngine(procs int, e Engine) *Machine {
+	procs = defaultProcs(procs)
+	m := &Machine{procs: procs, engine: e}
+	if e == EnginePooled && procs > 1 {
+		// procs is a cost-model parameter; the physical helper count is
+		// capped at GOMAXPROCS-1 because more OS-schedulable runners than
+		// cores buys no throughput and costs a context switch per wake. An
+		// over-subscribed machine (procs=8 on one core, say) degrades to
+		// caller-only chunked execution with zero parked goroutines.
+		helpers := procs - 1
+		if mx := runtime.GOMAXPROCS(0) - 1; helpers > mx {
+			helpers = mx
+		}
+		if helpers < 0 {
+			helpers = 0
+		}
+		m.pool = newPool(helpers)
+		// Workers reference only the pool, never the Machine, so an
+		// abandoned Machine is collectable; the finalizer then unparks and
+		// retires its workers.
+		runtime.SetFinalizer(m, func(m *Machine) { m.pool.shutdown() })
 	}
-	return &Machine{procs: procs, grain: DefaultGrain}
+	return m
 }
 
 // NewSequential returns a Machine that executes every super-step on the
 // calling goroutine in index order. Counters behave identically to the
 // parallel machine; only the schedule is serial.
-func NewSequential() *Machine { return &Machine{procs: 1, grain: DefaultGrain} }
+func NewSequential() *Machine { return &Machine{procs: 1} }
+
+// Close releases the machine's parked workers. It is safe to call multiple
+// times and on sequential machines, but must not race with an in-flight
+// ParallelFor. Omitting Close is not a leak — the finalizer reclaims the
+// workers at the next collection — but long-lived processes that churn
+// through Machines (one per request, say) should Close to keep the parked
+// goroutine count flat.
+func (m *Machine) Close() {
+	if m.pool != nil {
+		m.pool.shutdown()
+		runtime.SetFinalizer(m, nil)
+	}
+}
 
 // Procs reports the number of physical workers.
 func (m *Machine) Procs() int { return m.procs }
 
-// SetGrain overrides the work-chunking granularity. Intended for tests and
-// benchmarks; pass g <= 0 to restore the default.
+// Epochs reports how many super-steps were dispatched through the worker
+// pool (i.e. actually ran chunked). Inline steps don't count. For tests and
+// benchmarks.
+func (m *Machine) Epochs() int64 {
+	if m.pool == nil {
+		return 0
+	}
+	return m.pool.epoch.Load()
+}
+
+// SetGrain overrides the work-chunking granularity with a fixed value.
+// Intended for tests and benchmarks; pass g <= 0 to restore the adaptive
+// default. Grain affects wall-clock time only, never the Work/Depth
+// counters.
 func (m *Machine) SetGrain(g int) {
 	if g <= 0 {
-		g = DefaultGrain
+		g = 0
 	}
 	m.grain = g
+}
+
+// grainFor derives the chunk size for a super-step of n bodies of the given
+// cost. See the adaptive-grain constants for the rationale.
+func (m *Machine) grainFor(n int, cost int64) int {
+	if m.grain > 0 {
+		return m.grain
+	}
+	g := n / (m.procs * grainChunksPerProc)
+	if g < minGrain {
+		g = minGrain
+	}
+	if c := int(maxChunkWork / cost); g > c {
+		// Expensive bodies split below the element floor — a single
+		// cost-10^6 body per chunk is already plenty of work.
+		g = c
+		if g < 1 {
+			g = 1
+		}
+	}
+	return g
 }
 
 // Depth returns the number of PRAM super-steps executed so far.
@@ -139,17 +240,32 @@ func (m *Machine) ParallelForCost(n int, cost int64, body func(i int)) {
 	m.depth.Add(cost)
 	m.work.Add(int64(n) * cost)
 
-	if m.procs == 1 || n <= m.grain {
+	grain := 0
+	if m.procs > 1 {
+		grain = m.grainFor(n, cost)
+	}
+	if m.procs == 1 || n <= grain ||
+		(m.grain == 0 && int64(n)*cost < minParallelWork) {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
 		return
 	}
 
+	if m.engine == EngineSpawn {
+		m.runSpawn(n, grain, body)
+		return
+	}
+	m.pool.run(n, grain, body)
+}
+
+// runSpawn is the EngineSpawn dispatch path: fresh goroutines plus a
+// WaitGroup per super-step (the pre-pool behaviour).
+func (m *Machine) runSpawn(n, grain int, body func(i int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	workers := m.procs
-	if w := (n + m.grain - 1) / m.grain; w < workers {
+	if w := (n + grain - 1) / grain; w < workers {
 		workers = w
 	}
 	wg.Add(workers)
@@ -157,11 +273,11 @@ func (m *Machine) ParallelForCost(n int, cost int64, body func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				lo := int(next.Add(int64(m.grain))) - m.grain
+				lo := int(next.Add(int64(grain))) - grain
 				if lo >= n {
 					return
 				}
-				hi := lo + m.grain
+				hi := lo + grain
 				if hi > n {
 					hi = n
 				}

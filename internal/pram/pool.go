@@ -1,0 +1,144 @@
+package pram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the persistent execution substrate behind a parallel Machine.
+// Workers are spawned once (lazily, on the first chunked super-step) and
+// then park on their private job channel between epochs; publishing a
+// super-step is a handful of channel sends instead of procs-1 goroutine
+// spawns plus a WaitGroup allocation.
+//
+// The epoch protocol:
+//
+//  1. The publisher (the goroutine inside ParallelFor; there is exactly one
+//     at a time, enforced by Machine.inStep) builds a step, bumps the epoch
+//     counter, and sends the step to the k workers it wants awake.
+//  2. Released workers claim [lo, hi) chunks from the step's atomic cursor
+//     until it is exhausted, then decrement the step's pending count and
+//     park again. The last worker out closes step.done.
+//  3. The publisher claims chunks itself (the caller is always one of the
+//     runners, so a pool machine with procs == p uses at most p-1 workers,
+//     further capped at GOMAXPROCS-1 — see NewWithEngine), then blocks on
+//     step.done — the implicit barrier of a synchronous PRAM super-step.
+//     With zero workers the caller runs every chunk and the barrier is
+//     trivially satisfied.
+//
+// The pool is deliberately ignorant of Work/Depth accounting: scheduling
+// lives here, the cost model lives in Machine, and nothing in this file can
+// change a counter.
+type pool struct {
+	workers []chan *step // one parking channel per worker, buffered 1
+	started bool         // workers spawned (publisher-side state)
+	epoch   atomic.Int64 // super-steps dispatched through the pool
+	closed  sync.Once
+	quit    chan struct{}
+}
+
+// step is one published super-step. It lives for a single epoch; the
+// cursor/pending pair is the completion barrier.
+type step struct {
+	n       int
+	grain   int
+	body    func(i int)
+	cursor  atomic.Int64 // next unclaimed index
+	pending atomic.Int32 // workers that have not finished this epoch
+	done    chan struct{}
+}
+
+func newPool(workers int) *pool {
+	p := &pool{quit: make(chan struct{})}
+	p.workers = make([]chan *step, workers)
+	for i := range p.workers {
+		p.workers[i] = make(chan *step, 1)
+	}
+	return p
+}
+
+// run executes body over [0, n) in chunks of grain using up to len(workers)
+// helpers plus the calling goroutine. Only called with n > grain.
+func (p *pool) run(n, grain int, body func(i int)) {
+	p.epoch.Add(1)
+	if len(p.workers) == 0 {
+		// Over-subscribed machine on a small host (helpers capped to zero):
+		// the caller is the only runner, so skip the step machinery — no
+		// allocation, no cursor traffic.
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if !p.started {
+		p.started = true
+		for _, ch := range p.workers {
+			go worker(ch, p.quit)
+		}
+	}
+	// Wake only as many workers as there are chunks beyond the caller's own.
+	k := len(p.workers)
+	if chunks := (n + grain - 1) / grain; chunks-1 < k {
+		k = chunks - 1
+	}
+	s := &step{n: n, grain: grain, body: body, done: make(chan struct{})}
+	s.pending.Store(int32(k))
+	for i := 0; i < k; i++ {
+		p.workers[i] <- s
+	}
+	s.work() // the caller is runner zero
+	if k > 0 {
+		<-s.done
+	}
+}
+
+// work claims chunks until the cursor runs past n.
+func (s *step) work() {
+	g := int64(s.grain)
+	for {
+		lo := s.cursor.Add(g) - g
+		if lo >= int64(s.n) {
+			return
+		}
+		hi := int(lo) + s.grain
+		if hi > s.n {
+			hi = s.n
+		}
+		for i := int(lo); i < hi; i++ {
+			s.body(i)
+		}
+	}
+}
+
+// worker parks on its job channel between epochs. It holds no reference to
+// the Machine, so an abandoned Machine can be finalized (which closes quit)
+// even though its workers are still parked.
+func worker(jobs <-chan *step, quit <-chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		case s := <-jobs:
+			s.work()
+			if s.pending.Add(-1) == 0 {
+				close(s.done)
+			}
+		}
+	}
+}
+
+// shutdown releases the workers. Idempotent; must not race with run, which
+// Machine guarantees (Close documents it, and the finalizer only fires once
+// the Machine — and therefore any in-flight ParallelFor — is unreachable).
+func (p *pool) shutdown() {
+	p.closed.Do(func() { close(p.quit) })
+}
+
+// defaultProcs resolves the procs argument of New.
+func defaultProcs(procs int) int {
+	if procs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return procs
+}

@@ -131,6 +131,7 @@ func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := pram.New(s.cfg.Procs)
+	defer m.Close()
 	entry, evicted := s.reg.Register(m, patterns, core.Options{Seed: req.Seed})
 	s.metrics.ChargePRAM("preprocess", m.Work(), m.Depth())
 	writeJSON(w, http.StatusCreated, dictCreateResponse{
@@ -347,6 +348,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := pram.New(s.cfg.Procs)
+	defer m.Close()
 	c := lz.Compress(m, text)
 	s.metrics.ChargePRAM("compress", m.Work(), m.Depth())
 	var buf bytes.Buffer
@@ -395,6 +397,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := pram.New(s.cfg.Procs)
+	defer m.Close()
 	text, err := lz.Uncompress(m, c, lz.ByPointerJumping)
 	s.metrics.ChargePRAM("uncompress", m.Work(), m.Depth())
 	if err != nil {

@@ -35,6 +35,7 @@ func matchSharded(dict *core.Dictionary, text []byte, procs int) ([]core.Match, 
 	}
 	if shards <= 1 {
 		m := pram.New(procs)
+		defer m.Close()
 		out := dict.MatchText(m, text)
 		return out, m.Snapshot()
 	}
@@ -104,6 +105,7 @@ func (e *Entry) MatchChecked(ctx context.Context, text []byte, procs int, mt *Me
 		matches, mc := matchSharded(e.dict, text, procs)
 		cm := pram.New(procs)
 		ok := e.dict.Check(cm, text, matches)
+		cm.Close()
 		e.mu.RUnlock()
 		if mt != nil {
 			mt.ChargePRAM("match", mc.Work, mc.Depth)
@@ -143,6 +145,7 @@ func (e *Entry) Parse(ctx context.Context, text []byte, procs int, mt *Metrics) 
 		return nil, err
 	}
 	m := pram.New(procs)
+	defer m.Close()
 	e.mu.RLock()
 	refs, err := e.dict.CompressStatic(m, text)
 	e.mu.RUnlock()
@@ -159,6 +162,7 @@ func (e *Entry) Expand(ctx context.Context, refs []int32, procs int, mt *Metrics
 		return nil, err
 	}
 	m := pram.New(procs)
+	defer m.Close()
 	e.mu.RLock()
 	text, err := e.dict.DecompressStatic(m, refs)
 	e.mu.RUnlock()

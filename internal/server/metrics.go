@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math/rand/v2"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,12 +13,45 @@ import (
 // overflow (everything slower than ~2^18 µs ≈ 262 ms lands there too).
 const histBuckets = 20
 
-// routeMetrics accumulates per-route request statistics. All fields are
-// atomics so the hot path never takes a lock.
+// counterShards stripes the per-route hot counters across cache lines so
+// concurrent handlers on different cores don't serialize on one contended
+// line. Eight padded cells cover typical core counts; beyond that the
+// residual contention is per-shard, not global.
+const counterShards = 8
+
+// paddedCell is an atomic counter padded to a cache line.
+type paddedCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// shardedCounter is an add-mostly counter: Add touches one pseudo-randomly
+// chosen shard (rand/v2's per-thread generator, no shared state), Load sums
+// all shards. Loads are monotone but not a point-in-time snapshot, which is
+// exactly the consistency /metrics needs.
+type shardedCounter struct {
+	cells [counterShards]paddedCell
+}
+
+func (c *shardedCounter) Add(delta int64) {
+	c.cells[rand.Uint32()%counterShards].v.Add(delta)
+}
+
+func (c *shardedCounter) Load() int64 {
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+// routeMetrics accumulates per-route request statistics. Every field is
+// atomic (the busiest ones sharded); the observe path takes no lock and
+// touches no shared cache line beyond its own shard and histogram bucket.
 type routeMetrics struct {
-	count       atomic.Int64
-	errors      atomic.Int64 // responses with status >= 400
-	totalMicros atomic.Int64
+	count       shardedCounter
+	errors      atomic.Int64 // responses with status >= 400 (rare: unsharded)
+	totalMicros shardedCounter
 	maxMicros   atomic.Int64
 	hist        [histBuckets]atomic.Int64
 }
@@ -78,13 +112,18 @@ type ledger struct {
 }
 
 // Metrics is the server-wide observability state behind GET /metrics.
+// The request path is entirely lock-free: route lookup reads an immutable
+// copy-on-write map, counters are atomics, and the only mutex in the type
+// serializes the (rare) registration of a new route pattern.
 type Metrics struct {
 	start time.Time
 
-	mu     sync.Mutex
-	routes map[string]*routeMetrics
+	// routes is an immutable map, swapped wholesale on insert. Readers
+	// Load and index with no synchronization; writers clone under addMu.
+	routes atomic.Pointer[map[string]*routeMetrics]
+	addMu  sync.Mutex
 
-	algos map[string]*ledger // fixed key set, created up front
+	algos map[string]*ledger // fixed key set, created up front; read-only map
 
 	rejected atomic.Int64 // 429s from the limiter
 	timeouts atomic.Int64 // 503s from per-request deadlines
@@ -98,10 +137,11 @@ var pramAlgos = []string{"preprocess", "match", "check", "compress", "uncompress
 
 func newMetrics() *Metrics {
 	mt := &Metrics{
-		start:  time.Now(),
-		routes: make(map[string]*routeMetrics),
-		algos:  make(map[string]*ledger, len(pramAlgos)),
+		start: time.Now(),
+		algos: make(map[string]*ledger, len(pramAlgos)),
 	}
+	empty := make(map[string]*routeMetrics)
+	mt.routes.Store(&empty)
 	for _, a := range pramAlgos {
 		mt.algos[a] = &ledger{}
 	}
@@ -109,14 +149,27 @@ func newMetrics() *Metrics {
 }
 
 // route returns (creating if needed) the stats bucket for a route pattern.
+// The fast path is a lock-free map read; creation clones the map under
+// addMu and publishes the copy atomically (routes are registered at mux
+// build time, so in practice the clone path runs a dozen times at startup
+// and never again).
 func (mt *Metrics) route(pattern string) *routeMetrics {
-	mt.mu.Lock()
-	defer mt.mu.Unlock()
-	rm, ok := mt.routes[pattern]
-	if !ok {
-		rm = &routeMetrics{}
-		mt.routes[pattern] = rm
+	if rm, ok := (*mt.routes.Load())[pattern]; ok {
+		return rm
 	}
+	mt.addMu.Lock()
+	defer mt.addMu.Unlock()
+	cur := *mt.routes.Load()
+	if rm, ok := cur[pattern]; ok {
+		return rm
+	}
+	next := make(map[string]*routeMetrics, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	rm := &routeMetrics{}
+	next[pattern] = rm
+	mt.routes.Store(&next)
 	return rm
 }
 
@@ -178,16 +231,15 @@ func (mt *Metrics) Snapshot(reg *Registry, lim *Limiter) MetricsSnapshot {
 		Timeouts:      mt.timeouts.Load(),
 		Panics:        mt.panics.Load(),
 	}
-	mt.mu.Lock()
-	patterns := make([]string, 0, len(mt.routes))
-	for p := range mt.routes {
+	routes := *mt.routes.Load()
+	patterns := make([]string, 0, len(routes))
+	for p := range routes {
 		patterns = append(patterns, p)
 	}
-	mt.mu.Unlock()
 	sort.Strings(patterns)
 	snap.RouteOrder = patterns
 	for _, p := range patterns {
-		rm := mt.route(p)
+		rm := routes[p]
 		n := rm.count.Load()
 		rs := routeSnapshot{
 			Count:     n,
