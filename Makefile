@@ -19,10 +19,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerates the committed runtime-benchmark record (legacy vs pooled
-# execution engine, see internal/bench/perf.go).
+# Regenerates the committed runtime-benchmark record: the P-series
+# (legacy vs pooled engine, internal/bench/perf.go) plus the S-series
+# (one-shot vs streaming matching, internal/bench/streaming.go).
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR2.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR3.json
 
 experiments:
 	$(GO) run ./cmd/benchtab | tee experiments_raw.txt
@@ -35,6 +36,7 @@ fuzz:
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 30s ./internal/lz/
 	$(GO) test -fuzz FuzzDecodeStream -fuzztime 30s ./internal/lz/
 	$(GO) test -fuzz FuzzHandleRequests -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzStreamEquivalence -fuzztime 30s ./internal/stream/
 
 # Flags: -addr :8080 -procs N -max-dicts N -max-inflight N -timeout 30s
 serve:

@@ -7,10 +7,12 @@
 //
 // With no flags it runs every experiment at full scale, which takes a few
 // minutes on one core; -quick shrinks the inputs for a fast smoke pass.
-// With -json it instead runs the P-series runtime benchmarks (legacy vs
-// pooled execution engine) and writes machine-readable results — id,
-// ns/op, allocs/op, PRAM work and depth — to the given path; this is what
-// `make bench-json` uses to regenerate BENCH_PR2.json.
+// With -json it instead runs the runtime benchmarks and writes
+// machine-readable results to the given path: the P-series (legacy vs
+// pooled execution engine — id, ns/op, allocs/op, PRAM work and depth)
+// and the S-series (one-shot vs streaming matching across a segment
+// sweep — MB/s, peak resident window, segments, ledger). This is what
+// `make bench-json` uses to regenerate BENCH_PR3.json.
 package main
 
 import (
@@ -27,10 +29,11 @@ import (
 
 // perfFile is the BENCH_PR*.json document shape.
 type perfFile struct {
-	GoMaxProcs int                `json:"goMaxProcs"`
-	GoVersion  string             `json:"goVersion"`
-	Scale      string             `json:"scale"`
-	Results    []bench.PerfResult `json:"results"`
+	GoMaxProcs int                      `json:"goMaxProcs"`
+	GoVersion  string                   `json:"goVersion"`
+	Scale      string                   `json:"scale"`
+	Results    []bench.PerfResult       `json:"results"`
+	Streaming  []bench.StreamPerfResult `json:"streaming"`
 }
 
 func main() {
@@ -88,11 +91,16 @@ func writePerfJSON(path string, scale bench.Scale) {
 		GoVersion:  runtime.Version(),
 		Scale:      scaleName,
 		Results:    bench.RunPerf(scale),
+		Streaming:  bench.RunStreamPerf(scale),
 	}
 	// Also echo a human-readable summary so the run is not silent.
 	for _, r := range doc.Results {
 		fmt.Printf("%-4s %-22s %-7s n=%-8d %12d ns/op %8d allocs/op  work=%d depth=%d\n",
 			r.ID, r.Name, r.Config, r.N, r.NsPerOp, r.AllocsPerOp, r.Work, r.Depth)
+	}
+	for _, r := range doc.Streaming {
+		fmt.Printf("%-4s %-22s %-16s n=%-8d %12d ns/op %8.1f MB/s  resident=%d segments=%d work=%d depth=%d\n",
+			r.ID, r.Name, r.Config, r.N, r.NsPerOp, r.MBPerSec, r.MaxResident, r.Segments, r.Work, r.Depth)
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -104,5 +112,5 @@ func writePerfJSON(path string, scale bench.Scale) {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s (%d results)\n", path, len(doc.Results))
+	fmt.Printf("\nwrote %s (%d results, %d streaming)\n", path, len(doc.Results), len(doc.Streaming))
 }

@@ -5,16 +5,24 @@
 // Usage:
 //
 //	dictmatch -dict patterns.txt [-text file] [-engine parallel|ac] \
-//	          [-procs N] [-nca auto|naive|veb] [-stats] [-q]
+//	          [-procs N] [-nca auto|naive|veb] [-stream] [-segment BYTES] \
+//	          [-stats] [-q]
 //
 // The dictionary file holds one pattern per line. The text is read from
 // -text or stdin. Output lines are "offset<TAB>pattern". -engine=ac runs
 // the sequential Aho–Corasick baseline instead; -stats prints the PRAM
 // work/depth ledger.
+//
+// -stream matches the text through the bounded-memory segment pipeline
+// (internal/stream) instead of loading it whole: resident memory is
+// O(-segment + longest pattern) however large the input, and matches print
+// incrementally. `cat big.txt | dictmatch -dict p.txt -stream` emits the
+// same lines as the batch mode.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +33,7 @@ import (
 	"repro/internal/ahocorasick"
 	"repro/internal/core"
 	"repro/internal/pram"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -39,6 +48,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print PRAM work/depth counters to stderr")
 	quiet := flag.Bool("q", false, "suppress per-match output (useful with -stats)")
 	seed := flag.Uint64("seed", 1, "fingerprint seed")
+	streamMode := flag.Bool("stream", false, "stream the text through the bounded-memory segment pipeline")
+	segment := flag.Int("segment", 1<<20, "segment size in bytes for -stream")
 	flag.Parse()
 
 	if *dictPath == "" {
@@ -47,6 +58,13 @@ func main() {
 	patterns, err := readPatterns(*dictPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *streamMode {
+		if *engine != "parallel" {
+			log.Fatal("-stream requires -engine parallel")
+		}
+		runStream(patterns, *textPath, *procs, *seed, *segment, *stats, *quiet)
+		return
 	}
 	text, err := readText(*textPath)
 	if err != nil {
@@ -122,6 +140,62 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pram: work=%d (%.2f/char) depth=%d procs=%d\n",
 				w, float64(w)/float64(len(text)), d, m.Procs())
 		}
+	}
+}
+
+// lineSink prints one "offset<TAB>pattern" line per match event, exactly
+// like the batch output path.
+type lineSink struct {
+	out      *bufio.Writer
+	patterns [][]byte
+	quiet    bool
+	found    int64
+}
+
+func (s *lineSink) MatchEvent(e stream.MatchEvent) error {
+	s.found++
+	if s.quiet {
+		return nil
+	}
+	_, err := fmt.Fprintf(s.out, "%d\t%s\n", e.Pos, s.patterns[e.PatternID])
+	return err
+}
+
+// runStream is the -stream path: the text flows through internal/stream's
+// segment pipeline, never resident beyond one window.
+func runStream(patterns [][]byte, textPath string, procs int, seed uint64, segment int, stats, quiet bool) {
+	var r io.Reader = os.Stdin
+	if textPath != "" {
+		f, err := os.Open(textPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	m := pram.New(procs)
+	defer m.Close()
+	dict := core.Preprocess(m, patterns, core.Options{Seed: seed})
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	sink := &lineSink{out: out, patterns: patterns, quiet: quiet}
+	start := time.Now()
+	st, err := stream.Match(context.Background(), stream.DictMatcher{Dict: dict, M: m}, r, sink, stream.Config{SegmentBytes: segment})
+	elapsed := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.Rounds > int(st.Segments) {
+		fmt.Fprintf(os.Stderr, "note: %d Las Vegas attempts over %d segments\n", st.Rounds, st.Segments)
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "text=%dB dict=%d patterns matches=%d wall=%s\n",
+			st.TextBytes, len(patterns), sink.found, elapsed.Round(time.Microsecond))
+		fmt.Fprintf(os.Stderr, "stream: segments=%d window=%dB resident=%dB recompute=%.2f%%\n",
+			st.Segments, segment, st.MaxResident,
+			100*float64(st.WindowBytes-st.TextBytes)/float64(max(st.TextBytes, 1)))
+		fmt.Fprintf(os.Stderr, "pram: work=%d (%.2f/char) depth=%d procs=%d\n",
+			st.Work, float64(st.Work)/float64(max(st.TextBytes, 1)), st.Depth, m.Procs())
 	}
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	matchd [-addr :8080] [-procs N] [-max-dicts N] [-max-inflight N] \
-//	       [-timeout 30s] [-max-body BYTES]
+//	       [-timeout 30s] [-max-body BYTES] [-segment BYTES] [-stream-window BYTES]
 //
 // Endpoints (JSON bodies; binary payloads base64 in "textB64"/"dataB64"):
 //
@@ -20,6 +20,17 @@
 //	POST   /v1/decompress         {"dataB64": ...} → original text
 //	GET    /metrics               counters, latency histograms, PRAM ledger
 //	GET    /healthz               liveness
+//
+// Streaming endpoints (raw bodies, no -max-body cap, no request deadline —
+// resident memory is bounded by -segment, not by the text):
+//
+//	POST /v1/dicts/{id}/match/stream   text bytes in → NDJSON events out,
+//	                                   flushed per segment; "?segment=N"
+//	                                   overrides the window size per request
+//	POST /v1/decompress/stream         LZ1R1 container in → raw bytes out,
+//	                                   retaining -stream-window history
+//
+// e.g.  curl -N --data-binary @big.txt :8080/v1/dicts/d1/match/stream
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
@@ -44,7 +55,9 @@ func main() {
 	maxDicts := flag.Int("max-dicts", 64, "resident preprocessed dictionaries before LRU eviction")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent requests before shedding with 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
-	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
+	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes (buffered endpoints only)")
+	segment := flag.Int("segment", 1<<20, "streaming endpoints: fresh text bytes per window")
+	streamWindow := flag.Int("stream-window", 0, "streaming decompress: retained history bytes (0 = unbounded)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -54,6 +67,8 @@ func main() {
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		SegmentBytes:   *segment,
+		StreamWindow:   *streamWindow,
 		Log:            log.Default(),
 	})
 

@@ -4,16 +4,24 @@
 //
 // Usage:
 //
-//	optparse -dict words.txt [-text file] [-close] [-emit] [-stats]
+//	optparse -dict words.txt [-text file] [-close] [-emit] [-stats] \
+//	         [-stream] [-segment BYTES]
 //
 // The dictionary file holds one word per line. -close adds all prefixes of
 // every word (establishing the prefix property the algorithm requires);
 // without it the tool verifies the property and refuses if it fails.
 // -emit prints the parse as "offset<TAB>word" lines.
+//
+// -stream parses through the bounded-memory segment pipeline
+// (internal/stream): phrases print incrementally, resident memory is
+// O(-segment + longest word), and the phrase count still matches the
+// batch OptimalParse (the streaming frontier rule is count-optimal under
+// the prefix property).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pram"
 	"repro/internal/staticdict"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -35,6 +44,8 @@ func main() {
 	emit := flag.Bool("emit", false, "print the optimal parse")
 	stats := flag.Bool("stats", false, "print PRAM counters")
 	procs := flag.Int("procs", 0, "worker goroutines (0 = GOMAXPROCS)")
+	streamMode := flag.Bool("stream", false, "parse through the bounded-memory segment pipeline")
+	segment := flag.Int("segment", 1<<20, "segment size in bytes for -stream")
 	flag.Parse()
 
 	if *dictPath == "" {
@@ -43,6 +54,10 @@ func main() {
 	words, err := readWords(*dictPath, *closeDict)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *streamMode {
+		runStream(words, *textPath, *procs, *segment, *emit, *stats)
+		return
 	}
 	text, err := readText(*textPath)
 	if err != nil {
@@ -79,6 +94,59 @@ func main() {
 	if *stats {
 		w, d := m.Counters()
 		fmt.Fprintf(os.Stderr, "pram: work=%d depth=%d procs=%d\n", w, d, m.Procs())
+	}
+}
+
+// phraseSink prints "offset<TAB>word" lines as phrases finalize.
+type phraseSink struct {
+	out   *bufio.Writer
+	words [][]byte
+	emit  bool
+	n     int64
+}
+
+func (s *phraseSink) PhraseEvent(e stream.PhraseEvent) error {
+	s.n++
+	if !s.emit {
+		return nil
+	}
+	if e.Word < 0 {
+		return fmt.Errorf("phrase at %d has no dictionary word (prefix property violated)", e.Pos)
+	}
+	_, err := fmt.Fprintf(s.out, "%d\t%s\n", e.Pos, s.words[e.Word])
+	return err
+}
+
+// runStream is the -stream path: §5 parsing via the streaming frontier
+// rule, never holding more than one window of text.
+func runStream(words [][]byte, textPath string, procs, segment int, emit, stats bool) {
+	var r io.Reader = os.Stdin
+	if textPath != "" {
+		f, err := os.Open(textPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	m := pram.New(procs)
+	defer m.Close()
+	start := time.Now()
+	dict := core.Preprocess(m, words, core.Options{Seed: 1})
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	sink := &phraseSink{out: out, words: words, emit: emit}
+	st, err := stream.Parse(context.Background(), dict, m, r, sink, stream.Config{SegmentBytes: segment})
+	wall := time.Since(start)
+	if err != nil {
+		log.Fatalf("%v (is every text symbol a dictionary word? try -close)", err)
+	}
+	fmt.Fprintf(os.Stderr, "optimal: %d phrases; wall %s\n", sink.n, wall.Round(time.Microsecond))
+	if stats {
+		fmt.Fprintf(os.Stderr, "stream: text=%dB segments=%d resident=%dB recompute=%.2f%%\n",
+			st.TextBytes, st.Segments, st.MaxResident,
+			100*float64(st.WindowBytes-st.TextBytes)/float64(max(st.TextBytes, 1)))
+		fmt.Fprintf(os.Stderr, "pram: work=%d depth=%d procs=%d\n", st.Work, st.Depth, m.Procs())
 	}
 }
 

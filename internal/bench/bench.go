@@ -137,5 +137,6 @@ func All() []Experiment {
 		E13Distributed(),
 		E14Adaptive(),
 		E15Serving(),
+		E16Streaming(),
 	}
 }

@@ -1,0 +1,300 @@
+// E16 and the S-series: the bounded-memory streaming pipeline
+// (internal/stream) against the one-shot batch paths. The claim under test
+// is the halo argument of DESIGN.md §9 — segmenting the text with a
+// carry of maxPatternLen−1 bytes preserves the Theorem 3.1 outputs and
+// work bound while resident text drops from n to segment+halo — plus the
+// practical corollary: throughput stays near the batch matcher because
+// the only extra work is recomputing the halo, a maxPat/segment fraction.
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lz"
+	"repro/internal/pram"
+	"repro/internal/stream"
+	"repro/internal/textgen"
+)
+
+// countMatchSink counts events and discards them; the experiment checks
+// event-count equality with the batch matcher, not payloads (the
+// byte-level equivalence is pinned by internal/stream's tests and fuzzer).
+type countMatchSink struct{ events int64 }
+
+func (s *countMatchSink) MatchEvent(stream.MatchEvent) error { s.events++; return nil }
+
+// streamSegments returns the segment-size sweep for a scale.
+func streamSegments(scale Scale) []int {
+	if scale == Quick {
+		return []int{4 << 10, 16 << 10, 64 << 10}
+	}
+	return []int{64 << 10, 256 << 10, 1 << 20, 8 << 20}
+}
+
+// E16Streaming measures the streaming matcher across a segment sweep and
+// the windowed streaming uncompressor, against their one-shot baselines.
+func E16Streaming() Experiment {
+	return Experiment{
+		ID:    "E16",
+		Title: "Streaming: bounded-memory pipeline vs one-shot (internal/stream, DESIGN §9)",
+		Claim: "segmented matching with a maxPat−1 halo emits the Theorem 3.1 outputs with O(segment+maxPat) resident text; extra work is the recomputed halo fraction",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(2029)
+			n := scale.pick(1<<16, 1<<20)
+			text, patterns := gen.PlantedDictionary(n, 32, 10, 211, 4)
+
+			m := pram.New(perfProcs)
+			defer m.Close()
+			dict := core.Preprocess(m, patterns, core.Options{Seed: 7})
+			maxPat := dict.MaxPatternLen()
+
+			// One-shot baseline: whole text resident, one ledger sample.
+			m.ResetCounters()
+			batch, _ := dict.MatchLasVegas(m, text)
+			batchWork, _ := m.Counters()
+			batchEvents := int64(0)
+			for _, mt := range batch {
+				if mt.Length > 0 {
+					batchEvents++
+				}
+			}
+			batchNs := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					dict.MatchLasVegas(m, text)
+				}
+			}).NsPerOp()
+
+			t := newTable(w, "segment", "segments", "resident", "resident/n", "work/n", "recompute", "MB/s", "vs one-shot")
+			t.row("one-shot", 1, n, "1.00", float64(batchWork)/float64(n), "-",
+				mbps(n, batchNs), "1.00")
+			for _, seg := range streamSegments(scale) {
+				sink := &countMatchSink{}
+				st, err := stream.Match(context.Background(),
+					stream.DictMatcher{Dict: dict, M: m},
+					bytes.NewReader(text), sink, stream.Config{SegmentBytes: seg})
+				if err != nil {
+					fmt.Fprintf(w, "stream match (segment=%d) failed: %v\n", seg, err)
+					return
+				}
+				if sink.events != batchEvents {
+					fmt.Fprintf(w, "DIVERGENCE: segment=%d emitted %d events, batch has %d\n",
+						seg, sink.events, batchEvents)
+					return
+				}
+				ns := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						s := &countMatchSink{}
+						stream.Match(context.Background(),
+							stream.DictMatcher{Dict: dict, M: m},
+							bytes.NewReader(text), s, stream.Config{SegmentBytes: seg})
+					}
+				}).NsPerOp()
+				t.row(formatBytes(seg), st.Segments, st.MaxResident,
+					float64(st.MaxResident)/float64(n),
+					float64(st.Work)/float64(n),
+					fmt.Sprintf("%.2f%%", 100*float64(st.WindowBytes-st.TextBytes)/float64(n)),
+					mbps(n, ns), float64(batchNs)/float64(ns))
+			}
+			t.flush()
+			fmt.Fprintf(w, "expected shape: every row emits the batch matcher's %d events; resident/n falls with the segment while work/n stays within the halo fraction (maxPat−1 = %d recomputed bytes per boundary)\n\n",
+				batchEvents, maxPat-1)
+
+			// Part 2 — streaming uncompression with a retention window,
+			// against the batch array decoder (Theorem 4.3's output side).
+			comp := lz.Compress(m, text)
+			var enc bytes.Buffer
+			if err := lz.EncodeStream(&enc, comp); err != nil {
+				fmt.Fprintf(w, "encode failed: %v\n", err)
+				return
+			}
+			decodeNs := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c, err := lz.DecodeStream(enc.Bytes())
+					if err != nil {
+						b.Fatal(err)
+					}
+					lz.Decode(c)
+				}
+			}).NsPerOp()
+
+			// The full §4 parse copies from *first* occurrences, so its
+			// references reach back ~n and no finite window can serve it;
+			// a producer that bounds reference distance (blockwise
+			// compression here) is what the window is for.
+			const block = 8 << 10
+			blockEnc, err := blockwiseContainer(m, text, block)
+			if err != nil {
+				fmt.Fprintf(w, "blockwise encode failed: %v\n", err)
+				return
+			}
+
+			t2 := newTable(w, "container", "window", "resident hist", "farthest back", "MB/s", "vs batch")
+			t2.row("full LZ1", "batch (array)", n, "-", mbps(n, decodeNs), "1.00")
+			type uncCase struct {
+				name string
+				enc  []byte
+				win  int
+			}
+			for _, uc := range []uncCase{
+				{"full LZ1", enc.Bytes(), 0},
+				{"blockwise", blockEnc, 0},
+				{"blockwise", blockEnc, block},
+			} {
+				st, err := runUncompress(uc.enc, uc.win)
+				if err != nil {
+					fmt.Fprintf(w, "stream uncompress (%s, window=%d) failed: %v\n", uc.name, uc.win, err)
+					continue
+				}
+				ns := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						runUncompress(uc.enc, uc.win)
+					}
+				}).NsPerOp()
+				label := "unbounded"
+				if uc.win > 0 {
+					label = formatBytes(uc.win)
+				}
+				t2.row(uc.name, label, st.MaxResident, st.FarthestBack,
+					mbps(n, ns), float64(decodeNs)/float64(ns))
+			}
+			t2.flush()
+			fmt.Fprintln(w, "expected shape: token-at-a-time expansion tracks the batch decoder; the blockwise container's references stay within one block, so a block-sized window caps resident history at ~2W while the full LZ1 parse (farthest back ~n) needs the whole prefix — a smaller window rejects it with ErrWindowExceeded, the streaming endpoint's 422 contract")
+		},
+	}
+}
+
+// blockwiseContainer compresses each block of the text independently and
+// concatenates the token streams (copy sources rebased to absolute
+// positions), yielding a valid LZ1R1 container whose references never
+// reach back more than one block — the window-friendly producer regime.
+func blockwiseContainer(m *pram.Machine, text []byte, block int) ([]byte, error) {
+	c := lz.Compressed{N: len(text)}
+	for off := 0; off < len(text); off += block {
+		end := off + block
+		if end > len(text) {
+			end = len(text)
+		}
+		bc := lz.Compress(m, text[off:end])
+		for _, tok := range bc.Tokens {
+			if !tok.IsLiteral() {
+				tok.Src += int32(off)
+			}
+			c.Tokens = append(c.Tokens, tok)
+		}
+	}
+	out, err := lz.Decode(c)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(out, text) {
+		return nil, fmt.Errorf("blockwise container does not round-trip")
+	}
+	var enc bytes.Buffer
+	err = lz.EncodeStream(&enc, c)
+	return enc.Bytes(), err
+}
+
+// runUncompress expands an LZ1R1 container to io.Discard with the given
+// retention window and returns the pipeline stats.
+func runUncompress(enc []byte, window int) (stream.Stats, error) {
+	u, err := stream.NewUncompressor(bytes.NewReader(enc), stream.UncompressConfig{Window: window})
+	if err != nil {
+		return stream.Stats{}, err
+	}
+	return u.Run(context.Background(), io.Discard)
+}
+
+// mbps converts (bytes, ns/op) to MB/s.
+func mbps(n int, nsPerOp int64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return float64(n) / 1e6 / (float64(nsPerOp) / 1e9)
+}
+
+// formatBytes renders a byte count as KiB/MiB when it divides evenly.
+func formatBytes(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// StreamPerfResult is one S-series measurement for BENCH_PR3.json: the
+// streaming matcher at one segment size (or the one-shot baseline when
+// SegmentBytes is 0), with throughput and the resident-memory bound.
+type StreamPerfResult struct {
+	ID           string  `json:"id"`           // S-series experiment id
+	Name         string  `json:"name"`         // workload name
+	Config       string  `json:"config"`       // "oneshot" or "segment=<bytes>"
+	N            int     `json:"n"`            // text length
+	SegmentBytes int     `json:"segmentBytes"` // 0 for the one-shot baseline
+	NsPerOp      int64   `json:"nsPerOp"`
+	MBPerSec     float64 `json:"mbPerSec"`
+	MaxResident  int     `json:"maxResident"` // peak window bytes (n for one-shot)
+	Segments     int64   `json:"segments"`
+	Work         int64   `json:"work"` // PRAM work of one pass
+	Depth        int64   `json:"depth"`
+}
+
+// RunStreamPerf measures the S-series: one-shot matching followed by the
+// streaming pipeline across the segment sweep, on the same planted text.
+func RunStreamPerf(scale Scale) []StreamPerfResult {
+	gen := textgen.New(2029)
+	n := scale.pick(1<<16, 1<<20)
+	text, patterns := gen.PlantedDictionary(n, 32, 10, 211, 4)
+
+	m := pram.New(perfProcs)
+	defer m.Close()
+	dict := core.Preprocess(m, patterns, core.Options{Seed: 7})
+
+	var out []StreamPerfResult
+
+	m.ResetCounters()
+	dict.MatchLasVegas(m, text)
+	work, depth := m.Counters()
+	ns := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dict.MatchLasVegas(m, text)
+		}
+	}).NsPerOp()
+	out = append(out, StreamPerfResult{
+		ID: "S1", Name: "match_oneshot", Config: "oneshot",
+		N: n, NsPerOp: ns, MBPerSec: mbps(n, ns),
+		MaxResident: n, Segments: 1, Work: work, Depth: depth,
+	})
+
+	for _, seg := range streamSegments(scale) {
+		sink := &countMatchSink{}
+		st, err := stream.Match(context.Background(),
+			stream.DictMatcher{Dict: dict, M: m},
+			bytes.NewReader(text), sink, stream.Config{SegmentBytes: seg})
+		if err != nil {
+			continue
+		}
+		ns := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := &countMatchSink{}
+				stream.Match(context.Background(),
+					stream.DictMatcher{Dict: dict, M: m},
+					bytes.NewReader(text), s, stream.Config{SegmentBytes: seg})
+			}
+		}).NsPerOp()
+		out = append(out, StreamPerfResult{
+			ID: "S2", Name: "match_stream", Config: fmt.Sprintf("segment=%d", seg),
+			N: n, SegmentBytes: seg, NsPerOp: ns, MBPerSec: mbps(n, ns),
+			MaxResident: st.MaxResident, Segments: st.Segments,
+			Work: st.Work, Depth: st.Depth,
+		})
+	}
+	return out
+}

@@ -67,9 +67,10 @@ type Dictionary struct {
 	Patterns [][]byte
 	D        int // total pattern length (the paper's d)
 
-	dhat   []int32 // P_0 · Sep · P_1 · Sep · ... · P_{k-1} · Sep
-	starts []int32 // start offset of each pattern in dhat
-	patLen []int32
+	dhat      []int32 // P_0 · Sep · P_1 · Sep · ... · P_{k-1} · Sep
+	starts    []int32 // start offset of each pattern in dhat
+	patLen    []int32
+	maxPatLen int32 // longest pattern length (the streaming halo bound)
 
 	st       *suffixtree.Tree
 	lift     *lca.Lifting // ancestor-at-string-depth queries
@@ -141,6 +142,9 @@ func Preprocess(m *pram.Machine, patterns [][]byte, opts Options) *Dictionary {
 	for k, p := range patterns {
 		d.starts[k] = int32(len(d.dhat))
 		d.patLen[k] = int32(len(p))
+		if d.patLen[k] > d.maxPatLen {
+			d.maxPatLen = d.patLen[k]
+		}
 		for _, c := range p {
 			d.dhat = append(d.dhat, int32(c))
 		}

@@ -1,0 +1,49 @@
+package core
+
+import "repro/internal/pram"
+
+// Streaming support (internal/stream). The segment pipeline needs three
+// things the batch API keeps in method-local state:
+//
+//   - the halo bound: no per-position output (S[i], B[i] or M[i]) depends
+//     on more than MaxPatternLen() bytes of lookahead, so a segment prefixed
+//     with a carry of MaxPatternLen()-1 bytes finalizes every position whose
+//     full lookahead it contains;
+//   - B[i] per window position (the §5 parse input), and
+//   - a durable handle to each position's locus, so phrase → word-ID
+//     resolution can happen after the window's slices were recycled.
+
+// MaxPatternLen returns the length of the longest dictionary pattern.
+func (d *Dictionary) MaxPatternLen() int { return int(d.maxPatLen) }
+
+// LocusRef is an opaque, copyable handle to the suffix-tree locus of one
+// text position (the Step 1 output S[i]). Unlike the window slices it was
+// derived from, it stays valid for the lifetime of the Dictionary — a
+// streaming parser can hold the handles of the last few positions and
+// resolve word IDs for phrases that start before the current segment.
+type LocusRef struct {
+	z int32
+	l int32
+}
+
+// PrefixStream runs Step 1 + Step 2A over window and returns B[i] — the
+// longest pattern-prefix length starting at each window position — together
+// with each position's locus handle. It is PrefixLengths plus the handles
+// at the cost of one extra O(n)-work pass.
+func (d *Dictionary) PrefixStream(m *pram.Machine, window []byte) ([]int32, []LocusRef) {
+	loci := d.substringMatch(m, window)
+	b := make([]int32, len(loci))
+	refs := make([]LocusRef, len(loci))
+	m.ParallelFor(len(loci), func(i int) {
+		pb, _, _ := d.prefixAt(loci[i])
+		b[i] = pb
+		refs[i] = LocusRef{z: loci[i].z, l: loci[i].l}
+	})
+	return b, refs
+}
+
+// ResolveWord returns the dictionary word equal to the length-wordLen prefix
+// of the locus string, or -1 — WordID over a durable handle.
+func (d *Dictionary) ResolveWord(ref LocusRef, wordLen int32) int32 {
+	return d.WordID(locus{z: ref.z, l: ref.l}, wordLen)
+}

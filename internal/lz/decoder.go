@@ -1,0 +1,111 @@
+package lz
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Decoder reads an LZ1R1 container incrementally: header first, then one
+// token per Next call. Unlike DecodeStream it never materializes the token
+// slice, so a consumer (internal/stream's windowed uncompressor) can hold
+// O(1) tokens while emitting output — the container side of the
+// bounded-memory pipeline.
+type Decoder struct {
+	br        *bufio.Reader
+	n         int    // header N (original length)
+	count     uint64 // header token count
+	remaining uint64 // tokens not yet returned
+	err       error  // sticky
+}
+
+// NewDecoder validates the magic and header of the container on r and
+// returns a token decoder. Reads are buffered; r is consumed exactly up to
+// the end of the container (plus buffering).
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("lz: not an LZ1R1 stream")
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("lz: truncated stream")
+	}
+	if n > math.MaxInt64/2 {
+		return nil, fmt.Errorf("lz: implausible original length %d", n)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("lz: truncated stream")
+	}
+	// Each token is at least one byte on the wire; an absurd count is
+	// rejected up front rather than discovered token by token.
+	if count > n+1 && count > 1<<40 {
+		return nil, fmt.Errorf("lz: implausible token count %d", count)
+	}
+	return &Decoder{br: br, n: int(n), count: count, remaining: count}, nil
+}
+
+// N returns the header's original (decompressed) length.
+func (d *Decoder) N() int { return d.n }
+
+// Tokens returns the header's token count.
+func (d *Decoder) Tokens() uint64 { return d.count }
+
+// Next returns the next token, or io.EOF after the last one. After EOF the
+// container must end; trailing bytes are reported as an error instead of
+// EOF. Errors are sticky.
+func (d *Decoder) Next() (Token, error) {
+	if d.err != nil {
+		return Token{}, d.err
+	}
+	if d.remaining == 0 {
+		if _, err := d.br.ReadByte(); err != io.EOF {
+			d.err = fmt.Errorf("lz: trailing bytes after %d tokens", d.count)
+			return Token{}, d.err
+		}
+		d.err = io.EOF
+		return Token{}, io.EOF
+	}
+	d.remaining--
+	kind, err := d.br.ReadByte()
+	if err != nil {
+		d.err = fmt.Errorf("lz: truncated stream")
+		return Token{}, d.err
+	}
+	switch kind {
+	case 0:
+		lit, err := d.br.ReadByte()
+		if err != nil {
+			d.err = fmt.Errorf("lz: truncated literal")
+			return Token{}, d.err
+		}
+		return Token{Len: 0, Lit: lit}, nil
+	case 1:
+		src, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			d.err = fmt.Errorf("lz: truncated stream")
+			return Token{}, d.err
+		}
+		l, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			d.err = fmt.Errorf("lz: truncated stream")
+			return Token{}, d.err
+		}
+		if l == 0 {
+			d.err = fmt.Errorf("lz: zero-length copy token")
+			return Token{}, d.err
+		}
+		if src > math.MaxInt32 || l > math.MaxInt32 {
+			d.err = fmt.Errorf("lz: token (src=%d, len=%d) overflows", src, l)
+			return Token{}, d.err
+		}
+		return Token{Src: int32(src), Len: int32(l)}, nil
+	default:
+		d.err = fmt.Errorf("lz: bad token kind %d", kind)
+		return Token{}, d.err
+	}
+}

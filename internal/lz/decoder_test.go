@@ -1,0 +1,121 @@
+package lz
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// decodeAll drains a Decoder into a Compressed, failing on any error.
+func decodeAll(t *testing.T, data []byte) Compressed {
+	t.Helper()
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	c := Compressed{N: d.N()}
+	for {
+		tok, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		c.Tokens = append(c.Tokens, tok)
+	}
+	return c
+}
+
+func TestDecoderMatchesDecodeStream(t *testing.T) {
+	m := pram.NewSequential()
+	rng := rand.New(rand.NewPCG(11, 7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(2000)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte('a' + rng.IntN(3))
+		}
+		c := Compress(m, text)
+		var buf bytes.Buffer
+		if err := EncodeStream(&buf, c); err != nil {
+			t.Fatalf("EncodeStream: %v", err)
+		}
+		want, err := DecodeStream(buf.Bytes())
+		if err != nil {
+			t.Fatalf("DecodeStream: %v", err)
+		}
+		got := decodeAll(t, buf.Bytes())
+		if got.N != want.N {
+			t.Fatalf("trial %d: N = %d, want %d", trial, got.N, want.N)
+		}
+		if len(got.Tokens) != len(want.Tokens) {
+			t.Fatalf("trial %d: %d tokens, want %d", trial, len(got.Tokens), len(want.Tokens))
+		}
+		for i := range got.Tokens {
+			if got.Tokens[i] != want.Tokens[i] {
+				t.Fatalf("trial %d: token %d = %+v, want %+v", trial, i, got.Tokens[i], want.Tokens[i])
+			}
+		}
+	}
+}
+
+func TestDecoderRejectsCorruptStreams(t *testing.T) {
+	m := pram.NewSequential()
+	c := Compress(m, []byte("abracadabra abracadabra"))
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, c); err != nil {
+		t.Fatalf("EncodeStream: %v", err)
+	}
+	good := buf.Bytes()
+
+	if _, err := NewDecoder(bytes.NewReader([]byte("NOTLZ1"))); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+	if _, err := NewDecoder(bytes.NewReader(good[:len(Magic)])); err == nil {
+		t.Fatalf("truncated header accepted")
+	}
+
+	// Truncated mid-token: the structural error must surface, not io.EOF.
+	d, err := NewDecoder(bytes.NewReader(good[:len(good)-1]))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	sawErr := false
+	for {
+		_, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatalf("truncated stream decoded without error")
+	}
+
+	// Trailing garbage after the last token.
+	d, err = NewDecoder(bytes.NewReader(append(append([]byte(nil), good...), 0xff)))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	sawErr = false
+	for {
+		_, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatalf("trailing bytes decoded without error")
+	}
+}

@@ -140,7 +140,7 @@ func TestAdaptiveGrainBounds(t *testing.T) {
 	}{
 		{100, 1, func(g int) bool { return g == minGrain }},
 		{1 << 20, 1, func(g int) bool { return g == maxChunkWork }}, // unit cost: chunk = work cap
-		{1 << 20, 1 << 30, func(g int) bool { return g == 1 }}, // cost cap floor
+		{1 << 20, 1 << 30, func(g int) bool { return g == 1 }},      // cost cap floor
 		{1 << 14, 64, func(g int) bool { return g == maxChunkWork/64 }},
 	}
 	for _, c := range cases {

@@ -213,7 +213,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	matches, attempts, err := e.MatchChecked(r.Context(), text, s.cfg.Procs, s.metrics)
+	matches, attempts, _, err := e.MatchChecked(r.Context(), text, s.cfg.Procs, s.metrics)
 	if err != nil {
 		if r.Context().Err() != nil {
 			s.metrics.timeouts.Add(1)

@@ -95,27 +95,34 @@ const matchAttempts = 6
 // inconsistencies straddling a boundary). On a fingerprint failure the
 // dictionary is reseeded under the write lock and the attempt repeats.
 // PRAM costs are charged to the "match", "check" and (for reseeds)
-// "preprocess" ledgers of mt; mt may be nil.
-func (e *Entry) MatchChecked(ctx context.Context, text []byte, procs int, mt *Metrics) ([]core.Match, int, error) {
+// "preprocess" ledgers of mt; mt may be nil. The returned counters are the
+// total charged by this call (attempts compose sequentially) so callers —
+// the streaming pipeline in particular — can aggregate a per-call ledger
+// without scraping the shared metrics.
+func (e *Entry) MatchChecked(ctx context.Context, text []byte, procs int, mt *Metrics) ([]core.Match, int, pram.Counters, error) {
+	var total pram.Counters
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, attempt - 1, err
+			return nil, attempt - 1, total, err
 		}
 		e.mu.RLock()
 		matches, mc := matchSharded(e.dict, text, procs)
 		cm := pram.New(procs)
 		ok := e.dict.Check(cm, text, matches)
+		cw, cd := cm.Work(), cm.Depth()
 		cm.Close()
 		e.mu.RUnlock()
+		total.Work += mc.Work + cw
+		total.Depth += mc.Depth + cd
 		if mt != nil {
 			mt.ChargePRAM("match", mc.Work, mc.Depth)
-			mt.ChargePRAM("check", cm.Work(), cm.Depth())
+			mt.ChargePRAM("check", cw, cd)
 		}
 		if ok {
-			return matches, attempt, nil
+			return matches, attempt, total, nil
 		}
 		if attempt == matchAttempts {
-			return nil, attempt, fmt.Errorf("server: %d consecutive fingerprint failures on %s", attempt, e.ID)
+			return nil, attempt, total, fmt.Errorf("server: %d consecutive fingerprint failures on %s", attempt, e.ID)
 		}
 		e.reseed(uint64(attempt), mt)
 	}

@@ -128,6 +128,14 @@ type Metrics struct {
 	rejected atomic.Int64 // 429s from the limiter
 	timeouts atomic.Int64 // 503s from per-request deadlines
 	panics   atomic.Int64 // requests converted to 500 by the recover wrapper
+
+	// Streaming endpoints. streamActive is a gauge (in-flight streams);
+	// the rest are totals across completed and in-flight streams.
+	streamActive   atomic.Int64
+	streamStarted  atomic.Int64
+	streamSegments atomic.Int64 // windows processed across all streams
+	streamEvents   atomic.Int64 // NDJSON events / decompressed tokens emitted
+	streamBytes    atomic.Int64 // text bytes in (match) or out (decompress)
 }
 
 // pramAlgos is the fixed set of ledger keys. Registration charges
@@ -204,6 +212,15 @@ type ledgerSnapshot struct {
 	Depth int64 `json:"depth"`
 }
 
+// streamsSnapshot is the JSON shape of the streaming counters.
+type streamsSnapshot struct {
+	Active   int64 `json:"active"`
+	Started  int64 `json:"started"`
+	Segments int64 `json:"segments"`
+	Events   int64 `json:"events"`
+	Bytes    int64 `json:"bytes"`
+}
+
 // MetricsSnapshot is the GET /metrics payload.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                   `json:"uptimeSeconds"`
@@ -211,6 +228,7 @@ type MetricsSnapshot struct {
 	PRAM          map[string]ledgerSnapshot `json:"pram"`
 	Registry      RegistrySnapshot          `json:"registry"`
 	Limiter       limiterSnapshot           `json:"limiter"`
+	Streams       streamsSnapshot           `json:"streams"`
 	Timeouts      int64                     `json:"timeouts"`
 	Panics        int64                     `json:"panics"`
 	RouteOrder    []string                  `json:"routeOrder"`
@@ -230,6 +248,13 @@ func (mt *Metrics) Snapshot(reg *Registry, lim *Limiter) MetricsSnapshot {
 		PRAM:          make(map[string]ledgerSnapshot, len(mt.algos)),
 		Timeouts:      mt.timeouts.Load(),
 		Panics:        mt.panics.Load(),
+		Streams: streamsSnapshot{
+			Active:   mt.streamActive.Load(),
+			Started:  mt.streamStarted.Load(),
+			Segments: mt.streamSegments.Load(),
+			Events:   mt.streamEvents.Load(),
+			Bytes:    mt.streamBytes.Load(),
+		},
 	}
 	routes := *mt.routes.Load()
 	patterns := make([]string, 0, len(routes))

@@ -117,7 +117,7 @@ func TestEvictedEntryUsableMidRequest(t *testing.T) {
 		t.Fatal("entry should be evicted")
 	}
 	text := []byte("abracadabra")
-	matches, attempts, err := e.MatchChecked(context.Background(), text, 2, nil)
+	matches, attempts, _, err := e.MatchChecked(context.Background(), text, 2, nil)
 	if err != nil || attempts != 1 {
 		t.Fatalf("MatchChecked after eviction: attempts=%d err=%v", attempts, err)
 	}

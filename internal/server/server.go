@@ -33,6 +33,8 @@ import (
 	"net/http"
 	"runtime"
 	"time"
+
+	"repro/internal/stream"
 )
 
 // Config parameterizes a Server. The zero value is usable; fillDefaults
@@ -44,9 +46,11 @@ type Config struct {
 	MaxInflight    int           // concurrent /v1 requests before 429
 	RequestTimeout time.Duration // per-request deadline
 	ShutdownGrace  time.Duration // drain window on shutdown
-	MaxBodyBytes   int64         // request body cap
+	MaxBodyBytes   int64         // request body cap (buffered endpoints only)
 	MaxDictBytes   int64         // total pattern bytes per dictionary
 	MaxExpandBytes int64         // decompression/expansion output cap
+	SegmentBytes   int           // streaming endpoints: fresh text bytes per window
+	StreamWindow   int           // streaming decompress: retained history (0 = unbounded)
 	Log            *log.Logger   // nil = log.Default
 }
 
@@ -77,6 +81,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxExpandBytes <= 0 {
 		c.MaxExpandBytes = 256 << 20
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = stream.DefaultSegment
 	}
 	if c.Log == nil {
 		c.Log = log.Default()
@@ -124,10 +131,16 @@ func (s *Server) buildMux() http.Handler {
 	// with the registration pattern (self-describing; no reliance on the
 	// router echoing the matched pattern back).
 	api := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.instrument(pattern, true, h))
+		mux.Handle(pattern, s.instrument(pattern, true, true, h))
+	}
+	// Streaming routes keep the limiter (a stream is an in-flight request)
+	// but not the per-request deadline: a legitimate stream runs as long as
+	// the client keeps sending, and aborts via the connection context.
+	str := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, true, false, h))
 	}
 	obs := func(pattern string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.instrument(pattern, false, h))
+		mux.Handle(pattern, s.instrument(pattern, false, false, h))
 	}
 
 	api("POST /v1/dicts", s.handleDictCreate)
@@ -139,6 +152,8 @@ func (s *Server) buildMux() http.Handler {
 	api("POST /v1/dicts/{id}/expand", s.handleExpand)
 	api("POST /v1/compress", s.handleCompress)
 	api("POST /v1/decompress", s.handleDecompress)
+	str("POST /v1/dicts/{id}/match/stream", s.handleMatchStream)
+	str("POST /v1/decompress/stream", s.handleDecompressStream)
 	// Observability must answer even under saturation: no limiter.
 	obs("GET /metrics", s.handleMetrics)
 	obs("GET /healthz", s.handleHealthz)
@@ -156,10 +171,15 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flusher — the streaming endpoints flush per segment.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
 // instrument is the per-route middleware stack: panic containment, load
-// shedding (limited routes only), per-request deadline, and latency/status
-// accounting under the route's pattern label.
-func (s *Server) instrument(pattern string, limited bool, h http.HandlerFunc) http.Handler {
+// shedding (limited routes only), an optional per-request deadline (timed;
+// streaming routes opt out), and latency/status accounting under the
+// route's pattern label.
+func (s *Server) instrument(pattern string, limited, timed bool, h http.HandlerFunc) http.Handler {
 	rm := s.metrics.route(pattern)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -184,9 +204,12 @@ func (s *Server) instrument(pattern string, limited bool, h http.HandlerFunc) ht
 			}
 			defer s.limiter.Release()
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
-		h(sr, r.WithContext(ctx))
+		if timed {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sr, r)
 	})
 }
 

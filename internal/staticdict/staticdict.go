@@ -143,6 +143,67 @@ func OptimalParse(m *pram.Machine, n int, maxLen []int32) ([]Phrase, error) {
 	return phrases, nil
 }
 
+// FrontierParse returns a fewest-phrases parse computed by the left-to-right
+// frontier rule: maintain the furthest phrase boundary `end` reachable with
+// the phrases committed so far, and the best candidate boundary
+// far = max{i + maxLen[i]} over scanned positions i <= end; when the scan
+// passes `end`, commit the candidate as the next phrase boundary. Under the
+// prefix property (any length 1..maxLen[i] is a word at i) the positions
+// reachable with k phrases form the interval [1, F(k)] with
+// F(k) = max{i + maxLen[i] : i <= F(k-1)}, so the rule is exact — it yields
+// a parse with the minimum number of phrases, matching OptimalParse's count
+// (phrase boundaries may differ; both are optimal).
+//
+// Unlike GreedyParse — longest-match-first, which is only optimal for
+// suffix-closed dictionaries (see the greedy-optimality tests and
+// DESIGN.md §9) — FrontierParse is optimal for any prefix-property
+// dictionary, and it only ever looks max(maxLen) positions ahead of the
+// last committed boundary. That bounded lookahead is why the streaming
+// segment parser (internal/stream) runs this rule, not the dominating-edge
+// construction: it is the same recurrence evaluated with O(maxPatternLen)
+// carried state. Sequential, O(n).
+func FrontierParse(n int, maxLen []int32) ([]Phrase, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(maxLen) != n {
+		return nil, errors.New("staticdict: maxLen length mismatch")
+	}
+	if maxLen[0] < 1 {
+		return nil, ErrNoParse
+	}
+	var phrases []Phrase
+	p := 0                // start of the phrase being decided
+	end := int(maxLen[0]) // furthest boundary reachable from committed phrases
+	far, argfar := -1, -1 // best candidate boundary in (p, end] and its reach
+	commit := func() error {
+		if argfar < 0 || far <= end {
+			return ErrNoParse // cannot advance past end: text has no parse
+		}
+		phrases = append(phrases, Phrase{Pos: int32(p), Len: int32(argfar - p)})
+		p, end = argfar, far // far == argfar + maxLen[argfar], the new reach
+		far, argfar = -1, -1
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		if i > end {
+			if err := commit(); err != nil {
+				return nil, err
+			}
+		}
+		if r := i + int(maxLen[i]); r > far {
+			far, argfar = r, i
+		}
+	}
+	for end < n {
+		if err := commit(); err != nil {
+			return nil, err
+		}
+	}
+	phrases = append(phrases, Phrase{Pos: int32(p), Len: int32(n - p)})
+	return phrases, nil
+}
+
 // GreedyParse is the longest-match-first heuristic the paper contrasts with
 // (§1, "the greedy heuristic of always choosing the longest match need not
 // give optimal compression"). Sequential, O(#phrases).

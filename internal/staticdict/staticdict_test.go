@@ -163,6 +163,142 @@ func TestEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestFrontierMatchesOptimalCount cross-checks the streaming frontier rule
+// against both the dominating-edge construction and the BFS ground truth:
+// same parse/no-parse outcome, same (minimal) phrase count, valid phrases.
+// This is the equivalence the streaming segment parser (internal/stream)
+// rests on.
+func TestFrontierMatchesOptimalCount(t *testing.T) {
+	rng := rand.New(rand.NewPCG(157, 158))
+	m := pram.New(4)
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.IntN(150)
+		maxLen := make([]int32, n)
+		for i := range maxLen {
+			if rng.IntN(15) == 0 {
+				maxLen[i] = 0
+			} else {
+				maxLen[i] = 1 + int32(rng.IntN(9))
+			}
+			if int(maxLen[i]) > n-i {
+				maxLen[i] = int32(n - i)
+			}
+		}
+		opt, errOpt := OptimalParse(m, n, maxLen)
+		got, errGot := FrontierParse(n, maxLen)
+		if (errOpt == nil) != (errGot == nil) {
+			t.Fatalf("trial=%d: error mismatch frontier=%v optimal=%v (maxLen=%v)",
+				trial, errGot, errOpt, maxLen)
+		}
+		if errOpt != nil {
+			continue
+		}
+		if len(got) != len(opt) {
+			t.Fatalf("trial=%d: frontier %d phrases, optimal %d (maxLen=%v)",
+				trial, len(got), len(opt), maxLen)
+		}
+		phraseCountOK(t, got, n, maxLen)
+	}
+}
+
+// TestGreedyOptimalityPrecondition pins the exact hypothesis under which
+// longest-match greedy parsing is optimal — and the one under which it is
+// NOT. The streaming parser must not rely on greedy under the §5 prefix
+// property alone.
+//
+// Greedy is optimal for *suffix-closed* dictionaries: every suffix of a
+// word is a word, equivalently maxLen[i+1] >= maxLen[i]-1, which makes the
+// reach i+maxLen[i] non-decreasing, so taking the longest match never
+// forfeits reach (Cohn & Khazan, "Parsing with prefix and suffix
+// dictionaries"; Crochemore, Langiu & Mignosi, "A note on the greedy
+// parsing optimality for dictionary-based text compression" — the note's
+// optimality argument needs exactly this reach monotonicity, which
+// LZ78/LZW-style dynamic dictionaries provide and a static prefix-closed
+// dictionary does not). Under the prefix property alone greedy can lose:
+// the prefix-closed dictionary {a, ab, b, bc, bcd, c, d} on text "abcd"
+// gives greedy ab|c|d = 3 phrases versus optimal a|bcd = 2. FrontierParse
+// stays optimal in both regimes, which is why internal/stream uses it.
+func TestGreedyOptimalityPrecondition(t *testing.T) {
+	// Part 1: suffix-closed maxLen (maxLen[i+1] >= maxLen[i]-1) ⇒ greedy
+	// phrase count equals the optimum.
+	rng := rand.New(rand.NewPCG(159, 160))
+	m := pram.New(4)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(150)
+		maxLen := make([]int32, n)
+		prev := int32(1)
+		for i := range maxLen {
+			lo := prev - 1
+			if lo < 1 {
+				lo = 1 // keep the instance parseable: every position has a word
+			}
+			maxLen[i] = lo + int32(rng.IntN(5))
+			if int(maxLen[i]) > n-i {
+				maxLen[i] = int32(n - i)
+			}
+			prev = maxLen[i]
+		}
+		greedy, err := GreedyParse(n, maxLen)
+		if err != nil {
+			t.Fatalf("trial=%d: greedy failed on suffix-closed input: %v", trial, err)
+		}
+		opt, err := OptimalParse(m, n, maxLen)
+		if err != nil {
+			t.Fatalf("trial=%d: optimal failed: %v", trial, err)
+		}
+		if len(greedy) != len(opt) {
+			t.Fatalf("trial=%d: suffix-closed input but greedy %d != optimal %d (maxLen=%v)",
+				trial, len(greedy), len(opt), maxLen)
+		}
+	}
+
+	// Part 2: the prefix-property-only counterexample. Dictionary
+	// {a, ab, b, bc, bcd, c, d} is prefix-closed; text "abcd" has
+	// maxLen = [2, 3, 1, 1].
+	maxLen := []int32{2, 3, 1, 1}
+	greedy, err := GreedyParse(4, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimalParse(m, 4, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier, err := FrontierParse(4, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(greedy) != 3 || len(opt) != 2 || len(frontier) != 2 {
+		t.Fatalf("counterexample: greedy=%d optimal=%d frontier=%d, want 3/2/2",
+			len(greedy), len(opt), len(frontier))
+	}
+}
+
+func TestFrontierEdgeCases(t *testing.T) {
+	if got, err := FrontierParse(0, nil); err != nil || got != nil {
+		t.Fatal("empty parse")
+	}
+	if _, err := FrontierParse(1, []int32{0}); err != ErrNoParse {
+		t.Fatal("unparseable single accepted")
+	}
+	if _, err := FrontierParse(2, []int32{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	got, err := FrontierParse(1, []int32{1})
+	if err != nil || len(got) != 1 || got[0] != (Phrase{0, 1}) {
+		t.Fatalf("single: %v %v", got, err)
+	}
+	// Unreachable hole.
+	if _, err := FrontierParse(4, []int32{1, 1, 0, 1}); err != ErrNoParse {
+		t.Fatal("hole not detected")
+	}
+	// Jumpable hole.
+	got, err = FrontierParse(4, []int32{3, 1, 0, 1})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("jumpable hole: %v %v", got, err)
+	}
+}
+
 func TestEdgeCount(t *testing.T) {
 	if EdgeCount([]int32{3, 0, 2}) != 5 {
 		t.Fatal("edge count")

@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+)
+
+// MatchEvent is one dictionary match in the stream: the longest pattern
+// starting at absolute text position Pos (the paper's M[i], restricted to
+// positions where a pattern matches at all).
+type MatchEvent struct {
+	Pos       int64
+	PatternID int32
+	Length    int32
+}
+
+// MatchSink receives match events in position order, each exactly once.
+type MatchSink interface {
+	MatchEvent(MatchEvent) error
+}
+
+// TextMatcher runs the batch matcher on one window. It abstracts who owns
+// the dictionary and the machine: the CLI wraps a Dictionary directly
+// (DictMatcher); the server wraps a registry entry, whose MatchWindow also
+// takes the read lock and charges the service metrics.
+type TextMatcher interface {
+	// MaxPatternLen bounds the lookahead of any per-position output — the
+	// halo the pipeline must carry between windows.
+	MaxPatternLen() int
+	// MatchWindow returns per-position longest matches for the window
+	// (len(result) == len(window)), the Las Vegas round count, and the
+	// PRAM ledger delta the call charged.
+	MatchWindow(ctx context.Context, window []byte) ([]core.Match, int, pram.Counters, error)
+}
+
+// DictMatcher is the direct TextMatcher over a preprocessed dictionary and
+// a caller-owned machine: checked (Las Vegas) matching per window.
+type DictMatcher struct {
+	Dict *core.Dictionary
+	M    *pram.Machine
+}
+
+// MaxPatternLen implements TextMatcher.
+func (dm DictMatcher) MaxPatternLen() int { return dm.Dict.MaxPatternLen() }
+
+// MatchWindow implements TextMatcher with MatchLasVegas and a ledger delta
+// read off the machine's counters.
+func (dm DictMatcher) MatchWindow(_ context.Context, window []byte) ([]core.Match, int, pram.Counters, error) {
+	before := dm.M.Snapshot()
+	matches, rounds := dm.Dict.MatchLasVegas(dm.M, window)
+	after := dm.M.Snapshot()
+	return matches, rounds, pram.Counters{Work: after.Work - before.Work, Depth: after.Depth - before.Depth}, nil
+}
+
+// Match streams text from r through tm and emits every position's longest
+// match to sink, in absolute position order, each position exactly once.
+// The emitted events are identical to running the batch matcher on the
+// whole text: a finalized position i has its full MaxPatternLen() lookahead
+// inside the window, so every candidate occurrence fits and the
+// window-local M[i] equals the full-text M[i]; non-finalized tail positions
+// are suppressed here and re-emitted authoritatively by the next window.
+func Match(ctx context.Context, tm TextMatcher, r io.Reader, sink MatchSink, cfg Config) (Stats, error) {
+	var st Stats
+	halo := tm.MaxPatternLen() - 1
+	if halo < 0 {
+		halo = 0
+	}
+	obs, _ := sink.(SegmentObserver)
+	err := runWindows(ctx, r, cfg.segmentSize(), halo, &st, func(window []byte, base int64, final int, last bool) error {
+		var rounds int
+		var cost pram.Counters
+		if len(window) > 0 {
+			matches, rnds, c, err := tm.MatchWindow(ctx, window)
+			if err != nil {
+				return err
+			}
+			if len(matches) != len(window) {
+				return fmt.Errorf("stream: matcher returned %d positions for a %d-byte window", len(matches), len(window))
+			}
+			rounds, cost = rnds, c
+			for i := 0; i < final; i++ {
+				if matches[i].Length > 0 {
+					st.Events++
+					e := MatchEvent{Pos: base + int64(i), PatternID: matches[i].PatternID, Length: matches[i].Length}
+					if err := sink.MatchEvent(e); err != nil {
+						return err
+					}
+				}
+			}
+			st.Rounds += rounds
+			st.Work += cost.Work
+			st.Depth += cost.Depth
+		}
+		if obs != nil {
+			return obs.SegmentDone(SegmentInfo{
+				Index: st.Segments - 1, Base: base, WindowLen: len(window),
+				Finalized: final, Last: last, Rounds: rounds,
+				Work: cost.Work, Depth: cost.Depth,
+			})
+		}
+		return nil
+	})
+	return st, err
+}

@@ -1,0 +1,178 @@
+// Package stream is the bounded-memory streaming pipeline over the paper's
+// batch algorithms: dictionary matching (§3), static-dictionary parsing
+// (§5), and LZ1 decompression (§4.2) on texts that never fit in memory.
+//
+// The batch algorithms are window-local in a precise sense: every
+// per-position output — S[i], B[i], M[i] — depends on at most
+// MaxPatternLen() bytes of lookahead from i. The pipeline exploits that by
+// cutting the input into segments of Config.SegmentBytes and prefixing each
+// with a carry ("halo") of MaxPatternLen()-1 bytes from the previous
+// window. Positions whose full lookahead fits inside the window are
+// *finalized*: their window-local outputs provably equal the full-text
+// outputs, so they are emitted exactly once, rebased to absolute offsets.
+// The trailing halo positions are recomputed — and emitted — by the next
+// window, where they are authoritative; this is the dedup of halo
+// duplicates. Resident text is O(SegmentBytes + MaxPatternLen) regardless
+// of input length.
+//
+// Reading and computing are double-buffered: a producer goroutine reads
+// segment i+1 from the io.Reader while the consumer runs the PRAM
+// algorithms on window i, with backpressure through a bounded channel (two
+// segment buffers in flight, total). Per-window PRAM work/depth ledger
+// deltas are aggregated into Stats — the streamed run charges the same
+// work as the batch run on the same text (plus the halo recompute) but
+// sequential-composes the windows, trading depth for memory.
+package stream
+
+import (
+	"context"
+	"io"
+)
+
+// DefaultSegment is the segment size used when Config.SegmentBytes is zero.
+const DefaultSegment = 1 << 20
+
+// Config controls the segment pipeline.
+type Config struct {
+	// SegmentBytes is the number of fresh text bytes per window (the halo
+	// is carried on top of it). Zero means DefaultSegment. Values smaller
+	// than the longest pattern are legal: the carry then grows across
+	// windows until it spans a full halo, and finalization lags
+	// accordingly.
+	SegmentBytes int
+}
+
+func (c Config) segmentSize() int {
+	if c.SegmentBytes < 1 {
+		return DefaultSegment
+	}
+	return c.SegmentBytes
+}
+
+// Stats is the aggregated ledger of one streaming run.
+type Stats struct {
+	Segments    int64 // windows processed
+	TextBytes   int64 // match/parse: input text bytes; uncompress: output bytes
+	WindowBytes int64 // total bytes presented to the algorithms (includes halo recompute)
+	MaxResident int   // peak resident window (or history) bytes — the memory bound
+	Events      int64 // match events, phrases, or tokens emitted
+	Rounds      int   // Las Vegas verification rounds across all windows (match only)
+	Work        int64 // aggregated PRAM work over all windows
+	Depth       int64 // aggregated PRAM depth (windows compose sequentially)
+
+	// Uncompress only.
+	FarthestBack int64 // longest back-reference distance seen
+	Spills       int64 // copies beyond the nominal window served from retained slack
+}
+
+// SegmentInfo describes one completed window; sinks that also implement
+// SegmentObserver receive it after the window's events (a natural flush
+// point).
+type SegmentInfo struct {
+	Index     int64 // 0-based window index
+	Base      int64 // absolute offset of the window's first byte
+	WindowLen int   // carry + fresh bytes
+	Finalized int   // positions emitted by this window
+	Last      bool
+	Rounds    int   // Las Vegas rounds for this window (match only)
+	Work      int64 // PRAM work charged by this window
+	Depth     int64 // PRAM depth charged by this window
+}
+
+// SegmentObserver is optionally implemented by sinks that want per-window
+// notification — the streaming server uses it to flush NDJSON per segment
+// and to tick its per-stream metrics.
+type SegmentObserver interface {
+	SegmentDone(SegmentInfo) error
+}
+
+// segment is one producer→consumer hand-off.
+type segment struct {
+	buf  []byte
+	last bool
+	err  error
+}
+
+// runWindows drives the double-buffered read loop. fn sees each window
+// (carry + fresh segment), the absolute offset of its first byte, and the
+// count of finalized positions; it must not retain the window slice.
+// Cancellation is observed at window granularity; a blocked Read is only
+// abandoned when the underlying reader fails (e.g. the request body closes).
+func runWindows(ctx context.Context, r io.Reader, segSize, halo int, st *Stats, fn func(window []byte, base int64, final int, last bool) error) error {
+	segs := make(chan segment, 1)
+	free := make(chan []byte, 2)
+	done := make(chan struct{})
+	defer close(done)
+	free <- make([]byte, segSize)
+	free <- make([]byte, segSize)
+
+	go func() {
+		defer close(segs)
+		for {
+			var buf []byte
+			select {
+			case buf = <-free:
+			case <-done:
+				return
+			}
+			n, err := io.ReadFull(r, buf[:segSize])
+			s := segment{buf: buf[:n]}
+			switch err {
+			case nil:
+			case io.EOF, io.ErrUnexpectedEOF:
+				s.last = true
+			default:
+				s.err = err
+			}
+			select {
+			case segs <- s:
+			case <-done:
+				return
+			}
+			if s.last || s.err != nil {
+				return
+			}
+		}
+	}()
+
+	window := make([]byte, 0, segSize+halo)
+	var base int64
+	carry := 0
+	for s := range segs {
+		if s.err != nil {
+			return s.err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		window = append(window[:carry], s.buf...)
+		if !s.last {
+			// Hand the buffer back before computing: the producer reads
+			// the next segment while fn runs on this window.
+			free <- s.buf[:segSize]
+		}
+		st.Segments++
+		st.TextBytes += int64(len(s.buf))
+		st.WindowBytes += int64(len(window))
+		if len(window) > st.MaxResident {
+			st.MaxResident = len(window)
+		}
+		final := len(window)
+		if !s.last {
+			final = len(window) - halo
+			if final < 0 {
+				final = 0
+			}
+		}
+		if err := fn(window, base, final, s.last); err != nil {
+			return err
+		}
+		carry = len(window) - final
+		copy(window, window[final:])
+		base += int64(final)
+		if s.last {
+			return nil
+		}
+	}
+	return ctx.Err()
+}
