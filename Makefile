@@ -20,10 +20,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerates the committed runtime-benchmark record: the P-series
-# (legacy vs pooled engine, internal/bench/perf.go) plus the S-series
-# (one-shot vs streaming matching, internal/bench/streaming.go).
+# (legacy vs pooled engine, internal/bench/perf.go), the S-series
+# (one-shot vs streaming matching, internal/bench/streaming.go), and the
+# D-series (cold preprocess vs snapshot load, internal/bench/persist.go).
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR3.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR4.json
 
 experiments:
 	$(GO) run ./cmd/benchtab | tee experiments_raw.txt
@@ -37,6 +38,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeStream -fuzztime 30s ./internal/lz/
 	$(GO) test -fuzz FuzzHandleRequests -fuzztime 30s ./internal/server/
 	$(GO) test -fuzz FuzzStreamEquivalence -fuzztime 30s ./internal/stream/
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/persist/
 
 # Flags: -addr :8080 -procs N -max-dicts N -max-inflight N -timeout 30s
 serve:

@@ -10,9 +10,11 @@
 // With -json it instead runs the runtime benchmarks and writes
 // machine-readable results to the given path: the P-series (legacy vs
 // pooled execution engine — id, ns/op, allocs/op, PRAM work and depth)
-// and the S-series (one-shot vs streaming matching across a segment
-// sweep — MB/s, peak resident window, segments, ledger). This is what
-// `make bench-json` uses to regenerate BENCH_PR3.json.
+// the S-series (one-shot vs streaming matching across a segment
+// sweep — MB/s, peak resident window, segments, ledger), and the
+// D-series (cold preprocessing vs snapshot load across a dictionary
+// sweep — ns, snapshot bytes vs d). This is what `make bench-json`
+// uses to regenerate BENCH_PR4.json.
 package main
 
 import (
@@ -29,11 +31,12 @@ import (
 
 // perfFile is the BENCH_PR*.json document shape.
 type perfFile struct {
-	GoMaxProcs int                      `json:"goMaxProcs"`
-	GoVersion  string                   `json:"goVersion"`
-	Scale      string                   `json:"scale"`
-	Results    []bench.PerfResult       `json:"results"`
-	Streaming  []bench.StreamPerfResult `json:"streaming"`
+	GoMaxProcs int                       `json:"goMaxProcs"`
+	GoVersion  string                    `json:"goVersion"`
+	Scale      string                    `json:"scale"`
+	Results    []bench.PerfResult        `json:"results"`
+	Streaming  []bench.StreamPerfResult  `json:"streaming"`
+	Persist    []bench.PersistPerfResult `json:"persist"`
 }
 
 func main() {
@@ -92,6 +95,7 @@ func writePerfJSON(path string, scale bench.Scale) {
 		Scale:      scaleName,
 		Results:    bench.RunPerf(scale),
 		Streaming:  bench.RunStreamPerf(scale),
+		Persist:    bench.RunPersistPerf(scale),
 	}
 	// Also echo a human-readable summary so the run is not silent.
 	for _, r := range doc.Results {
@@ -101,6 +105,10 @@ func writePerfJSON(path string, scale bench.Scale) {
 	for _, r := range doc.Streaming {
 		fmt.Printf("%-4s %-22s %-16s n=%-8d %12d ns/op %8.1f MB/s  resident=%d segments=%d work=%d depth=%d\n",
 			r.ID, r.Name, r.Config, r.N, r.NsPerOp, r.MBPerSec, r.MaxResident, r.Segments, r.Work, r.Depth)
+	}
+	for _, r := range doc.Persist {
+		fmt.Printf("%-4s %-22s %-16s d=%-8d prep=%dns load=%dns (%.1fx) snapshot=%dB (%.2f B/d)\n",
+			r.ID, r.Name, r.Config, r.D, r.PreprocessNs, r.LoadNs, r.Speedup, r.SnapshotBytes, r.BytesPerD)
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -112,5 +120,6 @@ func writePerfJSON(path string, scale bench.Scale) {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s (%d results, %d streaming)\n", path, len(doc.Results), len(doc.Streaming))
+	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist)\n",
+		path, len(doc.Results), len(doc.Streaming), len(doc.Persist))
 }

@@ -1,0 +1,265 @@
+// Command dictpack manages dictionary snapshot files (internal/persist):
+// preprocess a pattern set once into a portable .dmsnap, ship the file, and
+// every later consumer (dictpack itself, matchd -cache-dir) loads the
+// prepared tables with zero re-preprocessing.
+//
+// Usage:
+//
+//	dictpack pack    -dict patterns.txt [-o dict.dmsnap | -store DIR] \
+//	                 [-seed N] [-nca auto|naive|veb] [-anchor separator|sa] [-procs N]
+//	dictpack unpack  -in dict.dmsnap [-o patterns.txt]
+//	dictpack inspect -in dict.dmsnap [-json]
+//	dictpack verify  -in dict.dmsnap
+//
+// pack preprocesses (§3) and writes the snapshot to -o, or into a
+// content-addressed store directory with -store (the same layout matchd
+// -cache-dir reads, so packing into a server's cache dir prewarms it).
+// unpack recovers the original pattern list from a snapshot. inspect prints
+// the header and per-section byte layout after checksum validation only;
+// verify additionally rebuilds the dictionary, checking every structural
+// invariant, and runs the §3.4 fingerprint self-check.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pram"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dictpack: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "pack":
+		cmdPack(os.Args[2:])
+	case "unpack":
+		cmdUnpack(os.Args[2:])
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dictpack pack    -dict patterns.txt [-o dict.dmsnap | -store DIR] [options]
+  dictpack unpack  -in dict.dmsnap [-o patterns.txt]
+  dictpack inspect -in dict.dmsnap [-json]
+  dictpack verify  -in dict.dmsnap`)
+	os.Exit(2)
+}
+
+func cmdPack(args []string) {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	dictPath := fs.String("dict", "", "file with one pattern per line (required)")
+	out := fs.String("o", "", "output snapshot file")
+	storeDir := fs.String("store", "", "content-addressed store directory (matchd -cache-dir layout)")
+	seed := fs.Uint64("seed", 1, "fingerprint seed")
+	ncaFlag := fs.String("nca", "auto", "nearest-colored-ancestor structure: auto, naive, veb")
+	anchorFlag := fs.String("anchor", "separator", "Step 1A locate strategy: separator or sa")
+	procs := fs.Int("procs", 0, "preprocessing worker goroutines (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *dictPath == "" {
+		log.Fatal("pack: -dict is required")
+	}
+	if (*out == "") == (*storeDir == "") {
+		log.Fatal("pack: exactly one of -o or -store is required")
+	}
+	patterns, err := readPatterns(*dictPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.Options{Seed: *seed, NCA: parseNCA(*ncaFlag), Anchor: parseAnchor(*anchorFlag)}
+
+	m := pram.New(*procs)
+	defer m.Close()
+	start := time.Now()
+	dict := core.Preprocess(m, patterns, opts)
+	prep := time.Since(start)
+	work, depth := m.Counters()
+
+	var (
+		size int
+		dest string
+	)
+	if *storeDir != "" {
+		st, err := persist.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		key := persist.KeyFor(patterns, opts)
+		size, err = st.Put(key, dict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dest = st.Path(key)
+	} else {
+		data := persist.Encode(dict)
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		size, dest = len(data), *out
+	}
+	total := 0
+	for _, p := range patterns {
+		total += len(p)
+	}
+	fmt.Printf("packed %d patterns (%d bytes) -> %s (%d bytes, %.2fx)\n",
+		len(patterns), total, dest, size, float64(size)/float64(max(total, 1)))
+	fmt.Printf("preprocess: wall=%s pram work=%d depth=%d; loading this snapshot repays all of it\n",
+		prep.Round(time.Microsecond), work, depth)
+}
+
+func cmdUnpack(args []string) {
+	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file (required)")
+	out := fs.String("o", "", "pattern list output (default stdout)")
+	fs.Parse(args)
+	data := readSnapshot(*in)
+	start := time.Now()
+	dict, err := persist.Load(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for _, p := range dict.Patterns {
+		bw.Write(p)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d patterns in %s (no preprocessing)\n",
+		len(dict.Patterns), elapsed.Round(time.Microsecond))
+}
+
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file (required)")
+	asJSON := fs.Bool("json", false, "emit the Info struct as JSON")
+	fs.Parse(args)
+	data := readSnapshot(*in)
+	info, err := persist.Inspect(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printInfo(info, *asJSON)
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file (required)")
+	fs.Parse(args)
+	data := readSnapshot(*in)
+	start := time.Now()
+	info, err := persist.Verify(data)
+	if err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	fmt.Printf("ok: %d bytes, %d patterns, %d nodes, verified in %s\n",
+		info.FileBytes, info.NumPatterns, info.NumNodes, time.Since(start).Round(time.Microsecond))
+}
+
+func printInfo(info *persist.Info, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(info); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("snapshot v%d, %d bytes\n", info.Version, info.FileBytes)
+	fmt.Printf("  patterns: %d (%d bytes)\n", info.NumPatterns, info.PatternBytes)
+	fmt.Printf("  tree:     %d nodes, %d leaves, %d weiner links\n",
+		info.NumNodes, info.NumLeaves, info.WeinerCount)
+	fmt.Printf("  options:  seed=%d windowL=%d anchor=%d naiveNCA=%v separator=%v\n",
+		info.Seed, info.WindowL, info.Anchor, info.UseNaive, info.HasSeparator)
+	fmt.Println("  sections:")
+	for _, s := range info.Sections {
+		fmt.Printf("    %-10s %8d bytes\n", s.Name, s.Bytes)
+	}
+}
+
+func parseNCA(s string) core.NCAVariant {
+	switch s {
+	case "auto":
+		return core.NCAAuto
+	case "naive":
+		return core.NCANaive
+	case "veb":
+		return core.NCAImproved
+	}
+	log.Fatalf("unknown -nca %q", s)
+	panic("unreachable")
+}
+
+func parseAnchor(s string) core.AnchorStrategy {
+	switch s {
+	case "separator":
+		return core.AnchorSeparator
+	case "sa":
+		return core.AnchorSA
+	}
+	log.Fatalf("unknown -anchor %q", s)
+	panic("unreachable")
+}
+
+func readSnapshot(path string) []byte {
+	if path == "" {
+		log.Fatal("-in is required")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}
+
+func readPatterns(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var patterns [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		if len(line) > 0 {
+			patterns = append(patterns, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("no patterns in %s", path)
+	}
+	return patterns, nil
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	matchd [-addr :8080] [-procs N] [-max-dicts N] [-max-inflight N] \
-//	       [-timeout 30s] [-max-body BYTES] [-segment BYTES] [-stream-window BYTES]
+//	       [-timeout 30s] [-max-body BYTES] [-segment BYTES] [-stream-window BYTES] \
+//	       [-cache-dir DIR]
 //
 // Endpoints (JSON bodies; binary payloads base64 in "textB64"/"dataB64"):
 //
@@ -20,6 +21,15 @@
 //	POST   /v1/decompress         {"dataB64": ...} → original text
 //	GET    /metrics               counters, latency histograms, PRAM ledger
 //	GET    /healthz               liveness
+//
+// Persistence (enabled by -cache-dir DIR): preprocessed dictionaries are
+// written through to DIR as content-addressed snapshot files, a restart
+// warm-loads them with zero re-preprocessing, and POST /v1/dicts with a
+// pattern set already in the cache loads instead of preprocessing. Admin
+// endpoints:
+//
+//	POST /v1/dicts/{id}/snapshot  serialize a resident dictionary → {"key": ...}
+//	POST /v1/dicts/restore        {"key": ...} → load a snapshot into the registry
 //
 // Streaming endpoints (raw bodies, no -max-body cap, no request deadline —
 // resident memory is bounded by -segment, not by the text):
@@ -58,9 +68,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes (buffered endpoints only)")
 	segment := flag.Int("segment", 1<<20, "streaming endpoints: fresh text bytes per window")
 	streamWindow := flag.Int("stream-window", 0, "streaming decompress: retained history bytes (0 = unbounded)")
+	cacheDir := flag.String("cache-dir", "", "snapshot cache directory: warm start from it and write preprocessed dictionaries through ('' = off)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Addr:           *addr,
 		Procs:          *procs,
 		MaxDicts:       *maxDicts,
@@ -69,8 +80,12 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		SegmentBytes:   *segment,
 		StreamWindow:   *streamWindow,
+		CacheDir:       *cacheDir,
 		Log:            log.Default(),
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -138,5 +138,6 @@ func All() []Experiment {
 		E14Adaptive(),
 		E15Serving(),
 		E16Streaming(),
+		E17Persistence(),
 	}
 }

@@ -1,0 +1,216 @@
+// E17 and the D-series: dictionary snapshot persistence (internal/persist).
+// The claim under test is the serving-side extension of the paper's
+// preprocess-once economics: a snapshot load is a sequential read of the
+// already-computed tables, so restoring a dictionary costs a small constant
+// fraction of the §3 preprocessing it replaces — and zero PRAM work — while
+// the file stays within a modest constant factor of d (every serialized
+// table is O(d) entries, DESIGN.md §10).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// persistCases returns the dictionary-size sweep (pattern count, pattern
+// length) for a scale; d grows roughly 4x per row.
+func persistCases(scale Scale) [][2]int {
+	if scale == Quick {
+		return [][2]int{{16, 8}, {64, 16}, {128, 32}}
+	}
+	return [][2]int{{16, 8}, {64, 16}, {256, 32}, {512, 64}, {1024, 128}}
+}
+
+// E17Persistence measures the snapshot codec: cold preprocessing cost vs
+// snapshot load cost, and snapshot size vs d, across a dictionary sweep.
+func E17Persistence() Experiment {
+	return Experiment{
+		ID:    "E17",
+		Title: "Persistence: snapshot load vs cold preprocess (internal/persist, DESIGN §10)",
+		Claim: "loading a serialized dictionary reproduces the §3 preprocessing output with zero PRAM work, in a small fraction of the preprocessing wall time, from a file of O(d) table entries",
+		Run: func(w io.Writer, scale Scale) {
+			gen := textgen.New(4099)
+			m := pram.New(perfProcs)
+			defer m.Close()
+
+			t := newTable(w, "patterns", "d", "prep ns", "prep work", "encode ns", "load ns", "prep/load", "snap bytes", "bytes/d")
+			for _, c := range persistCases(scale) {
+				k, plen := c[0], c[1]
+				patterns := gen.Dictionary(k, plen/2, plen, 4)
+				d := 0
+				for _, p := range patterns {
+					d += len(p)
+				}
+				opts := core.Options{Seed: 7}
+
+				m.ResetCounters()
+				dict := core.Preprocess(m, patterns, opts)
+				prepWork, _ := m.Counters()
+				prepNs := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						core.Preprocess(m, patterns, opts)
+					}
+				}).NsPerOp()
+
+				data := persist.Encode(dict)
+				encodeNs := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						persist.Encode(dict)
+					}
+				}).NsPerOp()
+				loadNs := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := persist.Load(data); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}).NsPerOp()
+
+				// Equivalence spot check: the loaded dictionary answers a
+				// planted text identically (byte-level equality is pinned by
+				// internal/persist's tests; this guards the benchmark's
+				// premise on every run).
+				loaded, err := persist.Load(data)
+				if err != nil {
+					fmt.Fprintf(w, "load failed (k=%d): %v\n", k, err)
+					return
+				}
+				text := plantText(gen, patterns, 1<<14)
+				a := dict.MatchText(m, text)
+				b := loaded.MatchText(m, text)
+				for i := range a {
+					if a[i] != b[i] {
+						fmt.Fprintf(w, "DIVERGENCE: k=%d match[%d] differs after load\n", k, i)
+						return
+					}
+				}
+
+				t.row(k, d, prepNs, prepWork, encodeNs, loadNs,
+					float64(prepNs)/float64(max(loadNs, 1)),
+					len(data), float64(len(data))/float64(d))
+			}
+			t.flush()
+			fmt.Fprintln(w, "expected shape: loading beats preprocessing by a solid constant factor at every size (it skips suffix-tree + Weiner-link construction outright, though it still rebuilds the derived indexes); bytes/d is O(d) table entries — near-flat, creeping only with varint widths as offsets grow; and the load path charges no PRAM work at all — the serving warm-start premise")
+		},
+	}
+}
+
+// plantText embeds dictionary patterns into uniform filler so the
+// equivalence check exercises real matches.
+func plantText(gen *textgen.Gen, patterns [][]byte, n int) []byte {
+	text := gen.Uniform(n, 4)
+	step := n / (len(patterns) + 1)
+	if step < 1 {
+		step = 1
+	}
+	for i, p := range patterns {
+		pos := (i + 1) * step
+		if pos+len(p) > n {
+			break
+		}
+		copy(text[pos:], p)
+	}
+	return text
+}
+
+// PersistPerfResult is one D-series measurement for BENCH_PR4.json: cold
+// preprocessing vs snapshot load at one dictionary size.
+type PersistPerfResult struct {
+	ID            string  `json:"id"`     // D-series experiment id
+	Name          string  `json:"name"`   // "snapshot"
+	Config        string  `json:"config"` // "k=<patterns>"
+	NumPatterns   int     `json:"numPatterns"`
+	D             int     `json:"d"` // total pattern bytes
+	PreprocessNs  int64   `json:"preprocessNs"`
+	EncodeNs      int64   `json:"encodeNs"`
+	LoadNs        int64   `json:"loadNs"`
+	Speedup       float64 `json:"speedup"` // preprocessNs / loadNs
+	SnapshotBytes int     `json:"snapshotBytes"`
+	BytesPerD     float64 `json:"bytesPerD"`
+	PrepWork      int64   `json:"prepWork"` // PRAM work of preprocessing
+	LoadWork      int64   `json:"loadWork"` // PRAM work of loading: always 0
+}
+
+// RunPersistPerf measures the D-series across the dictionary sweep.
+func RunPersistPerf(scale Scale) []PersistPerfResult {
+	gen := textgen.New(4099)
+	m := pram.New(perfProcs)
+	defer m.Close()
+
+	var out []PersistPerfResult
+	for _, c := range persistCases(scale) {
+		k, plen := c[0], c[1]
+		patterns := gen.Dictionary(k, plen/2, plen, 4)
+		d := 0
+		for _, p := range patterns {
+			d += len(p)
+		}
+		opts := core.Options{Seed: 7}
+
+		m.ResetCounters()
+		dict := core.Preprocess(m, patterns, opts)
+		prepWork, _ := m.Counters()
+		prepNs := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Preprocess(m, patterns, opts)
+			}
+		}).NsPerOp()
+
+		data := persist.Encode(dict)
+		encodeNs := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				persist.Encode(dict)
+			}
+		}).NsPerOp()
+
+		// Load charges nothing to any PRAM machine: it takes none. The
+		// before/after snapshot assertion lives in internal/persist's tests;
+		// here the 0 is recorded into the JSON document as data.
+		loadNs := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := persist.Load(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}).NsPerOp()
+		loaded, err := persist.Load(data)
+		if err != nil {
+			continue
+		}
+		text := plantText(gen, patterns, 1<<13)
+		if !matchesEqual(m, dict, loaded, text) {
+			continue
+		}
+
+		out = append(out, PersistPerfResult{
+			ID: "D1", Name: "snapshot", Config: fmt.Sprintf("k=%d", k),
+			NumPatterns: k, D: d,
+			PreprocessNs: prepNs, EncodeNs: encodeNs, LoadNs: loadNs,
+			Speedup:       float64(prepNs) / float64(max(loadNs, 1)),
+			SnapshotBytes: len(data), BytesPerD: float64(len(data)) / float64(d),
+			PrepWork: prepWork, LoadWork: 0,
+		})
+	}
+	return out
+}
+
+// matchesEqual reports whether two dictionaries answer text identically.
+func matchesEqual(m *pram.Machine, a, b *core.Dictionary, text []byte) bool {
+	ra := a.MatchText(m, text)
+	rb := b.MatchText(m, text)
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}

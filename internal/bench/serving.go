@@ -54,12 +54,16 @@ func E15Serving() Experiment {
 
 			// Part 2 — measured throughput of the real HTTP service under
 			// concurrent clients, one resident dictionary.
-			srv := server.New(server.Config{
+			srv, err := server.New(server.Config{
 				Procs:       1, // per-request machines; concurrency comes from the clients
 				MaxDicts:    4,
 				MaxInflight: 256,
 				Log:         log.New(io.Discard, "", 0),
 			})
+			if err != nil {
+				fmt.Fprintf(w, "server setup failed: %v\n", err)
+				return
+			}
 			ts := httptest.NewServer(srv.Handler())
 			defer ts.Close()
 

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/colorednca"
+	"repro/internal/fingerprint"
+	"repro/internal/lca"
+	"repro/internal/suffixtree"
+)
+
+// Snapshot is the serializable state of a preprocessed Dictionary: the
+// pattern bytes plus every table that is expensive to recompute (the suffix
+// tree, Weiner links, Step 2 tables, separator-tree chains). Structures that
+// are cheap, deterministic functions of these tables — D̂, the NCA
+// structures, binary lifting, fingerprint tables — are rebuilt by
+// FromSnapshot with plain sequential loops, so loading a snapshot charges
+// zero PRAM work and answers every query byte-identically to the original.
+type Snapshot struct {
+	Seed     uint64
+	Anchor   int32 // AnchorStrategy
+	UseNaive bool
+	WindowL  int32
+
+	Patterns [][]byte
+	Tree     *suffixtree.Snapshot
+
+	// Weiner links as parallel slices, sorted by key. Key layout is the
+	// in-memory map's: node<<9 | symbol. The NCA color set is exactly
+	// {(key>>9, key&511)}, so it is not stored separately.
+	WeinerKeys []int64
+	WeinerVals []int32
+
+	// Step 2A/2B tables, indexed by suffix-tree node.
+	M1       []int32
+	H        []int32
+	MinPat   []int32
+	MinPatID []int32
+	RPE      []int64
+	FullAtH  []int64
+
+	// Separator-tree centroid chains, flattened: node v's chain is
+	// SepChainData[sum(SepChainLen[:v]) : +SepChainLen[v]]. Nil when the
+	// snapshot was taken with AnchorSA.
+	SepChainLen  []int32
+	SepChainData []int32
+}
+
+// Seed returns the current fingerprint seed (after any reseeds).
+func (d *Dictionary) Seed() uint64 { return d.seed }
+
+// WindowLen returns the Step 1 window length the dictionary matches with.
+func (d *Dictionary) WindowLen() int { return d.windowL }
+
+// Anchor returns the Step 1A locate strategy the dictionary was built with.
+func (d *Dictionary) Anchor() AnchorStrategy { return d.anchor }
+
+// UseNaiveNCA reports whether the naive nearest-colored-ancestor tables are
+// in use (as opposed to the van Emde Boas variant).
+func (d *Dictionary) UseNaiveNCA() bool { return d.useNaive }
+
+// Export captures the dictionary's serializable state. The returned snapshot
+// aliases the dictionary's tables; treat it as read-only.
+func (d *Dictionary) Export() *Snapshot {
+	s := &Snapshot{
+		Seed:     d.seed,
+		Anchor:   int32(d.anchor),
+		UseNaive: d.useNaive,
+		WindowL:  int32(d.windowL),
+		Patterns: d.Patterns,
+		Tree:     d.st.Export(),
+		M1:       d.m1,
+		H:        d.h,
+		MinPat:   d.minPat,
+		MinPatID: d.minPatID,
+		RPE:      d.rpe,
+		FullAtH:  d.fullAtH,
+	}
+	s.WeinerKeys = make([]int64, 0, len(d.weiner))
+	for k := range d.weiner {
+		s.WeinerKeys = append(s.WeinerKeys, k)
+	}
+	sort.Slice(s.WeinerKeys, func(i, j int) bool { return s.WeinerKeys[i] < s.WeinerKeys[j] })
+	s.WeinerVals = make([]int32, len(s.WeinerKeys))
+	for i, k := range s.WeinerKeys {
+		s.WeinerVals[i] = d.weiner[k]
+	}
+	if d.sep != nil {
+		s.SepChainLen = make([]int32, len(d.sep.danc))
+		total := 0
+		for _, chain := range d.sep.danc {
+			total += len(chain)
+		}
+		s.SepChainData = make([]int32, 0, total)
+		for v, chain := range d.sep.danc {
+			s.SepChainLen[v] = int32(len(chain))
+			s.SepChainData = append(s.SepChainData, chain...)
+		}
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a ready-to-match Dictionary with zero PRAM work:
+// no machine is involved anywhere on this path, so a process that serves
+// queries from snapshots never charges preprocessing to its cost ledger.
+// Determinism of every rebuild (the same arithmetic the parallel
+// constructors run, in sequential loops) makes the restored dictionary's
+// output byte-identical to the original's.
+//
+// All cross-table invariants are validated before use; a snapshot that
+// violates any of them (truncated, corrupted, adversarial) returns an error
+// and never panics.
+func FromSnapshot(s *Snapshot) (*Dictionary, error) {
+	if len(s.Patterns) == 0 {
+		return nil, fmt.Errorf("core: snapshot has no patterns")
+	}
+	if s.Tree == nil {
+		return nil, fmt.Errorf("core: snapshot has no suffix tree")
+	}
+	if s.WindowL < 1 {
+		return nil, fmt.Errorf("core: snapshot window length %d invalid", s.WindowL)
+	}
+	if s.Anchor != int32(AnchorSeparator) && s.Anchor != int32(AnchorSA) {
+		return nil, fmt.Errorf("core: snapshot anchor strategy %d unknown", s.Anchor)
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	d := &Dictionary{
+		Patterns: s.Patterns,
+		seed:     seed,
+		anchor:   AnchorStrategy(s.Anchor),
+		useNaive: s.UseNaive,
+		windowL:  int(s.WindowL),
+	}
+
+	// Rebuild D̂ and the per-pattern tables from the pattern bytes.
+	seen := [256]bool{}
+	for k, p := range s.Patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("core: snapshot pattern %d is empty", k)
+		}
+		d.D += len(p)
+		for _, c := range p {
+			seen[c] = true
+		}
+	}
+	for _, ok := range seen {
+		if ok {
+			d.sigma++
+		}
+	}
+	d.dhat = make([]int32, 0, d.D+len(s.Patterns))
+	d.starts = make([]int32, len(s.Patterns))
+	d.patLen = make([]int32, len(s.Patterns))
+	for k, p := range s.Patterns {
+		d.starts[k] = int32(len(d.dhat))
+		d.patLen[k] = int32(len(p))
+		if d.patLen[k] > d.maxPatLen {
+			d.maxPatLen = d.patLen[k]
+		}
+		for _, c := range p {
+			d.dhat = append(d.dhat, int32(c))
+		}
+		d.dhat = append(d.dhat, Sep)
+	}
+
+	st, err := suffixtree.RestoreInts(d.dhat, s.Tree)
+	if err != nil {
+		return nil, err
+	}
+	d.st = st
+	numNodes := st.NumNodes
+	n1 := st.AugLen()
+	k := int32(len(s.Patterns))
+
+	// Weiner links and the NCA color set they induce.
+	if len(s.WeinerKeys) != len(s.WeinerVals) {
+		return nil, fmt.Errorf("core: snapshot weiner key/value length mismatch")
+	}
+	d.weiner = make(map[int64]int32, len(s.WeinerKeys))
+	colors := make([]colorednca.Colored, len(s.WeinerKeys))
+	for i, key := range s.WeinerKeys {
+		if i > 0 && key <= s.WeinerKeys[i-1] {
+			return nil, fmt.Errorf("core: snapshot weiner keys not strictly increasing at %d", i)
+		}
+		w, a := key>>9, key&511
+		if w < 0 || w >= int64(numNodes) || a >= 512 {
+			return nil, fmt.Errorf("core: snapshot weiner key %d out of range", i)
+		}
+		v := s.WeinerVals[i]
+		if v < 0 || int(v) >= numNodes {
+			return nil, fmt.Errorf("core: snapshot weiner target %d out of range", i)
+		}
+		d.weiner[key] = v
+		colors[i] = colorednca.Colored{Node: int(w), Color: int32(a)}
+	}
+	if d.useNaive {
+		d.ncaNaiv = colorednca.RestoreNaive(st.Topo, colors)
+	} else {
+		d.ncaImpr = colorednca.RestoreImproved(st.Tour, colors)
+	}
+
+	weights := make([]int64, numNodes)
+	for v := 0; v < numNodes; v++ {
+		weights[v] = int64(st.StrDepth[v])
+	}
+	d.lift = lca.NewLiftingSequential(st.Parent, weights)
+
+	// Step 2 tables: per-node lengths and packed (length, pattern id) values;
+	// pattern ids index Patterns downstream, so they must be in range.
+	if len(s.M1) != numNodes || len(s.H) != numNodes || len(s.MinPat) != numNodes ||
+		len(s.MinPatID) != numNodes || len(s.RPE) != numNodes || len(s.FullAtH) != numNodes {
+		return nil, fmt.Errorf("core: snapshot step-2 table length mismatch")
+	}
+	checkPacked := func(name string, v int64, node int) error {
+		if v < 0 {
+			return nil
+		}
+		length, pat := unpackLenPat(v)
+		if length < 0 || int(length) > n1 || pat < 0 || pat >= k {
+			return fmt.Errorf("core: snapshot %s at node %d out of range", name, node)
+		}
+		return nil
+	}
+	for v := 0; v < numNodes; v++ {
+		if s.M1[v] < 0 || int(s.M1[v]) > n1 || s.H[v] < 0 || int(s.H[v]) > n1 {
+			return nil, fmt.Errorf("core: snapshot M1/H at node %d out of range", v)
+		}
+		if s.MinPat[v] < -1 || int(s.MinPat[v]) > n1 || s.MinPatID[v] < -1 || s.MinPatID[v] >= k {
+			return nil, fmt.Errorf("core: snapshot minPat at node %d out of range", v)
+		}
+		if err := checkPacked("RPE", s.RPE[v], v); err != nil {
+			return nil, err
+		}
+		if err := checkPacked("fullAtH", s.FullAtH[v], v); err != nil {
+			return nil, err
+		}
+	}
+	d.m1 = s.M1
+	d.h = s.H
+	d.minPat = s.MinPat
+	d.minPatID = s.MinPatID
+	d.rpe = s.RPE
+	d.fullAtH = s.FullAtH
+
+	if d.anchor == AnchorSeparator {
+		if len(s.SepChainLen) != numNodes {
+			return nil, fmt.Errorf("core: snapshot separator chain count mismatch")
+		}
+		sep := &sepTree{danc: make([][]int32, numNodes)}
+		off := 0
+		for v, l := range s.SepChainLen {
+			if l < 1 || off+int(l) > len(s.SepChainData) {
+				return nil, fmt.Errorf("core: snapshot separator chain of node %d invalid", v)
+			}
+			chain := s.SepChainData[off : off+int(l) : off+int(l)]
+			off += int(l)
+			for _, u := range chain {
+				if u < 0 || int(u) >= numNodes {
+					return nil, fmt.Errorf("core: snapshot separator chain of node %d out of range", v)
+				}
+			}
+			// Each node's chain ends at the node itself (it is the centroid
+			// that removed it from the decomposition).
+			if int(chain[l-1]) != v {
+				return nil, fmt.Errorf("core: snapshot separator chain of node %d does not end at it", v)
+			}
+			sep.danc[v] = chain
+			if int(l) > sep.depth {
+				sep.depth = int(l)
+			}
+		}
+		if off != len(s.SepChainData) {
+			return nil, fmt.Errorf("core: snapshot separator chain data has %d trailing entries", len(s.SepChainData)-off)
+		}
+		d.sep = sep
+	}
+
+	// Fingerprint randomness is a pure function of the seed.
+	d.hasher = fingerprint.NewHasher(seed, n1)
+	d.fpDict = d.hasher.NewTableIntsSequential(augSlice(d.st))
+	return d, nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// TestSnapshotRoundTripMatches proves the tentpole property at the core
+// layer: Export → FromSnapshot yields a dictionary whose MatchText,
+// SubstringLengths and PrefixLengths outputs are byte-identical to the
+// original's, across anchor strategies and NCA variants, and the restore
+// path charges zero PRAM work.
+func TestSnapshotRoundTripMatches(t *testing.T) {
+	gen := textgen.New(4242)
+	configs := []Options{
+		{},
+		{NCA: NCAImproved},
+		{Anchor: AnchorSA},
+		{Seed: 12345, WindowL: 16},
+	}
+	for ci, opts := range configs {
+		patterns := gen.Dictionary(12, 1, 20, 4)
+		text := gen.Uniform(800, 4)
+		m := pram.New(4)
+		d := Preprocess(m, patterns, opts)
+		want := d.MatchText(m, text)
+		wantS := d.SubstringLengths(m, text)
+		wantB := d.PrefixLengths(m, text)
+
+		m2 := pram.New(4)
+		before := m2.Snapshot()
+		d2, err := FromSnapshot(d.Export())
+		if err != nil {
+			t.Fatalf("config %d: FromSnapshot: %v", ci, err)
+		}
+		after := m2.Snapshot()
+		if after.Work != before.Work || after.Depth != before.Depth {
+			t.Fatalf("config %d: restore charged PRAM work (%+v -> %+v)", ci, before, after)
+		}
+
+		got := d2.MatchText(m2, text)
+		gotS := d2.SubstringLengths(m2, text)
+		gotB := d2.PrefixLengths(m2, text)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("config %d pos %d: match %+v != %+v", ci, i, got[i], want[i])
+			}
+			if gotS[i] != wantS[i] || gotB[i] != wantB[i] {
+				t.Fatalf("config %d pos %d: S/B mismatch", ci, i)
+			}
+		}
+		if !d2.Check(m2, text, got) {
+			t.Fatalf("config %d: restored dictionary fails its own checker", ci)
+		}
+	}
+}
+
+// TestSnapshotRoundTripCompression checks the §5 static codec agrees across
+// a snapshot round trip, including decompression of the original's output by
+// the restored dictionary (shared fingerprint seed ⇒ shared parse).
+func TestSnapshotRoundTripCompression(t *testing.T) {
+	gen := textgen.New(99)
+	patterns := gen.PrefixClosedDictionary(6, 12, 3)
+	text := gen.Markov(600, 3, 0.7)
+	m := pram.New(4)
+	d := Preprocess(m, patterns, Options{})
+	refs, err := d.CompressStatic(m, text)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+
+	d2, err := FromSnapshot(d.Export())
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	m2 := pram.New(4)
+	refs2, err := d2.CompressStatic(m2, text)
+	if err != nil {
+		t.Fatalf("restored compress: %v", err)
+	}
+	if len(refs) != len(refs2) {
+		t.Fatalf("parse length diverged: %d != %d", len(refs), len(refs2))
+	}
+	for i := range refs {
+		if refs[i] != refs2[i] {
+			t.Fatalf("ref %d: %d != %d", i, refs[i], refs2[i])
+		}
+	}
+	back, err := d2.DecompressStatic(m2, refs)
+	if err != nil {
+		t.Fatalf("restored decompress: %v", err)
+	}
+	if string(back) != string(text) {
+		t.Fatalf("decompressed text diverged")
+	}
+}
+
+// TestSnapshotValidation exercises the reject paths: a snapshot mutated into
+// an inconsistent state must return an error, never panic.
+func TestSnapshotValidation(t *testing.T) {
+	gen := textgen.New(7)
+	patterns := gen.Dictionary(5, 1, 8, 4)
+	m := pram.New(1)
+	d := Preprocess(m, patterns, Options{})
+
+	fresh := func() *Snapshot { return d.Export() }
+	cases := []struct {
+		name string
+		mut  func(s *Snapshot)
+	}{
+		{"no patterns", func(s *Snapshot) { s.Patterns = nil }},
+		{"empty pattern", func(s *Snapshot) { s.Patterns = [][]byte{{}} }},
+		{"nil tree", func(s *Snapshot) { s.Tree = nil }},
+		{"bad window", func(s *Snapshot) { s.WindowL = 0 }},
+		{"bad anchor", func(s *Snapshot) { s.Anchor = 99 }},
+		{"tree root out of range", func(s *Snapshot) { s.Tree.Root = s.Tree.NumNodes }},
+		{"tree SA not a permutation", func(s *Snapshot) {
+			sa := append([]int32(nil), s.Tree.SA...)
+			sa[0] = sa[1]
+			s.Tree.SA = sa
+		}},
+		{"tree parent cycle", func(s *Snapshot) {
+			depth := append([]int32(nil), s.Tree.StrDepth...)
+			// Give a non-root node the same depth as its parent.
+			for v, p := range s.Tree.Parent {
+				if p >= 0 {
+					depth[v] = depth[p]
+					break
+				}
+			}
+			s.Tree.StrDepth = depth
+		}},
+		{"weiner unsorted", func(s *Snapshot) {
+			if len(s.WeinerKeys) < 2 {
+				t.Skip("dictionary too small")
+			}
+			keys := append([]int64(nil), s.WeinerKeys...)
+			keys[0], keys[1] = keys[1], keys[0]
+			s.WeinerKeys = keys
+		}},
+		{"weiner target out of range", func(s *Snapshot) {
+			vals := append([]int32(nil), s.WeinerVals...)
+			vals[0] = s.Tree.NumNodes
+			s.WeinerVals = vals
+		}},
+		{"step2 truncated", func(s *Snapshot) { s.M1 = s.M1[:len(s.M1)-1] }},
+		{"minPatID out of range", func(s *Snapshot) {
+			ids := append([]int32(nil), s.MinPatID...)
+			ids[0] = int32(len(s.Patterns))
+			s.MinPatID = ids
+		}},
+		{"packed pattern out of range", func(s *Snapshot) {
+			rpe := append([]int64(nil), s.RPE...)
+			rpe[0] = packLenPat(1, int32(len(s.Patterns)))
+			s.RPE = rpe
+		}},
+		{"sep chain truncated", func(s *Snapshot) { s.SepChainData = s.SepChainData[:1] }},
+		{"sep chain wrong tail", func(s *Snapshot) {
+			data := append([]int32(nil), s.SepChainData...)
+			data[int(s.SepChainLen[0])-1]++
+			s.SepChainData = data
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fresh()
+			tc.mut(s)
+			if _, err := FromSnapshot(s); err == nil {
+				t.Fatalf("mutated snapshot accepted")
+			}
+		})
+	}
+}

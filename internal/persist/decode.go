@@ -1,0 +1,396 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/suffixtree"
+)
+
+// Decode parses snapshot bytes into a core.Snapshot without rebuilding any
+// dictionary structure. All counts are validated against the actual payload
+// sizes before any count-sized allocation is made (every array element costs
+// at least one payload byte), so adversarial headers cannot force
+// out-of-memory; all CRCs are checked before field parsing, so random
+// corruption is rejected up front.
+func Decode(data []byte) (*core.Snapshot, error) {
+	sections, err := splitSections(data)
+	if err != nil {
+		return nil, err
+	}
+
+	hdr, err := parseHeader(sections[secHeader], len(data))
+	if err != nil {
+		return nil, err
+	}
+	s := &core.Snapshot{
+		Seed:     hdr.seed,
+		Anchor:   int32(hdr.anchor),
+		UseNaive: hdr.flags&flagUseNaive != 0,
+		WindowL:  int32(hdr.windowL),
+	}
+
+	if s.Patterns, err = parsePatterns(sections[secPatterns], hdr); err != nil {
+		return nil, err
+	}
+	if s.Tree, err = parseTree(sections[secTree], hdr); err != nil {
+		return nil, err
+	}
+	if err := parseWeiner(sections[secWeiner], hdr, s); err != nil {
+		return nil, err
+	}
+	if err := parseStep2(sections[secStep2], hdr, s); err != nil {
+		return nil, err
+	}
+	if hdr.flags&flagHasSeparator != 0 {
+		if err := parseSeparator(sections[secSeparator], hdr, s); err != nil {
+			return nil, err
+		}
+	} else if _, ok := sections[secSeparator]; ok {
+		return nil, fmt.Errorf("%w: separator section present but not flagged", ErrCorrupt)
+	}
+	return s, nil
+}
+
+// Load decodes snapshot bytes into a ready-to-match dictionary. The restore
+// performs zero PRAM work; structural invariant violations that survive the
+// CRCs (i.e. a well-formed file describing an impossible dictionary) are
+// reported as ErrCorrupt.
+func Load(data []byte) (*core.Dictionary, error) {
+	s, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.FromSnapshot(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return d, nil
+}
+
+// header carries the validated section counts.
+type header struct {
+	seed                 uint64
+	anchor, windowL      int
+	flags                uint64
+	numPatterns          int
+	patternBytes         int
+	numNodes, numLeaves  int
+	weinerCount, sepData int
+}
+
+// splitSections verifies magic, version, the whole-file CRC and each
+// section's CRC, returning the payload of each section. Sections must appear
+// in their defined order, each at most once.
+func splitSections(data []byte) (map[byte][]byte, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != string(magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, reader version %d", ErrVersion, v, Version)
+	}
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("%w: missing file checksum", ErrTruncated)
+	}
+	body, file := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != file {
+		return nil, fmt.Errorf("%w: file checksum mismatch", ErrCorrupt)
+	}
+
+	sections := make(map[byte][]byte, 6)
+	rest := body[len(magic)+4:]
+	lastID := byte(0)
+	for len(rest) > 0 {
+		id := rest[0]
+		if sectionNames[id] == "" {
+			return nil, fmt.Errorf("%w: unknown section id %d", ErrCorrupt, id)
+		}
+		if id <= lastID {
+			return nil, fmt.Errorf("%w: section %s out of order", ErrCorrupt, sectionNames[id])
+		}
+		lastID = id
+		plen, n := binary.Uvarint(rest[1:])
+		if n <= 0 || plen > uint64(len(rest)) {
+			return nil, fmt.Errorf("%w: section %s length", ErrTruncated, sectionNames[id])
+		}
+		rest = rest[1+n:]
+		if uint64(len(rest)) < plen+4 {
+			return nil, fmt.Errorf("%w: section %s payload", ErrTruncated, sectionNames[id])
+		}
+		payload := rest[:plen]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[plen:]) {
+			return nil, fmt.Errorf("%w: section %s checksum mismatch", ErrCorrupt, sectionNames[id])
+		}
+		sections[id] = payload
+		rest = rest[plen+4:]
+	}
+	for _, id := range []byte{secHeader, secPatterns, secTree, secWeiner, secStep2} {
+		if _, ok := sections[id]; !ok {
+			return nil, fmt.Errorf("%w: missing section %s", ErrTruncated, sectionNames[id])
+		}
+	}
+	return sections, nil
+}
+
+// parseHeader decodes and bounds the counts. fileLen is the global
+// allocation bound: every count refers to data that costs at least one byte
+// per element somewhere in the file, so any count beyond fileLen is
+// impossible and is rejected before anything is allocated from it.
+func parseHeader(b []byte, fileLen int) (*header, error) {
+	r := &creader{b: b}
+	h := &header{}
+	h.seed = r.uvarint()
+	h.anchor = r.count(fileLen)
+	h.windowL = r.count(math.MaxInt32)
+	h.flags = r.uvarint()
+	h.numPatterns = r.count(fileLen)
+	h.patternBytes = r.count(fileLen)
+	h.numNodes = r.count(fileLen)
+	h.numLeaves = r.count(fileLen)
+	h.weinerCount = r.count(fileLen)
+	h.sepData = r.count(fileLen)
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, r.err)
+	}
+	if h.numLeaves != h.patternBytes+h.numPatterns+1 {
+		return nil, fmt.Errorf("%w: header: leaf count %d inconsistent with pattern bytes", ErrCorrupt, h.numLeaves)
+	}
+	if h.numNodes < 1 || h.numNodes > 2*h.numLeaves {
+		return nil, fmt.Errorf("%w: header: node count %d out of range", ErrCorrupt, h.numNodes)
+	}
+	return h, nil
+}
+
+func parsePatterns(b []byte, h *header) ([][]byte, error) {
+	r := &creader{b: b}
+	lens := make([]int, h.numPatterns)
+	total := 0
+	for i := range lens {
+		lens[i] = r.count(h.patternBytes)
+		total += lens[i]
+	}
+	if r.err != nil || total != h.patternBytes {
+		return nil, fmt.Errorf("%w: patterns: length table", ErrCorrupt)
+	}
+	patterns := make([][]byte, h.numPatterns)
+	for i, l := range lens {
+		p := r.bytes(l)
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: patterns: bytes", ErrTruncated)
+		}
+		patterns[i] = p
+	}
+	if r.rem() != 0 {
+		return nil, fmt.Errorf("%w: patterns: trailing bytes", ErrCorrupt)
+	}
+	return patterns, nil
+}
+
+func parseTree(b []byte, h *header) (*suffixtree.Snapshot, error) {
+	r := &creader{b: b}
+	t := &suffixtree.Snapshot{
+		NumNodes: int32(h.numNodes),
+		Root:     int32(r.count(h.numNodes)),
+	}
+	t.SA = r.u32s(h.numLeaves)
+	t.LCP = r.u32s(h.numLeaves)
+	t.Parent = r.s32s(h.numNodes)
+	t.StrDepth = r.u32s(h.numNodes)
+	t.Lo = r.u32s(h.numNodes)
+	t.Hi = r.u32s(h.numNodes)
+	t.LeafID = r.u32s(h.numLeaves)
+	t.LeafOf = r.s32s(h.numNodes)
+	t.SufLink = r.s32s(h.numNodes)
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: tree: %v", ErrCorrupt, r.err)
+	}
+	if r.rem() != 0 {
+		return nil, fmt.Errorf("%w: tree: trailing bytes", ErrCorrupt)
+	}
+	return t, nil
+}
+
+func parseWeiner(b []byte, h *header, s *core.Snapshot) error {
+	r := &creader{b: b}
+	s.WeinerKeys = make([]int64, h.weinerCount)
+	prev := int64(0)
+	for i := range s.WeinerKeys {
+		d := r.uvarint()
+		if d > math.MaxInt64-uint64(prev) {
+			return fmt.Errorf("%w: weiner: key overflow", ErrCorrupt)
+		}
+		prev += int64(d)
+		s.WeinerKeys[i] = prev
+	}
+	s.WeinerVals = r.u32s(h.weinerCount)
+	if r.err != nil {
+		return fmt.Errorf("%w: weiner: %v", ErrCorrupt, r.err)
+	}
+	if r.rem() != 0 {
+		return fmt.Errorf("%w: weiner: trailing bytes", ErrCorrupt)
+	}
+	return nil
+}
+
+func parseStep2(b []byte, h *header, s *core.Snapshot) error {
+	r := &creader{b: b}
+	s.M1 = r.u32s(h.numNodes)
+	s.H = r.u32s(h.numNodes)
+	s.MinPat = r.s32s(h.numNodes)
+	s.MinPatID = r.s32s(h.numNodes)
+	s.RPE = r.s64s(h.numNodes)
+	s.FullAtH = r.s64s(h.numNodes)
+	if r.err != nil {
+		return fmt.Errorf("%w: step2: %v", ErrCorrupt, r.err)
+	}
+	if r.rem() != 0 {
+		return fmt.Errorf("%w: step2: trailing bytes", ErrCorrupt)
+	}
+	return nil
+}
+
+func parseSeparator(b []byte, h *header, s *core.Snapshot) error {
+	r := &creader{b: b}
+	s.SepChainLen = r.u32s(h.numNodes)
+	s.SepChainData = r.u32s(h.sepData)
+	if r.err != nil {
+		return fmt.Errorf("%w: separator: %v", ErrCorrupt, r.err)
+	}
+	if r.rem() != 0 {
+		return fmt.Errorf("%w: separator: trailing bytes", ErrCorrupt)
+	}
+	return nil
+}
+
+// creader is a cursor over one section payload with sticky errors, so parse
+// functions read fields unconditionally and check once.
+type creader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *creader) rem() int { return len(r.b) - r.off }
+
+func (r *creader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("bad uvarint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *creader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("bad varint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a uvarint bounded by max, for values used as counts or
+// indexes; anything larger is impossible for a valid file.
+func (r *creader) count(max int) int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(max) {
+		r.err = fmt.Errorf("count %d exceeds bound %d", v, max)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *creader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.rem() < n {
+		r.err = fmt.Errorf("need %d bytes, have %d", n, r.rem())
+		return nil
+	}
+	out := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out
+}
+
+// u32s reads n uvarints into int32s. n has been bounded by the header
+// against the file size; each element also costs at least one payload byte,
+// which rem() enforces before the allocation.
+func (r *creader) u32s(n int) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	if n > r.rem() {
+		r.err = fmt.Errorf("array of %d exceeds %d payload bytes", n, r.rem())
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		v := r.uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if v > math.MaxUint32 {
+			r.err = fmt.Errorf("value %d overflows 32 bits", v)
+			return nil
+		}
+		out[i] = int32(uint32(v))
+	}
+	return out
+}
+
+func (r *creader) s32s(n int) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	if n > r.rem() {
+		r.err = fmt.Errorf("array of %d exceeds %d payload bytes", n, r.rem())
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		v := r.varint()
+		if r.err != nil {
+			return nil
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			r.err = fmt.Errorf("value %d overflows int32", v)
+			return nil
+		}
+		out[i] = int32(v)
+	}
+	return out
+}
+
+func (r *creader) s64s(n int) []int64 {
+	if r.err != nil {
+		return nil
+	}
+	if n > r.rem() {
+		r.err = fmt.Errorf("array of %d exceeds %d payload bytes", n, r.rem())
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.varint()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}

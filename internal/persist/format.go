@@ -1,0 +1,77 @@
+// Package persist is a versioned, self-describing binary codec and
+// content-addressed disk store for preprocessed dictionaries.
+//
+// The paper's regime is preprocess-once/match-many: preprocessing costs O(d)
+// parallel work (§3.1), matching O(n) per text. This package makes the
+// expensive half durable. A snapshot file serializes the fundamental tables
+// of a core.Dictionary (patterns, suffix-tree topology, Weiner links,
+// Step 2 tables, separator chains); decoding is a sequential table load plus
+// deterministic sequential rebuilds of the derived structures — no PRAM
+// machine is touched anywhere on the load path, so a process serving from
+// snapshots charges zero preprocessing to its cost ledger and answers every
+// query byte-identically to the dictionary it was saved from.
+//
+// File layout (all integers little-endian; §10 of DESIGN.md documents the
+// exact byte layout):
+//
+//	magic   "DMSNAP" (6 bytes)
+//	version uint32
+//	sections, in fixed order: header, patterns, tree, weiner, step2,
+//	        [separator]. Each section is: id byte, uvarint payload length,
+//	        payload, CRC32-C of the payload (uint32).
+//	footer  CRC32-C of every preceding byte (uint32)
+//
+// Multi-valued payload fields are varint-coded (unsigned LEB128; signed
+// fields zigzag). Decoding validates everything before allocating: header
+// counts are bounded by the file size (every array element costs at least
+// one payload byte), section CRCs and the whole-file CRC must match, and the
+// structural invariants of the dictionary are re-checked by
+// core.FromSnapshot. Corrupted, truncated or adversarial inputs yield typed
+// errors — never a panic or an unbounded allocation.
+package persist
+
+import "errors"
+
+// Version is the current snapshot format version. Readers reject files with
+// any other version (no forward or backward decoding across versions).
+const Version uint32 = 1
+
+// magic identifies snapshot files.
+var magic = [6]byte{'D', 'M', 'S', 'N', 'A', 'P'}
+
+// Section ids, in their required file order.
+const (
+	secHeader byte = iota + 1
+	secPatterns
+	secTree
+	secWeiner
+	secStep2
+	secSeparator
+)
+
+var sectionNames = map[byte]string{
+	secHeader:    "header",
+	secPatterns:  "patterns",
+	secTree:      "tree",
+	secWeiner:    "weiner",
+	secStep2:     "step2",
+	secSeparator: "separator",
+}
+
+// Header flag bits.
+const (
+	flagUseNaive = 1 << iota
+	flagHasSeparator
+)
+
+// Typed errors. Decoding failures wrap exactly one of these, so callers can
+// distinguish "not a snapshot" (ErrBadMagic), "snapshot from another format
+// era" (ErrVersion), "bytes missing" (ErrTruncated) and "bytes present but
+// wrong" (ErrCorrupt) with errors.Is.
+var (
+	ErrBadMagic  = errors.New("persist: not a dictionary snapshot")
+	ErrVersion   = errors.New("persist: unsupported snapshot version")
+	ErrTruncated = errors.New("persist: truncated snapshot")
+	ErrCorrupt   = errors.New("persist: corrupt snapshot")
+	ErrNotFound  = errors.New("persist: snapshot not found")
+)

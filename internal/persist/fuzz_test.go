@@ -1,0 +1,56 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// FuzzSnapshotDecode drives adversarial bytes through the full decode path
+// (framing, checksums, varint parsing, structural restore). The contract
+// under fuzz: never panic, never allocate unboundedly (all counts are
+// validated against the input size before allocation), and either return a
+// working dictionary or exactly one of the typed errors.
+func FuzzSnapshotDecode(f *testing.F) {
+	gen := textgen.New(9000)
+	seeds := [][][]byte{
+		{[]byte("a")},
+		{[]byte("ab"), []byte("ba"), []byte("abab")},
+		gen.Dictionary(6, 1, 8, 4),
+		gen.Dictionary(12, 1, 16, 100),
+	}
+	optVariants := []core.Options{{}, {Anchor: core.AnchorSA}, {NCA: core.NCAImproved}}
+	for i, patterns := range seeds {
+		opts := optVariants[i%len(optVariants)]
+		d := core.Preprocess(pram.New(1), patterns, opts)
+		f.Add(Encode(d))
+	}
+	f.Add([]byte("DMSNAP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Load(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted input: the dictionary must actually work (match a text
+		// and satisfy its own checker) — acceptance of broken structures
+		// would be worse than rejection.
+		m := pram.New(1)
+		text := []byte("the quick brown fox jumps over the lazy dog")
+		matches := d.MatchText(m, text)
+		if len(matches) != len(text) {
+			t.Fatalf("accepted snapshot returns %d matches for %d positions", len(matches), len(text))
+		}
+		if !d.Check(m, text, matches) {
+			t.Fatalf("accepted snapshot fails the Las Vegas checker")
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+)
+
+// goldenPatterns is a fixed dictionary covering the format's moving parts:
+// repeated substrings (shared suffix-tree structure), a single byte, and a
+// long pattern.
+func goldenPatterns() [][]byte {
+	return [][]byte{
+		[]byte("banana"),
+		[]byte("ana"),
+		[]byte("nab"),
+		[]byte("b"),
+		[]byte("abracadabra"),
+		[]byte("cad"),
+	}
+}
+
+// TestGoldenSnapshot pins format v1: the committed golden file must decode,
+// match correctly, and byte-for-byte equal a fresh encoding of the same
+// dictionary. Any codec change that alters the wire format breaks this test,
+// which is the signal to bump Version (and regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/persist -run Golden).
+func TestGoldenSnapshot(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v1.dmsnap")
+	d := core.Preprocess(pram.New(1), goldenPatterns(), core.Options{Seed: 42})
+	fresh := Encode(d)
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, fresh, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(fresh))
+	}
+
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(golden, fresh) {
+		t.Fatalf("encoding drifted from committed v1 golden (%d vs %d bytes): bump Version and regenerate", len(fresh), len(golden))
+	}
+
+	d2, err := Load(golden)
+	if err != nil {
+		t.Fatalf("golden does not load: %v", err)
+	}
+	m := pram.New(1)
+	text := []byte("xxbananabracadabranabx")
+	want := d.MatchText(pram.New(1), text)
+	got := d2.MatchText(m, text)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("golden dictionary diverges at %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}

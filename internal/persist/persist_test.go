@@ -1,0 +1,309 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/stream"
+	"repro/internal/textgen"
+)
+
+type matchCollector struct{ events []stream.MatchEvent }
+
+func (c *matchCollector) MatchEvent(e stream.MatchEvent) error {
+	c.events = append(c.events, e)
+	return nil
+}
+
+// TestRoundTripEquivalence is the tentpole acceptance test: for dictionaries
+// across alphabets, sizes and options, Preprocess → Encode → Decode → Load
+// yields a dictionary whose batch matching, streaming matching and §5 parse
+// output are byte-identical to the original's, with zero PRAM work charged
+// by the load.
+func TestRoundTripEquivalence(t *testing.T) {
+	gen := textgen.New(2024)
+	type tc struct {
+		name     string
+		patterns [][]byte
+		text     []byte
+		opts     core.Options
+	}
+	cases := []tc{
+		{"binary", gen.Dictionary(8, 1, 10, 2), gen.Uniform(600, 2), core.Options{}},
+		{"dna", gen.Dictionary(20, 2, 30, 4), gen.DNA(1500), core.Options{}},
+		{"bytes-veb", gen.Dictionary(30, 1, 40, 200), gen.Uniform(1200, 200), core.Options{NCA: core.NCAImproved}},
+		{"anchor-sa", gen.Dictionary(10, 1, 15, 8), gen.Markov(900, 8, 0.5), core.Options{Anchor: core.AnchorSA}},
+		{"prefix-closed", gen.PrefixClosedDictionary(5, 16, 3), gen.Repetitive(1000, 20, 0.05), core.Options{Seed: 777, WindowL: 25}},
+		{"single-pattern", [][]byte{[]byte("abracadabra")}, []byte(strings.Repeat("abracadabrab", 20)), core.Options{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := pram.New(4)
+			d := core.Preprocess(m, c.patterns, c.opts)
+			data := Encode(d)
+
+			m2 := pram.New(4)
+			before := m2.Snapshot()
+			d2, err := Load(data)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if after := m2.Snapshot(); after.Work != before.Work {
+				t.Fatalf("load charged PRAM work")
+			}
+
+			want := d.MatchText(m, c.text)
+			got := d2.MatchText(m2, c.text)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("pos %d: %+v != %+v", i, got[i], want[i])
+				}
+			}
+
+			// Streaming matching over small windows must agree event for event.
+			var wantEv, gotEv matchCollector
+			cfg := stream.Config{SegmentBytes: 256}
+			if _, err := stream.Match(context.Background(), stream.DictMatcher{Dict: d, M: m},
+				bytes.NewReader(c.text), &wantEv, cfg); err != nil {
+				t.Fatalf("stream original: %v", err)
+			}
+			if _, err := stream.Match(context.Background(), stream.DictMatcher{Dict: d2, M: m2},
+				bytes.NewReader(c.text), &gotEv, cfg); err != nil {
+				t.Fatalf("stream restored: %v", err)
+			}
+			if len(wantEv.events) != len(gotEv.events) {
+				t.Fatalf("stream events: %d != %d", len(gotEv.events), len(wantEv.events))
+			}
+			for i := range wantEv.events {
+				if wantEv.events[i] != gotEv.events[i] {
+					t.Fatalf("stream event %d: %+v != %+v", i, gotEv.events[i], wantEv.events[i])
+				}
+			}
+
+			// §5 static parse: same refs, and cross-decompression works.
+			refs, err1 := d.CompressStatic(m, c.text)
+			refs2, err2 := d2.CompressStatic(m2, c.text)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("compress error divergence: %v vs %v", err1, err2)
+			}
+			if err1 == nil {
+				if len(refs) != len(refs2) {
+					t.Fatalf("parse lengths: %d != %d", len(refs2), len(refs))
+				}
+				for i := range refs {
+					if refs[i] != refs2[i] {
+						t.Fatalf("ref %d: %d != %d", i, refs2[i], refs[i])
+					}
+				}
+				back, err := d2.DecompressStatic(m2, refs)
+				if err != nil || !bytes.Equal(back, c.text) {
+					t.Fatalf("cross decompression failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeDeterministic: the same dictionary must always serialize to the
+// same bytes (content addressing and the golden test depend on it).
+func TestEncodeDeterministic(t *testing.T) {
+	gen := textgen.New(5)
+	patterns := gen.Dictionary(15, 1, 25, 30)
+	d := core.Preprocess(pram.New(4), patterns, core.Options{})
+	a := Encode(d)
+	b := Encode(d)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodings of one dictionary differ")
+	}
+	d2 := core.Preprocess(pram.New(1), patterns, core.Options{})
+	c := Encode(d2)
+	if !bytes.Equal(a, c) {
+		t.Fatalf("encoding depends on machine parallelism")
+	}
+}
+
+// TestConcurrentLoads exercises decode under -race: many goroutines loading
+// and matching from the same byte slice concurrently.
+func TestConcurrentLoads(t *testing.T) {
+	gen := textgen.New(31)
+	patterns := gen.Dictionary(10, 1, 12, 4)
+	text := gen.Uniform(400, 4)
+	m := pram.New(2)
+	d := core.Preprocess(m, patterns, core.Options{})
+	want := d.MatchText(m, text)
+	data := Encode(d)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dl, err := Load(data)
+			if err != nil {
+				t.Errorf("Load: %v", err)
+				return
+			}
+			got := dl.MatchText(pram.New(1), text)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("pos %d diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDecodeRejectsCorruption: every sampled single-byte flip anywhere in
+// the file must be rejected with a typed error (the whole-file CRC makes
+// this certain, the section CRCs localize it).
+func TestDecodeRejectsCorruption(t *testing.T) {
+	gen := textgen.New(77)
+	d := core.Preprocess(pram.New(1), gen.Dictionary(6, 1, 10, 4), core.Options{})
+	data := Encode(d)
+	for off := 0; off < len(data); off += 3 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x41
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("flip at %d accepted", off)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) &&
+			!errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("flip at %d: untyped error %v", off, err)
+		}
+	}
+	for _, cut := range []int{0, 1, 5, 9, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d accepted", cut)
+		}
+	}
+	// Version bump with a fixed-up CRC must fail as ErrVersion, not ErrCorrupt.
+	mut := append([]byte(nil), data...)
+	mut[6]++
+	if _, err := Decode(mut); !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: %v", err)
+	}
+}
+
+// TestStore covers the content-addressed cache: hit/miss, atomic write,
+// quarantine of corrupt entries, and key sensitivity to inputs.
+func TestStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	gen := textgen.New(123)
+	patterns := gen.Dictionary(8, 1, 12, 4)
+	opts := core.Options{}
+	key := KeyFor(patterns, opts)
+
+	if _, _, err := st.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss: got %v, want ErrNotFound", err)
+	}
+
+	m := pram.New(2)
+	d := core.Preprocess(m, patterns, opts)
+	n, err := st.Put(key, d)
+	if err != nil || n <= 0 {
+		t.Fatalf("Put: n=%d err=%v", n, err)
+	}
+	if !st.Has(key) {
+		t.Fatalf("Has after Put is false")
+	}
+	d2, size, err := st.Get(key)
+	if err != nil || size != n {
+		t.Fatalf("Get: size=%d err=%v", size, err)
+	}
+	text := gen.Uniform(300, 4)
+	want := d.MatchText(m, text)
+	got := d2.MatchText(pram.New(1), text)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("cached dictionary diverges at %d", i)
+		}
+	}
+
+	keys, err := st.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys: %v %v", keys, err)
+	}
+
+	// Different inputs → different keys.
+	if KeyFor(patterns, core.Options{Seed: 9}) == key {
+		t.Fatalf("seed not in key")
+	}
+	if KeyFor(patterns[:len(patterns)-1], opts) == key {
+		t.Fatalf("patterns not in key")
+	}
+	if KeyFor(patterns, core.Options{Anchor: core.AnchorSA}) == key {
+		t.Fatalf("anchor not in key")
+	}
+	// Seed 0 and seed 1 canonicalize identically (core resolves 0 to 1).
+	if KeyFor(patterns, core.Options{Seed: 1}) != key {
+		t.Fatalf("seed 0 and 1 should share a key")
+	}
+
+	// Corrupt the entry on disk: Get must quarantine it and the store must
+	// then miss; the quarantined bytes must still exist for post-mortems.
+	path := st.Path(key)
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt Get: %v", err)
+	}
+	if _, err := os.Stat(path + quarantineExt); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, _, err := st.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after quarantine: %v, want ErrNotFound", err)
+	}
+	// Re-put repopulates under the same name.
+	if _, err := st.Put(key, d); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	if _, _, err := st.Get(key); err != nil {
+		t.Fatalf("Get after re-Put: %v", err)
+	}
+
+	// PutBytes refuses bytes that do not load.
+	if _, err := st.PutBytes(key, []byte("junk")); err == nil {
+		t.Fatalf("PutBytes accepted junk")
+	}
+}
+
+// TestInspectVerify sanity-checks the reporting path cmd/dictpack uses.
+func TestInspectVerify(t *testing.T) {
+	gen := textgen.New(55)
+	patterns := gen.Dictionary(7, 2, 9, 4)
+	d := core.Preprocess(pram.New(1), patterns, core.Options{})
+	data := Encode(d)
+	info, err := Verify(data)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if info.Version != Version || info.NumPatterns != len(patterns) || info.FileBytes != len(data) {
+		t.Fatalf("info mismatch: %+v", info)
+	}
+	if !info.HasSeparator || len(info.Sections) != 6 {
+		t.Fatalf("expected all six sections: %+v", info.Sections)
+	}
+	var total int
+	for _, s := range info.Sections {
+		total += s.Bytes
+	}
+	if total >= len(data) {
+		t.Fatalf("section payloads exceed file size")
+	}
+}

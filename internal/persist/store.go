@@ -1,0 +1,195 @@
+package persist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// fileExt is the snapshot file extension; quarantined files get
+// fileExt+quarantineExt so they are never picked up by lookups again but
+// remain on disk for post-mortems.
+const (
+	fileExt       = ".dmsnap"
+	quarantineExt = ".quarantined"
+)
+
+// Key is the content address of a preprocessed dictionary: a SHA-256 over
+// the preprocessing inputs (pattern set and options) and the snapshot format
+// version. Two servers given the same patterns and options derive the same
+// key, and a format bump orphans old cache entries instead of misreading
+// them.
+type Key [sha256.Size]byte
+
+// String returns the hex form used in file names.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyFor computes the content address of a dictionary built from patterns
+// with opts. The hash covers: format version, the resolved seed (0 means 1,
+// matching core.Preprocess), NCA variant, anchor strategy, window length,
+// and the length-prefixed pattern bytes in order. Pattern order matters —
+// pattern ids are positional in match output.
+func KeyFor(patterns [][]byte, opts core.Options) Key {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(Version))
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	word(seed)
+	word(uint64(opts.NCA))
+	word(uint64(opts.Anchor))
+	word(uint64(opts.WindowL))
+	word(uint64(len(patterns)))
+	for _, p := range patterns {
+		word(uint64(len(p)))
+		h.Write(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// KeyForSnapshot addresses already-encoded snapshot bytes by their own
+// content (SHA-256 of the file). Explicit snapshot/restore round trips use
+// it: unlike KeyFor, it needs no knowledge of the original preprocessing
+// options, and any state the dictionary has absorbed since (a Las Vegas
+// reseed) is part of the address.
+func KeyForSnapshot(data []byte) Key { return sha256.Sum256(data) }
+
+// Store is a content-addressed snapshot cache rooted at a directory. Writes
+// are atomic (temp file + rename), so a crashed writer never leaves a
+// half-written snapshot under a valid name; reads that fail validation
+// quarantine the file so one corrupt entry cannot wedge every future boot.
+type Store struct {
+	dir string
+}
+
+// Open creates the directory if needed and returns the store.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file path a key maps to.
+func (s *Store) Path(k Key) string { return filepath.Join(s.dir, k.String()+fileExt) }
+
+// Has reports whether a snapshot for k is present on disk.
+func (s *Store) Has(k Key) bool {
+	_, err := os.Stat(s.Path(k))
+	return err == nil
+}
+
+// Put encodes the dictionary and writes it under its key atomically,
+// returning the snapshot size in bytes.
+func (s *Store) Put(k Key, d *core.Dictionary) (int, error) {
+	data := Encode(d)
+	if err := s.writeAtomic(s.Path(k), data); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// PutBytes writes pre-encoded snapshot bytes under a key atomically, after
+// re-validating them (a store never persists bytes it could not load back).
+func (s *Store) PutBytes(k Key, data []byte) (int, error) {
+	if _, err := Load(data); err != nil {
+		return 0, err
+	}
+	if err := s.writeAtomic(s.Path(k), data); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: put: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: put: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: put: %w", err)
+	}
+	return nil
+}
+
+// Get loads the snapshot stored under k into a ready-to-match dictionary and
+// reports its on-disk size. A missing entry returns ErrNotFound. An entry
+// that fails any validation (truncation, checksum, structural invariants) is
+// quarantined — renamed so future lookups miss — and the typed decode error
+// is returned; the caller falls back to preprocessing and may overwrite the
+// entry with a good snapshot.
+func (s *Store) Get(k Key) (*core.Dictionary, int, error) {
+	path := s.Path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, ErrNotFound
+		}
+		return nil, 0, fmt.Errorf("persist: get: %w", err)
+	}
+	d, err := Load(data)
+	if err != nil {
+		// Quarantine best-effort: a rename failure must not mask the
+		// decode error, which the caller dispatches on.
+		_ = os.Rename(path, path+quarantineExt)
+		return nil, 0, err
+	}
+	return d, len(data), nil
+}
+
+// Keys lists the keys of all well-named snapshot files currently in the
+// store (quarantined files are excluded). Contents are not validated.
+func (s *Store) Keys() ([]Key, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: list: %w", err)
+	}
+	var keys []Key
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != fileExt {
+			continue
+		}
+		raw, err := hex.DecodeString(name[:len(name)-len(fileExt)])
+		if err != nil || len(raw) != sha256.Size {
+			continue
+		}
+		var k Key
+		copy(k[:], raw)
+		keys = append(keys, k)
+	}
+	return keys, nil
+}

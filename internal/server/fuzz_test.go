@@ -20,7 +20,8 @@ var (
 
 func fuzzHandler() http.Handler {
 	fuzzOnce.Do(func() {
-		fuzzSrv = New(Config{
+		var err error
+		fuzzSrv, err = New(Config{
 			Addr:         "127.0.0.1:0",
 			Procs:        1,
 			MaxDicts:     4,
@@ -29,6 +30,9 @@ func fuzzHandler() http.Handler {
 			MaxDictBytes: 1 << 10,
 			Log:          quietLogger(),
 		})
+		if err != nil {
+			panic(err)
+		}
 		rec := httptest.NewRecorder()
 		body := strings.NewReader(`{"patterns": ["ab", "ba", "abb"]}`)
 		req := httptest.NewRequest("POST", "/v1/dicts", body)

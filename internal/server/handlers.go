@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lz"
+	"repro/internal/persist"
 	"repro/internal/pram"
 )
 
@@ -87,15 +89,20 @@ type dictCreateRequest struct {
 }
 
 type dictCreateResponse struct {
-	ID       string   `json:"id"`
-	Patterns int      `json:"patterns"`
-	TotalLen int      `json:"totalLen"`
-	Evicted  []string `json:"evicted,omitempty"`
+	ID          string   `json:"id"`
+	Patterns    int      `json:"patterns"`
+	TotalLen    int      `json:"totalLen"`
+	Source      string   `json:"source"`
+	SnapshotKey string   `json:"snapshotKey,omitempty"`
+	Evicted     []string `json:"evicted,omitempty"`
+	Bytes       int      `json:"bytes,omitempty"` // snapshot size, restore only
 }
 
-// handleDictCreate preprocesses a pattern set once (§3) and makes it
-// resident. This is the expensive endpoint; everything under /v1/dicts/{id}
-// afterwards runs at query cost.
+// handleDictCreate makes a pattern set resident. With a snapshot cache
+// configured, the content address of (patterns, options) is looked up
+// first: a hit loads the prepared tables with zero PRAM preprocessing
+// (source "cache"); a miss preprocesses (§3) and writes the snapshot
+// through, so the next boot or identical create hits.
 func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 	var req dictCreateRequest
 	if !s.decodeJSON(w, r, &req) {
@@ -130,15 +137,59 @@ func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 			"dictionary is %d bytes, limit %d", total, s.cfg.MaxDictBytes)
 		return
 	}
+	opts := core.Options{Seed: req.Seed}
+
+	var key persist.Key
+	keyHex := ""
+	if s.store != nil {
+		key = persist.KeyFor(patterns, opts)
+		keyHex = key.String()
+		start := time.Now()
+		if d, _, err := s.store.Get(key); err == nil {
+			s.metrics.cacheHits.Add(1)
+			s.metrics.recordLoad(time.Since(start))
+			entry, evicted := s.reg.RegisterPrepared(d, "cache", keyHex, time.Since(start).Nanoseconds())
+			writeJSON(w, http.StatusCreated, dictCreateResponse{
+				ID:          entry.ID,
+				Patterns:    entry.NumPatterns,
+				TotalLen:    entry.TotalLen,
+				Source:      entry.Source,
+				SnapshotKey: keyHex,
+				Evicted:     evicted,
+			})
+			return
+		} else if !errors.Is(err, persist.ErrNotFound) {
+			// Invalid entry: Get quarantined it; preprocess and overwrite.
+			s.metrics.quarantines.Add(1)
+			s.cfg.Log.Printf("cache entry %s rejected (quarantined): %v", keyHex, err)
+		}
+		s.metrics.cacheMisses.Add(1)
+	}
+
 	m := pram.New(s.cfg.Procs)
 	defer m.Close()
-	entry, evicted := s.reg.Register(m, patterns, core.Options{Seed: req.Seed})
+	start := time.Now()
+	dict := core.Preprocess(m, patterns, opts)
+	prepNs := time.Since(start).Nanoseconds()
 	s.metrics.ChargePRAM("preprocess", m.Work(), m.Depth())
+	// Write through before publishing the entry: the dictionary is still
+	// private here, so encoding cannot race a concurrent reseed.
+	if s.store != nil {
+		if n, err := s.store.Put(key, dict); err != nil {
+			s.cfg.Log.Printf("snapshot write-through failed: %v", err)
+			keyHex = ""
+		} else {
+			s.metrics.recordSave(n)
+		}
+	}
+	entry, evicted := s.reg.RegisterPrepared(dict, "preprocess", keyHex, prepNs)
 	writeJSON(w, http.StatusCreated, dictCreateResponse{
-		ID:       entry.ID,
-		Patterns: entry.NumPatterns,
-		TotalLen: entry.TotalLen,
-		Evicted:  evicted,
+		ID:          entry.ID,
+		Patterns:    entry.NumPatterns,
+		TotalLen:    entry.TotalLen,
+		Source:      entry.Source,
+		SnapshotKey: keyHex,
+		Evicted:     evicted,
 	})
 }
 
@@ -153,13 +204,7 @@ func (s *Server) handleDictGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no dictionary %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, EntryInfo{
-		ID:       e.ID,
-		Patterns: e.NumPatterns,
-		TotalLen: e.TotalLen,
-		Created:  e.Created,
-		Hits:     e.Hits(),
-	})
+	writeJSON(w, http.StatusOK, e.Info())
 }
 
 func (s *Server) handleDictDelete(w http.ResponseWriter, r *http.Request) {
@@ -413,7 +458,9 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 // Observability -------------------------------------------------------------
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.reg, s.limiter))
+	snap := s.metrics.Snapshot(s.reg, s.limiter)
+	snap.Persist.Enabled = s.store != nil
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -136,6 +136,20 @@ type Metrics struct {
 	streamSegments atomic.Int64 // windows processed across all streams
 	streamEvents   atomic.Int64 // NDJSON events / decompressed tokens emitted
 	streamBytes    atomic.Int64 // text bytes in (match) or out (decompress)
+
+	// Snapshot cache (internal/persist). cacheHits/cacheMisses count
+	// create-time lookups; loads counts every successful snapshot decode
+	// (cache hits, warm boots, explicit restores) with loadNanos their total
+	// wall time; snapshotSaves/snapshotBytes count write-throughs and
+	// explicit snapshots; quarantines counts cache entries rejected and
+	// renamed aside by validation.
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	snapshotSaves atomic.Int64
+	snapshotBytes atomic.Int64
+	loads         atomic.Int64
+	loadNanos     atomic.Int64
+	quarantines   atomic.Int64
 }
 
 // pramAlgos is the fixed set of ledger keys. Registration charges
@@ -221,6 +235,30 @@ type streamsSnapshot struct {
 	Bytes    int64 `json:"bytes"`
 }
 
+// persistSnapshot is the JSON shape of the snapshot-cache counters.
+type persistSnapshot struct {
+	Enabled       bool  `json:"enabled"`
+	CacheHits     int64 `json:"cacheHits"`
+	CacheMisses   int64 `json:"cacheMisses"`
+	SnapshotSaves int64 `json:"snapshotSaves"`
+	SnapshotBytes int64 `json:"snapshotBytes"`
+	Loads         int64 `json:"loads"`
+	LoadNanos     int64 `json:"loadNanos"`
+	Quarantines   int64 `json:"quarantines"`
+}
+
+// recordLoad charges one successful snapshot load.
+func (mt *Metrics) recordLoad(d time.Duration) {
+	mt.loads.Add(1)
+	mt.loadNanos.Add(d.Nanoseconds())
+}
+
+// recordSave charges one snapshot written to the store.
+func (mt *Metrics) recordSave(bytes int) {
+	mt.snapshotSaves.Add(1)
+	mt.snapshotBytes.Add(int64(bytes))
+}
+
 // MetricsSnapshot is the GET /metrics payload.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                   `json:"uptimeSeconds"`
@@ -229,6 +267,7 @@ type MetricsSnapshot struct {
 	Registry      RegistrySnapshot          `json:"registry"`
 	Limiter       limiterSnapshot           `json:"limiter"`
 	Streams       streamsSnapshot           `json:"streams"`
+	Persist       persistSnapshot           `json:"persist"`
 	Timeouts      int64                     `json:"timeouts"`
 	Panics        int64                     `json:"panics"`
 	RouteOrder    []string                  `json:"routeOrder"`
@@ -254,6 +293,15 @@ func (mt *Metrics) Snapshot(reg *Registry, lim *Limiter) MetricsSnapshot {
 			Segments: mt.streamSegments.Load(),
 			Events:   mt.streamEvents.Load(),
 			Bytes:    mt.streamBytes.Load(),
+		},
+		Persist: persistSnapshot{
+			CacheHits:     mt.cacheHits.Load(),
+			CacheMisses:   mt.cacheMisses.Load(),
+			SnapshotSaves: mt.snapshotSaves.Load(),
+			SnapshotBytes: mt.snapshotBytes.Load(),
+			Loads:         mt.loads.Load(),
+			LoadNanos:     mt.loadNanos.Load(),
+			Quarantines:   mt.quarantines.Load(),
 		},
 	}
 	routes := *mt.routes.Load()

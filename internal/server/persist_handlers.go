@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Snapshot administration ----------------------------------------------------
+//
+// POST /v1/dicts/{id}/snapshot serializes a resident dictionary to the cache
+// under an explicit key; POST /v1/dicts/restore loads a snapshot back into
+// the registry by key. Together with the automatic create-time write-through
+// these let operators pin, migrate and prewarm dictionaries: snapshot on one
+// server, copy the file, restore on another — preprocessing runs on neither.
+
+type snapshotResponse struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	Bytes int    `json:"bytes"`
+	Path  string `json:"path"`
+}
+
+// handleDictSnapshot writes the entry's current state (including any reseed
+// it has absorbed) to the snapshot store. The snapshot's content address is
+// derived from the entry's patterns and current seed, so a restore of these
+// bytes reproduces this entry exactly.
+func (s *Server) handleDictSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusConflict, "no snapshot store: start the server with -cache-dir")
+		return
+	}
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+	data := e.SnapshotBytes()
+	key := persist.KeyForSnapshot(data)
+	n, err := s.store.PutBytes(key, data)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot write failed: %v", err)
+		return
+	}
+	s.metrics.recordSave(n)
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		ID:    e.ID,
+		Key:   key.String(),
+		Bytes: n,
+		Path:  s.store.Path(key),
+	})
+}
+
+type restoreRequest struct {
+	Key string `json:"key"`
+}
+
+// handleDictRestore loads a stored snapshot into the registry as a new
+// entry. The load is a sequential table read — the PRAM preprocess ledger
+// does not move.
+func (s *Server) handleDictRestore(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusConflict, "no snapshot store: start the server with -cache-dir")
+		return
+	}
+	var req restoreRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	raw, err := hex.DecodeString(req.Key)
+	if err != nil || len(raw) != len(persist.Key{}) {
+		writeError(w, http.StatusBadRequest, "key must be %d hex characters", 2*len(persist.Key{}))
+		return
+	}
+	var key persist.Key
+	copy(key[:], raw)
+	start := time.Now()
+	d, size, err := s.store.Get(key)
+	if err != nil {
+		if errors.Is(err, persist.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "no snapshot %s", req.Key)
+			return
+		}
+		// Get quarantined the invalid file.
+		s.metrics.quarantines.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "snapshot rejected: %v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.metrics.recordLoad(elapsed)
+	entry, evicted := s.reg.RegisterPrepared(d, "snapshot", key.String(), elapsed.Nanoseconds())
+	writeJSON(w, http.StatusCreated, dictCreateResponse{
+		ID:          entry.ID,
+		Patterns:    entry.NumPatterns,
+		TotalLen:    entry.TotalLen,
+		Source:      entry.Source,
+		SnapshotKey: key.String(),
+		Evicted:     evicted,
+		Bytes:       size,
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/pram"
 )
 
@@ -44,6 +45,14 @@ type Entry struct {
 	TotalLen    int // the paper's d
 	MaxPatLen   int
 	Created     time.Time
+	Source      string // how the entry came to be: "preprocess", "cache", "snapshot"
+	PrepNs      int64  // preprocessing wall time; 0 when loaded from a snapshot
+	SnapKey     string // content-address hex when known (cache/write-through), else ""
+
+	// info memoizes the static part of the EntryInfo payload so Infos()
+	// and GET /v1/dicts/{id} only fill in the dynamic hit counter instead
+	// of reassembling the struct per call.
+	info EntryInfo
 
 	hits atomic.Int64
 
@@ -54,6 +63,21 @@ type Entry struct {
 
 // Hits returns how many requests have looked this entry up.
 func (e *Entry) Hits() int64 { return e.hits.Load() }
+
+// Info returns the entry's description with the current hit count.
+func (e *Entry) Info() EntryInfo {
+	info := e.info
+	info.Hits = e.hits.Load()
+	return info
+}
+
+// SnapshotBytes serializes the entry's dictionary under the read lock, so a
+// concurrent reseed cannot interleave (the snapshot is a consistent state).
+func (e *Entry) SnapshotBytes() []byte {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return persist.Encode(e.dict)
+}
 
 // NewRegistry returns a registry bounded to capacity resident dictionaries
 // (capacity < 1 is clamped to 1).
@@ -70,29 +94,56 @@ func NewRegistry(capacity int) *Registry {
 
 // Register preprocesses patterns on machine m (the expensive §3 step, run
 // outside the registry lock) and inserts the result, evicting LRU entries
-// beyond capacity. It returns the new entry and the IDs it evicted.
+// beyond capacity. It returns the new entry and the IDs it evicted. The
+// preprocessing wall time is recorded on the entry (Entry.PrepNs) — the
+// quantity a snapshot cache hit saves.
 func (r *Registry) Register(m *pram.Machine, patterns [][]byte, opts core.Options) (*Entry, []string) {
+	start := time.Now()
 	dict := core.Preprocess(m, patterns, opts)
+	return r.insert(dict, "preprocess", "", time.Since(start).Nanoseconds())
+}
+
+// RegisterPrepared inserts an already-built dictionary — one loaded from a
+// snapshot rather than preprocessed here. source labels how ("cache" for a
+// create-time cache hit, "snapshot" for an explicit restore), snapKey is the
+// content-address hex when known, and prepNs the load wall time.
+func (r *Registry) RegisterPrepared(dict *core.Dictionary, source, snapKey string, prepNs int64) (*Entry, []string) {
+	return r.insert(dict, source, snapKey, prepNs)
+}
+
+func (r *Registry) insert(dict *core.Dictionary, source, snapKey string, prepNs int64) (*Entry, []string) {
 	total, maxPat := 0, 0
-	for _, p := range patterns {
+	for _, p := range dict.Patterns {
 		total += len(p)
 		if len(p) > maxPat {
 			maxPat = len(p)
 		}
 	}
 	e := &Entry{
-		NumPatterns: len(patterns),
+		NumPatterns: len(dict.Patterns),
 		TotalLen:    total,
 		MaxPatLen:   maxPat,
 		Created:     time.Now(),
+		Source:      source,
+		PrepNs:      prepNs,
+		SnapKey:     snapKey,
 		dict:        dict,
-		seed:        opts.Seed,
+		seed:        dict.Seed(),
 	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
 	e.ID = fmt.Sprintf("d%d", r.seq)
+	e.info = EntryInfo{
+		ID:       e.ID,
+		Patterns: e.NumPatterns,
+		TotalLen: e.TotalLen,
+		Created:  e.Created,
+		Source:   e.Source,
+		PrepNs:   e.PrepNs,
+		SnapKey:  e.SnapKey,
+	}
 	r.byID[e.ID] = r.lru.PushFront(e)
 	r.bytes += int64(total)
 	var evicted []string
@@ -144,12 +195,16 @@ func (r *Registry) Len() int {
 }
 
 // EntryInfo is the externally visible description of a resident entry,
-// in most-recently-used-first order.
+// in most-recently-used-first order. The static fields are memoized on the
+// entry at insert time; only Hits is read per call.
 type EntryInfo struct {
 	ID       string    `json:"id"`
 	Patterns int       `json:"patterns"`
 	TotalLen int       `json:"totalLen"`
 	Created  time.Time `json:"created"`
+	Source   string    `json:"source"`
+	PrepNs   int64     `json:"prepNs"`
+	SnapKey  string    `json:"snapshotKey,omitempty"`
 	Hits     int64     `json:"hits"`
 }
 
@@ -159,14 +214,7 @@ func (r *Registry) Infos() []EntryInfo {
 	defer r.mu.Unlock()
 	out := make([]EntryInfo, 0, r.lru.Len())
 	for el := r.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*Entry)
-		out = append(out, EntryInfo{
-			ID:       e.ID,
-			Patterns: e.NumPatterns,
-			TotalLen: e.TotalLen,
-			Created:  e.Created,
-			Hits:     e.hits.Load(),
-		})
+		out = append(out, el.Value.(*Entry).Info())
 	}
 	return out
 }

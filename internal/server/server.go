@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/stream"
 )
 
@@ -51,6 +52,7 @@ type Config struct {
 	MaxExpandBytes int64         // decompression/expansion output cap
 	SegmentBytes   int           // streaming endpoints: fresh text bytes per window
 	StreamWindow   int           // streaming decompress: retained history (0 = unbounded)
+	CacheDir       string        // snapshot cache directory ("" = persistence off)
 	Log            *log.Logger   // nil = log.Default
 }
 
@@ -96,11 +98,16 @@ type Server struct {
 	reg     *Registry
 	metrics *Metrics
 	limiter *Limiter
+	store   *persist.Store // nil when persistence is off
 	handler http.Handler
 }
 
-// New assembles a server from cfg.
-func New(cfg Config) *Server {
+// New assembles a server from cfg. With a CacheDir the snapshot store is
+// opened (created if missing) and every valid snapshot already in it is
+// loaded into the registry — a warm start that costs sequential table reads,
+// not §3 preprocessing; the PRAM preprocess ledger stays at zero across a
+// restart. Corrupt cache entries are quarantined and logged, never fatal.
+func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -108,8 +115,45 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		limiter: NewLimiter(cfg.MaxInflight),
 	}
+	if cfg.CacheDir != "" {
+		store, err := persist.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.warmStart()
+	}
 	s.handler = s.buildMux()
-	return s
+	return s, nil
+}
+
+// warmStart loads every resident-capacity-many snapshot from the cache
+// directory into the registry.
+func (s *Server) warmStart() {
+	keys, err := s.store.Keys()
+	if err != nil {
+		s.cfg.Log.Printf("cache scan failed: %v", err)
+		return
+	}
+	loaded := 0
+	for _, k := range keys {
+		if loaded >= s.cfg.MaxDicts {
+			s.cfg.Log.Printf("cache holds more snapshots than -max-dicts=%d; remaining entries stay on disk", s.cfg.MaxDicts)
+			break
+		}
+		start := time.Now()
+		d, size, err := s.store.Get(k)
+		if err != nil {
+			// Get already quarantined the bad file; the server still boots.
+			s.metrics.quarantines.Add(1)
+			s.cfg.Log.Printf("cache entry %s rejected (quarantined): %v", k, err)
+			continue
+		}
+		s.metrics.recordLoad(time.Since(start))
+		e, _ := s.reg.RegisterPrepared(d, "cache", k.String(), time.Since(start).Nanoseconds())
+		s.cfg.Log.Printf("warm start: %s from snapshot %s (%d bytes)", e.ID, k, size)
+		loaded++
+	}
 }
 
 // Handler returns the fully assembled HTTP handler (exported so tests and
@@ -124,6 +168,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Limiter returns the admission limiter (exported for tests/bench).
 func (s *Server) Limiter() *Limiter { return s.limiter }
+
+// Store returns the snapshot store, or nil when persistence is off
+// (exported for tests/bench).
+func (s *Server) Store() *persist.Store { return s.store }
 
 func (s *Server) buildMux() http.Handler {
 	mux := http.NewServeMux()
@@ -145,8 +193,10 @@ func (s *Server) buildMux() http.Handler {
 
 	api("POST /v1/dicts", s.handleDictCreate)
 	api("GET /v1/dicts", s.handleDictList)
+	api("POST /v1/dicts/restore", s.handleDictRestore)
 	api("GET /v1/dicts/{id}", s.handleDictGet)
 	api("DELETE /v1/dicts/{id}", s.handleDictDelete)
+	api("POST /v1/dicts/{id}/snapshot", s.handleDictSnapshot)
 	api("POST /v1/dicts/{id}/match", s.handleMatch)
 	api("POST /v1/dicts/{id}/parse", s.handleParse)
 	api("POST /v1/dicts/{id}/expand", s.handleExpand)

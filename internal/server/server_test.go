@@ -28,7 +28,10 @@ func startServer(t *testing.T, cfg Config) (*Server, string, func() error) {
 	if cfg.Log == nil {
 		cfg.Log = quietLogger()
 	}
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,190 @@
+package suffixtree
+
+import (
+	"fmt"
+
+	"repro/internal/eulertour"
+	"repro/internal/lca"
+)
+
+// Snapshot is the serializable state of a Tree: the suffix array, LCP array
+// and per-node topology tables. Everything else a Tree holds (the child CSR
+// index, Euler tour, LCA index, rank array) is a deterministic function of
+// these tables and is rebuilt by Restore with plain sequential loops — a
+// snapshot load performs no PRAM work and charges nothing to any machine.
+type Snapshot struct {
+	NumNodes int32
+	Root     int32
+	SA       []int32
+	LCP      []int32
+	Parent   []int32
+	StrDepth []int32
+	Lo       []int32
+	Hi       []int32
+	LeafID   []int32
+	LeafOf   []int32
+	SufLink  []int32
+}
+
+// Export captures the tree's serializable state. The suffix-link array is
+// included (computing it at restore time would need LCA queries anyway, and
+// the dictionary preprocessing always materializes it); if it has not been
+// built yet it is derived here with the same per-node rules SuffixLinks
+// applies, sequentially.
+func (t *Tree) Export() *Snapshot {
+	sn := &Snapshot{
+		NumNodes: int32(t.NumNodes),
+		Root:     int32(t.Root),
+		SA:       t.SA,
+		LCP:      t.LCP,
+		Parent:   make([]int32, t.NumNodes),
+		StrDepth: t.StrDepth,
+		Lo:       t.Lo,
+		Hi:       t.Hi,
+		LeafID:   t.LeafID,
+		LeafOf:   t.LeafOf,
+		SufLink:  t.sufLink,
+	}
+	for v, p := range t.Parent {
+		sn.Parent[v] = int32(p)
+	}
+	if sn.SufLink == nil {
+		sn.SufLink = t.sufLinksSequential()
+	}
+	return sn
+}
+
+// sufLinksSequential computes the suffix-link array with the same per-node
+// rules as SuffixLinks, machine-free.
+func (t *Tree) sufLinksSequential() []int32 {
+	n1 := len(t.SA)
+	links := make([]int32, t.NumNodes)
+	for v := 0; v < t.NumNodes; v++ {
+		switch {
+		case v == t.Root:
+			links[v] = -1
+		case t.IsLeaf(v):
+			i := t.LeafOf[v]
+			if int(i) == n1-1 {
+				links[v] = int32(t.Root)
+			} else {
+				links[v] = t.LeafID[i+1]
+			}
+		default:
+			a := t.LeafID[t.SA[t.Lo[v]]+1]
+			b := t.LeafID[t.SA[t.Hi[v]]+1]
+			links[v] = int32(t.LCA.Query(int(a), int(b)))
+		}
+	}
+	return links
+}
+
+// RestoreInts reconstructs a ready-to-query Tree from the original symbol
+// string and a Snapshot, with zero PRAM work: every derived structure (rank,
+// child CSR, Euler tour, LCA sparse table) is rebuilt by deterministic
+// sequential loops that produce exactly what the parallel build produces.
+//
+// The snapshot is validated before any index-dependent structure is built:
+// lengths must be mutually consistent, the suffix array must be a
+// permutation, parents must form a single tree rooted at Root with strictly
+// increasing string depth (which rules out cycles), and every stored node or
+// position index must be in range. Invalid snapshots return an error and
+// never panic — this is the backstop that makes the persist decoder safe on
+// adversarial bytes.
+func RestoreInts(syms []int32, sn *Snapshot) (*Tree, error) {
+	if len(syms) == 0 {
+		return nil, fmt.Errorf("suffixtree: restore: empty string")
+	}
+	n1 := len(syms) + 1
+	numNodes := int(sn.NumNodes)
+	if numNodes < 1 || numNodes > 2*n1 {
+		return nil, fmt.Errorf("suffixtree: restore: node count %d out of range for %d leaves", numNodes, n1)
+	}
+	if len(sn.SA) != n1 || len(sn.LCP) != n1 || len(sn.LeafID) != n1 {
+		return nil, fmt.Errorf("suffixtree: restore: leaf-array length mismatch")
+	}
+	if len(sn.Parent) != numNodes || len(sn.StrDepth) != numNodes || len(sn.Lo) != numNodes ||
+		len(sn.Hi) != numNodes || len(sn.LeafOf) != numNodes || len(sn.SufLink) != numNodes {
+		return nil, fmt.Errorf("suffixtree: restore: node-array length mismatch")
+	}
+	root := int(sn.Root)
+	if root < 0 || root >= numNodes {
+		return nil, fmt.Errorf("suffixtree: restore: root %d out of range", root)
+	}
+
+	t := &Tree{
+		aug:      make([]int32, n1),
+		SA:       sn.SA,
+		LCP:      sn.LCP,
+		NumNodes: numNodes,
+		Root:     root,
+		Parent:   make([]int, numNodes),
+		StrDepth: sn.StrDepth,
+		Lo:       sn.Lo,
+		Hi:       sn.Hi,
+		LeafID:   sn.LeafID,
+		LeafOf:   sn.LeafOf,
+		sufLink:  sn.SufLink,
+	}
+	for i, c := range syms {
+		if c < 0 {
+			return nil, fmt.Errorf("suffixtree: restore: negative symbol at %d", i)
+		}
+		t.aug[i] = c + 1
+	}
+	t.aug[n1-1] = 0
+
+	// SA must be a permutation of [0, n1) — Rank and Witness index through it.
+	t.Rank = make([]int32, n1)
+	seen := make([]bool, n1)
+	for r, p := range sn.SA {
+		if p < 0 || int(p) >= n1 || seen[p] {
+			return nil, fmt.Errorf("suffixtree: restore: SA is not a permutation (rank %d)", r)
+		}
+		seen[p] = true
+		t.Rank[p] = int32(r)
+	}
+	roots := 0
+	for v := 0; v < numNodes; v++ {
+		p := int(sn.Parent[v])
+		if p < -1 || p >= numNodes {
+			return nil, fmt.Errorf("suffixtree: restore: parent of node %d out of range", v)
+		}
+		t.Parent[v] = p
+		if p < 0 {
+			roots++
+			if v != root {
+				return nil, fmt.Errorf("suffixtree: restore: parentless node %d is not the root", v)
+			}
+		} else if sn.StrDepth[p] >= sn.StrDepth[v] {
+			// Strictly increasing depth along every root path is what makes
+			// the parent pointers acyclic (and the DFS below terminate).
+			return nil, fmt.Errorf("suffixtree: restore: string depth not increasing at node %d", v)
+		}
+		if sn.StrDepth[v] < 0 || int(sn.StrDepth[v]) > n1 {
+			return nil, fmt.Errorf("suffixtree: restore: string depth of node %d out of range", v)
+		}
+		if sn.Lo[v] < 0 || sn.Lo[v] > sn.Hi[v] || int(sn.Hi[v]) >= n1 {
+			return nil, fmt.Errorf("suffixtree: restore: SA interval of node %d invalid", v)
+		}
+		if sn.LeafOf[v] < -1 || int(sn.LeafOf[v]) >= n1 {
+			return nil, fmt.Errorf("suffixtree: restore: leaf suffix of node %d out of range", v)
+		}
+		if sn.SufLink[v] < -1 || int(sn.SufLink[v]) >= numNodes {
+			return nil, fmt.Errorf("suffixtree: restore: suffix link of node %d out of range", v)
+		}
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("suffixtree: restore: %d parentless nodes, want 1", roots)
+	}
+	for i, v := range sn.LeafID {
+		if v < 0 || int(v) >= numNodes {
+			return nil, fmt.Errorf("suffixtree: restore: leaf id of suffix %d out of range", i)
+		}
+	}
+
+	t.Topo = eulertour.NewSequential(t.Parent)
+	t.Tour = t.Topo.EulerSequential()
+	t.LCA = lca.FromTourSequential(t.Tour)
+	return t, nil
+}
