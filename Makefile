@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json experiments quick-experiments fuzz serve clean
+.PHONY: all build test race bench bench-json experiments quick-experiments fuzz serve chaos soak clean
 
 all: build test
 
@@ -43,6 +43,20 @@ fuzz:
 # Flags: -addr :8080 -procs N -max-dicts N -max-inflight N -timeout 30s
 serve:
 	$(GO) run ./cmd/matchd $(SERVE_FLAGS)
+
+# Fault-injection suite: the chaos build tag compiles the internal/chaos
+# hooks live (without it every injection point is a compiled-out no-op) and
+# runs the per-package chaos_test.go suites plus the e2e server test under
+# the race detector.
+chaos:
+	$(GO) test -tags chaos -race ./...
+
+# 30-second black-box soak: a chaos-built matchd under a fixed seed, oracle-
+# verified concurrent traffic, SIGTERM drain check. SOAK_FLAGS appends, e.g.
+# SOAK_FLAGS='-duration 5m -seed 7'.
+soak:
+	$(GO) build -tags chaos -o /tmp/matchd-chaos ./cmd/matchd
+	$(GO) run ./cmd/chaossoak -bin /tmp/matchd-chaos -duration 30s -seed 42 $(SOAK_FLAGS)
 
 clean:
 	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,429 @@
+// Command chaossoak soak-tests a matchd binary under a deterministic fault
+// schedule. It is the CI-facing half of internal/chaos: the chaos test
+// suite (`go test -tags chaos ./...`) proves each recovery path in
+// isolation; chaossoak proves the assembled service survives minutes of
+// faulted traffic — and still drains cleanly on SIGTERM — as one black box.
+//
+// Usage:
+//
+//	go build -tags chaos -o /tmp/matchd ./cmd/matchd
+//	go run ./cmd/chaossoak -bin /tmp/matchd -duration 30s -seed 42
+//
+// chaossoak starts the binary with -chaos-seed/-chaos-plan, registers a
+// planted dictionary, and hammers it from -clients goroutines with three
+// request kinds, each verified against an in-process oracle:
+//
+//   - buffered /match, checked position-by-position against Aho–Corasick
+//   - /compress + /decompress, checked byte-for-byte round trip
+//   - NDJSON /match/stream, events checked against the oracle and the
+//     trailer required to be a summary or an explicit {"error":...} line —
+//     a stream that just stops is silent truncation, the one unforgivable
+//     outcome
+//
+// Requests that fail with 500/503 are expected casualties (the plan forces
+// Las Vegas exhaustion now and then; the breaker answers 503 while it
+// re-randomizes) and are only counted. Any 200 whose payload disagrees
+// with the oracle is a correctness bug and fails the soak immediately.
+// After the deadline, chaossoak SIGTERMs the server and requires exit
+// status 0 plus the "clean shutdown" log line.
+//
+// Exit status: 0 = soak passed; 1 = oracle mismatch, unclean drain, or the
+// fault schedule never fired.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/chaos"
+	"repro/internal/textgen"
+)
+
+// defaultPlan keeps the per-attempt collision probability low enough that
+// most requests recover within the matchAttempts budget (occasional
+// exhaustions and breaker trips are wanted — they exercise the 500/503
+// paths) while firing every point class: fingerprint collisions, LZ token
+// corruption, straggler delays, and stream stalls.
+const defaultPlan = "fp.collide:p=0.0001;lz.corrupt:p=0.005;pool.delay:p=0.002,delay=500us;stream.stall:p=0.02,delay=1ms"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaossoak: ")
+	bin := flag.String("bin", "", "path to a matchd binary built with -tags chaos (required)")
+	duration := flag.Duration("duration", 30*time.Second, "soak length before the SIGTERM drain check")
+	seed := flag.Uint64("seed", 42, "chaos plan seed, forwarded as matchd -chaos-seed")
+	plan := flag.String("plan", defaultPlan, "fault schedule, forwarded as matchd -chaos-plan")
+	clients := flag.Int("clients", 8, "concurrent request loops")
+	textSize := flag.Int("text", 1<<13, "planted text bytes per match request")
+	flag.Parse()
+	if *bin == "" {
+		log.Fatal("-bin is required (build one with: go build -tags chaos -o /tmp/matchd ./cmd/matchd)")
+	}
+	if _, err := chaos.ParsePlan(*seed, *plan); err != nil {
+		log.Fatalf("bad -plan: %v", err)
+	}
+
+	addr := freeAddr()
+	base := "http://" + addr
+	cmd := exec.Command(*bin,
+		"-addr", addr, "-procs", "2",
+		"-chaos-seed", fmt.Sprint(*seed), "-chaos-plan", *plan)
+	var serverLog bytes.Buffer
+	cmd.Stdout = &serverLog
+	cmd.Stderr = &serverLog
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting %s: %v", *bin, err)
+	}
+	fail := func(format string, args ...any) {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		log.Printf("--- server log ---\n%s", serverLog.String())
+		log.Fatalf(format, args...)
+	}
+	waitHealthy(base, cmd, fail)
+
+	// Workload: one planted dictionary plus its Aho–Corasick oracle, and a
+	// pool of repetitive LZ payloads. Registration happens before traffic,
+	// so preprocessing itself is unfaulted (the plan only perturbs serving).
+	gen := textgen.New(*seed)
+	text, patterns := gen.PlantedDictionary(*textSize, 24, 8, 101, 4)
+	ac := ahocorasick.New(patterns)
+	oracle := ac.Match(text)
+	wantHits := 0
+	for _, p := range oracle {
+		if p >= 0 {
+			wantHits++
+		}
+	}
+	if wantHits == 0 {
+		fail("degenerate workload: planted text has no oracle matches")
+	}
+	patStrs := make([]string, len(patterns))
+	for i, p := range patterns {
+		patStrs[i] = string(p)
+	}
+	id := createDict(base, patStrs, fail)
+	lzPayloads := make([][]byte, 16)
+	for i := range lzPayloads {
+		lzPayloads[i] = gen.Repetitive(2048+128*i, 64, 0.02)
+	}
+
+	var (
+		ok, shed, retried atomic.Int64 // 200s; 429/500/503s; 200s with attempts > 1
+		streamErrTrailer  atomic.Int64 // streams ended by an explicit error line
+		mismatches        atomic.Int64
+	)
+	firstMismatch := make(chan string, 1)
+	mismatch := func(format string, args ...any) {
+		mismatches.Add(1)
+		select {
+		case firstMismatch <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				switch (c + i) % 3 {
+				case 0:
+					doMatch(base, id, text, oracle, ac, &ok, &shed, &retried, mismatch)
+				case 1:
+					doLZRoundTrip(base, lzPayloads[(c*31+i)%len(lzPayloads)], &ok, &shed, &retried, mismatch)
+				case 2:
+					doStream(base, id, text, oracle, ac, wantHits, &ok, &shed, &streamErrTrailer, mismatch)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Drain check: SIGTERM, then the process must exit 0 having logged a
+	// clean shutdown (matchd also logs per-point chaos counters here).
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fail("SIGTERM: %v", err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			fail("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		fail("server did not exit within 30s of SIGTERM")
+	}
+	if !strings.Contains(serverLog.String(), "clean shutdown") {
+		fail("server exited 0 but never logged a clean shutdown")
+	}
+
+	log.Printf("%v soak: %d ok (%d after retries), %d shed (429/500/503), %d streams error-trailed, %d mismatches",
+		*duration, ok.Load(), retried.Load(), shed.Load(), streamErrTrailer.Load(), mismatches.Load())
+	for _, line := range strings.Split(strings.TrimRight(serverLog.String(), "\n"), "\n") {
+		if strings.Contains(line, "chaos:") {
+			log.Print(line)
+		}
+	}
+	if n := mismatches.Load(); n > 0 {
+		log.Fatalf("FAIL: %d oracle mismatches; first: %s", n, <-firstMismatch)
+	}
+	if ok.Load() == 0 {
+		log.Fatal("FAIL: no request ever succeeded — the soak measured nothing")
+	}
+	if !strings.Contains(serverLog.String(), "chaos: armed") {
+		log.Fatal("FAIL: server never armed the chaos plan — was -bin built with -tags chaos?")
+	}
+	if retried.Load() == 0 && shed.Load() == 0 && streamErrTrailer.Load() == 0 {
+		log.Fatal("FAIL: no fault ever surfaced (no retries, sheds, or error trailers) — plan too weak to prove anything")
+	}
+	log.Print("PASS")
+}
+
+// freeAddr picks an unused loopback port. The listener is closed before the
+// server starts; the race window is harmless for a test harness.
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(base string, cmd *exec.Cmd, fail func(string, ...any)) {
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			fail("server never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func postJSON(url string, req any) (int, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, err
+}
+
+func createDict(base string, patterns []string, fail func(string, ...any)) string {
+	status, body, err := postJSON(base+"/v1/dicts", map[string]any{"patterns": patterns})
+	if err != nil || status != http.StatusCreated {
+		fail("dict create: status %d err %v: %s", status, err, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil || created.ID == "" {
+		fail("dict create response %q: %v", body, err)
+	}
+	return created.ID
+}
+
+// shedStatus reports whether a status is an expected pressure/fault
+// casualty rather than a correctness problem: admission shedding (429),
+// Las Vegas exhaustion (500), breaker/deadline (503).
+func shedStatus(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusInternalServerError ||
+		status == http.StatusServiceUnavailable
+}
+
+func doMatch(base, id string, text []byte, oracle []int32, ac *ahocorasick.Automaton,
+	ok, shed, retried *atomic.Int64, mismatch func(string, ...any)) {
+	status, body, err := postJSON(fmt.Sprintf("%s/v1/dicts/%s/match", base, id),
+		map[string]any{"textB64": base64.StdEncoding.EncodeToString(text)})
+	if err != nil {
+		shed.Add(1) // transport error during drain races; not a verdict
+		return
+	}
+	if shedStatus(status) {
+		shed.Add(1)
+		return
+	}
+	if status != http.StatusOK {
+		mismatch("match: unexpected status %d: %s", status, body)
+		return
+	}
+	var mr struct {
+		N        int `json:"n"`
+		Attempts int `json:"attempts"`
+		Matched  int `json:"matched"`
+		Hits     []struct {
+			Pos     int `json:"pos"`
+			Pattern int `json:"pattern"`
+			Length  int `json:"length"`
+		} `json:"hits"`
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		mismatch("match: bad body: %v", err)
+		return
+	}
+	want := 0
+	for _, p := range oracle {
+		if p >= 0 {
+			want++
+		}
+	}
+	if mr.N != len(text) || mr.Matched != want {
+		mismatch("match: %d hits over %d bytes, oracle says %d over %d", mr.Matched, mr.N, want, len(text))
+		return
+	}
+	for _, h := range mr.Hits {
+		if p := oracle[h.Pos]; int(p) != h.Pattern || int(ac.PatternLen(p)) != h.Length {
+			mismatch("match: pos %d pattern %d len %d disagrees with oracle", h.Pos, h.Pattern, h.Length)
+			return
+		}
+	}
+	ok.Add(1)
+	if mr.Attempts > 1 {
+		retried.Add(1)
+	}
+}
+
+func doLZRoundTrip(base string, payload []byte,
+	ok, shed, retried *atomic.Int64, mismatch func(string, ...any)) {
+	status, body, err := postJSON(base+"/v1/compress",
+		map[string]any{"textB64": base64.StdEncoding.EncodeToString(payload)})
+	if err != nil || shedStatus(status) {
+		shed.Add(1)
+		return
+	}
+	if status != http.StatusOK {
+		mismatch("compress: unexpected status %d: %s", status, body)
+		return
+	}
+	var cr struct {
+		N        int    `json:"n"`
+		Attempts int    `json:"attempts"`
+		DataB64  string `json:"dataB64"`
+	}
+	if err := json.Unmarshal(body, &cr); err != nil || cr.N != len(payload) {
+		mismatch("compress: n=%d want %d (err %v)", cr.N, len(payload), err)
+		return
+	}
+	status, body, err = postJSON(base+"/v1/decompress", map[string]any{"dataB64": cr.DataB64})
+	if err != nil || shedStatus(status) {
+		shed.Add(1)
+		return
+	}
+	if status != http.StatusOK {
+		mismatch("decompress: unexpected status %d: %s", status, body)
+		return
+	}
+	var dr struct {
+		TextB64 string `json:"textB64"`
+	}
+	if err := json.Unmarshal(body, &dr); err != nil {
+		mismatch("decompress: bad body: %v", err)
+		return
+	}
+	round, err := base64.StdEncoding.DecodeString(dr.TextB64)
+	if err != nil || !bytes.Equal(round, payload) {
+		mismatch("lz round trip: output differs from input (err %v)", err)
+		return
+	}
+	ok.Add(1)
+	if cr.Attempts > 1 {
+		retried.Add(1)
+	}
+}
+
+func doStream(base, id string, text []byte, oracle []int32, ac *ahocorasick.Automaton, wantHits int,
+	ok, shed, streamErrTrailer *atomic.Int64, mismatch func(string, ...any)) {
+	resp, err := http.Post(fmt.Sprintf("%s/v1/dicts/%s/match/stream?segment=2048", base, id),
+		"application/octet-stream", bytes.NewReader(text))
+	if err != nil {
+		shed.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	if shedStatus(resp.StatusCode) {
+		shed.Add(1)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		mismatch("stream: unexpected status %d", resp.StatusCode)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	events, sawTrailer := 0, false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"summary"`)) {
+			// Success trailer: the stream completed; its event count must
+			// be oracle-exact for the full text.
+			sawTrailer = true
+			if events != wantHits {
+				mismatch("stream: %d events before summary, oracle says %d", events, wantHits)
+				return
+			}
+			continue
+		}
+		if bytes.Contains(line, []byte(`"error"`)) {
+			// Explicit error trailer: a mid-stream fault surfaced loudly.
+			// Detected-and-reported is the contract under chaos.
+			sawTrailer = true
+			streamErrTrailer.Add(1)
+			return
+		}
+		var ev struct {
+			Pos     int `json:"pos"`
+			Pattern int `json:"pattern"`
+			Length  int `json:"length"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			mismatch("stream: unparseable line %q: %v", line, err)
+			return
+		}
+		if p := oracle[ev.Pos]; int(p) != ev.Pattern || int(ac.PatternLen(p)) != ev.Length {
+			mismatch("stream: event pos %d pattern %d len %d disagrees with oracle", ev.Pos, ev.Pattern, ev.Length)
+			return
+		}
+		events++
+	}
+	if err := sc.Err(); err != nil {
+		shed.Add(1) // connection died (e.g. server draining); not silent truncation by the server
+		return
+	}
+	if !sawTrailer {
+		mismatch("stream: ended after %d events with no summary or error trailer — silent truncation", events)
+		return
+	}
+	ok.Add(1)
+}

@@ -6,7 +6,7 @@
 //
 //	matchd [-addr :8080] [-procs N] [-max-dicts N] [-max-inflight N] \
 //	       [-timeout 30s] [-max-body BYTES] [-segment BYTES] [-stream-window BYTES] \
-//	       [-cache-dir DIR]
+//	       [-cache-dir DIR] [-chaos-seed N -chaos-plan SPEC]
 //
 // Endpoints (JSON bodies; binary payloads base64 in "textB64"/"dataB64"):
 //
@@ -21,6 +21,7 @@
 //	POST   /v1/decompress         {"dataB64": ...} → original text
 //	GET    /metrics               counters, latency histograms, PRAM ledger
 //	GET    /healthz               liveness
+//	GET    /readyz                readiness: pool, registry, store health
 //
 // Persistence (enabled by -cache-dir DIR): preprocessed dictionaries are
 // written through to DIR as content-addressed snapshot files, a restart
@@ -44,6 +45,17 @@
 //
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
+//
+// Fault injection (soak testing): a binary built with -tags chaos accepts
+// -chaos-seed and -chaos-plan, installing a deterministic fault schedule
+// (internal/chaos) before serving, e.g.
+//
+//	go run -tags chaos ./cmd/matchd -chaos-seed 42 \
+//	    -chaos-plan 'fp.collide:p=0.001;pool.delay:p=0.01,delay=1ms'
+//
+// Without the tag the flags still parse, but a non-empty -chaos-plan is a
+// startup error rather than a silent no-op. Per-point fired/call counters
+// are logged at shutdown.
 package main
 
 import (
@@ -54,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/server"
 )
 
@@ -69,7 +82,21 @@ func main() {
 	segment := flag.Int("segment", 1<<20, "streaming endpoints: fresh text bytes per window")
 	streamWindow := flag.Int("stream-window", 0, "streaming decompress: retained history bytes (0 = unbounded)")
 	cacheDir := flag.String("cache-dir", "", "snapshot cache directory: warm start from it and write preprocessed dictionaries through ('' = off)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the -chaos-plan fault schedule")
+	chaosPlan := flag.String("chaos-plan", "", "deterministic fault-injection plan, e.g. 'fp.collide:p=0.001;pool.delay:p=0.01,delay=1ms' (requires a -tags chaos build)")
 	flag.Parse()
+
+	if *chaosPlan != "" {
+		if !chaos.Compiled {
+			log.Fatal("-chaos-plan set but this binary was built without -tags chaos; rebuild with `go build -tags chaos ./cmd/matchd`")
+		}
+		plan, err := chaos.ParsePlan(*chaosSeed, *chaosPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chaos.Install(plan)
+		log.Printf("chaos: armed with seed %d: %s", *chaosSeed, plan)
+	}
 
 	srv, err := server.New(server.Config{
 		Addr:           *addr,
@@ -91,6 +118,11 @@ func main() {
 	defer stop()
 	if err := srv.Run(ctx); err != nil {
 		log.Fatal(err)
+	}
+	if p := chaos.Active(); p != nil {
+		for _, st := range p.Stats() {
+			log.Printf("chaos: %s fired %d of %d calls", st.Point, st.Fired, st.Calls)
+		}
 	}
 	log.Print("clean shutdown")
 }

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drive calls fire n times and returns how many fired.
+func drive(p *Plan, pt Point, n int) int {
+	fired := 0
+	for i := 0; i < n; i++ {
+		if f, _, _ := p.fire(pt); f {
+			fired++
+		}
+	}
+	return fired
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "fp.collide:p=0.25,n=10;pool.panic:every=97;stream.stall:p=0.5,delay=2ms"
+	p, err := ParsePlan(7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != spec {
+		t.Errorf("String() = %q, want %q", got, spec)
+	}
+	p2, err := ParsePlan(7, p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != spec {
+		t.Errorf("re-parse drifted: %q", p2.String())
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"noseparator",
+		"pt:p=1.5",
+		"pt:p=-0.1",
+		"pt:every=0",
+		"pt:n=-1",
+		"pt:delay=-1s",
+		"pt:bogus=1",
+		"pt:p",
+		":p=0.5",
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(1, spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted, want error", spec)
+		}
+	}
+	if p, err := ParsePlan(1, "  "); err != nil || len(p.Stats()) != 0 {
+		t.Errorf("empty spec: plan %v err %v", p.Stats(), err)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	const n = 10000
+	mk := func(seed uint64) []bool {
+		p := NewPlan(seed).Set(FPCollide, Rule{P: 0.1})
+		out := make([]bool, n)
+		for i := range out {
+			out[i], _, _ = p.fire(FPCollide)
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := mk(43)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical schedules")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	// p=0.1 over 10k calls: expect ~1000; accept a generous window.
+	if fired < 700 || fired > 1300 {
+		t.Errorf("p=0.1 fired %d/%d times, far from expectation", fired, n)
+	}
+}
+
+func TestEveryAndCap(t *testing.T) {
+	p := NewPlan(1).Set(PoolPanic, Rule{Every: 10})
+	if got := drive(p, PoolPanic, 100); got != 10 {
+		t.Errorf("every=10 over 100 calls fired %d, want 10", got)
+	}
+	p = NewPlan(1).Set(PoolPanic, Rule{Every: 1, N: 3})
+	if got := drive(p, PoolPanic, 100); got != 3 {
+		t.Errorf("n=3 cap fired %d, want 3", got)
+	}
+	st := p.Stats()
+	if len(st) != 1 || st[0].Calls != 100 || st[0].Fired != 3 {
+		t.Errorf("stats = %+v, want calls=100 fired=3", st)
+	}
+}
+
+func TestNilAndUnknownPoints(t *testing.T) {
+	var nilPlan *Plan
+	if f, _, _ := nilPlan.fire(FPCollide); f {
+		t.Error("nil plan fired")
+	}
+	if nilPlan.Stats() != nil || nilPlan.String() != "" {
+		t.Error("nil plan has state")
+	}
+	p := NewPlan(1).Set(FPCollide, Rule{P: 1})
+	if f, _, _ := p.fire(PoolPanic); f {
+		t.Error("unconfigured point fired")
+	}
+}
+
+func TestConcurrentFireCountsAreExact(t *testing.T) {
+	// Under concurrency the assignment of firings to callers varies, but
+	// the total over k calls must match the sequential schedule exactly for
+	// every=, and the counters must not lose updates.
+	const goroutines, per = 8, 1000
+	p := NewPlan(9).Set(PoolDelay, Rule{Every: 7})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := drive(p, PoolDelay, per)
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	want := goroutines * per / 7
+	if total != want {
+		t.Errorf("every=7 over %d concurrent calls fired %d, want %d", goroutines*per, total, want)
+	}
+}
+
+func TestInjectedError(t *testing.T) {
+	err := &InjectedError{Point: PersistWrite, Op: "write"}
+	if !IsInjected(err) {
+		t.Error("IsInjected(InjectedError) = false")
+	}
+	wrapped := errors.Join(errors.New("outer"), err)
+	if !IsInjected(wrapped) {
+		t.Error("IsInjected(wrapped) = false")
+	}
+	if IsInjected(errors.New("plain")) {
+		t.Error("IsInjected(plain) = true")
+	}
+	if err.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestRuleDelayParsed(t *testing.T) {
+	p, err := ParsePlan(3, "stream.stall:every=1,delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, d := p.fire(StreamStall)
+	if !f || d != time.Millisecond {
+		t.Errorf("fire = %v delay = %v, want true 1ms", f, d)
+	}
+}

@@ -1,0 +1,33 @@
+//go:build !chaos
+
+package chaos
+
+// This file is the production half of the injection API: every hook is a
+// constant-returning leaf function. The compiler inlines them at every call
+// site and dead-code-eliminates the guarded branch, so a binary built
+// without -tags chaos carries no fault-injection overhead at all — no
+// branch, no atomic, no map lookup. hooks_on.go is the live half.
+
+// Compiled reports whether fault injection is compiled into this binary.
+const Compiled = false
+
+// Install sets the process-wide active plan. Without the chaos tag it is a
+// no-op; callers that require injection should check Compiled first.
+func Install(*Plan) {}
+
+// Active returns the installed plan (always nil without the chaos tag).
+func Active() *Plan { return nil }
+
+// Fire reports whether the point fires on this call.
+func Fire(Point) bool { return false }
+
+// Err returns an *InjectedError when the point fires, else nil.
+func Err(Point, string) error { return nil }
+
+// Sleep blocks for the point's configured delay when it fires.
+func Sleep(Point) {}
+
+// CorruptByte, when the point fires, returns a deterministic (index, mask)
+// to XOR into a buffer of length n, and true. Callers apply the flip
+// themselves so they control which copy of the data is damaged.
+func CorruptByte(Point, int) (int, byte, bool) { return 0, 0, false }

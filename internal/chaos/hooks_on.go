@@ -1,0 +1,60 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// This file is the live half of the injection API, compiled only under
+// -tags chaos. Hooks consult the process-wide installed plan; a nil plan
+// (nothing installed) never fires, so a chaos-built binary with no plan
+// behaves like production, just a pointer load slower per hook.
+
+// Compiled reports whether fault injection is compiled into this binary.
+const Compiled = true
+
+var active atomic.Pointer[Plan]
+
+// Install sets the process-wide active plan (nil disarms every point).
+// Counters live on the plan, so re-installing the same plan preserves its
+// history and installing a fresh plan resets it.
+func Install(p *Plan) { active.Store(p) }
+
+// Active returns the installed plan, or nil.
+func Active() *Plan { return active.Load() }
+
+// Fire reports whether the point fires on this call.
+func Fire(pt Point) bool {
+	f, _, _ := active.Load().fire(pt)
+	return f
+}
+
+// Err returns an *InjectedError when the point fires, else nil.
+func Err(pt Point, op string) error {
+	if Fire(pt) {
+		return &InjectedError{Point: pt, Op: op}
+	}
+	return nil
+}
+
+// Sleep blocks for the point's configured delay when it fires.
+func Sleep(pt Point) {
+	if f, _, d := active.Load().fire(pt); f && d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// CorruptByte, when the point fires, returns a deterministic (index, mask)
+// to XOR into a buffer of length n, and true. The index and bit follow the
+// firing ordinal, so a fixed seed damages the same offsets run after run.
+func CorruptByte(pt Point, n int) (int, byte, bool) {
+	f, ord, _ := active.Load().fire(pt)
+	if !f || n <= 0 {
+		return 0, 0, false
+	}
+	p := active.Load()
+	u := splitmix64(p.seed ^ hashPoint(pt) ^ uint64(ord)*0x9e3779b97f4a7c15)
+	return int(u % uint64(n)), 1 << ((u >> 32) % 8), true
+}

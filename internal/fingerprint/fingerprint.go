@@ -11,6 +11,7 @@ import (
 	"math/bits"
 	"math/rand/v2"
 
+	"repro/internal/chaos"
 	"repro/internal/pram"
 )
 
@@ -252,7 +253,16 @@ func (t *Table) Equal(i int, other *Table, j, l int) bool {
 	if t.h.base != other.h.base {
 		panic("fingerprint: tables from different hashers")
 	}
-	return t.Substring(i, i+l) == other.Substring(j, j+l)
+	eq := t.Substring(i, i+l) == other.Substring(j, j+l)
+	if !eq && chaos.Fire(chaos.FPCollide) {
+		// Forced fingerprint collision (chaos builds only; in production
+		// builds the hook is a constant false and this branch is compiled
+		// out). Lying "equal" here is exactly what a natural 61-bit
+		// collision would do: the Monte Carlo matcher goes wrong and the
+		// deterministic §3.4 checker must catch it and trigger a reseed.
+		return true
+	}
+	return eq
 }
 
 // Concat returns the fingerprint of the concatenation xy given fp(x), fp(y)

@@ -1,0 +1,73 @@
+//go:build chaos
+
+package lz
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+func withPlan(t *testing.T, seed uint64, spec string) {
+	t.Helper()
+	plan, err := chaos.ParsePlan(seed, spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	chaos.Install(plan)
+	t.Cleanup(func() { chaos.Install(nil) })
+}
+
+// TestChaosCorruptTokenRetried: an injected token corruption must be caught
+// by the deterministic verifier and healed by one retry — the compression
+// analog of a fingerprint-collision reseed.
+func TestChaosCorruptTokenRetried(t *testing.T) {
+	text := textgen.New(50).Repetitive(1500, 60, 0.1)
+	m := pram.New(2)
+	defer m.Close()
+	withPlan(t, 17, "lz.corrupt:p=1,n=1")
+	c, attempts, err := CompressVerified(m, text)
+	if err != nil {
+		t.Fatalf("CompressVerified: %v", err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (one corrupted, one clean)", attempts)
+	}
+	dec, err := Decode(c)
+	if err != nil || !bytes.Equal(dec, text) {
+		t.Fatalf("round trip after recovery failed: %v", err)
+	}
+	// And the parallel uncompressor agrees on the healed parse.
+	out, err := Uncompress(m, c, ByPointerJumping)
+	if err != nil || !bytes.Equal(out, text) {
+		t.Fatalf("parallel uncompress after recovery failed: %v", err)
+	}
+}
+
+// TestChaosPersistentCorruptionExhausts: a fault that fires on every attempt
+// must exhaust the retry budget and surface a typed error, not spin.
+func TestChaosPersistentCorruptionExhausts(t *testing.T) {
+	text := textgen.New(51).Repetitive(800, 40, 0.1)
+	m := pram.NewSequential()
+	withPlan(t, 23, "lz.corrupt:p=1")
+	_, attempts, err := CompressVerified(m, text)
+	if err == nil {
+		t.Fatal("CompressVerified succeeded under a persistent fault")
+	}
+	if attempts != compressAttempts {
+		t.Errorf("attempts = %d, want %d", attempts, compressAttempts)
+	}
+	stats := chaos.Active().Stats()
+	var fired int64
+	for _, s := range stats {
+		if s.Point == chaos.LZCorrupt {
+			fired = s.Fired
+		}
+	}
+	if fired != int64(compressAttempts) {
+		t.Errorf("lz.corrupt fired %d times, want %d", fired, compressAttempts)
+	}
+}

@@ -1,0 +1,100 @@
+package lz
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/pram"
+)
+
+// compressAttempts bounds the CompressVerified retry loop. The parallel
+// parse is deterministic, so a second attempt only helps against transient
+// faults (a flipped bit in the token buffer, a scheduling bug surfaced by
+// a race) — two retries is already generous, and the bound turns an
+// undiagnosed persistent fault into a typed error instead of a spin.
+const compressAttempts = 3
+
+// ErrVerifyFailed is wrapped by CompressVerified when every attempt
+// produced a parse that failed verification.
+var ErrVerifyFailed = errors.New("lz: parse failed verification")
+
+// VerifyParse deterministically checks that c is a correct LZ1 parse of
+// text, in O(n) sequential time and zero PRAM charge. It is the compression
+// analog of the §3.4 matcher checker: the parallel compressor is trusted
+// only after its output is re-derived from first principles.
+//
+// Soundness: a nil return implies Decode(c) == text. By induction over
+// tokens — a literal appends its byte, checked against text[pos]; a copy
+// with src < pos appends out[src+k] byte by byte, and out[0:pos] == text
+// [0:pos] by hypothesis, so the appended bytes equal text[src+k], checked
+// equal to text[pos+k]. Self-referencing copies (src+Len > pos) are covered
+// because the check compares within text, where the induction has already
+// pinned every byte the copy can reach.
+func VerifyParse(c Compressed, text []byte) error {
+	if c.N != len(text) {
+		return fmt.Errorf("%w: header length %d, text length %d", ErrVerifyFailed, c.N, len(text))
+	}
+	pos := 0
+	for k, tok := range c.Tokens {
+		if tok.IsLiteral() {
+			if pos >= len(text) {
+				return fmt.Errorf("%w: token %d overruns text at %d", ErrVerifyFailed, k, pos)
+			}
+			if tok.Lit != text[pos] {
+				return fmt.Errorf("%w: token %d literal %q, text has %q at %d", ErrVerifyFailed, k, tok.Lit, text[pos], pos)
+			}
+			pos++
+			continue
+		}
+		if tok.Len < 0 || tok.Src < 0 || int(tok.Src) >= pos {
+			return fmt.Errorf("%w: token %d copy (src=%d len=%d) invalid at %d", ErrVerifyFailed, k, tok.Src, tok.Len, pos)
+		}
+		if pos+int(tok.Len) > len(text) {
+			return fmt.Errorf("%w: token %d overruns text at %d", ErrVerifyFailed, k, pos)
+		}
+		for off := 0; off < int(tok.Len); off++ {
+			if text[int(tok.Src)+off] != text[pos+off] {
+				return fmt.Errorf("%w: token %d copies %q from %d, text has %q at %d",
+					ErrVerifyFailed, k, text[int(tok.Src)+off], int(tok.Src)+off, text[pos+off], pos+off)
+			}
+		}
+		pos += int(tok.Len)
+	}
+	if pos != len(text) {
+		return fmt.Errorf("%w: tokens cover %d of %d bytes", ErrVerifyFailed, pos, len(text))
+	}
+	return nil
+}
+
+// CompressVerified is Compress followed by VerifyParse, with retry — the
+// Las Vegas wrapper of the compression pipeline. Compress itself is
+// deterministic (suffix-tree based, no fingerprints), so unlike the
+// matcher's reseed loop the retry does not re-randomize; it defends against
+// transient corruption of the token stream between parse and use, which is
+// exactly what the chaos layer injects ("lz.corrupt"). It returns the
+// verified parse and the number of attempts consumed (1 on the fault-free
+// path).
+//
+// Verification is charged nothing on the Work/Depth ledger: it is a host-
+// side audit, not part of the simulated PRAM algorithm, so the fault-free
+// ledger is bit-identical to plain Compress.
+func CompressVerified(m *pram.Machine, text []byte) (Compressed, int, error) {
+	var lastErr error
+	for attempt := 1; attempt <= compressAttempts; attempt++ {
+		c := Compress(m, text)
+		if i, mask, ok := chaos.CorruptByte(chaos.LZCorrupt, len(c.Tokens)); ok {
+			// Damage one token's length (chaos builds only). Any nonzero XOR
+			// changes the token-length sum, so the verifier always detects it
+			// — the injected fault tests the recovery loop, not the verifier's
+			// blind spots.
+			c.Tokens[i].Len ^= int32(mask)
+		}
+		if err := VerifyParse(c, text); err != nil {
+			lastErr = err
+			continue
+		}
+		return c, attempt, nil
+	}
+	return Compressed{}, compressAttempts, fmt.Errorf("lz: %d attempts exhausted: %w", compressAttempts, lastErr)
+}

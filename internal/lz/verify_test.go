@@ -1,0 +1,128 @@
+package lz
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// TestVerifyParseAcceptsCompressOutput: the verifier must accept every
+// parse the compressor produces, across text families.
+func TestVerifyParseAcceptsCompressOutput(t *testing.T) {
+	gen := textgen.New(41)
+	m := pram.New(2)
+	defer m.Close()
+	for _, text := range [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("aaaaaaaaaaaaaaaa"),
+		gen.Uniform(500, 4),
+		gen.Repetitive(1000, 50, 0.1),
+		textgen.Fibonacci(300),
+		textgen.ThueMorse(256),
+	} {
+		c := Compress(m, text)
+		if err := VerifyParse(c, text); err != nil {
+			t.Errorf("verifier rejected a correct parse of %d bytes: %v", len(text), err)
+		}
+	}
+}
+
+// TestVerifyParseRejectsDamage: every way a token can be wrong must be
+// detected.
+func TestVerifyParseRejectsDamage(t *testing.T) {
+	text := textgen.New(42).Repetitive(600, 30, 0.15)
+	c := Compress(pram.NewSequential(), text)
+	if len(c.Tokens) < 3 {
+		t.Fatalf("test text too compressible: %d tokens", len(c.Tokens))
+	}
+	damage := []struct {
+		name string
+		mut  func(c *Compressed)
+	}{
+		{"wrong literal", func(c *Compressed) {
+			for k := range c.Tokens {
+				if c.Tokens[k].IsLiteral() {
+					c.Tokens[k].Lit ^= 0xFF
+					return
+				}
+			}
+		}},
+		{"short copy", func(c *Compressed) {
+			for k := range c.Tokens {
+				if c.Tokens[k].Len > 1 {
+					c.Tokens[k].Len--
+					return
+				}
+			}
+		}},
+		{"long copy", func(c *Compressed) {
+			for k := range c.Tokens {
+				if !c.Tokens[k].IsLiteral() {
+					c.Tokens[k].Len++
+					return
+				}
+			}
+		}},
+		{"future source", func(c *Compressed) {
+			c.Tokens[0] = Token{Src: int32(c.N), Len: 2}
+		}},
+		{"negative source", func(c *Compressed) {
+			for k := range c.Tokens {
+				if !c.Tokens[k].IsLiteral() {
+					c.Tokens[k].Src = -2
+					return
+				}
+			}
+		}},
+		{"dropped token", func(c *Compressed) {
+			c.Tokens = c.Tokens[:len(c.Tokens)-1]
+		}},
+		{"wrong header length", func(c *Compressed) {
+			c.N++
+		}},
+	}
+	for _, d := range damage {
+		bad := Compressed{N: c.N, Tokens: append([]Token(nil), c.Tokens...)}
+		d.mut(&bad)
+		if err := VerifyParse(bad, text); !errors.Is(err, ErrVerifyFailed) {
+			t.Errorf("%s: verifier returned %v, want ErrVerifyFailed", d.name, err)
+		}
+	}
+}
+
+// TestCompressVerifiedFaultFree: without faults CompressVerified succeeds on
+// the first attempt and its ledger is bit-identical to plain Compress —
+// verification is a host-side audit, not charged PRAM work.
+func TestCompressVerifiedFaultFree(t *testing.T) {
+	text := textgen.New(43).Repetitive(2000, 80, 0.1)
+
+	ref := pram.New(4)
+	defer ref.Close()
+	want := Compress(ref, text)
+	refWork, refDepth := ref.Counters()
+
+	m := pram.New(4)
+	defer m.Close()
+	got, attempts, err := CompressVerified(m, text)
+	if err != nil {
+		t.Fatalf("CompressVerified: %v", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1", attempts)
+	}
+	if gw, gd := m.Counters(); gw != refWork || gd != refDepth {
+		t.Errorf("ledger = (%d, %d), plain Compress = (%d, %d); verification must charge nothing",
+			gw, gd, refWork, refDepth)
+	}
+	if len(got.Tokens) != len(want.Tokens) {
+		t.Fatalf("parse differs from plain Compress: %d vs %d tokens", len(got.Tokens), len(want.Tokens))
+	}
+	dec, err := Decode(got)
+	if err != nil || !bytes.Equal(dec, text) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -9,7 +10,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 )
 
@@ -70,11 +74,19 @@ func KeyFor(patterns [][]byte, opts core.Options) Key {
 func KeyForSnapshot(data []byte) Key { return sha256.Sum256(data) }
 
 // Store is a content-addressed snapshot cache rooted at a directory. Writes
-// are atomic (temp file + rename), so a crashed writer never leaves a
-// half-written snapshot under a valid name; reads that fail validation
-// quarantine the file so one corrupt entry cannot wedge every future boot.
+// are atomic (temp file + rename) and read back and re-validated before the
+// rename, so a crashed writer never leaves a half-written snapshot under a
+// valid name and a silently-corrupting disk is caught while the in-memory
+// dictionary is still available to retry or fall back from. Reads that fail
+// validation quarantine the file so one corrupt entry cannot wedge every
+// future boot; a quarantine that itself fails (rename error) is logged and
+// counted, never swallowed.
 type Store struct {
-	dir string
+	dir  string
+	logf func(format string, args ...any) // never nil; defaults to a no-op
+
+	quarantined     atomic.Int64 // files renamed aside after failed validation
+	quarantineFails atomic.Int64 // quarantine renames that themselves failed
 }
 
 // Open creates the directory if needed and returns the store.
@@ -85,8 +97,27 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: open store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, logf: func(string, ...any) {}}, nil
 }
+
+// SetLogf installs a printf-style logger for store-internal events that
+// have no error-return path to the caller (quarantines and quarantine
+// failures). nil restores the no-op default.
+func (s *Store) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// Quarantined returns how many snapshot files this store has renamed aside
+// after failed validation.
+func (s *Store) Quarantined() int64 { return s.quarantined.Load() }
+
+// QuarantineFails returns how many quarantine renames failed — each one is
+// a corrupt file still sitting under its valid name, worth an operator's
+// attention (the next Get will re-detect and retry the quarantine).
+func (s *Store) QuarantineFails() int64 { return s.quarantineFails.Load() }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -122,25 +153,71 @@ func (s *Store) PutBytes(k Key, data []byte) (int, error) {
 	return len(data), nil
 }
 
+// writeAtomic writes data to a temp file, fsyncs, reads the file back and
+// re-validates it byte-for-byte and through the codec, and only then
+// renames it into place. The read-back turns silent write-time corruption
+// (a lying disk, a bit flip between buffer and platter) into a loud error
+// while the caller still holds the in-memory dictionary, instead of a
+// quarantine — or worse, a wrong match — on some future boot.
 func (s *Store) writeAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: put: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("persist: put: %w", err)
+	wdata := data
+	if i, mask, ok := chaos.CorruptByte(chaos.PersistWriteFlip, len(data)); ok {
+		// Damage only the bytes that hit the disk; the caller's copy stays
+		// intact, exactly like real write-path corruption.
+		wdata = append([]byte(nil), data...)
+		wdata[i] ^= mask
 	}
-	if err := tmp.Sync(); err != nil {
+	werr := chaos.Err(chaos.PersistWrite, "write")
+	if werr == nil {
+		_, werr = tmp.Write(wdata)
+	} else {
+		// Short write: commit a prefix before failing, like a full disk.
+		_, _ = tmp.Write(wdata[:len(wdata)/2])
+	}
+	if werr != nil {
 		tmp.Close()
-		return fmt.Errorf("persist: put: %w", err)
+		return fmt.Errorf("persist: put: %w", werr)
+	}
+	serr := chaos.Err(chaos.PersistSync, "fsync")
+	if serr == nil {
+		serr = tmp.Sync()
+	}
+	if serr != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: put: %w", serr)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: put: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("persist: put: %w", err)
+	if err := s.verifyWritten(tmp.Name(), data); err != nil {
+		return err
+	}
+	rerr := chaos.Err(chaos.PersistRename, "rename")
+	if rerr == nil {
+		rerr = os.Rename(tmp.Name(), path)
+	}
+	if rerr != nil {
+		return fmt.Errorf("persist: put: %w", rerr)
+	}
+	return nil
+}
+
+// verifyWritten is the post-write read-back check of writeAtomic.
+func (s *Store) verifyWritten(tmpPath string, want []byte) error {
+	got, err := os.ReadFile(tmpPath)
+	if err != nil {
+		return fmt.Errorf("persist: put read-back: %w", err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("persist: put read-back: %w: file differs from written bytes", ErrCorrupt)
+	}
+	if _, err := Load(got); err != nil {
+		return fmt.Errorf("persist: put read-back: %w", err)
 	}
 	return nil
 }
@@ -160,14 +237,34 @@ func (s *Store) Get(k Key) (*core.Dictionary, int, error) {
 		}
 		return nil, 0, fmt.Errorf("persist: get: %w", err)
 	}
+	if i, mask, ok := chaos.CorruptByte(chaos.PersistBitflip, len(data)); ok {
+		// Bit rot between disk and decoder, before any CRC check.
+		data[i] ^= mask
+	}
 	d, err := Load(data)
 	if err != nil {
-		// Quarantine best-effort: a rename failure must not mask the
-		// decode error, which the caller dispatches on.
-		_ = os.Rename(path, path+quarantineExt)
+		s.quarantine(path, err)
 		return nil, 0, err
 	}
 	return d, len(data), nil
+}
+
+// quarantine renames a failed-validation file aside. The rename is
+// best-effort in the sense that its failure must not mask the decode error
+// the caller dispatches on — but it is never silent: both outcomes are
+// logged and counted, and QuarantineFails exposes the failure to /metrics.
+func (s *Store) quarantine(path string, cause error) {
+	rerr := chaos.Err(chaos.PersistQuarantine, "rename")
+	if rerr == nil {
+		rerr = os.Rename(path, path+quarantineExt)
+	}
+	if rerr != nil {
+		s.quarantineFails.Add(1)
+		s.logf("persist: quarantine of %s FAILED (%v); corrupt file still in place (cause: %v)", path, rerr, cause)
+		return
+	}
+	s.quarantined.Add(1)
+	s.logf("persist: quarantined %s: %v", path, cause)
 }
 
 // Keys lists the keys of all well-named snapshot files currently in the
@@ -192,4 +289,55 @@ func (s *Store) Keys() ([]Key, error) {
 		keys = append(keys, k)
 	}
 	return keys, nil
+}
+
+// SweepReport summarizes a startup sweep of the store.
+type SweepReport struct {
+	Valid           int // snapshots that decoded cleanly
+	Quarantined     int // snapshots quarantined by this sweep
+	QuarantineFails int // sweep quarantines that failed to rename
+	PreQuarantined  int // *.quarantined files left by earlier runs
+}
+
+// Sweep re-validates every snapshot in the store: each well-named file is
+// read and decoded, corrupt ones are quarantined (and counted), and
+// leftover quarantine files from earlier runs are tallied. Servers run it
+// at startup so a boot reports the store's health up front instead of
+// discovering rot lazily, one failed Get at a time.
+func (s *Store) Sweep() (SweepReport, error) {
+	var rep SweepReport
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return rep, fmt.Errorf("persist: sweep: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, quarantineExt) {
+			rep.PreQuarantined++
+			continue
+		}
+		if filepath.Ext(name) != fileExt {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // raced with a concurrent writer/remover; not our problem
+		}
+		before := s.quarantineFails.Load()
+		if _, err := Load(data); err != nil {
+			s.quarantine(path, err)
+			if s.quarantineFails.Load() > before {
+				rep.QuarantineFails++
+			} else {
+				rep.Quarantined++
+			}
+			continue
+		}
+		rep.Valid++
+	}
+	return rep, nil
 }

@@ -26,6 +26,7 @@ package pram
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -118,12 +119,14 @@ func NewWithEngine(procs int, e Engine) *Machine {
 // parallel machine; only the schedule is serial.
 func NewSequential() *Machine { return &Machine{procs: 1} }
 
-// Close releases the machine's parked workers. It is safe to call multiple
-// times and on sequential machines, but must not race with an in-flight
-// ParallelFor. Omitting Close is not a leak — the finalizer reclaims the
-// workers at the next collection — but long-lived processes that churn
-// through Machines (one per request, say) should Close to keep the parked
-// goroutine count flat.
+// Close releases the machine's parked workers. It is idempotent — double
+// and concurrent Close are safe — and safe on sequential machines, but must
+// not race with an in-flight ParallelFor. A ParallelFor issued *after*
+// Close does not hang: the pool detects the retired workers and degrades to
+// caller-only inline execution (counters unaffected). Omitting Close is not
+// a leak — the finalizer reclaims the workers at the next collection — but
+// long-lived processes that churn through Machines (one per request, say)
+// should Close to keep the parked goroutine count flat.
 func (m *Machine) Close() {
 	if m.pool != nil {
 		m.pool.shutdown()
@@ -214,6 +217,13 @@ func (m *Machine) Account(work, depth int64) {
 // (or be provably per-index disjoint). The call returns after all n virtual
 // processors finish, i.e. there is an implicit barrier, exactly as on a
 // synchronous PRAM.
+//
+// Panic semantics: a body panic never escapes on a worker goroutine (which
+// would kill the process with no chance to recover). When the step ran
+// chunked — pooled or spawned — the first body panic is re-raised on the
+// *calling* goroutine wrapped in a *StepPanic; when the step ran inline on
+// the caller, the panic propagates unwrapped. Either way a recover around
+// the ParallelFor call (e.g. a server's per-request recover) contains it.
 func (m *Machine) ParallelFor(n int, body func(i int)) {
 	m.ParallelForCost(n, 1, body)
 }
@@ -260,10 +270,14 @@ func (m *Machine) ParallelForCost(n int, cost int64, body func(i int)) {
 }
 
 // runSpawn is the EngineSpawn dispatch path: fresh goroutines plus a
-// WaitGroup per super-step (the pre-pool behaviour).
+// WaitGroup per super-step (the pre-pool behaviour). It applies the same
+// panic containment as the pool: a body panic on a spawned goroutine is
+// parked, the step drains, and the panic is re-raised on the caller as a
+// typed *StepPanic.
 func (m *Machine) runSpawn(n, grain int, body func(i int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicked atomic.Pointer[StepPanic]
 	workers := m.procs
 	if w := (n + grain - 1) / grain; w < workers {
 		workers = w
@@ -272,7 +286,15 @@ func (m *Machine) runSpawn(n, grain int, body func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &StepPanic{Value: r, Stack: debug.Stack()})
+				}
+			}()
 			for {
+				if panicked.Load() != nil {
+					return
+				}
 				lo := int(next.Add(int64(grain))) - grain
 				if lo >= n {
 					return
@@ -288,6 +310,9 @@ func (m *Machine) runSpawn(n, grain int, body func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if sp := panicked.Load(); sp != nil {
+		panic(sp)
+	}
 }
 
 // Do runs the given branches concurrently as one super-step of depth 1 and

@@ -1,0 +1,426 @@
+//go:build chaos
+
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/chaos"
+	"repro/internal/textgen"
+)
+
+// installPlan parses and installs a chaos plan for the duration of the test.
+func installPlan(t *testing.T, seed uint64, spec string) *chaos.Plan {
+	t.Helper()
+	p, err := chaos.ParsePlan(seed, spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	chaos.Install(p)
+	t.Cleanup(func() { chaos.Install(nil) })
+	return p
+}
+
+// firedCount reads the fired counter for one point from a plan's stats.
+func firedCount(p *chaos.Plan, pt chaos.Point) int64 {
+	for _, st := range p.Stats() {
+		if st.Point == pt {
+			return st.Fired
+		}
+	}
+	return 0
+}
+
+// createPlanted registers a planted dictionary and returns the created ID,
+// the text, and its Aho–Corasick oracle. Registration happens before any
+// plan is installed by the caller, so preprocessing is never perturbed.
+func createPlanted(t *testing.T, base string, genSeed uint64, n int) (string, []byte, *ahocorasick.Automaton) {
+	t.Helper()
+	gen := textgen.New(genSeed)
+	text, patterns := gen.PlantedDictionary(n, 24, 8, 101, 4)
+	patStrs := make([]string, len(patterns))
+	for i, p := range patterns {
+		patStrs[i] = string(p)
+	}
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": patStrs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	return created.ID, text, ahocorasick.New(patterns)
+}
+
+// checkMatchResponse verifies one matchResponse against the oracle.
+func checkMatchResponse(mr matchResponse, text []byte, ac *ahocorasick.Automaton) error {
+	oracle := ac.Match(text)
+	want := 0
+	for _, p := range oracle {
+		if p >= 0 {
+			want++
+		}
+	}
+	if mr.N != len(text) || mr.Matched != want || mr.Attempts < 1 {
+		return fmt.Errorf("got %d hits over %d bytes (attempts %d), oracle says %d over %d",
+			mr.Matched, mr.N, mr.Attempts, want, len(text))
+	}
+	for _, h := range mr.Hits {
+		if p := oracle[h.Pos]; int(p) != h.Pattern || int(ac.PatternLen(p)) != h.Length {
+			return fmt.Errorf("pos %d: got pattern %d len %d, oracle %d len %d",
+				h.Pos, h.Pattern, h.Length, p, ac.PatternLen(p))
+		}
+	}
+	return nil
+}
+
+// TestChaosForcedCollisionReseedServes is the acceptance path for matching:
+// a forced fingerprint collision makes the Monte Carlo phase lie, the §3.4
+// checker catches it, the entry reseeds, and the request still answers 200
+// with oracle-exact output — the client never sees the fault, only
+// attempts > 1.
+func TestChaosForcedCollisionReseedServes(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	// A burst of 64 forced collisions: enough that the first attempt's
+	// output is certainly corrupt (one collision can land somewhere
+	// harmless), yet far fewer than the unequal comparisons of a single
+	// attempt over 8 KiB, so the budget cannot stretch to matchAttempts
+	// failures.
+	id, text, ac := createPlanted(t, base, 11, 1<<13)
+	plan := installPlan(t, 1, "fp.collide:p=1,n=64")
+
+	status, body := postJSON(t, fmt.Sprintf("%s/v1/dicts/%s/match", base, id),
+		map[string]any{"textB64": base64.StdEncoding.EncodeToString(text)})
+	if status != http.StatusOK {
+		t.Fatalf("match under one forced collision: %d %s", status, body)
+	}
+	var mr matchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (the forced collision must cost a real reseed)", mr.Attempts)
+	}
+	if err := checkMatchResponse(mr, text, ac); err != nil {
+		t.Fatal(err)
+	}
+	if got := firedCount(plan, chaos.FPCollide); got < 1 {
+		t.Fatalf("fp.collide fired %d times, want >= 1", got)
+	}
+	// The reseed is charged to the preprocess ledger: initial Preprocess
+	// plus at least one reseed.
+	var snap MetricsSnapshot
+	getJSON(t, base+"/metrics", &snap)
+	if snap.PRAM["preprocess"].Ops < 2 {
+		t.Errorf("preprocess ledger ops = %d, want >= 2 (reseed must be charged)", snap.PRAM["preprocess"].Ops)
+	}
+}
+
+// TestChaosExhaustionOpensBreaker drives MatchChecked to full Las Vegas
+// exhaustion: with every fingerprint comparison forced to collide, all
+// matchAttempts fail, the handler maps the typed error to 500, the reseed
+// attempts are charged to the preprocess ledger, and the second exhaustion
+// opens the circuit breaker. Once the faults stop, the background rebuild
+// restores service and the answers are oracle-exact again.
+func TestChaosExhaustionOpensBreaker(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	id, text, ac := createPlanted(t, base, 13, 1<<12)
+	matchURL := fmt.Sprintf("%s/v1/dicts/%s/match", base, id)
+	payload := map[string]any{"textB64": base64.StdEncoding.EncodeToString(text)}
+
+	installPlan(t, 2, "fp.collide:p=1")
+
+	// Exhaustion #1: every attempt fails, typed error maps to 500.
+	status, body := postJSON(t, matchURL, payload)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("first exhausted request: %d %s, want 500", status, body)
+	}
+	if !strings.Contains(string(body), "matching failed") {
+		t.Fatalf("500 body does not surface the failure: %s", body)
+	}
+
+	// Exhaustion #2 trips the breaker (breakerThreshold = 2).
+	if status, body = postJSON(t, matchURL, payload); status != http.StatusInternalServerError {
+		t.Fatalf("second exhausted request: %d %s, want 500", status, body)
+	}
+
+	var snap MetricsSnapshot
+	getJSON(t, base+"/metrics", &snap)
+	if snap.Resilience.FpExhaustions != 2 {
+		t.Errorf("fpExhaustions = %d, want 2", snap.Resilience.FpExhaustions)
+	}
+	if snap.Resilience.BreakerOpens < 1 {
+		t.Errorf("breakerOpens = %d, want >= 1", snap.Resilience.BreakerOpens)
+	}
+	// 2 requests x (matchAttempts-1) reseeds each, plus the initial
+	// Preprocess, plus possibly the background rebuild.
+	if want := int64(1 + 2*(matchAttempts-1)); snap.PRAM["preprocess"].Ops < want {
+		t.Errorf("preprocess ledger ops = %d, want >= %d (every reseed charged)",
+			snap.PRAM["preprocess"].Ops, want)
+	}
+
+	// Stop injecting; the breaker's background rebuild (plus, at worst, one
+	// more exhaustion/recovery cycle already in flight) must bring the
+	// entry back. Accept 500/503 while recovery races, insist on a correct
+	// 200 before the deadline.
+	chaos.Install(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body = postJSON(t, matchURL, payload)
+		if status == http.StatusOK {
+			break
+		}
+		if status != http.StatusInternalServerError && status != http.StatusServiceUnavailable {
+			t.Fatalf("unexpected status during recovery: %d %s", status, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("entry never recovered: last status %d %s", status, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var mr matchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMatchResponse(mr, text, ac); err != nil {
+		t.Fatalf("post-recovery answer wrong: %v", err)
+	}
+	for time.Now().Before(deadline) {
+		getJSON(t, base+"/metrics", &snap)
+		if snap.Resilience.BreakerRecoveries >= 1 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if snap.Resilience.BreakerRecoveries < 1 {
+		t.Errorf("breakerRecoveries = %d, want >= 1", snap.Resilience.BreakerRecoveries)
+	}
+	if got := srv.Registry().DegradedIDs(); len(got) != 0 {
+		t.Errorf("entries still degraded after recovery: %v", got)
+	}
+}
+
+// TestChaosConcurrentFaultSchedule is the e2e acceptance test: 112
+// concurrent requests — buffered matches, LZ1 round trips, and NDJSON match
+// streams — under a randomized but seeded fault schedule mixing fingerprint
+// collisions, LZ1 token corruption, straggler delays, and stream stalls.
+// Fault budgets are capped below the retry limits (fp.collide n <
+// matchAttempts, lz.corrupt n < compressAttempts), so every request must
+// succeed and every answer must agree with its oracle; the faults only show
+// up as extra Las Vegas rounds.
+func TestChaosConcurrentFaultSchedule(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 2, MaxInflight: 256,
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	id, text, ac := createPlanted(t, base, 17, 1<<14)
+	oracle := ac.Match(text)
+	wantHits := 0
+	for _, p := range oracle {
+		if p >= 0 {
+			wantHits++
+		}
+	}
+	if wantHits == 0 {
+		t.Fatal("degenerate workload: no oracle matches")
+	}
+
+	gen := textgen.New(18)
+	const matchReqs, lzReqs, streamReqs = 48, 48, 16
+	lzPayloads := make([][]byte, lzReqs)
+	for i := range lzPayloads {
+		lzPayloads[i] = gen.Repetitive(2048+16*i, 64, 0.02)
+	}
+
+	plan := installPlan(t, 0xC0FFEE,
+		"fp.collide:p=0.002,n=4;lz.corrupt:p=1,n=2;pool.delay:p=0.01,delay=200us;stream.stall:p=0.1,delay=500us")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, matchReqs+lzReqs+streamReqs)
+	textB64 := base64.StdEncoding.EncodeToString(text)
+
+	var attemptsTotal, lzAttemptsTotal int64
+	var mu sync.Mutex
+
+	for i := 0; i < matchReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := postJSON(t, fmt.Sprintf("%s/v1/dicts/%s/match", base, id),
+				map[string]any{"textB64": textB64})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("match %d: status %d: %s", i, status, body)
+				return
+			}
+			var mr matchResponse
+			if err := json.Unmarshal(body, &mr); err != nil {
+				errs <- fmt.Errorf("match %d: %v", i, err)
+				return
+			}
+			if err := checkMatchResponse(mr, text, ac); err != nil {
+				errs <- fmt.Errorf("match %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			attemptsTotal += int64(mr.Attempts)
+			mu.Unlock()
+		}(i)
+	}
+	for i := 0; i < lzReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := lzPayloads[i]
+			status, body := postJSON(t, base+"/v1/compress",
+				map[string]any{"textB64": base64.StdEncoding.EncodeToString(payload)})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("compress %d: status %d: %s", i, status, body)
+				return
+			}
+			var cr compressResponse
+			if err := json.Unmarshal(body, &cr); err != nil {
+				errs <- fmt.Errorf("compress %d: %v", i, err)
+				return
+			}
+			if cr.N != len(payload) || cr.Attempts < 1 {
+				errs <- fmt.Errorf("compress %d: N=%d attempts=%d", i, cr.N, cr.Attempts)
+				return
+			}
+			mu.Lock()
+			lzAttemptsTotal += int64(cr.Attempts)
+			mu.Unlock()
+			status, body = postJSON(t, base+"/v1/decompress", map[string]any{"dataB64": cr.DataB64})
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("decompress %d: status %d: %s", i, status, body)
+				return
+			}
+			var dr expandResponse
+			if err := json.Unmarshal(body, &dr); err != nil {
+				errs <- fmt.Errorf("decompress %d: %v", i, err)
+				return
+			}
+			round, err := base64.StdEncoding.DecodeString(dr.TextB64)
+			if err != nil || !bytes.Equal(round, payload) {
+				errs <- fmt.Errorf("decompress %d: round trip mismatch (err=%v)", i, err)
+			}
+		}(i)
+	}
+	for i := 0; i < streamReqs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(
+				fmt.Sprintf("%s/v1/dicts/%s/match/stream?segment=2048", base, id),
+				"application/octet-stream", bytes.NewReader(text))
+			if err != nil {
+				errs <- fmt.Errorf("stream %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("stream %d: status %d", i, resp.StatusCode)
+				return
+			}
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			events := 0
+			sawSummary := false
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.Contains(line, `"summary"`) {
+					sawSummary = true
+					var tr struct {
+						Summary streamSummary `json:"summary"`
+					}
+					if err := json.Unmarshal([]byte(line), &tr); err != nil {
+						errs <- fmt.Errorf("stream %d: bad summary: %v", i, err)
+						return
+					}
+					if tr.Summary.N != int64(len(text)) {
+						errs <- fmt.Errorf("stream %d: summary n=%d, want %d", i, tr.Summary.N, len(text))
+						return
+					}
+					continue
+				}
+				var ev struct {
+					Pos     int `json:"pos"`
+					Pattern int `json:"pattern"`
+					Length  int `json:"length"`
+				}
+				if err := json.Unmarshal([]byte(line), &ev); err != nil {
+					errs <- fmt.Errorf("stream %d: bad line %q: %v", i, line, err)
+					return
+				}
+				if p := oracle[ev.Pos]; int(p) != ev.Pattern || int(ac.PatternLen(p)) != ev.Length {
+					errs <- fmt.Errorf("stream %d: event %+v disagrees with oracle", i, ev)
+					return
+				}
+				events++
+			}
+			if err := sc.Err(); err != nil {
+				errs <- fmt.Errorf("stream %d: read: %v", i, err)
+				return
+			}
+			if !sawSummary {
+				errs <- fmt.Errorf("stream %d: no summary trailer (silent truncation)", i)
+				return
+			}
+			if events != wantHits {
+				errs <- fmt.Errorf("stream %d: %d events, oracle says %d", i, events, wantHits)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The schedule must actually have fired: the full LZ corruption budget
+	// was consumed and surfaced as verified retries, and any fingerprint
+	// collisions that fired cost real extra rounds without touching output.
+	if got := firedCount(plan, chaos.LZCorrupt); got != 2 {
+		t.Errorf("lz.corrupt fired %d times, want 2", got)
+	}
+	if lzAttemptsTotal != lzReqs+2 {
+		t.Errorf("total compress attempts = %d, want %d (each corruption = one retry)", lzAttemptsTotal, lzReqs+2)
+	}
+	if fired := firedCount(plan, chaos.FPCollide); fired > 0 && attemptsTotal == matchReqs {
+		// Collisions during buffered matches must surface as extra attempts
+		// (they may also land in stream windows, where the summary rounds
+		// absorb them — only flag the impossible combination).
+		var snap MetricsSnapshot
+		getJSON(t, base+"/metrics", &snap)
+		if snap.Streams.Segments == 0 {
+			t.Errorf("fp.collide fired %d times but no request paid an extra attempt", fired)
+		}
+	}
+}

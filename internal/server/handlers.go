@@ -72,12 +72,23 @@ func (p *textPayload) bytes() ([]byte, error) {
 }
 
 // writeCtxError maps a context error to 503 (deadline) or 499-style close.
+// Both carry Retry-After: the request died of server-side pressure, not a
+// client mistake, and a prompt retry usually lands on a quieter instance.
 func writeCtxError(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
 	if errors.Is(err, context.DeadlineExceeded) {
 		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded")
 		return
 	}
 	writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+}
+
+// writeDegraded answers for an entry whose circuit breaker is open: a 503
+// with Retry-After, so clients back off while the background fingerprint
+// rebuild runs.
+func writeDegraded(w http.ResponseWriter, de *DegradedError) {
+	w.Header().Set("Retry-After", degradedRetryAfter)
+	writeError(w, http.StatusServiceUnavailable, "dictionary %s is degraded, recovery in progress; retry shortly", de.ID)
 }
 
 // Dictionary registry endpoints --------------------------------------------
@@ -159,9 +170,9 @@ func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		} else if !errors.Is(err, persist.ErrNotFound) {
-			// Invalid entry: Get quarantined it; preprocess and overwrite.
-			s.metrics.quarantines.Add(1)
-			s.cfg.Log.Printf("cache entry %s rejected (quarantined): %v", keyHex, err)
+			// Invalid entry: Get quarantined and counted it; preprocess and
+			// overwrite.
+			s.cfg.Log.Printf("cache entry %s rejected: %v", keyHex, err)
 		}
 		s.metrics.cacheMisses.Add(1)
 	}
@@ -260,11 +271,19 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	matches, attempts, _, err := e.MatchChecked(r.Context(), text, s.cfg.Procs, s.metrics)
 	if err != nil {
+		var de *DegradedError
+		if errors.As(err, &de) {
+			writeDegraded(w, de)
+			return
+		}
 		if r.Context().Err() != nil {
 			s.metrics.timeouts.Add(1)
 			writeCtxError(w, err)
 			return
 		}
+		// A *FingerprintExhaustedError (or anything else unexpected) is a
+		// server-side failure: 500, and the breaker decides whether the
+		// entry keeps serving.
 		writeError(w, http.StatusInternalServerError, "matching failed: %v", err)
 		return
 	}
@@ -368,10 +387,11 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 // LZ1 compression (§4) ------------------------------------------------------
 
 type compressResponse struct {
-	N       int     `json:"n"`
-	Tokens  int     `json:"tokens"`
-	DataB64 string  `json:"dataB64"` // LZ1R1 container, base64
-	Ratio   float64 `json:"ratio"`   // container bytes / text bytes
+	N        int     `json:"n"`
+	Tokens   int     `json:"tokens"`
+	Attempts int     `json:"attempts"` // parse-verify rounds (1 = first try)
+	DataB64  string  `json:"dataB64"`  // LZ1R1 container, base64
+	Ratio    float64 `json:"ratio"`    // container bytes / text bytes
 }
 
 // handleCompress runs the §4 work-optimal parallel LZ1 parse. It needs no
@@ -394,17 +414,22 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	}
 	m := pram.New(s.cfg.Procs)
 	defer m.Close()
-	c := lz.Compress(m, text)
+	c, attempts, err := lz.CompressVerified(m, text)
 	s.metrics.ChargePRAM("compress", m.Work(), m.Depth())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "compression failed verification: %v", err)
+		return
+	}
 	var buf bytes.Buffer
 	if err := lz.EncodeStream(&buf, c); err != nil {
 		writeError(w, http.StatusInternalServerError, "encode: %v", err)
 		return
 	}
 	resp := compressResponse{
-		N:       c.N,
-		Tokens:  len(c.Tokens),
-		DataB64: base64.StdEncoding.EncodeToString(buf.Bytes()),
+		N:        c.N,
+		Tokens:   len(c.Tokens),
+		Attempts: attempts,
+		DataB64:  base64.StdEncoding.EncodeToString(buf.Bytes()),
 	}
 	if len(text) > 0 {
 		resp.Ratio = float64(buf.Len()) / float64(len(text))
@@ -460,9 +485,92 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot(s.reg, s.limiter)
 	snap.Persist.Enabled = s.store != nil
+	if s.store != nil {
+		snap.Persist.Quarantines = s.store.Quarantined()
+		snap.Persist.QuarantineFails = s.store.QuarantineFails()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyzStore is the snapshot-store section of the readiness payload.
+type readyzStore struct {
+	Enabled         bool  `json:"enabled"`
+	Quarantines     int64 `json:"quarantines"`
+	QuarantineFails int64 `json:"quarantineFails"`
+	SweepValid      int   `json:"sweepValid"`
+	SweepRot        int   `json:"sweepQuarantined"`
+}
+
+// readyzResponse is the GET /readyz payload.
+type readyzResponse struct {
+	Status   string      `json:"status"` // "ready" or "degraded"
+	Pool     string      `json:"pool"`   // "ok" or the probe failure
+	Degraded []string    `json:"degradedDicts,omitempty"`
+	Store    readyzStore `json:"store"`
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz (liveness):
+// healthz answers "is the process up", readyz answers "can it serve
+// correctly right now". Not-ready (503 + Retry-After) when the worker-pool
+// probe fails or any resident dictionary's circuit breaker is open —
+// conditions that resolve themselves (background reseed) or warrant
+// draining traffic elsewhere.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{Status: "ready", Pool: "ok"}
+
+	// Probe the PRAM pool with a tiny parallel reduction: a wedged or
+	// panicking pool surfaces here instead of on user traffic.
+	if err := probePool(s.cfg.Procs); err != nil {
+		resp.Pool = err.Error()
+		resp.Status = "degraded"
+	}
+
+	resp.Degraded = s.reg.DegradedIDs()
+	if len(resp.Degraded) > 0 {
+		resp.Status = "degraded"
+	}
+
+	resp.Store.Enabled = s.store != nil
+	if s.store != nil {
+		resp.Store.Quarantines = s.store.Quarantined()
+		resp.Store.QuarantineFails = s.store.QuarantineFails()
+		resp.Store.SweepValid = s.sweep.Valid
+		resp.Store.SweepRot = s.sweep.Quarantined + s.sweep.PreQuarantined
+	}
+
+	if resp.Status != "ready" {
+		w.Header().Set("Retry-After", degradedRetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// probePool checks that a worker-pool machine can complete a super-step:
+// it sums 0..n-1 with ParallelFor and verifies the closed form. A panic
+// inside the pool comes back as a *pram.StepPanic and is reported as an
+// error, not propagated.
+func probePool(procs int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pool probe panicked: %v", r)
+		}
+	}()
+	m := pram.New(procs)
+	defer m.Close()
+	const n = 1024
+	cells := make([]int64, n)
+	m.ParallelFor(n, func(i int) { cells[i] = int64(i) })
+	var sum int64
+	for _, c := range cells {
+		sum += c
+	}
+	if want := int64(n * (n - 1) / 2); sum != want {
+		return fmt.Errorf("pool probe sum mismatch: got %d, want %d", sum, want)
+	}
+	return nil
 }

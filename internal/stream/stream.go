@@ -26,7 +26,11 @@ package stream
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"runtime/debug"
+
+	"repro/internal/chaos"
 )
 
 // DefaultSegment is the segment size used when Config.SegmentBytes is zero.
@@ -93,6 +97,31 @@ type segment struct {
 	err  error
 }
 
+// WindowPanicError is the typed error a streaming run returns when the
+// per-window computation panicked (a pram.StepPanic surfacing from a worker,
+// or any other body panic). The pipeline converts the panic to an error at
+// the window boundary so a service can end the stream with an error trailer
+// — and a CLI with a diagnostic — instead of dying: upstream of this
+// conversion nothing has been half-emitted, because events for a window are
+// only sent after its computation returns.
+type WindowPanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *WindowPanicError) Error() string {
+	return fmt.Sprintf("stream: window computation panicked: %v", e.Value)
+}
+
+// Unwrap exposes error-typed panic values (e.g. a *pram.StepPanic) to
+// errors.Is/As.
+func (e *WindowPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // runWindows drives the double-buffered read loop. fn sees each window
 // (carry + fresh segment), the absolute offset of its first byte, and the
 // count of finalized positions; it must not retain the window slice.
@@ -115,6 +144,7 @@ func runWindows(ctx context.Context, r io.Reader, segSize, halo int, st *Stats, 
 			case <-done:
 				return
 			}
+			chaos.Sleep(chaos.StreamStall) // injected producer stall (chaos builds)
 			n, err := io.ReadFull(r, buf[:segSize])
 			s := segment{buf: buf[:n]}
 			switch err {
@@ -123,6 +153,13 @@ func runWindows(ctx context.Context, r io.Reader, segSize, halo int, st *Stats, 
 				s.last = true
 			default:
 				s.err = err
+			}
+			if s.err == nil && chaos.Fire(chaos.StreamTruncate) {
+				// Injected mid-stream truncation: the reader dies with half a
+				// segment delivered, like a dropped connection.
+				s.buf = s.buf[:n/2]
+				s.err = &chaos.InjectedError{Point: chaos.StreamTruncate, Op: "read"}
+				s.last = false
 			}
 			select {
 			case segs <- s:
@@ -135,6 +172,22 @@ func runWindows(ctx context.Context, r io.Reader, segSize, halo int, st *Stats, 
 		}
 	}()
 
+	return consumeWindows(ctx, segs, free, segSize, halo, st, fn)
+}
+
+// callWindow runs one window computation with panic containment (see
+// WindowPanicError).
+func callWindow(fn func([]byte, int64, int, bool) error, window []byte, base int64, final int, last bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &WindowPanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(window, base, final, last)
+}
+
+// consumeWindows is the consumer half of runWindows.
+func consumeWindows(ctx context.Context, segs <-chan segment, free chan<- []byte, segSize, halo int, st *Stats, fn func(window []byte, base int64, final int, last bool) error) error {
 	window := make([]byte, 0, segSize+halo)
 	var base int64
 	carry := 0
@@ -164,7 +217,7 @@ func runWindows(ctx context.Context, r io.Reader, segSize, halo int, st *Stats, 
 				final = 0
 			}
 		}
-		if err := fn(window, base, final, s.last); err != nil {
+		if err := callWindow(fn, window, base, final, s.last); err != nil {
 			return err
 		}
 		carry = len(window) - final
