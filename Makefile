@@ -21,10 +21,12 @@ bench:
 
 # Regenerates the committed runtime-benchmark record: the P-series
 # (legacy vs pooled engine, internal/bench/perf.go), the S-series
-# (one-shot vs streaming matching, internal/bench/streaming.go), and the
-# D-series (cold preprocess vs snapshot load, internal/bench/persist.go).
+# (one-shot vs streaming matching, internal/bench/streaming.go), the
+# D-series (cold preprocess vs snapshot load, internal/bench/persist.go),
+# and the C-series (tree walk vs compiled dense automaton,
+# internal/bench/dense.go).
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR4.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR6.json
 
 experiments:
 	$(GO) run ./cmd/benchtab | tee experiments_raw.txt
@@ -39,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz FuzzHandleRequests -fuzztime 30s ./internal/server/
 	$(GO) test -fuzz FuzzStreamEquivalence -fuzztime 30s ./internal/stream/
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/persist/
+	$(GO) test -fuzz FuzzDenseEquivalence -fuzztime 30s ./internal/dense/
 
 # Flags: -addr :8080 -procs N -max-dicts N -max-inflight N -timeout 30s
 serve:

@@ -11,10 +11,11 @@
 // machine-readable results to the given path: the P-series (legacy vs
 // pooled execution engine — id, ns/op, allocs/op, PRAM work and depth)
 // the S-series (one-shot vs streaming matching across a segment
-// sweep — MB/s, peak resident window, segments, ledger), and the
+// sweep — MB/s, peak resident window, segments, ledger), the
 // D-series (cold preprocessing vs snapshot load across a dictionary
-// sweep — ns, snapshot bytes vs d). This is what `make bench-json`
-// uses to regenerate BENCH_PR4.json.
+// sweep — ns, snapshot bytes vs d), and the C-series (tree walk vs
+// compiled dense automaton — MB/s per core, compile and restore cost).
+// This is what `make bench-json` uses to regenerate BENCH_PR6.json.
 package main
 
 import (
@@ -37,6 +38,7 @@ type perfFile struct {
 	Results    []bench.PerfResult        `json:"results"`
 	Streaming  []bench.StreamPerfResult  `json:"streaming"`
 	Persist    []bench.PersistPerfResult `json:"persist"`
+	Dense      []bench.DensePerfResult   `json:"dense"`
 }
 
 func main() {
@@ -96,6 +98,7 @@ func writePerfJSON(path string, scale bench.Scale) {
 		Results:    bench.RunPerf(scale),
 		Streaming:  bench.RunStreamPerf(scale),
 		Persist:    bench.RunPersistPerf(scale),
+		Dense:      bench.RunDensePerf(scale),
 	}
 	// Also echo a human-readable summary so the run is not silent.
 	for _, r := range doc.Results {
@@ -110,6 +113,13 @@ func writePerfJSON(path string, scale bench.Scale) {
 		fmt.Printf("%-4s %-22s %-16s d=%-8d prep=%dns load=%dns (%.1fx) snapshot=%dB (%.2f B/d)\n",
 			r.ID, r.Name, r.Config, r.D, r.PreprocessNs, r.LoadNs, r.Speedup, r.SnapshotBytes, r.BytesPerD)
 	}
+	for _, r := range doc.Dense {
+		fmt.Printf("%-4s %-22s %-7s n=%-8d %12d ns/op %8.1f MB/s", r.ID, r.Name, r.Config, r.TextLen, r.NsPerOp, r.MBPerSec)
+		if r.Config == "dense" {
+			fmt.Printf("  %.1fx compile=%dns table=%dB restore=%dns", r.Speedup, r.CompileNs, r.TableBytes, r.RestoreNs)
+		}
+		fmt.Println()
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
@@ -120,6 +130,6 @@ func writePerfJSON(path string, scale bench.Scale) {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist)\n",
-		path, len(doc.Results), len(doc.Streaming), len(doc.Persist))
+	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense)\n",
+		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense))
 }

@@ -5,19 +5,31 @@
 //
 // Usage:
 //
-//	dictpack pack    -dict patterns.txt [-o dict.dmsnap | -store DIR] \
+//	dictpack pack    -dict patterns.txt [-o dict.dmsnap | -store DIR] [-dense] \
 //	                 [-seed N] [-nca auto|naive|veb] [-anchor separator|sa] [-procs N]
 //	dictpack unpack  -in dict.dmsnap [-o patterns.txt]
 //	dictpack inspect -in dict.dmsnap [-json]
 //	dictpack verify  -in dict.dmsnap
+//	dictpack compile -in dict.dmsnap [-o out.dmsnap] [-max-table BYTES] [-force]
 //
 // pack preprocesses (§3) and writes the snapshot to -o, or into a
 // content-addressed store directory with -store (the same layout matchd
-// -cache-dir reads, so packing into a server's cache dir prewarms it).
-// unpack recovers the original pattern list from a snapshot. inspect prints
-// the header and per-section byte layout after checksum validation only;
-// verify additionally rebuilds the dictionary, checking every structural
-// invariant, and runs the §3.4 fingerprint self-check.
+// -cache-dir reads, so packing into a server's cache dir prewarms it); with
+// -dense it also compiles the flat-table automaton so the DENSE section
+// ships inside the file. unpack recovers the original pattern list from a
+// snapshot. inspect prints the header and per-section byte layout after
+// checksum validation only, including the dense automaton's shape when a
+// DENSE section is present; verify additionally rebuilds the dictionary,
+// checking every structural invariant, and runs the §3.4 fingerprint
+// self-check.
+//
+// compile upgrades an existing snapshot in place: it loads the file, compiles
+// the internal/dense automaton from the prepared dictionary, and atomically
+// rewrites the snapshot with the DENSE section appended (write to a temp
+// file, validate, rename — a crash mid-upgrade leaves the original intact).
+// A snapshot that already carries a DENSE section is left untouched unless
+// -force. A file that fails validation is moved aside to the same .quarantine
+// directory matchd uses rather than overwritten.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dense"
 	"repro/internal/persist"
 	"repro/internal/pram"
 )
@@ -49,6 +62,8 @@ func main() {
 		cmdInspect(os.Args[2:])
 	case "verify":
 		cmdVerify(os.Args[2:])
+	case "compile":
+		cmdCompile(os.Args[2:])
 	default:
 		usage()
 	}
@@ -56,10 +71,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dictpack pack    -dict patterns.txt [-o dict.dmsnap | -store DIR] [options]
+  dictpack pack    -dict patterns.txt [-o dict.dmsnap | -store DIR] [-dense] [options]
   dictpack unpack  -in dict.dmsnap [-o patterns.txt]
   dictpack inspect -in dict.dmsnap [-json]
-  dictpack verify  -in dict.dmsnap`)
+  dictpack verify  -in dict.dmsnap
+  dictpack compile -in dict.dmsnap [-o out.dmsnap] [-max-table BYTES] [-force]`)
 	os.Exit(2)
 }
 
@@ -72,6 +88,7 @@ func cmdPack(args []string) {
 	ncaFlag := fs.String("nca", "auto", "nearest-colored-ancestor structure: auto, naive, veb")
 	anchorFlag := fs.String("anchor", "separator", "Step 1A locate strategy: separator or sa")
 	procs := fs.Int("procs", 0, "preprocessing worker goroutines (0 = GOMAXPROCS)")
+	withDense := fs.Bool("dense", false, "also compile the flat-table automaton into a DENSE section")
 	fs.Parse(args)
 	if *dictPath == "" {
 		log.Fatal("pack: -dict is required")
@@ -92,6 +109,15 @@ func cmdPack(args []string) {
 	prep := time.Since(start)
 	work, depth := m.Counters()
 
+	var aut *dense.Automaton
+	if *withDense {
+		var err error
+		aut, err = dense.CompileDictionary(dict, dense.Options{})
+		if err != nil {
+			log.Fatalf("dense compile: %v", err)
+		}
+	}
+
 	var (
 		size int
 		dest string
@@ -102,13 +128,13 @@ func cmdPack(args []string) {
 			log.Fatal(err)
 		}
 		key := persist.KeyFor(patterns, opts)
-		size, err = st.Put(key, dict)
+		size, err = st.PutBundle(key, dict, aut)
 		if err != nil {
 			log.Fatal(err)
 		}
 		dest = st.Path(key)
 	} else {
-		data := persist.Encode(dict)
+		data := persist.EncodeBundle(dict, aut)
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
 			log.Fatal(err)
 		}
@@ -122,6 +148,60 @@ func cmdPack(args []string) {
 		len(patterns), total, dest, size, float64(size)/float64(max(total, 1)))
 	fmt.Printf("preprocess: wall=%s pram work=%d depth=%d; loading this snapshot repays all of it\n",
 		prep.Round(time.Microsecond), work, depth)
+	if aut != nil {
+		st := aut.Stats()
+		fmt.Printf("dense: %d states x %d symbols, %d table bytes\n",
+			st.States, st.Alphabet, st.TableBytes)
+	}
+}
+
+// cmdCompile upgrades a snapshot in place (or to -o) by compiling the dense
+// automaton from the prepared dictionary it already carries. The write path
+// is the store's atomic temp+rename with post-write validation, so the
+// original file survives a crash or a bad write; an input that fails
+// validation is quarantined, not overwritten.
+func cmdCompile(args []string) {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file (required)")
+	out := fs.String("o", "", "output file (default: rewrite -in atomically)")
+	maxTable := fs.Int64("max-table", 0, "transition-table byte budget (0 = 256 MiB)")
+	force := fs.Bool("force", false, "recompile even if a DENSE section is already present")
+	fs.Parse(args)
+	data := readSnapshot(*in)
+	dest := *out
+	if dest == "" {
+		dest = *in
+	}
+
+	dict, existing, err := persist.LoadBundle(data)
+	if err != nil {
+		qpath, qerr := persist.QuarantineFile(*in, err)
+		if qerr != nil {
+			log.Fatalf("compile: snapshot invalid (%v); quarantine also failed: %v", err, qerr)
+		}
+		log.Fatalf("compile: snapshot invalid (%v); moved to %s", err, qpath)
+	}
+	if existing != nil && !*force {
+		st := existing.Stats()
+		fmt.Printf("already compiled: %d states x %d symbols, %d table bytes (use -force to recompile)\n",
+			st.States, st.Alphabet, st.TableBytes)
+		return
+	}
+
+	start := time.Now()
+	aut, err := dense.CompileDictionary(dict, dense.Options{MaxTableBytes: *maxTable})
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	elapsed := time.Since(start)
+	upgraded := persist.EncodeBundle(dict, aut)
+	if err := persist.WriteSnapshotFile(dest, upgraded); err != nil {
+		log.Fatalf("compile: write %s: %v", dest, err)
+	}
+	st := aut.Stats()
+	fmt.Printf("compiled %d patterns -> %d states x %d symbols, %d table bytes in %s\n",
+		st.Patterns, st.States, st.Alphabet, st.TableBytes, elapsed.Round(time.Microsecond))
+	fmt.Printf("%s: %d -> %d bytes (DENSE section added)\n", dest, len(data), len(upgraded))
 }
 
 func cmdUnpack(args []string) {
@@ -202,6 +282,10 @@ func printInfo(info *persist.Info, asJSON bool) {
 	fmt.Println("  sections:")
 	for _, s := range info.Sections {
 		fmt.Printf("    %-10s %8d bytes\n", s.Name, s.Bytes)
+	}
+	if info.Dense != nil {
+		fmt.Printf("  dense:    %d states x %d symbols, %d patterns, %d table bytes\n",
+			info.Dense.States, info.Dense.Alphabet, info.Dense.Patterns, info.Dense.TableBytes)
 	}
 }
 

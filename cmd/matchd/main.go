@@ -6,7 +6,8 @@
 //
 //	matchd [-addr :8080] [-procs N] [-max-dicts N] [-max-inflight N] \
 //	       [-timeout 30s] [-max-body BYTES] [-segment BYTES] [-stream-window BYTES] \
-//	       [-cache-dir DIR] [-chaos-seed N -chaos-plan SPEC]
+//	       [-cache-dir DIR] [-dense off|on|auto] [-dense-max-table BYTES] \
+//	       [-chaos-seed N -chaos-plan SPEC]
 //
 // Endpoints (JSON bodies; binary payloads base64 in "textB64"/"dataB64"):
 //
@@ -31,6 +32,16 @@
 //
 //	POST /v1/dicts/{id}/snapshot  serialize a resident dictionary → {"key": ...}
 //	POST /v1/dicts/restore        {"key": ...} → load a snapshot into the registry
+//
+// Dense serving (-dense, default auto): each registered dictionary is
+// compiled into a flat-table automaton (internal/dense) and
+// /v1/dicts/{id}/match answers from it deterministically; until the
+// background compile lands — or if the table would exceed -dense-max-table —
+// requests fall back to the Las Vegas tree walk, which also cross-validates
+// sampled dense results. Snapshots written with -cache-dir carry the
+// compiled form (DENSE section), so a restart skips compilation too. The
+// response's "engine" field and the /metrics "dense" section show which path
+// served.
 //
 // Streaming endpoints (raw bodies, no -max-body cap, no request deadline —
 // resident memory is bounded by -segment, not by the text):
@@ -82,6 +93,8 @@ func main() {
 	segment := flag.Int("segment", 1<<20, "streaming endpoints: fresh text bytes per window")
 	streamWindow := flag.Int("stream-window", 0, "streaming decompress: retained history bytes (0 = unbounded)")
 	cacheDir := flag.String("cache-dir", "", "snapshot cache directory: warm start from it and write preprocessed dictionaries through ('' = off)")
+	denseMode := flag.String("dense", "auto", "dense serving path: off (tree walk only), on (compile at registration), auto (background compile, tree walk until ready)")
+	denseMaxTable := flag.Int64("dense-max-table", 0, "dense transition-table byte budget per dictionary (0 = 256 MiB); over-budget dictionaries stay on the tree walk")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the -chaos-plan fault schedule")
 	chaosPlan := flag.String("chaos-plan", "", "deterministic fault-injection plan, e.g. 'fp.collide:p=0.001;pool.delay:p=0.01,delay=1ms' (requires a -tags chaos build)")
 	flag.Parse()
@@ -109,6 +122,9 @@ func main() {
 		StreamWindow:   *streamWindow,
 		CacheDir:       *cacheDir,
 		Log:            log.Default(),
+
+		DenseMode:          *denseMode,
+		DenseMaxTableBytes: *denseMaxTable,
 	})
 	if err != nil {
 		log.Fatal(err)

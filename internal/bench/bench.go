@@ -139,5 +139,6 @@ func All() []Experiment {
 		E15Serving(),
 		E16Streaming(),
 		E17Persistence(),
+		E18Dense(),
 	}
 }

@@ -1,0 +1,149 @@
+// E18 and the C-series: the compiled dense automaton (internal/dense). The
+// claim under test is the serving-side payoff of compiling the prepared
+// dictionary into a flat goto∪failure table: matching throughput per core is
+// a large constant factor over the tree walk (no hash probes, no node
+// chasing — one load per text byte), the compile is a one-time cost linear
+// in the table, and restoring the DENSE snapshot section replaces the
+// compile entirely.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// DensePerfResult is one C-series measurement for BENCH_PR6.json: the same
+// (dictionary, text) workload matched by the tree walk and by the compiled
+// dense automaton, plus the dense path's one-time costs.
+type DensePerfResult struct {
+	ID       string  `json:"id"`     // C-series experiment id
+	Name     string  `json:"name"`   // workload name
+	Config   string  `json:"config"` // "tree" or "dense"
+	Patterns int     `json:"patterns"`
+	Sigma    int     `json:"sigma"`
+	TextLen  int     `json:"textLen"`
+	NsPerOp  int64   `json:"nsPerOp"`
+	MBPerSec float64 `json:"mbPerSec"`
+	// Dense rows only.
+	Speedup    float64 `json:"speedup,omitempty"`    // tree ns / dense ns
+	CompileNs  int64   `json:"compileNs,omitempty"`  // one-time table build
+	TableBytes int64   `json:"tableBytes,omitempty"` // next[][] footprint
+	RestoreNs  int64   `json:"restoreNs,omitempty"`  // DENSE section -> automaton
+}
+
+// denseCases returns the (pattern count, max pattern length, alphabet)
+// sweep. Small alphabets stress the planted-hit density, large ones the
+// table width.
+func denseCases(scale Scale) [][3]int {
+	if scale == Quick {
+		return [][3]int{{16, 8, 4}, {128, 16, 26}}
+	}
+	return [][3]int{{16, 8, 4}, {64, 16, 4}, {128, 16, 26}, {512, 24, 26}, {1024, 32, 64}}
+}
+
+// RunDensePerf measures the C-series across the dictionary sweep.
+func RunDensePerf(scale Scale) []DensePerfResult {
+	textLen := scale.pick(1<<17, 1<<20)
+	var out []DensePerfResult
+	for i, c := range denseCases(scale) {
+		k, plen, sigma := c[0], c[1], c[2]
+		id := fmt.Sprintf("C%d", i+1)
+		name := fmt.Sprintf("match_k%d_sigma%d", k, sigma)
+		gen := textgen.New(uint64(7919 + i))
+		patterns := gen.Dictionary(k, plen/2, plen, sigma)
+		text := gen.Uniform(textLen, sigma)
+
+		m := pram.NewSequential()
+		dict := core.Preprocess(m, patterns, core.Options{Seed: 5})
+		treeNs := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				dict.MatchText(m, text)
+			}
+		}).NsPerOp()
+		out = append(out, DensePerfResult{
+			ID: id, Name: name, Config: "tree",
+			Patterns: k, Sigma: sigma, TextLen: textLen,
+			NsPerOp:  treeNs,
+			MBPerSec: mbPerSec(textLen, treeNs),
+		})
+
+		aut, err := dense.CompileDictionary(dict, dense.Options{})
+		if err != nil {
+			panic(err) // sweep sizes are far below any table budget
+		}
+		compileNs := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				dense.CompileDictionary(dict, dense.Options{})
+			}
+		}).NsPerOp()
+		payload := aut.Encode()
+		restoreNs := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				dense.Restore(payload, patterns)
+			}
+		}).NsPerOp()
+		buf := make([]core.Match, len(text))
+		denseNs := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				aut.MatchInto(text, buf)
+			}
+		}).NsPerOp()
+		out = append(out, DensePerfResult{
+			ID: id, Name: name, Config: "dense",
+			Patterns: k, Sigma: sigma, TextLen: textLen,
+			NsPerOp:    denseNs,
+			MBPerSec:   mbPerSec(textLen, denseNs),
+			Speedup:    float64(treeNs) / float64(denseNs),
+			CompileNs:  compileNs,
+			TableBytes: aut.Stats().TableBytes,
+			RestoreNs:  restoreNs,
+		})
+	}
+	return out
+}
+
+func mbPerSec(n int, nsPerOp int64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return float64(n) / float64(nsPerOp) * 1e9 / 1e6
+}
+
+// E18Dense prints the human-readable C-series table plus the amortization
+// view: how many scanned bytes a compile (or a snapshot restore) costs at
+// dense throughput.
+func E18Dense() Experiment {
+	return Experiment{
+		ID:    "E18",
+		Title: "Dense automaton: compiled serving path vs tree walk (internal/dense, DESIGN §12)",
+		Claim: "pre-resolving goto∪failure into a flat table yields a large constant-factor throughput win per core over the tree walk, for a one-time compile linear in the table that a DENSE snapshot section replaces entirely",
+		Run: func(w io.Writer, scale Scale) {
+			results := RunDensePerf(scale)
+			t := newTable(w, "patterns", "sigma", "tree MB/s", "dense MB/s", "speedup", "compile ns", "table KiB", "restore ns")
+			for i := 0; i+1 < len(results); i += 2 {
+				tree, dn := results[i], results[i+1]
+				t.row(tree.Patterns, tree.Sigma,
+					fmt.Sprintf("%.1f", tree.MBPerSec), fmt.Sprintf("%.1f", dn.MBPerSec),
+					fmt.Sprintf("%.1fx", dn.Speedup),
+					dn.CompileNs, dn.TableBytes/1024, dn.RestoreNs)
+			}
+			t.flush()
+			fmt.Fprintln(w, "\nrestore vs compile: loading the DENSE section is the compile's output re-read")
+			t2 := newTable(w, "patterns", "compile/restore", "compile amortized at (bytes)")
+			for i := 1; i < len(results); i += 2 {
+				dn := results[i]
+				// compileNs at dense throughput: ns * MB/s * 1e-3 = bytes.
+				t2.row(dn.Patterns,
+					fmt.Sprintf("%.1fx", float64(dn.CompileNs)/float64(max(dn.RestoreNs, 1))),
+					int64(float64(dn.CompileNs)*dn.MBPerSec*1e-3))
+			}
+			t2.flush()
+		},
+	}
+}

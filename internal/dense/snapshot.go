@@ -1,0 +1,158 @@
+package dense
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Snapshot payload codec. The compiled automaton is the one structure in the
+// system whose load path must be near-instant — the whole point of persisting
+// it is skipping recompilation — so unlike the varint-coded core sections,
+// the big arrays here are stored as raw little-endian 32-bit words: decoding
+// is a bounds check plus a byte-order copy, no per-element branching.
+//
+// Layout (all little-endian):
+//
+//	u32 numStates
+//	u32 width
+//	u32 numPatterns
+//	u32 outLen          (len of outPat)
+//	512 bytes           symClass, 256 × u16
+//	numStates*width*4   next
+//	(numStates+1)*4     outOff
+//	outLen*4            outPat
+//
+// Pattern lengths are not stored: they are re-derived from the patterns
+// section of the enclosing snapshot, which also cross-validates numPatterns.
+
+// payloadHeaderBytes is the fixed prefix before the arrays.
+const payloadHeaderBytes = 16 + 512
+
+// ErrBadPayload reports a malformed or internally inconsistent dense
+// section payload.
+var ErrBadPayload = errors.New("dense: bad snapshot payload")
+
+// Encode serializes the automaton into a dense-section payload.
+func (a *Automaton) Encode() []byte {
+	n := int(a.numStates)
+	b := make([]byte, 0, payloadHeaderBytes+4*(len(a.next)+len(a.outOff)+len(a.outPat)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(a.numStates))
+	b = binary.LittleEndian.AppendUint32(b, uint32(a.width))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(a.patLen)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(a.outPat)))
+	for _, c := range a.symClass {
+		b = binary.LittleEndian.AppendUint16(b, c)
+	}
+	b = appendRaw32(b, a.next)
+	b = appendRaw32(b, a.outOff[:n+1])
+	b = appendRaw32(b, a.outPat)
+	return b
+}
+
+func appendRaw32(b []byte, vals []int32) []byte {
+	for _, v := range vals {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	return b
+}
+
+// PayloadStats reads the shape counters out of an encoded payload without
+// restoring the automaton — what `dictpack inspect` prints. Only the fixed
+// header and total length are validated.
+func PayloadStats(payload []byte) (Stats, error) {
+	var st Stats
+	if len(payload) < payloadHeaderBytes {
+		return st, fmt.Errorf("%w: %d bytes, need at least %d", ErrBadPayload, len(payload), payloadHeaderBytes)
+	}
+	numStates := int64(binary.LittleEndian.Uint32(payload))
+	width := int64(binary.LittleEndian.Uint32(payload[4:]))
+	numPatterns := int64(binary.LittleEndian.Uint32(payload[8:]))
+	outLen := int64(binary.LittleEndian.Uint32(payload[12:]))
+	want := int64(payloadHeaderBytes) + 4*(numStates*width+numStates+1+outLen)
+	if numStates < 1 || width < 1 || width > 257 || int64(len(payload)) != want {
+		return st, fmt.Errorf("%w: header claims %d states × %d classes, %d out entries (payload %d bytes, want %d)",
+			ErrBadPayload, numStates, width, outLen, len(payload), want)
+	}
+	st.States = int(numStates)
+	st.Alphabet = int(width)
+	st.Patterns = int(numPatterns)
+	st.OutEntries = int(outLen)
+	st.TableBytes = numStates * width * 4
+	// In-memory footprint of the restored automaton (matches Stats()): the
+	// payload itself is 64 bytes off — no patLen array, 16-byte header.
+	st.TotalBytes = 4*(numStates*width+numStates+1+outLen+numPatterns) + 512
+	return st, nil
+}
+
+// Restore rebuilds an automaton from an encoded payload and the pattern set
+// of the enclosing snapshot. Every structural invariant is validated —
+// transition targets, output offsets and pattern ids in range, symbol
+// classes under width, pattern count matching — so a corrupted or
+// adversarial payload yields an error, never a panic or an automaton that
+// can index out of bounds.
+func Restore(payload []byte, patterns [][]byte) (*Automaton, error) {
+	st, err := PayloadStats(payload)
+	if err != nil {
+		return nil, err
+	}
+	if st.Patterns != len(patterns) {
+		return nil, fmt.Errorf("%w: payload built for %d patterns, snapshot has %d",
+			ErrBadPayload, st.Patterns, len(patterns))
+	}
+	a := &Automaton{
+		numStates: int32(st.States),
+		width:     int32(st.Alphabet),
+		patLen:    make([]int32, len(patterns)),
+	}
+	for id, p := range patterns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("%w: empty pattern %d", ErrBadPayload, id)
+		}
+		a.patLen[id] = int32(len(p))
+		if a.patLen[id] > a.maxPatLen {
+			a.maxPatLen = a.patLen[id]
+		}
+	}
+	off := 16
+	for i := range a.symClass {
+		a.symClass[i] = binary.LittleEndian.Uint16(payload[off:])
+		if int32(a.symClass[i]) >= a.width {
+			return nil, fmt.Errorf("%w: symbol class %d out of range for byte %d", ErrBadPayload, a.symClass[i], i)
+		}
+		off += 2
+	}
+	a.next, off = readRaw32(payload, off, st.States*st.Alphabet)
+	a.outOff, off = readRaw32(payload, off, st.States+1)
+	a.outPat, _ = readRaw32(payload, off, st.OutEntries)
+	for _, t := range a.next {
+		if t < 0 || t >= a.numStates {
+			return nil, fmt.Errorf("%w: transition target %d out of range", ErrBadPayload, t)
+		}
+	}
+	if a.outOff[0] != 0 || int(a.outOff[st.States]) != st.OutEntries {
+		return nil, fmt.Errorf("%w: output offsets do not span the output list", ErrBadPayload)
+	}
+	for s := 0; s < st.States; s++ {
+		if a.outOff[s] > a.outOff[s+1] {
+			return nil, fmt.Errorf("%w: output offsets not monotone at state %d", ErrBadPayload, s)
+		}
+	}
+	for _, p := range a.outPat {
+		if p < 0 || int(p) >= len(patterns) {
+			return nil, fmt.Errorf("%w: output pattern id %d out of range", ErrBadPayload, p)
+		}
+	}
+	return a, nil
+}
+
+// readRaw32 copies n little-endian u32s starting at off. Bounds were
+// established by PayloadStats' exact-length check.
+func readRaw32(b []byte, off, n int) ([]int32, int) {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	return out, off
+}

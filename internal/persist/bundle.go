@@ -1,0 +1,131 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+// Bundle support: a snapshot may carry, after the core sections, a DENSE
+// section holding the compiled serving automaton (internal/dense). The
+// section is strictly additive — Encode's output for a dense-less dictionary
+// is byte-identical to the pre-DENSE format, pre-DENSE files load unchanged,
+// and readers from before the DENSE era skip the section via the
+// unknown-section rule in splitSections. A DENSE-bearing snapshot restores
+// its automaton with a bounds-checked byte-order copy: zero compilation, and
+// zero PRAM work charged to the ledger, on the load path.
+
+// EncodeBundle serializes a preprocessed dictionary together with its
+// compiled dense automaton. A nil automaton yields exactly Encode(d).
+func EncodeBundle(d *core.Dictionary, a *dense.Automaton) []byte {
+	out := encodeSections(d.Export())
+	if a != nil {
+		out = appendSection(out, secDense, a.Encode())
+	}
+	return sealSnapshot(out)
+}
+
+// LoadBundle decodes snapshot bytes into a ready-to-match dictionary plus
+// the compiled dense automaton if the file carries one (nil otherwise). A
+// DENSE section that survives its CRC but fails structural validation is
+// reported as ErrCorrupt, like any other section.
+func LoadBundle(data []byte) (*core.Dictionary, *dense.Automaton, error) {
+	sections, err := splitSections(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := decodeSnapshot(sections, len(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := core.FromSnapshot(s)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	payload, ok := sections[secDense]
+	if !ok {
+		return d, nil, nil
+	}
+	a, err := dense.Restore(payload, d.Patterns)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: dense section: %v", ErrCorrupt, err)
+	}
+	return d, a, nil
+}
+
+// PutBundle encodes the dictionary and its dense automaton (nil for none)
+// and writes the snapshot under its key atomically, returning the size in
+// bytes.
+func (s *Store) PutBundle(k Key, d *core.Dictionary, a *dense.Automaton) (int, error) {
+	data := EncodeBundle(d, a)
+	if err := s.writeAtomic(s.Path(k), data); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// GetBundle loads the snapshot stored under k plus its compiled dense
+// automaton, if present (nil otherwise). Error and quarantine behavior match
+// Get.
+func (s *Store) GetBundle(k Key) (*core.Dictionary, *dense.Automaton, int, error) {
+	path := s.Path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, 0, ErrNotFound
+		}
+		return nil, nil, 0, fmt.Errorf("persist: get: %w", err)
+	}
+	if i, mask, ok := chaos.CorruptByte(chaos.PersistBitflip, len(data)); ok {
+		data[i] ^= mask
+	}
+	d, a, err := LoadBundle(data)
+	if err != nil {
+		s.quarantine(path, err)
+		return nil, nil, 0, err
+	}
+	return d, a, len(data), nil
+}
+
+// WriteSnapshotFile writes snapshot bytes to an arbitrary path with the
+// store's atomic write discipline — temp file in the destination directory,
+// fsync, byte-for-byte read-back validation, rename — after checking the
+// bytes load. cmd/dictpack uses it to upgrade snapshots in place.
+func WriteSnapshotFile(path string, data []byte) error {
+	if _, _, err := LoadBundle(data); err != nil {
+		return err
+	}
+	s := &Store{dir: filepath.Dir(path), logf: func(string, ...any) {}}
+	return s.writeAtomic(path, data)
+}
+
+// QuarantineFile renames a failed-validation snapshot aside exactly as the
+// store's internal quarantine does, returning the quarantine path. Callers
+// operating on loose files (cmd/dictpack) use it so a corrupt input cannot
+// be mistaken for a live snapshot twice.
+func QuarantineFile(path string, cause error) (string, error) {
+	qpath := path + quarantineExt
+	rerr := chaos.Err(chaos.PersistQuarantine, "rename")
+	if rerr == nil {
+		rerr = os.Rename(path, qpath)
+	}
+	if rerr != nil {
+		return "", fmt.Errorf("persist: quarantine of %s failed (%v; cause: %w)", path, rerr, cause)
+	}
+	return qpath, nil
+}
+
+// HasDense reports whether snapshot bytes carry a DENSE section, without
+// restoring anything beyond the framing walk.
+func HasDense(data []byte) (bool, error) {
+	sections, err := splitSections(data)
+	if err != nil {
+		return false, err
+	}
+	_, ok := sections[secDense]
+	return ok, nil
+}

@@ -1,0 +1,193 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+func bundleDict(t testing.TB) (*core.Dictionary, [][]byte) {
+	t.Helper()
+	gen := textgen.New(404)
+	patterns := gen.Dictionary(10, 1, 8, 5)
+	return core.Preprocess(pram.NewSequential(), patterns, core.Options{Seed: 7}), patterns
+}
+
+// appendUnknownSection splices a synthetic section with an unassigned id in
+// front of the footer, re-sealing the file CRC — what a future writer that
+// appends a new section kind would produce.
+func appendUnknownSection(data []byte, id byte, payload []byte) []byte {
+	body := append([]byte(nil), data[:len(data)-4]...)
+	body = appendSection(body, id, payload)
+	return binary.LittleEndian.AppendUint32(body, crc32.Checksum(body, castagnoli))
+}
+
+// TestUnknownSectionSkipped is the forward-compat regression test: a
+// snapshot carrying a section id this reader has never heard of must load
+// cleanly, with all known sections intact.
+func TestUnknownSectionSkipped(t *testing.T) {
+	d, _ := bundleDict(t)
+	data := appendUnknownSection(Encode(d), 200, []byte("from the future"))
+
+	got, err := Load(data)
+	if err != nil {
+		t.Fatalf("Load with unknown section: %v", err)
+	}
+	m := pram.NewSequential()
+	text := textgen.New(9).Uniform(500, 5)
+	want := d.MatchText(m, text)
+	for i, mt := range got.MatchText(m, text) {
+		if mt != want[i] {
+			t.Fatalf("match %d differs after unknown-section round trip", i)
+		}
+	}
+	if _, err := Inspect(data); err != nil {
+		t.Fatalf("Inspect with unknown section: %v", err)
+	}
+
+	// The skip is not a free pass: the unknown payload is still CRC-checked.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-10] ^= 0x01 // inside the unknown payload
+	// Re-seal the file CRC so only the section CRC catches it.
+	bad = bad[:len(bad)-4]
+	bad = binary.LittleEndian.AppendUint32(bad, crc32.Checksum(bad, castagnoli))
+	if _, err := Load(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted unknown section: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestEncodeBundleDenseLess pins the golden invariant: a bundle without an
+// automaton is byte-identical to the pre-DENSE encoding.
+func TestEncodeBundleDenseLess(t *testing.T) {
+	d, _ := bundleDict(t)
+	if string(EncodeBundle(d, nil)) != string(Encode(d)) {
+		t.Fatal("EncodeBundle(d, nil) differs from Encode(d)")
+	}
+	dict, aut, err := LoadBundle(Encode(d))
+	if err != nil || dict == nil {
+		t.Fatalf("LoadBundle on dense-less snapshot: %v", err)
+	}
+	if aut != nil {
+		t.Fatal("dense-less snapshot produced an automaton")
+	}
+}
+
+// TestBundleRoundTrip: a DENSE-bearing snapshot restores an automaton with
+// zero recompilation (the load path never touches a PRAM machine and the
+// restored automaton matches the compiled one bit for bit).
+func TestBundleRoundTrip(t *testing.T) {
+	d, _ := bundleDict(t)
+	a, err := dense.CompileDictionary(d, dense.Options{})
+	if err != nil {
+		t.Fatalf("CompileDictionary: %v", err)
+	}
+	data := EncodeBundle(d, a)
+
+	has, err := HasDense(data)
+	if err != nil || !has {
+		t.Fatalf("HasDense = %v, %v", has, err)
+	}
+	dict, aut, err := LoadBundle(data)
+	if err != nil {
+		t.Fatalf("LoadBundle: %v", err)
+	}
+	if aut == nil {
+		t.Fatal("DENSE section did not restore an automaton")
+	}
+	if aut.Stats() != a.Stats() {
+		t.Fatalf("restored stats %+v != compiled stats %+v", aut.Stats(), a.Stats())
+	}
+	text := textgen.New(31).Uniform(800, 5)
+	want := a.Match(text)
+	for i, mt := range aut.Match(text) {
+		if mt != want[i] {
+			t.Fatalf("restored automaton diverges at %d", i)
+		}
+	}
+	want2 := dict.MatchText(pram.NewSequential(), text)
+	for i := range want {
+		if want[i] != want2[i] {
+			t.Fatalf("dense and tree-walk disagree at %d after round trip", i)
+		}
+	}
+
+	info, err := Inspect(data)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.Dense == nil || info.Dense.States != a.Stats().States {
+		t.Fatalf("Inspect dense info = %+v, want states %d", info.Dense, a.Stats().States)
+	}
+
+	// A structurally corrupt DENSE payload with valid CRCs (a well-formed
+	// file describing an impossible automaton) is ErrCorrupt even though the
+	// core sections are fine — no silently serving a half-valid bundle.
+	pay := a.Encode()
+	pay[len(pay)-1] ^= 0x7f // last outPat entry: pattern id out of range
+	bad := sealSnapshot(appendSection(encodeSections(d.Export()), secDense, pay))
+	if _, _, err := LoadBundle(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt dense payload: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreBundle covers the store round trip and that plain Get still works
+// on a DENSE-bearing file.
+func TestStoreBundle(t *testing.T) {
+	d, patterns := bundleDict(t)
+	a, err := dense.CompileDictionary(d, dense.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyFor(patterns, core.Options{Seed: 7})
+	if _, err := st.PutBundle(k, d, a); err != nil {
+		t.Fatalf("PutBundle: %v", err)
+	}
+	dict, aut, n, err := st.GetBundle(k)
+	if err != nil || dict == nil || aut == nil || n == 0 {
+		t.Fatalf("GetBundle: dict=%v aut=%v n=%d err=%v", dict != nil, aut != nil, n, err)
+	}
+	if _, _, err := st.Get(k); err != nil {
+		t.Fatalf("Get on bundle file: %v", err)
+	}
+	if _, _, _, err := st.GetBundle(KeyForSnapshot([]byte("missing"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v, want ErrNotFound", err)
+	}
+
+	// Sweep must treat bundle files as valid.
+	rep, err := st.Sweep()
+	if err != nil || rep.Valid != 1 || rep.Quarantined != 0 {
+		t.Fatalf("Sweep: %+v, %v", rep, err)
+	}
+
+	// WriteSnapshotFile upgrades in place atomically.
+	path := st.Path(k)
+	if err := WriteSnapshotFile(path, EncodeBundle(d, a)); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	if err := WriteSnapshotFile(path, []byte("garbage")); err == nil {
+		t.Fatal("WriteSnapshotFile accepted garbage")
+	}
+
+	// QuarantineFile renames aside like the store's internal quarantine.
+	qpath, err := QuarantineFile(path, errors.New("synthetic"))
+	if err != nil {
+		t.Fatalf("QuarantineFile: %v", err)
+	}
+	if _, err := os.Stat(qpath); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if st.Has(k) {
+		t.Fatal("quarantined file still visible under its key")
+	}
+}

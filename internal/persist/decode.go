@@ -21,8 +21,12 @@ func Decode(data []byte) (*core.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeSnapshot(sections, len(data))
+}
 
-	hdr, err := parseHeader(sections[secHeader], len(data))
+// decodeSnapshot parses the core sections of an already-split file.
+func decodeSnapshot(sections map[byte][]byte, fileLen int) (*core.Snapshot, error) {
+	hdr, err := parseHeader(sections[secHeader], fileLen)
 	if err != nil {
 		return nil, err
 	}
@@ -103,31 +107,38 @@ func splitSections(data []byte) (map[byte][]byte, error) {
 		return nil, fmt.Errorf("%w: file checksum mismatch", ErrCorrupt)
 	}
 
-	sections := make(map[byte][]byte, 6)
+	sections := make(map[byte][]byte, 8)
 	rest := body[len(magic)+4:]
 	lastID := byte(0)
 	for len(rest) > 0 {
 		id := rest[0]
-		if sectionNames[id] == "" {
-			return nil, fmt.Errorf("%w: unknown section id %d", ErrCorrupt, id)
+		name := sectionNames[id]
+		if name == "" {
+			// A section kind from a future writer. Its framing and CRC are
+			// still verified — same layout for every section — and the
+			// payload is then skipped, so adding sections never strands old
+			// readers.
+			name = fmt.Sprintf("unknown(%d)", id)
 		}
 		if id <= lastID {
-			return nil, fmt.Errorf("%w: section %s out of order", ErrCorrupt, sectionNames[id])
+			return nil, fmt.Errorf("%w: section %s out of order", ErrCorrupt, name)
 		}
 		lastID = id
 		plen, n := binary.Uvarint(rest[1:])
 		if n <= 0 || plen > uint64(len(rest)) {
-			return nil, fmt.Errorf("%w: section %s length", ErrTruncated, sectionNames[id])
+			return nil, fmt.Errorf("%w: section %s length", ErrTruncated, name)
 		}
 		rest = rest[1+n:]
 		if uint64(len(rest)) < plen+4 {
-			return nil, fmt.Errorf("%w: section %s payload", ErrTruncated, sectionNames[id])
+			return nil, fmt.Errorf("%w: section %s payload", ErrTruncated, name)
 		}
 		payload := rest[:plen]
 		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[plen:]) {
-			return nil, fmt.Errorf("%w: section %s checksum mismatch", ErrCorrupt, sectionNames[id])
+			return nil, fmt.Errorf("%w: section %s checksum mismatch", ErrCorrupt, name)
 		}
-		sections[id] = payload
+		if sectionNames[id] != "" {
+			sections[id] = payload
+		}
 		rest = rest[plen+4:]
 	}
 	for _, id := range []byte{secHeader, secPatterns, secTree, secWeiner, secStep2} {

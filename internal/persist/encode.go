@@ -20,6 +20,12 @@ func Encode(d *core.Dictionary) []byte {
 
 // EncodeSnapshot serializes an exported snapshot.
 func EncodeSnapshot(s *core.Snapshot) []byte {
+	return sealSnapshot(encodeSections(s))
+}
+
+// encodeSections emits magic, version and the core sections — everything but
+// the footer — so bundle encoders can append extra sections before sealing.
+func encodeSections(s *core.Snapshot) []byte {
 	out := make([]byte, 0, 1<<16)
 	out = append(out, magic[:]...)
 	out = binary.LittleEndian.AppendUint32(out, Version)
@@ -32,7 +38,11 @@ func EncodeSnapshot(s *core.Snapshot) []byte {
 	if s.SepChainLen != nil {
 		out = appendSection(out, secSeparator, encodeSeparator(s))
 	}
+	return out
+}
 
+// sealSnapshot appends the whole-file CRC footer.
+func sealSnapshot(out []byte) []byte {
 	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
 }
 

@@ -39,7 +39,10 @@ const Version uint32 = 1
 // magic identifies snapshot files.
 var magic = [6]byte{'D', 'M', 'S', 'N', 'A', 'P'}
 
-// Section ids, in their required file order.
+// Section ids, in their required file order. New section kinds are appended
+// with fresh ids; readers skip ids they do not know (after verifying the
+// section CRC), so adding a section is a forward-compatible change that does
+// not bump Version.
 const (
 	secHeader byte = iota + 1
 	secPatterns
@@ -47,6 +50,7 @@ const (
 	secWeiner
 	secStep2
 	secSeparator
+	secDense // compiled dense automaton (internal/dense payload)
 )
 
 var sectionNames = map[byte]string{
@@ -56,6 +60,7 @@ var sectionNames = map[byte]string{
 	secWeiner:    "weiner",
 	secStep2:     "step2",
 	secSeparator: "separator",
+	secDense:     "dense",
 }
 
 // Header flag bits.

@@ -3,6 +3,8 @@ package persist
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/dense"
 )
 
 // SectionInfo describes one section of a snapshot file.
@@ -28,6 +30,7 @@ type Info struct {
 	NumLeaves    int           `json:"num_leaves"`
 	WeinerCount  int           `json:"weiner_count"`
 	Sections     []SectionInfo `json:"sections"`
+	Dense        *dense.Stats  `json:"dense,omitempty"` // nil when no DENSE section
 }
 
 // Inspect validates a snapshot's framing and checksums and reports its
@@ -55,10 +58,17 @@ func Inspect(data []byte) (*Info, error) {
 		NumLeaves:    h.numLeaves,
 		WeinerCount:  h.weinerCount,
 	}
-	for _, id := range []byte{secHeader, secPatterns, secTree, secWeiner, secStep2, secSeparator} {
+	for _, id := range []byte{secHeader, secPatterns, secTree, secWeiner, secStep2, secSeparator, secDense} {
 		if payload, ok := sections[id]; ok {
 			info.Sections = append(info.Sections, SectionInfo{Name: sectionNames[id], Bytes: len(payload)})
 		}
+	}
+	if payload, ok := sections[secDense]; ok {
+		st, err := dense.PayloadStats(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: dense section: %v", ErrCorrupt, err)
+		}
+		info.Dense = &st
 	}
 	return info, nil
 }

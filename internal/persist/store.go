@@ -7,7 +7,6 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -134,17 +133,14 @@ func (s *Store) Has(k Key) bool {
 // Put encodes the dictionary and writes it under its key atomically,
 // returning the snapshot size in bytes.
 func (s *Store) Put(k Key, d *core.Dictionary) (int, error) {
-	data := Encode(d)
-	if err := s.writeAtomic(s.Path(k), data); err != nil {
-		return 0, err
-	}
-	return len(data), nil
+	return s.PutBundle(k, d, nil)
 }
 
 // PutBytes writes pre-encoded snapshot bytes under a key atomically, after
 // re-validating them (a store never persists bytes it could not load back).
+// A DENSE section, if present, is validated along with the rest.
 func (s *Store) PutBytes(k Key, data []byte) (int, error) {
-	if _, err := Load(data); err != nil {
+	if _, _, err := LoadBundle(data); err != nil {
 		return 0, err
 	}
 	if err := s.writeAtomic(s.Path(k), data); err != nil {
@@ -216,7 +212,7 @@ func (s *Store) verifyWritten(tmpPath string, want []byte) error {
 	if !bytes.Equal(got, want) {
 		return fmt.Errorf("persist: put read-back: %w: file differs from written bytes", ErrCorrupt)
 	}
-	if _, err := Load(got); err != nil {
+	if _, _, err := LoadBundle(got); err != nil {
 		return fmt.Errorf("persist: put read-back: %w", err)
 	}
 	return nil
@@ -229,24 +225,8 @@ func (s *Store) verifyWritten(tmpPath string, want []byte) error {
 // is returned; the caller falls back to preprocessing and may overwrite the
 // entry with a good snapshot.
 func (s *Store) Get(k Key) (*core.Dictionary, int, error) {
-	path := s.Path(k)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, 0, ErrNotFound
-		}
-		return nil, 0, fmt.Errorf("persist: get: %w", err)
-	}
-	if i, mask, ok := chaos.CorruptByte(chaos.PersistBitflip, len(data)); ok {
-		// Bit rot between disk and decoder, before any CRC check.
-		data[i] ^= mask
-	}
-	d, err := Load(data)
-	if err != nil {
-		s.quarantine(path, err)
-		return nil, 0, err
-	}
-	return d, len(data), nil
+	d, _, n, err := s.GetBundle(k)
+	return d, n, err
 }
 
 // quarantine renames a failed-validation file aside. The rename is

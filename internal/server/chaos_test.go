@@ -91,7 +91,10 @@ func checkMatchResponse(mr matchResponse, text []byte, ac *ahocorasick.Automaton
 // with oracle-exact output — the client never sees the fault, only
 // attempts > 1.
 func TestChaosForcedCollisionReseedServes(t *testing.T) {
-	_, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2})
+	// DenseOff throughout this file: the injected faults live in the Las
+	// Vegas fingerprint path, which the deterministic dense automaton
+	// bypasses (TestDenseServesDegradedEntry pins that rescue).
+	_, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2, DenseMode: DenseOff})
 	defer func() {
 		if err := shutdown(); err != nil {
 			t.Errorf("shutdown: %v", err)
@@ -139,7 +142,7 @@ func TestChaosForcedCollisionReseedServes(t *testing.T) {
 // opens the circuit breaker. Once the faults stop, the background rebuild
 // restores service and the answers are oracle-exact again.
 func TestChaosExhaustionOpensBreaker(t *testing.T) {
-	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2})
+	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2, DenseMode: DenseOff})
 	defer func() {
 		if err := shutdown(); err != nil {
 			t.Errorf("shutdown: %v", err)
@@ -231,7 +234,7 @@ func TestChaosExhaustionOpensBreaker(t *testing.T) {
 // up as extra Las Vegas rounds.
 func TestChaosConcurrentFaultSchedule(t *testing.T) {
 	_, base, shutdown := startServer(t, Config{
-		Addr: "127.0.0.1:0", Procs: 2, MaxInflight: 256,
+		Addr: "127.0.0.1:0", Procs: 2, MaxInflight: 256, DenseMode: DenseOff,
 	})
 	defer func() {
 		if err := shutdown(); err != nil {

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/persist"
+	"repro/internal/pram"
+)
+
+// Dense serving path. A registered dictionary is lowered to a compiled
+// internal/dense automaton — synchronously in mode "on", in the background in
+// mode "auto" — and published onto the entry with an atomic pointer swap, the
+// same publish discipline the circuit breaker uses for degraded state:
+// requests either see nil (serve the tree walk) or a fully built automaton,
+// never a partial one. The tree-walk Las Vegas matcher stays resident as the
+// fallback for texts the automaton cannot serve yet and as the correctness
+// oracle: the first dense request on an entry and every verifySampleEvery-th
+// after it are re-matched through MatchChecked and compared; a divergence is
+// counted, logged, and answered with the oracle's result.
+
+// Dense serving modes (Config.DenseMode).
+const (
+	DenseOff  = "off"  // never compile, always tree walk
+	DenseOn   = "on"   // compile synchronously at registration
+	DenseAuto = "auto" // compile in the background; tree walk until ready
+)
+
+// validDenseMode reports whether s names a dense serving mode.
+func validDenseMode(s string) bool {
+	return s == DenseOff || s == DenseOn || s == DenseAuto
+}
+
+// verifySampleEvery is the sampled-verification period: dense request 1 and
+// every multiple of this count are cross-checked against the oracle. The
+// first-request check catches a wrong automaton before it serves anything in
+// quantity; the steady-state sampling bounds oracle cost to ~1.6% of
+// requests.
+const verifySampleEvery = 64
+
+// denseOptions builds the compile options from the server config.
+func (s *Server) denseOptions() dense.Options {
+	return dense.Options{MaxTableBytes: s.cfg.DenseMaxTableBytes}
+}
+
+// armDense starts (or performs) dense compilation for a freshly registered
+// entry according to the serving mode. A snapshot-restored automaton is
+// already on the entry and counts as a dense load, not a compile. upgrade,
+// when non-nil, runs after a successful background compile with the new
+// automaton — the create path uses it to rewrite the cached snapshot as a
+// DENSE-bearing bundle so the next boot skips compilation too.
+func (s *Server) armDense(e *Entry, upgrade func(*dense.Automaton)) {
+	if s.cfg.DenseMode == DenseOff {
+		return
+	}
+	if e.denseAut.Load() != nil {
+		s.metrics.denseLoads.Add(1)
+		return
+	}
+	if !e.denseElect.CompareAndSwap(false, true) {
+		return // another path already compiled or is compiling
+	}
+	if s.cfg.DenseMode == DenseOn {
+		s.compileDense(e, upgrade)
+		return
+	}
+	go s.compileDense(e, upgrade)
+}
+
+// compileDense lowers the entry's dictionary and publishes the automaton.
+// Failure (typically ErrTableTooLarge) is terminal for the entry: it keeps
+// serving from the tree walk forever, which is exactly the fallback story.
+func (s *Server) compileDense(e *Entry, upgrade func(*dense.Automaton)) {
+	e.mu.RLock()
+	dict := e.dict
+	e.mu.RUnlock()
+	start := time.Now()
+	a, err := dense.CompileDictionary(dict, s.denseOptions())
+	if err != nil {
+		s.metrics.denseCompileFails.Add(1)
+		e.logf("entry %s: dense compile refused: %v; serving from tree walk", e.ID, err)
+		return
+	}
+	e.denseAut.Store(a)
+	s.metrics.denseCompiles.Add(1)
+	s.metrics.denseCompileNanos.Add(time.Since(start).Nanoseconds())
+	s.metrics.denseTableBytes.Add(a.Stats().TableBytes)
+	if upgrade != nil {
+		upgrade(a)
+	}
+}
+
+// denseUpgradeFunc returns the post-compile hook that rewrites the cached
+// snapshot under key as a DENSE-bearing bundle, or nil when there is no
+// store. The encode runs under the entry's read lock so a concurrent reseed
+// cannot tear the dictionary state.
+func (s *Server) denseUpgradeFunc(e *Entry, key persist.Key) func(*dense.Automaton) {
+	if s.store == nil {
+		return nil
+	}
+	return func(a *dense.Automaton) {
+		e.mu.RLock()
+		data := persist.EncodeBundle(e.dict, a)
+		e.mu.RUnlock()
+		if n, err := s.store.PutBytes(key, data); err != nil {
+			e.logf("entry %s: dense snapshot upgrade failed: %v", e.ID, err)
+		} else {
+			s.metrics.recordSave(n)
+		}
+	}
+}
+
+// Engine labels for matchResponse.Engine.
+const (
+	engineDense = "dense"
+	engineTree  = "tree"
+)
+
+// serveMatch answers one match request through the fastest correct path:
+// the compiled dense automaton when the entry has one (deterministic — no
+// Las Vegas loop, no attempts), otherwise the checked tree-walk matcher.
+// Dense results are sampled against the oracle; on divergence the oracle's
+// verified answer is served and the failure counted. The dense path also
+// serves entries whose circuit breaker is open — the automaton does not
+// depend on the poisoned fingerprint state the breaker protects against.
+func (s *Server) serveMatch(ctx context.Context, e *Entry, text []byte) ([]core.Match, int, string, error) {
+	a := e.denseAut.Load()
+	if s.cfg.DenseMode == DenseOff || a == nil {
+		if s.cfg.DenseMode != DenseOff {
+			s.metrics.denseFallback.Add(1)
+		}
+		matches, attempts, _, err := e.MatchChecked(ctx, text, s.cfg.Procs, s.metrics)
+		return matches, attempts, engineTree, err
+	}
+
+	matches, counters := denseMatchSharded(a, text, s.cfg.Procs)
+	s.metrics.ChargePRAM("match", counters.Work, counters.Depth)
+
+	if n := e.denseReqs.Add(1); n == 1 || n%verifySampleEvery == 0 {
+		want, _, _, err := e.MatchChecked(ctx, text, s.cfg.Procs, s.metrics)
+		switch {
+		case err != nil:
+			// A degraded entry or exhausted verify attempt cannot indict the
+			// deterministic dense result; serve it and let the breaker's own
+			// machinery handle the oracle's trouble.
+			var de *DegradedError
+			var fe *FingerprintExhaustedError
+			if !errors.As(err, &de) && !errors.As(err, &fe) {
+				return nil, 0, engineDense, err // context cancellation etc.
+			}
+		case sameMatchSets(e.patterns(), matches, want):
+			s.metrics.denseVerifyPass.Add(1)
+		default:
+			s.metrics.denseVerifyFail.Add(1)
+			e.logf("entry %s: dense result diverged from oracle on %d-byte text; serving oracle result", e.ID, len(text))
+			return want, 1, engineTree, nil
+		}
+	}
+	s.metrics.denseServed.Add(1)
+	return matches, 1, engineDense, nil
+}
+
+// patterns returns the entry's pattern set. The slice is immutable after
+// preprocessing (reseeds replace fingerprints, never patterns), so reading it
+// without the lock is safe.
+func (e *Entry) patterns() [][]byte {
+	return e.dict.Patterns
+}
+
+// sameMatchSets reports whether two M[] outputs agree. Pattern ids may
+// legitimately differ where duplicate patterns exist (implementations
+// collapse duplicates onto different representatives); equality requires the
+// same length and the same spelled pattern at every position.
+func sameMatchSets(patterns [][]byte, got, want []core.Match) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] == want[i] {
+			continue
+		}
+		if got[i].Length != want[i].Length {
+			return false
+		}
+		if got[i].PatternID < 0 || want[i].PatternID < 0 ||
+			!bytes.Equal(patterns[got[i].PatternID], patterns[want[i].PatternID]) {
+			return false
+		}
+	}
+	return true
+}
+
+// denseMinShardLen is the smallest text shard worth a dedicated worker on
+// the dense path. The automaton has no per-shard ramp-up beyond the halo
+// bytes, but a goroutine + buffer still costs ~µs; 32 KiB keeps that noise
+// under 5% of shard work.
+const denseMinShardLen = 1 << 15
+
+// denseMatchSharded runs the automaton over text, sharding across workers
+// with a halo of maxPatternLen-1 bytes exactly like the tree-walk path
+// (match.go): M[i] depends on at most that much lookahead, so every match
+// starting inside a shard completes inside its halo. Counters follow the
+// parallel composition rule — Work is total bytes scanned (including halo
+// re-scans), Depth the largest single-worker span.
+func denseMatchSharded(a *dense.Automaton, text []byte, procs int) ([]core.Match, pram.Counters) {
+	n := len(text)
+	if procs < 1 {
+		procs = 1
+	}
+	shards := procs
+	if maxShards := (n + denseMinShardLen - 1) / denseMinShardLen; shards > maxShards {
+		shards = maxShards
+	}
+	if shards <= 1 {
+		return a.Match(text), pram.Counters{Work: int64(n), Depth: int64(n)}
+	}
+
+	out := make([]core.Match, n)
+	per := (n + shards - 1) / shards
+	halo := a.MaxPatternLen() - 1
+	work := int64(0)
+	depth := int64(0)
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[pram.StepPanic]
+	for w := 0; w < shards; w++ {
+		start := w * per
+		if start >= n {
+			break
+		}
+		end := start + per
+		if end > n {
+			end = n
+		}
+		stop := end + halo
+		if stop > n {
+			stop = n
+		}
+		work += int64(stop - start)
+		if d := int64(stop - start); d > depth {
+			depth = d
+		}
+		wg.Add(1)
+		go func(start, end, stop int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &pram.StepPanic{Value: r, Stack: debug.Stack()})
+				}
+			}()
+			local := make([]core.Match, stop-start)
+			a.MatchInto(text[start:stop], local)
+			// Positions in the halo belong to the right neighbour.
+			copy(out[start:end], local[:end-start])
+		}(start, end, stop)
+	}
+	wg.Wait()
+	if sp := panicked.Load(); sp != nil {
+		panic(sp)
+	}
+	return out, pram.Counters{Work: work, Depth: depth}
+}

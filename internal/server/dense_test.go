@@ -1,0 +1,304 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/ahocorasick"
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// densePatternStrings builds a planted workload and its string form for the
+// JSON create payload.
+func densePatternStrings(t *testing.T, seed uint64) ([]byte, [][]byte, []string) {
+	t.Helper()
+	gen := textgen.New(seed)
+	text, patterns := gen.PlantedDictionary(1<<16, 16, 6, 97, 4)
+	strs := make([]string, len(patterns))
+	for i, p := range patterns {
+		strs[i] = string(p)
+	}
+	return text, patterns, strs
+}
+
+// TestDenseServingEndToEnd: with -dense=on the match endpoint answers from
+// the compiled automaton ("engine": "dense"), results agree with the
+// independent oracle, and the /metrics dense section populates every counter
+// the serving path touches.
+func TestDenseServingEndToEnd(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 2, MaxDicts: 4, MaxInflight: 64, DenseMode: DenseOn,
+	})
+	text, patterns, strs := densePatternStrings(t, 77)
+
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": strs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	ac := ahocorasick.New(patterns)
+	oracle := ac.Match(text)
+	wantHits := 0
+	for _, id := range oracle {
+		if id >= 0 {
+			wantHits++
+		}
+	}
+
+	for req := 0; req < 3; req++ {
+		status, body = postJSON(t, base+"/v1/dicts/"+created.ID+"/match", map[string]string{"text": string(text)})
+		if status != http.StatusOK {
+			t.Fatalf("match: %d %s", status, body)
+		}
+		var mr matchResponse
+		if err := json.Unmarshal(body, &mr); err != nil {
+			t.Fatal(err)
+		}
+		if mr.Engine != engineDense {
+			t.Fatalf("request %d served by %q, want %q", req, mr.Engine, engineDense)
+		}
+		if mr.Matched != wantHits {
+			t.Fatalf("request %d: %d hits, oracle says %d", req, mr.Matched, wantHits)
+		}
+		for _, h := range mr.Hits {
+			if id := oracle[h.Pos]; id < 0 || int(ac.PatternLen(id)) != h.Length {
+				t.Fatalf("hit at %d (len %d) disagrees with oracle id %d", h.Pos, h.Length, id)
+			}
+		}
+	}
+
+	var snap MetricsSnapshot
+	if code := getJSON(t, base+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	d := snap.Dense
+	if d.Served < 3 {
+		t.Fatalf("dense.served = %d, want >= 3", d.Served)
+	}
+	if d.Compiles != 1 || d.CompileNanos <= 0 || d.TableBytes <= 0 {
+		t.Fatalf("compile counters: %+v", d)
+	}
+	if d.VerifyPass < 1 || d.VerifyFail != 0 {
+		t.Fatalf("verify counters: pass=%d fail=%d", d.VerifyPass, d.VerifyFail)
+	}
+	if d.Loads != 0 || d.Fallback != 0 {
+		t.Fatalf("unexpected loads=%d fallback=%d", d.Loads, d.Fallback)
+	}
+	_ = srv
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseModeOff: the flag really disables the path.
+func TestDenseModeOff(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseOff,
+	})
+	_, _, strs := densePatternStrings(t, 3)
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": strs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	status, body = postJSON(t, base+"/v1/dicts/"+created.ID+"/match", map[string]string{"text": "abcd"})
+	if status != http.StatusOK {
+		t.Fatalf("match: %d %s", status, body)
+	}
+	var mr matchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Engine != engineTree {
+		t.Fatalf("engine = %q with dense off", mr.Engine)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseAutoBackgroundCompile: in auto mode the automaton lands via the
+// background election and subsequent requests use it.
+func TestDenseAutoBackgroundCompile(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseAuto,
+	})
+	_, _, strs := densePatternStrings(t, 5)
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": strs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := srv.Registry().Get(created.ID)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for e.denseAut.Load() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("background dense compile did not land within 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	status, body = postJSON(t, base+"/v1/dicts/"+created.ID+"/match", map[string]string{"text": "xyz"})
+	if status != http.StatusOK {
+		t.Fatalf("match: %d %s", status, body)
+	}
+	var mr matchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Engine != engineDense {
+		t.Fatalf("engine = %q after background compile", mr.Engine)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseVerifyDivergence: a wrong automaton planted on an entry is caught
+// by the first-request oracle check; the oracle's result is served (engine
+// "tree") and the failure counted.
+func TestDenseVerifyDivergence(t *testing.T) {
+	srv, err := New(Config{Procs: 1, DenseMode: DenseAuto, Log: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := [][]byte{[]byte("abc"), []byte("bcd")}
+	e, _ := srv.Registry().Register(pram.NewSequential(), patterns, core.Options{})
+	// Same pattern count (ids stay in range for sameMatchSets), different
+	// content — the automaton will disagree with the dictionary.
+	wrong, err := dense.Compile([][]byte{[]byte("zzz"), []byte("qqq")}, dense.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.denseElect.Store(true)
+	e.denseAut.Store(wrong)
+
+	text := []byte("xabcdx")
+	matches, _, engine, err := srv.serveMatch(context.Background(), e, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine != engineTree {
+		t.Fatalf("divergent result served by %q, want oracle fallback", engine)
+	}
+	if got := matches[1]; got.Length != 3 {
+		t.Fatalf("oracle result not served: M[1] = %+v", got)
+	}
+	if srv.Metrics().denseVerifyFail.Load() != 1 {
+		t.Fatalf("verifyFail = %d, want 1", srv.Metrics().denseVerifyFail.Load())
+	}
+}
+
+// TestDenseServesDegradedEntry: the compiled automaton carries no Las Vegas
+// fingerprint state, so an entry whose tree walk has tripped the breaker
+// keeps answering 200 from the dense path (the sampled oracle check
+// tolerates DegradedError). With dense off the same entry 503s —
+// TestDegradedEntryServes503 pins that side.
+func TestDenseServesDegradedEntry(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseOn,
+	})
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": []string{"abra", "cad"}})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := srv.Registry().Get(created.ID)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	e.degraded.Store(true)
+
+	status, body = postJSON(t, base+"/v1/dicts/"+created.ID+"/match", map[string]string{"text": "abracadabra"})
+	if status != http.StatusOK {
+		t.Fatalf("degraded match with dense: %d %s, want 200", status, body)
+	}
+	var mr matchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Engine != engineDense || mr.Matched != 3 {
+		t.Fatalf("degraded entry: engine=%q matched=%d", mr.Engine, mr.Matched)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDenseSnapshotWarmStart is the acceptance criterion for persistence: a
+// DENSE-bearing snapshot written by one server boots into another with the
+// automaton restored — zero compiles, zero preprocess PRAM work charged.
+func TestDenseSnapshotWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	_, _, strs := densePatternStrings(t, 11)
+
+	srvA, baseA, shutdownA := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseOn, CacheDir: dir,
+	})
+	status, body := postJSON(t, baseA+"/v1/dicts", map[string]any{"patterns": strs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	if n := srvA.Metrics().denseCompiles.Load(); n != 1 {
+		t.Fatalf("server A compiles = %d, want 1", n)
+	}
+	if err := shutdownA(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, baseB, shutdownB := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseOn, CacheDir: dir,
+	})
+	var infos struct {
+		Dicts []EntryInfo `json:"dicts"`
+	}
+	if code := getJSON(t, baseB+"/v1/dicts", &infos); code != http.StatusOK || len(infos.Dicts) != 1 {
+		t.Fatalf("warm start registry: code=%d dicts=%d", code, len(infos.Dicts))
+	}
+	status, body = postJSON(t, baseB+"/v1/dicts/"+infos.Dicts[0].ID+"/match", map[string]string{"text": strs[0] + "xx" + strs[1]})
+	if status != http.StatusOK {
+		t.Fatalf("match on warm-started server: %d %s", status, body)
+	}
+	var mr matchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Engine != engineDense {
+		t.Fatalf("warm-started entry served by %q, want %q", mr.Engine, engineDense)
+	}
+
+	var snap MetricsSnapshot
+	if code := getJSON(t, baseB+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if snap.Dense.Loads != 1 || snap.Dense.Compiles != 0 {
+		t.Fatalf("server B dense: loads=%d compiles=%d, want 1/0", snap.Dense.Loads, snap.Dense.Compiles)
+	}
+	if prep := snap.PRAM["preprocess"]; prep.Work != 0 {
+		t.Fatalf("warm start charged %d preprocess work, want 0", prep.Work)
+	}
+	if err := shutdownB(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dense"
 	"repro/internal/lz"
 	"repro/internal/persist"
 	"repro/internal/pram"
@@ -156,10 +157,11 @@ func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 		key = persist.KeyFor(patterns, opts)
 		keyHex = key.String()
 		start := time.Now()
-		if d, _, err := s.store.Get(key); err == nil {
+		if d, aut, _, err := s.store.GetBundle(key); err == nil {
 			s.metrics.cacheHits.Add(1)
 			s.metrics.recordLoad(time.Since(start))
-			entry, evicted := s.reg.RegisterPrepared(d, "cache", keyHex, time.Since(start).Nanoseconds())
+			entry, evicted := s.reg.RegisterPreparedDense(d, aut, "cache", keyHex, time.Since(start).Nanoseconds())
+			s.armDense(entry, s.denseUpgradeFunc(entry, key))
 			writeJSON(w, http.StatusCreated, dictCreateResponse{
 				ID:          entry.ID,
 				Patterns:    entry.NumPatterns,
@@ -194,6 +196,11 @@ func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	entry, evicted := s.reg.RegisterPrepared(dict, "preprocess", keyHex, prepNs)
+	var upgrade func(*dense.Automaton)
+	if keyHex != "" {
+		upgrade = s.denseUpgradeFunc(entry, key)
+	}
+	s.armDense(entry, upgrade)
 	writeJSON(w, http.StatusCreated, dictCreateResponse{
 		ID:          entry.ID,
 		Patterns:    entry.NumPatterns,
@@ -239,14 +246,17 @@ type matchResponse struct {
 	N        int        `json:"n"`
 	Attempts int        `json:"attempts"`
 	Matched  int        `json:"matched"`
+	Engine   string     `json:"engine"` // "dense" or "tree"
 	Hits     []matchHit `json:"hits"`
 }
 
 // handleMatch answers the paper's dictionary matching problem (§3) for one
 // text against a resident dictionary: for every position, the longest
-// pattern starting there. Large texts are sharded across a worker pool
-// with a pattern-length halo (see matchSharded); the output is Las Vegas
-// verified by the §3.4 checker.
+// pattern starting there. Entries with a compiled dense automaton serve from
+// the deterministic flat-table path with sampled oracle verification
+// (serveMatch, dense.go); the rest run the Las Vegas checked tree walk.
+// Large texts are sharded across a worker pool with a pattern-length halo
+// on either path.
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := s.reg.Get(id)
@@ -263,13 +273,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad textB64: %v", err)
 		return
 	}
-	resp := matchResponse{N: len(text), Hits: []matchHit{}}
+	resp := matchResponse{N: len(text), Engine: engineTree, Hits: []matchHit{}}
 	if len(text) == 0 {
 		resp.Attempts = 1
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	matches, attempts, _, err := e.MatchChecked(r.Context(), text, s.cfg.Procs, s.metrics)
+	matches, attempts, engine, err := s.serveMatch(r.Context(), e, text)
 	if err != nil {
 		var de *DegradedError
 		if errors.As(err, &de) {
@@ -288,6 +298,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Attempts = attempts
+	resp.Engine = engine
 	for i, mt := range matches {
 		if mt.Length > 0 {
 			resp.Hits = append(resp.Hits, matchHit{Pos: i, Pattern: int(mt.PatternID), Length: int(mt.Length)})

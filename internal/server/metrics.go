@@ -156,6 +156,23 @@ type Metrics struct {
 	snapshotBytes atomic.Int64
 	loads         atomic.Int64
 	loadNanos     atomic.Int64
+
+	// Dense serving path (dense.go). denseServed/denseFallback split the
+	// match requests on dense-enabled servers by which engine answered;
+	// denseVerifyPass/denseVerifyFail count sampled oracle cross-checks of
+	// dense results; denseCompiles/denseCompileNanos/denseCompileFails and
+	// denseTableBytes account the compile stage; denseLoads counts automata
+	// restored from DENSE snapshot sections — dictionaries that skipped
+	// compilation entirely.
+	denseServed       atomic.Int64
+	denseFallback     atomic.Int64
+	denseVerifyPass   atomic.Int64
+	denseVerifyFail   atomic.Int64
+	denseCompiles     atomic.Int64
+	denseCompileNanos atomic.Int64
+	denseCompileFails atomic.Int64
+	denseTableBytes   atomic.Int64
+	denseLoads        atomic.Int64
 }
 
 // pramAlgos is the fixed set of ledger keys. Registration charges
@@ -256,6 +273,19 @@ type persistSnapshot struct {
 	QuarantineFails int64 `json:"quarantineFails"`
 }
 
+// denseSnapshot is the JSON shape of the dense serving-path counters.
+type denseSnapshot struct {
+	Served       int64 `json:"served"`       // match requests answered by the dense engine
+	Fallback     int64 `json:"fallback"`     // dense-enabled requests that fell back to the tree walk
+	VerifyPass   int64 `json:"verifyPass"`   // sampled oracle cross-checks that agreed
+	VerifyFail   int64 `json:"verifyFail"`   // divergences (oracle result served instead)
+	Compiles     int64 `json:"compiles"`     // automata compiled by this process
+	CompileNanos int64 `json:"compileNanos"` // total compile wall time
+	CompileFails int64 `json:"compileFails"` // compiles refused (table budget)
+	TableBytes   int64 `json:"tableBytes"`   // total transition-table bytes compiled
+	Loads        int64 `json:"loads"`        // automata restored from DENSE sections (zero compile)
+}
+
 // resilienceSnapshot is the JSON shape of the fault-recovery counters.
 type resilienceSnapshot struct {
 	FpExhaustions     int64 `json:"fpExhaustions"`
@@ -284,6 +314,7 @@ type MetricsSnapshot struct {
 	Limiter       limiterSnapshot           `json:"limiter"`
 	Streams       streamsSnapshot           `json:"streams"`
 	Persist       persistSnapshot           `json:"persist"`
+	Dense         denseSnapshot             `json:"dense"`
 	Resilience    resilienceSnapshot        `json:"resilience"`
 	Timeouts      int64                     `json:"timeouts"`
 	Panics        int64                     `json:"panics"`
@@ -318,6 +349,17 @@ func (mt *Metrics) Snapshot(reg *Registry, lim *Limiter) MetricsSnapshot {
 			SnapshotBytes: mt.snapshotBytes.Load(),
 			Loads:         mt.loads.Load(),
 			LoadNanos:     mt.loadNanos.Load(),
+		},
+		Dense: denseSnapshot{
+			Served:       mt.denseServed.Load(),
+			Fallback:     mt.denseFallback.Load(),
+			VerifyPass:   mt.denseVerifyPass.Load(),
+			VerifyFail:   mt.denseVerifyFail.Load(),
+			Compiles:     mt.denseCompiles.Load(),
+			CompileNanos: mt.denseCompileNanos.Load(),
+			CompileFails: mt.denseCompileFails.Load(),
+			TableBytes:   mt.denseTableBytes.Load(),
+			Loads:        mt.denseLoads.Load(),
 		},
 		Resilience: resilienceSnapshot{
 			FpExhaustions:     mt.fpExhaustions.Load(),

@@ -79,19 +79,22 @@ func (s *Server) handleDictRestore(w http.ResponseWriter, r *http.Request) {
 	var key persist.Key
 	copy(key[:], raw)
 	start := time.Now()
-	d, size, err := s.store.Get(key)
+	d, aut, size, err := s.store.GetBundle(key)
 	if err != nil {
 		if errors.Is(err, persist.ErrNotFound) {
 			writeError(w, http.StatusNotFound, "no snapshot %s", req.Key)
 			return
 		}
-		// Get quarantined and counted the invalid file.
+		// GetBundle quarantined and counted the invalid file.
 		writeError(w, http.StatusUnprocessableEntity, "snapshot rejected: %v", err)
 		return
 	}
 	elapsed := time.Since(start)
 	s.metrics.recordLoad(elapsed)
-	entry, evicted := s.reg.RegisterPrepared(d, "snapshot", key.String(), elapsed.Nanoseconds())
+	entry, evicted := s.reg.RegisterPreparedDense(d, aut, "snapshot", key.String(), elapsed.Nanoseconds())
+	// Content-addressed snapshots are never rewritten (the key is the hash
+	// of the bytes), so a background compile here has no upgrade hook.
+	s.armDense(entry, nil)
 	writeJSON(w, http.StatusCreated, dictCreateResponse{
 		ID:          entry.ID,
 		Patterns:    entry.NumPatterns,

@@ -62,13 +62,17 @@ func metricsSnapshot(t *testing.T, base string) MetricsSnapshot {
 // is a cache hit, again with no preprocessing; and the loaded dictionary
 // answers matches identically to the one that was preprocessed.
 func TestCacheWarmStartAndHit(t *testing.T) {
+	// Every server in this file runs DenseOff: these tests pin exact save
+	// counts and on-disk snapshot bytes, which the background dense compile's
+	// write-through upgrade would perturb. DENSE-section persistence is
+	// covered by persist's bundle tests and TestDenseSnapshotWarmStart.
 	dir := t.TempDir()
 	patterns := persistTestPatterns()
 	text := "xxbananabandanabxnabandxx"
 
 	// First life: preprocess and write through.
 	srvA, baseA, shutdownA := startServer(t, Config{
-		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, CacheDir: dir,
+		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, DenseMode: DenseOff, CacheDir: dir,
 	})
 	created := createDictFull(t, baseA, patterns)
 	if created.Source != "preprocess" {
@@ -92,7 +96,7 @@ func TestCacheWarmStartAndHit(t *testing.T) {
 
 	// Second life: warm start from the same directory.
 	srvB, baseB, shutdownB := startServer(t, Config{
-		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, CacheDir: dir,
+		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, DenseMode: DenseOff, CacheDir: dir,
 	})
 	defer func() {
 		if err := shutdownB(); err != nil {
@@ -174,7 +178,7 @@ func mustKeys(t *testing.T, srv *Server) []string {
 func TestEvictionKeepsSnapshots(t *testing.T) {
 	dir := t.TempDir()
 	srv, base, shutdown := startServer(t, Config{
-		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 1, MaxInflight: 16, CacheDir: dir,
+		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 1, MaxInflight: 16, DenseMode: DenseOff, CacheDir: dir,
 	})
 	defer func() {
 		if err := shutdown(); err != nil {
@@ -211,7 +215,7 @@ func TestCorruptCacheQuarantine(t *testing.T) {
 	patterns := persistTestPatterns()
 
 	srvA, baseA, shutdownA := startServer(t, Config{
-		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, CacheDir: dir,
+		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, DenseMode: DenseOff, CacheDir: dir,
 	})
 	createDictFull(t, baseA, patterns)
 	keys := mustKeys(t, srvA)
@@ -237,7 +241,7 @@ func TestCorruptCacheQuarantine(t *testing.T) {
 	}
 
 	srvB, baseB, shutdownB := startServer(t, Config{
-		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, CacheDir: dir,
+		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, DenseMode: DenseOff, CacheDir: dir,
 	})
 	defer func() {
 		if err := shutdownB(); err != nil {
@@ -279,7 +283,7 @@ func TestSnapshotRestoreEndpoints(t *testing.T) {
 	text := "xxbananabandanabxnabandxx"
 
 	_, base, shutdown := startServer(t, Config{
-		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, CacheDir: dir,
+		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, DenseMode: DenseOff, CacheDir: dir,
 	})
 	defer func() {
 		if err := shutdown(); err != nil {
@@ -343,7 +347,7 @@ func TestSnapshotRestoreEndpoints(t *testing.T) {
 // refuse with 409 instead of pretending to persist.
 func TestSnapshotEndpointsWithoutStore(t *testing.T) {
 	_, base, shutdown := startServer(t, Config{
-		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16,
+		Addr: "127.0.0.1:0", Procs: 1, MaxDicts: 4, MaxInflight: 16, DenseMode: DenseOff,
 	})
 	defer func() {
 		if err := shutdown(); err != nil {

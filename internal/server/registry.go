@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dense"
 	"repro/internal/persist"
 	"repro/internal/pram"
 )
@@ -65,6 +66,14 @@ type Entry struct {
 	degraded   atomic.Bool
 	logf       func(format string, args ...any) // never nil
 
+	// Dense serving state (dense.go): the compiled automaton (nil until
+	// compiled or restored from a DENSE snapshot section, then swapped in
+	// atomically and never replaced), the compile election latch, and the
+	// dense-served request count driving sampled oracle verification.
+	denseAut   atomic.Pointer[dense.Automaton]
+	denseElect atomic.Bool
+	denseReqs  atomic.Int64
+
 	mu   sync.RWMutex
 	dict *core.Dictionary
 	seed uint64
@@ -82,10 +91,14 @@ func (e *Entry) Info() EntryInfo {
 
 // SnapshotBytes serializes the entry's dictionary under the read lock, so a
 // concurrent reseed cannot interleave (the snapshot is a consistent state).
+// An entry that has a compiled dense automaton emits it as a DENSE section,
+// so explicit snapshots carry the compiled form and restore without
+// recompiling.
 func (e *Entry) SnapshotBytes() []byte {
+	a := e.denseAut.Load()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return persist.Encode(e.dict)
+	return persist.EncodeBundle(e.dict, a)
 }
 
 // NewRegistry returns a registry bounded to capacity resident dictionaries
@@ -129,10 +142,23 @@ func (r *Registry) Register(m *pram.Machine, patterns [][]byte, opts core.Option
 // create-time cache hit, "snapshot" for an explicit restore), snapKey is the
 // content-address hex when known, and prepNs the load wall time.
 func (r *Registry) RegisterPrepared(dict *core.Dictionary, source, snapKey string, prepNs int64) (*Entry, []string) {
-	return r.insert(dict, source, snapKey, prepNs)
+	return r.RegisterPreparedDense(dict, nil, source, snapKey, prepNs)
+}
+
+// RegisterPreparedDense is RegisterPrepared for a bundle: the dictionary
+// plus its compiled dense automaton (nil for none), restored together from a
+// DENSE-bearing snapshot. The automaton is published on the entry before
+// insertion, so no request ever observes the entry without it — and no
+// compile election will run for it (the latch is pre-claimed).
+func (r *Registry) RegisterPreparedDense(dict *core.Dictionary, aut *dense.Automaton, source, snapKey string, prepNs int64) (*Entry, []string) {
+	return r.insertDense(dict, aut, source, snapKey, prepNs)
 }
 
 func (r *Registry) insert(dict *core.Dictionary, source, snapKey string, prepNs int64) (*Entry, []string) {
+	return r.insertDense(dict, nil, source, snapKey, prepNs)
+}
+
+func (r *Registry) insertDense(dict *core.Dictionary, aut *dense.Automaton, source, snapKey string, prepNs int64) (*Entry, []string) {
 	total, maxPat := 0, 0
 	for _, p := range dict.Patterns {
 		total += len(p)
@@ -150,6 +176,13 @@ func (r *Registry) insert(dict *core.Dictionary, source, snapKey string, prepNs 
 		SnapKey:     snapKey,
 		dict:        dict,
 		seed:        dict.Seed(),
+	}
+	if aut != nil {
+		// Published before the registry lock, so no request ever sees the
+		// entry without its automaton; the claimed election latch keeps
+		// armDense from compiling what the snapshot already delivered.
+		e.denseElect.Store(true)
+		e.denseAut.Store(aut)
 	}
 
 	r.mu.Lock()

@@ -84,7 +84,10 @@ func TestRetryAfterHeaders(t *testing.T) {
 // Retry-After, /readyz flips to 503 and names the entry, and the registry
 // metrics count it. Clearing the flag restores service.
 func TestDegradedEntryServes503(t *testing.T) {
-	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 1})
+	// DenseOff: the 503 contract below is about the Las Vegas tree walk. A
+	// compiled dense automaton is fingerprint-free and keeps serving degraded
+	// entries — TestDenseServesDegradedEntry pins that rescue path.
+	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseOff})
 	defer func() {
 		if err := shutdown(); err != nil {
 			t.Errorf("shutdown: %v", err)

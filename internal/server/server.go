@@ -28,6 +28,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -54,6 +55,15 @@ type Config struct {
 	StreamWindow   int           // streaming decompress: retained history (0 = unbounded)
 	CacheDir       string        // snapshot cache directory ("" = persistence off)
 	Log            *log.Logger   // nil = log.Default
+
+	// DenseMode selects the compiled-automaton serving path for
+	// /v1/dicts/{id}/match: "auto" (default — compile in the background,
+	// tree walk until ready), "on" (compile synchronously at registration),
+	// "off" (tree walk only). DenseMaxTableBytes caps the transition table a
+	// compile may build (0 = dense.DefaultMaxTableBytes); an over-budget
+	// dictionary keeps serving from the tree walk.
+	DenseMode          string
+	DenseMaxTableBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -90,6 +100,9 @@ func (c *Config) fillDefaults() {
 	if c.Log == nil {
 		c.Log = log.Default()
 	}
+	if c.DenseMode == "" {
+		c.DenseMode = DenseAuto
+	}
 }
 
 // Server is the matching/compression service.
@@ -110,6 +123,9 @@ type Server struct {
 // restart. Corrupt cache entries are quarantined and logged, never fatal.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if !validDenseMode(cfg.DenseMode) {
+		return nil, fmt.Errorf("server: invalid DenseMode %q (want %s|%s|%s)", cfg.DenseMode, DenseOff, DenseOn, DenseAuto)
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     NewRegistry(cfg.MaxDicts),
@@ -158,17 +174,22 @@ func (s *Server) warmStart() {
 			break
 		}
 		start := time.Now()
-		d, size, err := s.store.Get(k)
+		d, aut, size, err := s.store.GetBundle(k)
 		if err != nil {
-			// Get already quarantined and counted the bad file (it slipped
-			// past the sweep, e.g. a concurrent writer); the server still
-			// boots.
+			// GetBundle already quarantined and counted the bad file (it
+			// slipped past the sweep, e.g. a concurrent writer); the server
+			// still boots.
 			s.cfg.Log.Printf("cache entry %s rejected: %v", k, err)
 			continue
 		}
 		s.metrics.recordLoad(time.Since(start))
-		e, _ := s.reg.RegisterPrepared(d, "cache", k.String(), time.Since(start).Nanoseconds())
-		s.cfg.Log.Printf("warm start: %s from snapshot %s (%d bytes)", e.ID, k, size)
+		e, _ := s.reg.RegisterPreparedDense(d, aut, "cache", k.String(), time.Since(start).Nanoseconds())
+		s.armDense(e, s.denseUpgradeFunc(e, k))
+		form := ""
+		if aut != nil {
+			form = ", dense"
+		}
+		s.cfg.Log.Printf("warm start: %s from snapshot %s (%d bytes%s)", e.ID, k, size, form)
 		loaded++
 	}
 }

@@ -96,7 +96,9 @@ func getJSON(t *testing.T, url string, dst any) int {
 // counters, and shut down gracefully. Under -race this exercises every
 // lock in the package.
 func TestEndToEndServing(t *testing.T) {
-	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2, MaxDicts: 4, MaxInflight: 256})
+	// DenseOff pins the tree-walk ledger exactly (one match charge per
+	// request); the dense path has its own end-to-end test in dense_test.go.
+	srv, base, shutdown := startServer(t, Config{Addr: "127.0.0.1:0", Procs: 2, MaxDicts: 4, MaxInflight: 256, DenseMode: DenseOff})
 
 	// One dictionary, preprocessed once (the paper's amortized regime).
 	gen := textgen.New(42)

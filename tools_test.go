@@ -26,7 +26,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"dictmatch", "lzpack", "optparse", "benchtab", "textgen", "streedump"} {
+		for _, tool := range []string{"dictmatch", "lzpack", "optparse", "benchtab", "textgen", "streedump", "dictpack"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
 			cmd.Dir = "."
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -137,6 +137,103 @@ func TestToolTextgenAndBenchtab(t *testing.T) {
 	tbl, _ := run(t, nil, filepath.Join(bins, "benchtab"), "-quick", "-run", "E5")
 	if !strings.Contains(tbl, "fault injection") {
 		t.Fatalf("benchtab E5 output missing: %q", tbl)
+	}
+}
+
+// TestToolDictpackCompile drives the snapshot upgrade flow: pack a plain
+// snapshot, inspect (no dense section), compile in place, inspect again
+// (dense shape printed), verify still passes, a second compile is an
+// idempotent no-op, and a corrupted file is quarantined instead of
+// overwritten.
+func TestToolDictpackCompile(t *testing.T) {
+	bins := binaries(t)
+	dictpack := filepath.Join(bins, "dictpack")
+	dir := t.TempDir()
+	pats := filepath.Join(dir, "pats.txt")
+	snap := filepath.Join(dir, "dict.dmsnap")
+	if err := os.WriteFile(pats, []byte("she\nhe\nhers\nhis\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, _ := run(t, nil, dictpack, "pack", "-dict", pats, "-o", snap)
+	if !strings.Contains(out, "packed 4 patterns") {
+		t.Fatalf("pack: %q", out)
+	}
+	plain, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, _ = run(t, nil, dictpack, "inspect", "-in", snap)
+	if strings.Contains(out, "dense:") {
+		t.Fatalf("plain snapshot inspect already mentions dense: %q", out)
+	}
+
+	out, _ = run(t, nil, dictpack, "compile", "-in", snap)
+	if !strings.Contains(out, "compiled 4 patterns") || !strings.Contains(out, "DENSE section added") {
+		t.Fatalf("compile: %q", out)
+	}
+	upgraded, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(upgraded) <= len(plain) {
+		t.Fatalf("upgrade did not grow the file: %d <= %d", len(upgraded), len(plain))
+	}
+
+	out, _ = run(t, nil, dictpack, "inspect", "-in", snap)
+	if !strings.Contains(out, "dense:") || !strings.Contains(out, "table bytes") {
+		t.Fatalf("upgraded inspect missing dense shape: %q", out)
+	}
+	out, _ = run(t, nil, dictpack, "verify", "-in", snap)
+	if !strings.Contains(out, "ok:") {
+		t.Fatalf("verify after upgrade: %q", out)
+	}
+
+	// Idempotent: a second compile reports the existing section and leaves
+	// the bytes alone.
+	out, _ = run(t, nil, dictpack, "compile", "-in", snap)
+	if !strings.Contains(out, "already compiled") {
+		t.Fatalf("second compile: %q", out)
+	}
+	same, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(same, upgraded) {
+		t.Fatal("idempotent compile rewrote the file")
+	}
+
+	// -o writes elsewhere, leaving the input untouched.
+	alt := filepath.Join(dir, "alt.dmsnap")
+	if err := os.WriteFile(snap, plain, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(t, nil, dictpack, "compile", "-in", snap, "-o", alt)
+	if got, _ := os.ReadFile(snap); !bytes.Equal(got, plain) {
+		t.Fatal("-o compile modified the input file")
+	}
+	if got, _ := os.ReadFile(alt); !bytes.Equal(got, upgraded) {
+		t.Fatalf("-o output differs from in-place upgrade (%d vs %d bytes)", len(got), len(upgraded))
+	}
+
+	// Corrupt input: compile must refuse and quarantine, not clobber.
+	bad := filepath.Join(dir, "bad.dmsnap")
+	mangled := append([]byte(nil), plain...)
+	mangled[len(mangled)/2] ^= 0xFF
+	if err := os.WriteFile(bad, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(dictpack, "compile", "-in", bad)
+	combined, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("compile accepted a corrupt snapshot: %s", combined)
+	}
+	if !strings.Contains(string(combined), "quarantine") && !strings.Contains(string(combined), "moved to") {
+		t.Fatalf("corrupt compile did not mention quarantine: %s", combined)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("corrupt snapshot still in place after quarantine")
 	}
 }
 
