@@ -23,10 +23,11 @@ bench:
 # (legacy vs pooled engine, internal/bench/perf.go), the S-series
 # (one-shot vs streaming matching, internal/bench/streaming.go), the
 # D-series (cold preprocess vs snapshot load, internal/bench/persist.go),
-# and the C-series (tree walk vs compiled dense automaton,
-# internal/bench/dense.go).
+# the C-series (tree walk vs compiled dense automaton,
+# internal/bench/dense.go), and the B-series (solo vs batched serving,
+# internal/bench/batch.go).
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR6.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR7.json
 
 experiments:
 	$(GO) run ./cmd/benchtab | tee experiments_raw.txt
@@ -42,6 +43,7 @@ fuzz:
 	$(GO) test -fuzz FuzzStreamEquivalence -fuzztime 30s ./internal/stream/
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/persist/
 	$(GO) test -fuzz FuzzDenseEquivalence -fuzztime 30s ./internal/dense/
+	$(GO) test -fuzz FuzzBatchEquivalence -fuzztime 30s ./internal/server/
 
 # Flags: -addr :8080 -procs N -max-dicts N -max-inflight N -timeout 30s
 serve:

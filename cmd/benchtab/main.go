@@ -13,9 +13,11 @@
 // the S-series (one-shot vs streaming matching across a segment
 // sweep — MB/s, peak resident window, segments, ledger), the
 // D-series (cold preprocessing vs snapshot load across a dictionary
-// sweep — ns, snapshot bytes vs d), and the C-series (tree walk vs
-// compiled dense automaton — MB/s per core, compile and restore cost).
-// This is what `make bench-json` uses to regenerate BENCH_PR6.json.
+// sweep — ns, snapshot bytes vs d), the C-series (tree walk vs
+// compiled dense automaton — MB/s per core, compile and restore cost), and
+// the B-series (solo vs batched serving of concurrent small requests —
+// req/s, dispatch occupancy, byte-identity check).
+// This is what `make bench-json` uses to regenerate BENCH_PR7.json.
 package main
 
 import (
@@ -39,6 +41,7 @@ type perfFile struct {
 	Streaming  []bench.StreamPerfResult  `json:"streaming"`
 	Persist    []bench.PersistPerfResult `json:"persist"`
 	Dense      []bench.DensePerfResult   `json:"dense"`
+	Batch      []bench.BatchPerfResult   `json:"batch"`
 }
 
 func main() {
@@ -99,6 +102,7 @@ func writePerfJSON(path string, scale bench.Scale) {
 		Streaming:  bench.RunStreamPerf(scale),
 		Persist:    bench.RunPersistPerf(scale),
 		Dense:      bench.RunDensePerf(scale),
+		Batch:      bench.RunBatchPerf(scale),
 	}
 	// Also echo a human-readable summary so the run is not silent.
 	for _, r := range doc.Results {
@@ -120,6 +124,13 @@ func writePerfJSON(path string, scale bench.Scale) {
 		}
 		fmt.Println()
 	}
+	for _, r := range doc.Batch {
+		fmt.Printf("%-4s %-22s %-6s clients=%-3d n=%-6d %12d ns/req %10.0f req/s", r.ID, r.Name, r.Config, r.Clients, r.Requests, r.NsPerReq, r.ReqPerSec)
+		if r.Config == "batch" {
+			fmt.Printf("  %.1fx batches=%d occupancy=%.1f identical=%v", r.Speedup, r.Batches, r.MeanOccupancy, r.Identical)
+		}
+		fmt.Println()
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
@@ -130,6 +141,6 @@ func writePerfJSON(path string, scale bench.Scale) {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense)\n",
-		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense))
+	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense, %d batch)\n",
+		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense), len(doc.Batch))
 }

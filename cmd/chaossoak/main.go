@@ -70,6 +70,7 @@ func main() {
 	plan := flag.String("plan", defaultPlan, "fault schedule, forwarded as matchd -chaos-plan")
 	clients := flag.Int("clients", 8, "concurrent request loops")
 	textSize := flag.Int("text", 1<<13, "planted text bytes per match request")
+	serverFlags := flag.String("server-flags", "", "extra whitespace-separated flags appended to the matchd command line, e.g. '-batch=on -dense=off'")
 	flag.Parse()
 	if *bin == "" {
 		log.Fatal("-bin is required (build one with: go build -tags chaos -o /tmp/matchd ./cmd/matchd)")
@@ -80,9 +81,12 @@ func main() {
 
 	addr := freeAddr()
 	base := "http://" + addr
-	cmd := exec.Command(*bin,
+	args := []string{
 		"-addr", addr, "-procs", "2",
-		"-chaos-seed", fmt.Sprint(*seed), "-chaos-plan", *plan)
+		"-chaos-seed", fmt.Sprint(*seed), "-chaos-plan", *plan,
+	}
+	args = append(args, strings.Fields(*serverFlags)...)
+	cmd := exec.Command(*bin, args...)
 	var serverLog bytes.Buffer
 	cmd.Stdout = &serverLog
 	cmd.Stderr = &serverLog

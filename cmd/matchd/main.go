@@ -7,7 +7,8 @@
 //	matchd [-addr :8080] [-procs N] [-max-dicts N] [-max-inflight N] \
 //	       [-timeout 30s] [-max-body BYTES] [-segment BYTES] [-stream-window BYTES] \
 //	       [-cache-dir DIR] [-dense off|on|auto] [-dense-max-table BYTES] \
-//	       [-chaos-seed N -chaos-plan SPEC]
+//	       [-batch off|on|auto] [-batch-max N] [-batch-bytes BYTES] [-batch-delay D] \
+//	       [-pprof-addr ADDR] [-chaos-seed N -chaos-plan SPEC]
 //
 // Endpoints (JSON bodies; binary payloads base64 in "textB64"/"dataB64"):
 //
@@ -43,6 +44,21 @@
 // response's "engine" field and the /metrics "dense" section show which path
 // served.
 //
+// Batched execution (-batch, default auto): concurrent small match/parse
+// requests against the same dictionary are coalesced into one machine
+// dispatch over a separator-joined text and demultiplexed per request —
+// results are byte-identical to solo serving, throughput on small-request
+// load is several times higher. A batch dispatches at -batch-max requests,
+// -batch-bytes coalesced payload, or -batch-delay after its first request,
+// whichever comes first. Mode auto batches only texts below the solo-shard
+// threshold (32 KiB); mode on batches everything; off disables coalescing.
+// The /metrics "batch" section reports batches formed, occupancy, coalesced
+// bytes, queue-delay histogram, and solo fallbacks.
+//
+// Profiling (-pprof-addr, off by default): when set, net/http/pprof is
+// served on a SEPARATE listener at that address (e.g. localhost:6060) —
+// never on the service port, so profiling is not exposed where the API is.
+//
 // Streaming endpoints (raw bodies, no -max-body cap, no request deadline —
 // resident memory is bounded by -segment, not by the text):
 //
@@ -73,6 +89,8 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers debug handlers on DefaultServeMux; served only via -pprof-addr
 	"os/signal"
 	"syscall"
 	"time"
@@ -95,6 +113,11 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "snapshot cache directory: warm start from it and write preprocessed dictionaries through ('' = off)")
 	denseMode := flag.String("dense", "auto", "dense serving path: off (tree walk only), on (compile at registration), auto (background compile, tree walk until ready)")
 	denseMaxTable := flag.Int64("dense-max-table", 0, "dense transition-table byte budget per dictionary (0 = 256 MiB); over-budget dictionaries stay on the tree walk")
+	batchMode := flag.String("batch", "auto", "request coalescing: off (serve each request alone), on (coalesce all match/parse requests), auto (coalesce only small texts)")
+	batchMax := flag.Int("batch-max", 0, "requests per batch before dispatch (0 = 32)")
+	batchBytes := flag.Int("batch-bytes", 0, "coalesced payload bytes per batch before dispatch (0 = 1 MiB)")
+	batchDelay := flag.Duration("batch-delay", 0, "max time a request waits for batch siblings (0 = 500µs)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 ('' = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the -chaos-plan fault schedule")
 	chaosPlan := flag.String("chaos-plan", "", "deterministic fault-injection plan, e.g. 'fp.collide:p=0.001;pool.delay:p=0.01,delay=1ms' (requires a -tags chaos build)")
 	flag.Parse()
@@ -125,9 +148,25 @@ func main() {
 
 		DenseMode:          *denseMode,
 		DenseMaxTableBytes: *denseMaxTable,
+
+		BatchMode:        *batchMode,
+		BatchMaxRequests: *batchMax,
+		BatchMaxBytes:    *batchBytes,
+		BatchMaxDelay:    *batchDelay,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// pprof registers on http.DefaultServeMux at import; serve that mux on
+		// its own listener so profiling never shares the API port.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener failed: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,235 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoExec completes every live request with its own text length.
+func echoExec(g *Group[int]) {
+	for _, r := range g.Live() {
+		r.Complete(len(r.Text), nil)
+	}
+}
+
+func TestSizeTriggeredFlush(t *testing.T) {
+	var batches atomic.Int64
+	b := New(Options{MaxRequests: 4, MaxDelay: time.Hour}, func(g *Group[int]) {
+		batches.Add(1)
+		if len(g.Reqs) != 4 {
+			t.Errorf("batch carried %d requests, want 4", len(g.Reqs))
+		}
+		echoExec(g)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := b.Do(context.Background(), make([]byte, i+1))
+			if err != nil || n != i+1 {
+				t.Errorf("Do: got (%d, %v), want (%d, nil)", n, err, i+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := batches.Load(); got != 2 {
+		t.Fatalf("%d batches, want 2", got)
+	}
+}
+
+func TestBytesTriggeredFlush(t *testing.T) {
+	var occupancy atomic.Int64
+	b := New(Options{MaxRequests: 100, MaxBytes: 100, MaxDelay: time.Hour}, func(g *Group[int]) {
+		occupancy.Store(int64(len(g.Reqs)))
+		echoExec(g)
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := b.Do(context.Background(), make([]byte, 60)); err != nil {
+			t.Errorf("first Do: %v", err)
+		}
+	}()
+	// Wait until the first request is pending, then push it over MaxBytes.
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := b.Do(context.Background(), make([]byte, 60)); err != nil {
+		t.Fatalf("second Do: %v", err)
+	}
+	<-done
+	if occupancy.Load() != 2 {
+		t.Fatalf("occupancy %d, want 2", occupancy.Load())
+	}
+}
+
+func TestDelayTriggeredFlush(t *testing.T) {
+	b := New(Options{MaxRequests: 100, MaxDelay: 5 * time.Millisecond}, echoExec)
+	start := time.Now()
+	n, err := b.Do(context.Background(), []byte("xyz"))
+	if err != nil || n != 3 {
+		t.Fatalf("Do: got (%d, %v)", n, err)
+	}
+	if wait := time.Since(start); wait > time.Second {
+		t.Fatalf("delay flush took %v", wait)
+	}
+}
+
+func TestContextCancelDropsRequestOnly(t *testing.T) {
+	release := make(chan struct{})
+	var sawLive atomic.Int64
+	b := New(Options{MaxRequests: 2, MaxDelay: time.Hour}, func(g *Group[int]) {
+		<-release
+		sawLive.Store(int64(len(g.Live())))
+		echoExec(g)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := b.Do(ctx, []byte("doomed"))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled Do returned %v", err)
+		}
+	}()
+	// Wait until the doomed request is pending (and its waiter parked in
+	// the select), then let the sibling fill the batch and become the
+	// executor; it blocks on release, during which the waiter is cancelled.
+	for {
+		b.mu.Lock()
+		n := len(b.pending)
+		b.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var sibErr error
+	var sibN int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sibN, sibErr = b.Do(context.Background(), []byte("ok"))
+	}()
+	time.Sleep(10 * time.Millisecond) // sibling admitted; executor blocked
+	cancel()
+	time.Sleep(5 * time.Millisecond) // waiter observes cancellation
+	close(release)
+	wg.Wait()
+	if sibErr != nil || sibN != 2 {
+		t.Fatalf("sibling got (%d, %v), want (2, nil)", sibN, sibErr)
+	}
+	if sawLive.Load() != 1 {
+		t.Fatalf("executor saw %d live requests, want 1", sawLive.Load())
+	}
+}
+
+func TestExpiredContextNeverAdmits(t *testing.T) {
+	b := New(Options{}, func(g *Group[int]) {
+		t.Error("executor ran for an expired context")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Do(ctx, []byte("late")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do: %v", err)
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	calls := 0
+	b := New(Options{MaxRequests: 1}, func(g *Group[int]) {
+		calls++
+		if calls == 1 {
+			panic("executor bug")
+		}
+		echoExec(g)
+	})
+	_, err := b.Do(context.Background(), []byte("a"))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("first Do: %v, want *PanicError", err)
+	}
+	if pe.Value != "executor bug" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError carries %v / %d stack bytes", pe.Value, len(pe.Stack))
+	}
+	// The batcher survives and serves the next request.
+	if n, err := b.Do(context.Background(), []byte("bb")); err != nil || n != 2 {
+		t.Fatalf("second Do: (%d, %v)", n, err)
+	}
+}
+
+func TestIncompleteRequestsAreFailed(t *testing.T) {
+	b := New(Options{MaxRequests: 1}, func(g *Group[int]) {
+		// Executor forgets to complete anything.
+	})
+	if _, err := b.Do(context.Background(), []byte("a")); err == nil {
+		t.Fatal("incomplete request returned nil error")
+	}
+}
+
+func TestStaleTimerDoesNotDoubleDispatch(t *testing.T) {
+	var batches atomic.Int64
+	b := New(Options{MaxRequests: 2, MaxDelay: 2 * time.Millisecond}, func(g *Group[int]) {
+		batches.Add(1)
+		echoExec(g)
+	})
+	// Two requests fill the batch by size before (or racing) the timer; the
+	// generation check must keep the timer from dispatching a second time.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Do(context.Background(), []byte("x")); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(10 * time.Millisecond) // let any stale timer fire
+	if got := batches.Load(); got != 1 {
+		t.Fatalf("%d batches, want 1", got)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	b := New(Options{MaxRequests: 7, MaxBytes: 1 << 12, MaxDelay: 200 * time.Microsecond}, echoExec)
+	var wg sync.WaitGroup
+	errs := make(chan error, 512)
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				size := (c*31+i)%97 + 1
+				n, err := b.Do(context.Background(), make([]byte, size))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != size {
+					errs <- fmt.Errorf("got %d want %d", n, size)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

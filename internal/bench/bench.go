@@ -140,5 +140,6 @@ func All() []Experiment {
 		E16Streaming(),
 		E17Persistence(),
 		E18Dense(),
+		E19BatchedServing(),
 	}
 }

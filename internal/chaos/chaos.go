@@ -95,6 +95,17 @@ const (
 	// the LZ1 analogue of a fingerprint collision, caught by the
 	// deterministic parse verifier and retried.
 	LZCorrupt Point = "lz.corrupt"
+
+	// BatchDemux panics while demultiplexing one request's slice out of a
+	// coalesced batch (internal/server). The per-request containment must
+	// fail only that request; its batch siblings complete with verified
+	// output.
+	BatchDemux Point = "batch.demux"
+
+	// BatchStall sleeps in the batcher's delay-timer flush path
+	// (internal/batch) before the pending batch is taken — a stalled
+	// dispatcher. Queued requests must still honor their own deadlines.
+	BatchStall Point = "batch.stall"
 )
 
 // Rule says when one point fires. Exactly one trigger applies: Every > 0

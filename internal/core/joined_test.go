@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// TestJoinedEquivalence pins the separator safety argument (separator.go):
+// matching and parsing a Sep-joined batch, then demultiplexing by offset
+// range, is byte-identical to running every text alone. Exercised across
+// batch shapes (1, 2, 7, 64 texts), mixed text sizes including empty, and
+// both anchor strategies via the default preprocessing.
+func TestJoinedEquivalence(t *testing.T) {
+	gen := textgen.New(7701)
+	text, patterns := gen.PlantedDictionary(1<<12, 24, 9, 97, 4)
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		d := Preprocess(m, patterns, Options{Seed: 11})
+		for _, k := range []int{1, 2, 7, 64} {
+			texts := make([][]byte, k)
+			for i := range texts {
+				// Mixed sizes: tiny, medium, and a few larger windows cut
+				// from the planted text so match density is realistic.
+				size := []int{0, 1, 17, 130, 512, 60}[i%6]
+				off := (i * 131) % (len(text) - 600)
+				texts[i] = text[off : off+size]
+			}
+			j := JoinTexts(texts)
+			joined := d.MatchJoined(m, j)
+			if !d.CheckJoined(m, j, joined) {
+				t.Fatalf("procs=%d k=%d: CheckJoined rejected MatchJoined output", procs, k)
+			}
+			for i, txt := range texts {
+				solo := d.MatchText(m, txt)
+				start, end := j.Bounds(i)
+				if end-start != len(txt) {
+					t.Fatalf("k=%d slice %d: bounds [%d,%d) want len %d", k, i, start, end, len(txt))
+				}
+				slice := joined[start:end]
+				for p := range solo {
+					if slice[p].Length != solo[p].Length {
+						t.Fatalf("procs=%d k=%d slice %d pos %d: joined len %d, solo len %d",
+							procs, k, i, p, slice[p].Length, solo[p].Length)
+					}
+					if slice[p].Length > 0 && !bytes.Equal(patterns[slice[p].PatternID], patterns[solo[p].PatternID]) {
+						t.Fatalf("procs=%d k=%d slice %d pos %d: joined pattern %d, solo pattern %d",
+							procs, k, i, p, slice[p].PatternID, solo[p].PatternID)
+					}
+				}
+			}
+			// Separator positions carry no match.
+			for i := 0; i < k; i++ {
+				_, end := j.Bounds(i)
+				if joined[end] != None {
+					t.Fatalf("k=%d: separator position %d matched %+v", k, end, joined[end])
+				}
+			}
+		}
+		m.Close()
+	}
+}
+
+// TestJoinedCheckRejectsCrossBoundary verifies the checker side of the
+// safety argument: a claim whose length crosses a request boundary is
+// rejected by CheckJoined (the Sep singleton fails the consistency test).
+func TestJoinedCheckRejectsCrossBoundary(t *testing.T) {
+	m := pram.New(2)
+	defer m.Close()
+	patterns := [][]byte{[]byte("abab"), []byte("ba")}
+	d := Preprocess(m, patterns, Options{Seed: 3})
+	j := JoinTexts([][]byte{[]byte("ab"), []byte("ab")})
+	matches := d.MatchJoined(m, j)
+	if !d.CheckJoined(m, j, matches) {
+		t.Fatal("honest joined output rejected")
+	}
+	// Forge a claim of "abab" at position 0: it would span the separator.
+	forged := append([]Match(nil), matches...)
+	forged[0] = Match{PatternID: 0, Length: 4}
+	if d.CheckJoined(m, j, forged) {
+		t.Fatal("cross-boundary claim accepted")
+	}
+}
+
+// TestJoinedParseEquivalence pins CompressStaticJoined against per-text
+// CompressStatic: identical references per slice, and per-slice errors that
+// do not poison siblings.
+func TestJoinedParseEquivalence(t *testing.T) {
+	gen := textgen.New(7702)
+	words := prefixClose([][]byte{
+		[]byte("abba"), []byte("bab"), []byte("caca"), []byte("c"),
+	})
+	for _, procs := range []int{1, 4} {
+		m := pram.New(procs)
+		d := Preprocess(m, words, Options{Seed: 5})
+		for _, k := range []int{1, 2, 7, 64} {
+			texts := make([][]byte, k)
+			for i := range texts {
+				size := []int{0, 3, 40, 200, 17, 1}[i%6]
+				texts[i] = gen.Uniform(size, 3)
+			}
+			// One deliberately unparseable slice in the larger batches.
+			if k >= 7 {
+				texts[3] = []byte("abz")
+			}
+			j := JoinTexts(texts)
+			gotRefs, gotErrs := d.CompressStaticJoined(m, j)
+			if len(gotRefs) != k || len(gotErrs) != k {
+				t.Fatalf("k=%d: got %d refs, %d errs", k, len(gotRefs), len(gotErrs))
+			}
+			for i, txt := range texts {
+				wantRefs, wantErr := d.CompressStatic(m, txt)
+				if (gotErrs[i] == nil) != (wantErr == nil) {
+					t.Fatalf("procs=%d k=%d slice %d: joined err %v, solo err %v", procs, k, i, gotErrs[i], wantErr)
+				}
+				if wantErr != nil {
+					continue
+				}
+				if fmt.Sprint(gotRefs[i]) != fmt.Sprint(wantRefs) {
+					t.Fatalf("procs=%d k=%d slice %d: joined refs %v, solo refs %v", procs, k, i, gotRefs[i], wantRefs)
+				}
+				if len(txt) > 0 {
+					back, err := d.DecompressStatic(m, gotRefs[i])
+					if err != nil || !bytes.Equal(back, txt) {
+						t.Fatalf("procs=%d k=%d slice %d: roundtrip failed (%v)", procs, k, i, err)
+					}
+				}
+			}
+		}
+		m.Close()
+	}
+}

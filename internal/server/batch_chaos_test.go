@@ -1,0 +1,125 @@
+//go:build chaos
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestBatchChaosSiblings is the batch fault-isolation acceptance test: with
+// a plan panicking every third per-request demux, a concurrent burst through
+// a batch=on server must answer every request — the injected ones with 500,
+// their batch siblings with 200 and oracle-exact output. One request's
+// demux fault never poisons the batch it rode in.
+func TestBatchChaosSiblings(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 2, DenseMode: DenseOff,
+		BatchMode: BatchOn, BatchMaxRequests: 8, BatchMaxDelay: 5 * time.Millisecond,
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	id, text, ac := createPlanted(t, base, 31, 1<<13)
+	plan := installPlan(t, 9, "batch.demux:every=3")
+
+	const requests = 64
+	type result struct {
+		status int
+		body   []byte
+		text   []byte
+	}
+	results := make([]result, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := text[(i*97)%(len(text)-200) : (i*97)%(len(text)-200)+64+(i%100)]
+			st, body := postJSON(t, base+"/v1/dicts/"+id+"/match", map[string]any{"text": string(tx)})
+			results[i] = result{st, body, tx}
+		}(i)
+	}
+	wg.Wait()
+
+	ok, failed := 0, 0
+	for i, r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok++
+			var mr matchResponse
+			if err := json.Unmarshal(r.body, &mr); err != nil {
+				t.Fatalf("request %d: bad JSON %q: %v", i, r.body, err)
+			}
+			if err := checkMatchResponse(mr, r.text, ac); err != nil {
+				t.Fatalf("request %d: sibling of a failed demux served wrong output: %v", i, err)
+			}
+		case http.StatusInternalServerError:
+			failed++
+			if !bytes.Contains(r.body, []byte("demux")) && !bytes.Contains(r.body, []byte("matching failed")) {
+				t.Fatalf("request %d: 500 with unexpected body %q", i, r.body)
+			}
+		default:
+			t.Fatalf("request %d: unexpected status %d %s", i, r.status, r.body)
+		}
+	}
+	if fired := firedCount(plan, chaos.BatchDemux); fired == 0 {
+		t.Fatal("batch.demux never fired")
+	}
+	if failed == 0 {
+		t.Fatalf("no request failed despite %d demux fires", firedCount(plan, chaos.BatchDemux))
+	}
+	if ok == 0 {
+		t.Fatal("every request failed; faults were not contained per request")
+	}
+	t.Logf("served %d ok (oracle-verified), %d injected failures, %d demux fires",
+		ok, failed, firedCount(plan, chaos.BatchDemux))
+}
+
+// TestBatchChaosStallDeadline: a stalled batcher timer (batch.stall) must
+// not stall the client past its deadline — the queued request answers 503
+// with Retry-After while the timer goroutine sleeps.
+func TestBatchChaosStallDeadline(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 2, DenseMode: DenseOff,
+		BatchMode: BatchOn, BatchMaxRequests: 32, BatchMaxDelay: time.Millisecond,
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	id, text, _ := createPlanted(t, base, 33, 1<<12)
+	plan := installPlan(t, 3, "batch.stall:p=1,delay=300ms")
+
+	body, _ := json.Marshal(map[string]any{"text": string(text[:64])})
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/dicts/"+id+"/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if wait := time.Since(start); wait > 250*time.Millisecond {
+		t.Fatalf("client waited %v; the stalled timer leaked into the response path", wait)
+	}
+	// Let the stalled timer goroutine finish so firedCount is stable.
+	time.Sleep(350 * time.Millisecond)
+	if firedCount(plan, chaos.BatchStall) == 0 {
+		t.Fatal("batch.stall never fired")
+	}
+}

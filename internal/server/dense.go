@@ -123,14 +123,15 @@ const (
 	engineTree  = "tree"
 )
 
-// serveMatch answers one match request through the fastest correct path:
+// serveMatchSolo answers one match request through the fastest correct path:
 // the compiled dense automaton when the entry has one (deterministic — no
 // Las Vegas loop, no attempts), otherwise the checked tree-walk matcher.
 // Dense results are sampled against the oracle; on divergence the oracle's
 // verified answer is served and the failure counted. The dense path also
 // serves entries whose circuit breaker is open — the automaton does not
 // depend on the poisoned fingerprint state the breaker protects against.
-func (s *Server) serveMatch(ctx context.Context, e *Entry, text []byte) ([]core.Match, int, string, error) {
+// (serveMatch in batch.go routes here for requests that bypass coalescing.)
+func (s *Server) serveMatchSolo(ctx context.Context, e *Entry, text []byte) ([]core.Match, int, string, error) {
 	a := e.denseAut.Load()
 	if s.cfg.DenseMode == DenseOff || a == nil {
 		if s.cfg.DenseMode != DenseOff {
@@ -210,6 +211,16 @@ const denseMinShardLen = 1 << 15
 // parallel composition rule — Work is total bytes scanned (including halo
 // re-scans), Depth the largest single-worker span.
 func denseMatchSharded(a *dense.Automaton, text []byte, procs int) ([]core.Match, pram.Counters) {
+	out := make([]core.Match, len(text))
+	counters := denseMatchShardedInto(a, text, out, procs)
+	return out, counters
+}
+
+// denseMatchShardedInto is denseMatchSharded writing into a caller-provided
+// buffer (len(out) must equal len(text)). The single-shard path — every
+// batched small-request dispatch lands here — allocates nothing; the
+// multi-shard path allocates only per-worker halo scratch.
+func denseMatchShardedInto(a *dense.Automaton, text []byte, out []core.Match, procs int) pram.Counters {
 	n := len(text)
 	if procs < 1 {
 		procs = 1
@@ -219,10 +230,10 @@ func denseMatchSharded(a *dense.Automaton, text []byte, procs int) ([]core.Match
 		shards = maxShards
 	}
 	if shards <= 1 {
-		return a.Match(text), pram.Counters{Work: int64(n), Depth: int64(n)}
+		a.MatchInto(text, out)
+		return pram.Counters{Work: int64(n), Depth: int64(n)}
 	}
 
-	out := make([]core.Match, n)
 	per := (n + shards - 1) / shards
 	halo := a.MaxPatternLen() - 1
 	work := int64(0)
@@ -264,5 +275,5 @@ func denseMatchSharded(a *dense.Automaton, text []byte, procs int) ([]core.Match
 	if sp := panicked.Load(); sp != nil {
 		panic(sp)
 	}
-	return out, pram.Counters{Work: work, Depth: depth}
+	return pram.Counters{Work: work, Depth: depth}
 }

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/lz"
@@ -332,11 +333,18 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad textB64: %v", err)
 		return
 	}
-	refs, err := e.Parse(r.Context(), text, s.cfg.Procs, s.metrics)
+	refs, err := s.serveParse(r.Context(), e, text)
 	if err != nil {
 		if r.Context().Err() != nil {
 			s.metrics.timeouts.Add(1)
 			writeCtxError(w, err)
+			return
+		}
+		var pe *batch.PanicError
+		if errors.As(err, &pe) {
+			// The batch executor died; the client did nothing wrong. Same
+			// contract as a panic on the solo path (the recover middleware).
+			writeError(w, http.StatusInternalServerError, "internal error")
 			return
 		}
 		// The dictionary cannot express this text (§5 requires the prefix
@@ -495,6 +503,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot(s.reg, s.limiter)
+	snap.Batch.Mode = s.cfg.BatchMode
 	snap.Persist.Enabled = s.store != nil
 	if s.store != nil {
 		snap.Persist.Quarantines = s.store.Quarantined()

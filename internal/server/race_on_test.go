@@ -1,0 +1,9 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation pins are skipped under -race: the detector deliberately
+// randomizes sync.Pool reuse, so AllocsPerRun measures the detector, not the
+// code under test.
+const raceEnabled = true

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/persist"
@@ -73,6 +74,13 @@ type Entry struct {
 	denseAut   atomic.Pointer[dense.Automaton]
 	denseElect atomic.Bool
 	denseReqs  atomic.Int64
+
+	// Request coalescing state (batch.go): per-entry batchers for the match
+	// and parse endpoints, built lazily on the first eligible request. The
+	// executors capture the entry, so the batchers live and die with it.
+	batchInit  sync.Once
+	matchBatch *batch.Batcher[matchResult]
+	parseBatch *batch.Batcher[parseResult]
 
 	mu   sync.RWMutex
 	dict *core.Dictionary

@@ -64,6 +64,17 @@ type Config struct {
 	// dictionary keeps serving from the tree walk.
 	DenseMode          string
 	DenseMaxTableBytes int64
+
+	// BatchMode selects request coalescing for /v1/dicts/{id}/match and
+	// /parse (batch.go): "off" (default — every request dispatches alone),
+	// "on" (coalesce every request), "auto" (coalesce only texts below the
+	// solo-shard threshold; large texts keep the solo halo-shard path).
+	// BatchMaxRequests / BatchMaxBytes / BatchMaxDelay bound one batch
+	// (zero = the internal/batch defaults: 32 requests, 1 MiB, 500 µs).
+	BatchMode        string
+	BatchMaxRequests int
+	BatchMaxBytes    int
+	BatchMaxDelay    time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -103,6 +114,9 @@ func (c *Config) fillDefaults() {
 	if c.DenseMode == "" {
 		c.DenseMode = DenseAuto
 	}
+	if c.BatchMode == "" {
+		c.BatchMode = BatchOff
+	}
 }
 
 // Server is the matching/compression service.
@@ -125,6 +139,9 @@ func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	if !validDenseMode(cfg.DenseMode) {
 		return nil, fmt.Errorf("server: invalid DenseMode %q (want %s|%s|%s)", cfg.DenseMode, DenseOff, DenseOn, DenseAuto)
+	}
+	if !validBatchMode(cfg.BatchMode) {
+		return nil, fmt.Errorf("server: invalid BatchMode %q (want %s|%s|%s)", cfg.BatchMode, BatchOff, BatchOn, BatchAuto)
 	}
 	s := &Server{
 		cfg:     cfg,
