@@ -24,10 +24,11 @@ bench:
 # (one-shot vs streaming matching, internal/bench/streaming.go), the
 # D-series (cold preprocess vs snapshot load, internal/bench/persist.go),
 # the C-series (tree walk vs compiled dense automaton,
-# internal/bench/dense.go), and the B-series (solo vs batched serving,
-# internal/bench/batch.go).
+# internal/bench/dense.go), the B-series (solo vs batched serving,
+# internal/bench/batch.go), and the Z-series (compressed-domain matching
+# vs decompress-then-match, internal/bench/czsearch.go).
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR7.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR8.json
 
 experiments:
 	$(GO) run ./cmd/benchtab | tee experiments_raw.txt
@@ -44,6 +45,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/persist/
 	$(GO) test -fuzz FuzzDenseEquivalence -fuzztime 30s ./internal/dense/
 	$(GO) test -fuzz FuzzBatchEquivalence -fuzztime 30s ./internal/server/
+	$(GO) test -fuzz FuzzCzsearchEquivalence -fuzztime 30s ./internal/czsearch/
 
 # Flags: -addr :8080 -procs N -max-dicts N -max-inflight N -timeout 30s
 serve:

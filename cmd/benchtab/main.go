@@ -16,8 +16,10 @@
 // sweep — ns, snapshot bytes vs d), the C-series (tree walk vs
 // compiled dense automaton — MB/s per core, compile and restore cost), and
 // the B-series (solo vs batched serving of concurrent small requests —
-// req/s, dispatch occupancy, byte-identity check).
-// This is what `make bench-json` uses to regenerate BENCH_PR7.json.
+// req/s, dispatch occupancy, byte-identity check), and the Z-series
+// (compressed-domain matching vs decompress-then-match on the same
+// automaton — represented MB/s, bytes touched, memo hits).
+// This is what `make bench-json` uses to regenerate BENCH_PR8.json.
 package main
 
 import (
@@ -42,6 +44,7 @@ type perfFile struct {
 	Persist    []bench.PersistPerfResult `json:"persist"`
 	Dense      []bench.DensePerfResult   `json:"dense"`
 	Batch      []bench.BatchPerfResult   `json:"batch"`
+	Cz         []bench.CzPerfResult      `json:"czsearch"`
 }
 
 func main() {
@@ -103,6 +106,7 @@ func writePerfJSON(path string, scale bench.Scale) {
 		Persist:    bench.RunPersistPerf(scale),
 		Dense:      bench.RunDensePerf(scale),
 		Batch:      bench.RunBatchPerf(scale),
+		Cz:         bench.RunCzPerf(scale),
 	}
 	// Also echo a human-readable summary so the run is not silent.
 	for _, r := range doc.Results {
@@ -131,6 +135,13 @@ func writePerfJSON(path string, scale bench.Scale) {
 		}
 		fmt.Println()
 	}
+	for _, r := range doc.Cz {
+		fmt.Printf("%-4s %-22s %-16s n=%-8d ratio=%.4f %12d ns/op %8.1f MB/s(rep)", r.ID, r.Name, r.Config, r.TextLen, r.Ratio, r.NsPerOp, r.RepMBPerS)
+		if r.Config == "czsearch" {
+			fmt.Printf("  %.2fx touched=%dB (%.2f%%) memoHits=%d", r.Speedup, r.BytesTouched, r.TouchedPct, r.MemoHits)
+		}
+		fmt.Println()
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
@@ -141,6 +152,6 @@ func writePerfJSON(path string, scale bench.Scale) {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense, %d batch)\n",
-		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense), len(doc.Batch))
+	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense, %d batch, %d czsearch)\n",
+		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense), len(doc.Batch), len(doc.Cz))
 }

@@ -10,7 +10,7 @@
 //	go run ./cmd/chaossoak -bin /tmp/matchd -duration 30s -seed 42
 //
 // chaossoak starts the binary with -chaos-seed/-chaos-plan, registers a
-// planted dictionary, and hammers it from -clients goroutines with three
+// planted dictionary, and hammers it from -clients goroutines with four
 // request kinds, each verified against an in-process oracle:
 //
 //   - buffered /match, checked position-by-position against Aho–Corasick
@@ -19,6 +19,9 @@
 //     trailer required to be a summary or an explicit {"error":...} line —
 //     a stream that just stops is silent truncation, the one unforgivable
 //     outcome
+//   - /match/compressed/buffered on an LZ1R1 container of the same text,
+//     hits checked against the same oracle (the compressed-domain scanner
+//     must be indistinguishable from decompress-then-match)
 //
 // Requests that fail with 500/503 are expected casualties (the plan forces
 // Las Vegas exhaustion now and then; the breaker answers 503 while it
@@ -51,6 +54,8 @@ import (
 
 	"repro/internal/ahocorasick"
 	"repro/internal/chaos"
+	"repro/internal/lz"
+	"repro/internal/pram"
 	"repro/internal/textgen"
 )
 
@@ -58,8 +63,10 @@ import (
 // most requests recover within the matchAttempts budget (occasional
 // exhaustions and breaker trips are wanted — they exercise the 500/503
 // paths) while firing every point class: fingerprint collisions, LZ token
-// corruption, straggler delays, and stream stalls.
-const defaultPlan = "fp.collide:p=0.0001;lz.corrupt:p=0.005;pool.delay:p=0.002,delay=500us;stream.stall:p=0.02,delay=1ms"
+// corruption, straggler delays, stream stalls, and compressed-scan
+// truncation (every Nth token read across the soak — the scanner must fail
+// those requests with a 500, never a short 200).
+const defaultPlan = "fp.collide:p=0.0001;lz.corrupt:p=0.005;pool.delay:p=0.002,delay=500us;stream.stall:p=0.02,delay=1ms;czsearch.truncate:every=5000"
 
 func main() {
 	log.SetFlags(0)
@@ -126,6 +133,15 @@ func main() {
 	for i := range lzPayloads {
 		lzPayloads[i] = gen.Repetitive(2048+128*i, 64, 0.02)
 	}
+	// LZ1R1 container of the planted text, for the compressed-match kind:
+	// same oracle as /match, different engine on the server side.
+	var enc bytes.Buffer
+	m := pram.NewSequential()
+	if err := lz.EncodeStream(&enc, lz.Compress(m, text)); err != nil {
+		fail("compressing planted text: %v", err)
+	}
+	m.Close()
+	container := enc.Bytes()
 
 	var (
 		ok, shed, retried atomic.Int64 // 200s; 429/500/503s; 200s with attempts > 1
@@ -148,13 +164,15 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; time.Now().Before(deadline); i++ {
-				switch (c + i) % 3 {
+				switch (c + i) % 4 {
 				case 0:
 					doMatch(base, id, text, oracle, ac, &ok, &shed, &retried, mismatch)
 				case 1:
 					doLZRoundTrip(base, lzPayloads[(c*31+i)%len(lzPayloads)], &ok, &shed, &retried, mismatch)
 				case 2:
 					doStream(base, id, text, oracle, ac, wantHits, &ok, &shed, &streamErrTrailer, mismatch)
+				case 3:
+					doCompressedMatch(base, id, container, len(text), oracle, ac, wantHits, &ok, &shed, mismatch)
 				}
 			}
 		}(c)
@@ -365,6 +383,54 @@ func doLZRoundTrip(base string, payload []byte,
 	if cr.Attempts > 1 {
 		retried.Add(1)
 	}
+}
+
+// doCompressedMatch posts the LZ1R1 container of the planted text to the
+// buffered compressed-match endpoint. The scanner's contract is that its
+// output is indistinguishable from decompress-then-match, so every hit is
+// checked against the same Aho–Corasick oracle doMatch uses. A 500 is an
+// expected casualty: under chaos the sampled server-side oracle fails
+// poisoned requests loudly instead of serving them.
+func doCompressedMatch(base, id string, container []byte, textLen int, oracle []int32, ac *ahocorasick.Automaton, wantHits int,
+	ok, shed *atomic.Int64, mismatch func(string, ...any)) {
+	status, body, err := postJSON(fmt.Sprintf("%s/v1/dicts/%s/match/compressed/buffered", base, id),
+		map[string]any{"dataB64": base64.StdEncoding.EncodeToString(container)})
+	if err != nil {
+		shed.Add(1)
+		return
+	}
+	if shedStatus(status) {
+		shed.Add(1)
+		return
+	}
+	if status != http.StatusOK {
+		mismatch("compressed match: unexpected status %d: %s", status, body)
+		return
+	}
+	var mr struct {
+		N       int `json:"n"`
+		Matched int `json:"matched"`
+		Hits    []struct {
+			Pos     int `json:"pos"`
+			Pattern int `json:"pattern"`
+			Length  int `json:"length"`
+		} `json:"hits"`
+	}
+	if err := json.Unmarshal(body, &mr); err != nil {
+		mismatch("compressed match: bad body: %v", err)
+		return
+	}
+	if mr.N != textLen || mr.Matched != wantHits {
+		mismatch("compressed match: %d hits over %d bytes, oracle says %d over %d", mr.Matched, mr.N, wantHits, textLen)
+		return
+	}
+	for _, h := range mr.Hits {
+		if p := oracle[h.Pos]; int(p) != h.Pattern || int(ac.PatternLen(p)) != h.Length {
+			mismatch("compressed match: pos %d pattern %d len %d disagrees with oracle", h.Pos, h.Pattern, h.Length)
+			return
+		}
+	}
+	ok.Add(1)
 }
 
 func doStream(base, id string, text []byte, oracle []int32, ac *ahocorasick.Automaton, wantHits int,

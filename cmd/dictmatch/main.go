@@ -18,11 +18,18 @@
 // O(-segment + longest pattern) however large the input, and matches print
 // incrementally. `cat big.txt | dictmatch -dict p.txt -stream` emits the
 // same lines as the batch mode.
+//
+// -compressed treats the input as an LZ1R1 container (lzpack -c produces
+// one) and matches it in the compressed domain (internal/czsearch): the
+// output lines are identical to decompressing and matching, but the
+// automaton touches only a fraction of the represented bytes. Anything that
+// is not an LZ1R1 container is rejected with a non-zero exit.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +39,9 @@ import (
 
 	"repro/internal/ahocorasick"
 	"repro/internal/core"
+	"repro/internal/czsearch"
+	"repro/internal/dense"
+	"repro/internal/lz"
 	"repro/internal/pram"
 	"repro/internal/stream"
 )
@@ -50,6 +60,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fingerprint seed")
 	streamMode := flag.Bool("stream", false, "stream the text through the bounded-memory segment pipeline")
 	segment := flag.Int("segment", 1<<20, "segment size in bytes for -stream")
+	compressed := flag.Bool("compressed", false, "treat the input as an LZ1R1 container and match it without decompressing")
 	flag.Parse()
 
 	if *dictPath == "" {
@@ -58,6 +69,13 @@ func main() {
 	patterns, err := readPatterns(*dictPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *compressed {
+		if *streamMode {
+			log.Fatal("-compressed and -stream are mutually exclusive (a compressed scan is already streaming)")
+		}
+		runCompressed(patterns, *textPath, *procs, *seed, *segment, *stats, *quiet)
+		return
 	}
 	if *streamMode {
 		if *engine != "parallel" {
@@ -197,6 +215,78 @@ func runStream(patterns [][]byte, textPath string, procs int, seed uint64, segme
 		fmt.Fprintf(os.Stderr, "pram: work=%d (%.2f/char) depth=%d procs=%d\n",
 			st.Work, float64(st.Work)/float64(max(st.TextBytes, 1)), st.Depth, m.Procs())
 	}
+}
+
+// runCompressed is the -compressed path: the input is an LZ1R1 container,
+// matched in the compressed domain. The dictionary is lowered to the dense
+// automaton and scanned token by token (internal/czsearch); if the table is
+// over budget the windowed uncompressor fused to the streaming matcher
+// produces the same lines the slow way.
+func runCompressed(patterns [][]byte, textPath string, procs int, seed uint64, segment int, stats, quiet bool) {
+	var r io.Reader = os.Stdin
+	if textPath != "" {
+		f, err := os.Open(textPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	found := int64(0)
+	sink := func(e czsearch.Event) error {
+		found++
+		if quiet {
+			return nil
+		}
+		_, err := fmt.Fprintf(out, "%d\t%s\n", e.Pos, patterns[e.PatternID])
+		return err
+	}
+
+	start := time.Now()
+	var st czsearch.Stats
+	aut, cerr := dense.Compile(patterns, dense.Options{})
+	if cerr == nil {
+		dec, err := lz.NewDecoder(r)
+		if err != nil {
+			fatalContainer(err)
+		}
+		st, cerr = czsearch.NewScanner(aut, czsearch.Config{}).Run(context.Background(), dec, sink)
+		if cerr != nil {
+			fatalContainer(cerr)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "note: dense table over budget (%v); decompressing to match\n", cerr)
+		m := pram.New(procs)
+		defer m.Close()
+		dict := core.Preprocess(m, patterns, core.Options{Seed: seed})
+		f, err := czsearch.NewFallback(r, czsearch.Config{})
+		if err != nil {
+			fatalContainer(err)
+		}
+		st, err = f.Run(context.Background(), stream.DictMatcher{Dict: dict, M: m}, stream.Config{SegmentBytes: segment}, sink)
+		if err != nil {
+			fatalContainer(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if stats {
+		fmt.Fprintf(os.Stderr, "represented=%dB tokens=%d dict=%d patterns matches=%d wall=%s\n",
+			st.BytesRepresented, st.Tokens, len(patterns), found, elapsed.Round(time.Microsecond))
+		fmt.Fprintf(os.Stderr, "czsearch: touched=%dB (%.1f%%) syncSkipped=%dB memo=%dB hits=%d resident=%dB\n",
+			st.BytesTouched, 100*float64(st.BytesTouched)/float64(max(st.BytesRepresented, 1)),
+			st.SyncSkipped, st.MemoBytes, st.MemoHits, st.MaxResident)
+	}
+}
+
+// fatalContainer exits non-zero with a message that distinguishes "not an
+// LZ1R1 container at all" from mid-stream corruption.
+func fatalContainer(err error) {
+	if errors.Is(err, lz.ErrNotLZ1R1) {
+		log.Fatalf("input is not an LZ1R1 container (-compressed wants lzpack -c output): %v", err)
+	}
+	log.Fatal(err)
 }
 
 func readPatterns(path string) ([][]byte, error) {

@@ -141,5 +141,6 @@ func All() []Experiment {
 		E17Persistence(),
 		E18Dense(),
 		E19BatchedServing(),
+		E20Czsearch(),
 	}
 }

@@ -36,8 +36,8 @@ func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("%s missing metadata", e.ID)
 		}
 	}
-	if len(seen) != 19 {
-		t.Fatalf("expected 19 experiments, have %d", len(seen))
+	if len(seen) != 20 {
+		t.Fatalf("expected 20 experiments, have %d", len(seen))
 	}
 }
 

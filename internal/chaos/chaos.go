@@ -106,6 +106,20 @@ const (
 	// (internal/batch) before the pending batch is taken — a stalled
 	// dispatcher. Queued requests must still honor their own deadlines.
 	BatchStall Point = "batch.stall"
+
+	// CzCache corrupts a memoized token transition in the compressed-domain
+	// scanner (internal/czsearch): the cached exit state is perturbed when
+	// the entry is stored, so every later hit on that key replays from the
+	// wrong automaton state. A poisoned memo is the cache-consistency fault
+	// the serving layer's sampled decompress-then-match oracle exists to
+	// catch — the request must fail loudly, never serve divergent matches.
+	CzCache Point = "czsearch.cache"
+
+	// CzTruncate fails the compressed scanner's token read mid-stream — an
+	// aborted upload or a corrupt container tail. The scanner must surface a
+	// typed error (NDJSON trailer / non-zero CLI exit), never a silently
+	// short match set.
+	CzTruncate Point = "czsearch.truncate"
 )
 
 // Rule says when one point fires. Exactly one trigger applies: Every > 0

@@ -1,0 +1,431 @@
+package czsearch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/lz"
+	"repro/internal/pram"
+	"repro/internal/stream"
+	"repro/internal/textgen"
+)
+
+func pats(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func mustAut(t testing.TB, patterns [][]byte) *dense.Automaton {
+	t.Helper()
+	a, err := dense.Compile(patterns, dense.Options{})
+	if err != nil {
+		t.Fatalf("dense.Compile: %v", err)
+	}
+	return a
+}
+
+// encode wraps a token slice in an LZ1R1 container. The stream need not be
+// an optimal parse — any structurally valid token sequence is a legal
+// container, which is how the adversarial shapes below are built.
+func encode(t testing.TB, c lz.Compressed) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := lz.EncodeStream(&buf, c); err != nil {
+		t.Fatalf("EncodeStream: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// compress produces a genuine lz.Compress container for text.
+func compress(t testing.TB, text []byte) []byte {
+	t.Helper()
+	m := pram.NewSequential()
+	return encode(t, lz.Compress(m, text))
+}
+
+// runScanner scans a container and collects events.
+func runScanner(t testing.TB, aut *dense.Automaton, container []byte, cfg Config) ([]Event, Stats) {
+	t.Helper()
+	dec, err := lz.NewDecoder(bytes.NewReader(container))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	var evs []Event
+	st, err := NewScanner(aut, cfg).Run(context.Background(), dec, func(e Event) error {
+		evs = append(evs, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scanner.Run: %v", err)
+	}
+	return evs, st
+}
+
+// oracleEvents is decompress-then-match on the same automaton: the exact
+// event stream the scanner must reproduce.
+func oracleEvents(t testing.TB, aut *dense.Automaton, container []byte) ([]Event, []byte) {
+	t.Helper()
+	c, err := lz.DecodeStream(container)
+	if err != nil {
+		t.Fatalf("DecodeStream: %v", err)
+	}
+	text, err := lz.Decode(c)
+	if err != nil {
+		t.Fatalf("lz.Decode: %v", err)
+	}
+	var evs []Event
+	for i, m := range aut.Match(text) {
+		if m.Length > 0 {
+			evs = append(evs, Event{Pos: int64(i), PatternID: m.PatternID, Length: m.Length})
+		}
+	}
+	return evs, text
+}
+
+func assertSameEvents(t *testing.T, label string, got, want []Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, oracle has %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: event %d = %+v, oracle %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// assertAccounting pins the byte-accounting invariant: every represented
+// byte is touched, sync-skipped, or memo-replayed — exactly once.
+func assertAccounting(t *testing.T, label string, st Stats) {
+	t.Helper()
+	if st.BytesTouched+st.SyncSkipped+st.MemoBytes != st.BytesRepresented {
+		t.Fatalf("%s: touched %d + skipped %d + memo %d != represented %d",
+			label, st.BytesTouched, st.SyncSkipped, st.MemoBytes, st.BytesRepresented)
+	}
+}
+
+// TestScannerEquivalence is the acceptance-criterion suite over genuine
+// lz.Compress containers: czsearch output byte-identical to
+// decompress-then-match across corpus shapes.
+func TestScannerEquivalence(t *testing.T) {
+	gen := textgen.New(41)
+	dictionaries := [][][]byte{
+		pats("he", "she", "his", "hers"),
+		pats("a", "aa", "aaa", "ab", "abab", "bb"),
+		gen.Dictionary(32, 1, 10, 4),
+	}
+	corpora := []struct {
+		name string
+		text []byte
+	}{
+		{"empty", nil},
+		{"short", []byte("ushers said shes here")},
+		{"uniform", gen.Uniform(4096, 4)},
+		{"repetitive", gen.Repetitive(8192, 64, 0.02)},
+		{"runs", bytes.Repeat([]byte("aaaaaaab"), 512)},
+		{"dna", gen.DNA(4096)},
+	}
+	for di, patterns := range dictionaries {
+		aut := mustAut(t, patterns)
+		for _, c := range corpora {
+			label := fmt.Sprintf("dict%d/%s", di, c.name)
+			container := compress(t, c.text)
+			want, _ := oracleEvents(t, aut, container)
+			got, st := runScanner(t, aut, container, Config{})
+			assertSameEvents(t, label, got, want)
+			assertAccounting(t, label, st)
+			if st.BytesRepresented != int64(len(c.text)) {
+				t.Fatalf("%s: represented %d bytes, text has %d", label, st.BytesRepresented, len(c.text))
+			}
+			if st.Events != int64(len(got)) {
+				t.Fatalf("%s: stats.Events %d != %d emitted", label, st.Events, len(got))
+			}
+		}
+	}
+}
+
+// TestScannerSublinearOnRepetitive pins the point of the subsystem: on a
+// highly compressible corpus the automaton consumes far fewer bytes than
+// the stream represents.
+func TestScannerSublinearOnRepetitive(t *testing.T) {
+	gen := textgen.New(7)
+	text := gen.Repetitive(1<<16, 64, 0.01)
+	aut := mustAut(t, pats("abac", "cab", "bb", "abra"))
+	container := compress(t, text)
+	want, _ := oracleEvents(t, aut, container)
+	got, st := runScanner(t, aut, container, Config{})
+	assertSameEvents(t, "repetitive", got, want)
+	if st.BytesTouched*2 > st.BytesRepresented {
+		t.Fatalf("touched %d of %d represented bytes — no compressed-domain saving",
+			st.BytesTouched, st.BytesRepresented)
+	}
+}
+
+// TestScannerAdversarialTokens hand-builds the container shapes the issue
+// calls out: overlapping self-referential copies, matches spanning three or
+// more tokens, window-edge copies, and repeated tokens (memo hits).
+func TestScannerAdversarialTokens(t *testing.T) {
+	lits := func(s string) []lz.Token {
+		out := make([]lz.Token, len(s))
+		for i := range s {
+			out[i] = lz.Token{Lit: s[i]}
+		}
+		return out
+	}
+	cat := func(groups ...[]lz.Token) []lz.Token {
+		var out []lz.Token
+		for _, g := range groups {
+			out = append(out, g...)
+		}
+		return out
+	}
+	cases := []struct {
+		name     string
+		patterns [][]byte
+		tokens   []lz.Token
+		n        int
+	}{
+		{
+			// One literal then a length-40 period-1 self-referential run:
+			// the automaton must sync within maxPatLen bytes and replay the
+			// rest, and "aaaa" occurrences span the token boundary.
+			name:     "selfref-run",
+			patterns: pats("aaaa", "aa"),
+			tokens:   cat(lits("a"), []lz.Token{{Src: 0, Len: 40}}),
+			n:        41,
+		},
+		{
+			// Period-3 self-referential copy overlapping its own output.
+			name:     "selfref-period3",
+			patterns: pats("abcabc", "ca"),
+			tokens:   cat(lits("abc"), []lz.Token{{Src: 0, Len: 30}}),
+			n:        33,
+		},
+		{
+			// A long pattern assembled from ≥3 tokens: "needle" split as
+			// "ne" + copy("e") + lits("dle") never appears inside one token.
+			name:     "match-spans-3-tokens",
+			patterns: pats("needle", "edl"),
+			tokens:   cat(lits("ne"), []lz.Token{{Src: 1, Len: 1}}, lits("dle")),
+			n:        6,
+		},
+		{
+			// Pattern spanning four tokens, with copies on both sides.
+			name:     "match-spans-4-tokens",
+			patterns: pats("abcabcabc"),
+			tokens: cat(lits("abc"), []lz.Token{{Src: 0, Len: 3}},
+				[]lz.Token{{Src: 0, Len: 2}}, lits("c"), []lz.Token{{Src: 0, Len: 9}}),
+			n: 18,
+		},
+		{
+			// Repeated identical tokens from the same entry state: memo
+			// territory. "xy" * 32 via the same (src=0,len=2) token.
+			name:     "repeated-tokens",
+			patterns: pats("yx", "xyxy"),
+			tokens: cat(lits("xy"), []lz.Token{
+				{Src: 0, Len: 2}, {Src: 0, Len: 2}, {Src: 0, Len: 2}, {Src: 0, Len: 2},
+				{Src: 0, Len: 2}, {Src: 0, Len: 2}, {Src: 0, Len: 2}, {Src: 0, Len: 2},
+			}),
+			n: 18,
+		},
+		{
+			// Copy whose source starts at offset 0 — the left edge of any
+			// retained window — plus a copy reaching exactly to the frontier.
+			name:     "edge-copies",
+			patterns: pats("abab", "bab"),
+			tokens:   cat(lits("ab"), []lz.Token{{Src: 0, Len: 2}}, []lz.Token{{Src: 2, Len: 2}}, []lz.Token{{Src: 5, Len: 1}}),
+			n:        7,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			aut := mustAut(t, tc.patterns)
+			container := encode(t, lz.Compressed{N: tc.n, Tokens: tc.tokens})
+			want, text := oracleEvents(t, aut, container)
+			if len(text) != tc.n {
+				t.Fatalf("bad test case: decodes to %d bytes, want %d", len(text), tc.n)
+			}
+			got, st := runScanner(t, aut, container, Config{})
+			assertSameEvents(t, tc.name, got, want)
+			assertAccounting(t, tc.name, st)
+			if tc.name == "repeated-tokens" && st.MemoHits == 0 {
+				t.Fatalf("repeated identical tokens produced no memo hits (misses %d)", st.MemoMisses)
+			}
+		})
+	}
+}
+
+// TestScannerWindowed pins the bounded-history mode: results stay identical
+// while the window is respected, the resident history stays bounded, and a
+// too-far back-reference fails with the typed sentinel.
+func TestScannerWindowed(t *testing.T) {
+	gen := textgen.New(13)
+	text := gen.Repetitive(1<<15, 48, 0.02)
+	aut := mustAut(t, pats("abra", "cad", "bb"))
+	container := compress(t, text)
+
+	// lz.Compress can reference arbitrarily far back; find a window that
+	// this particular container happens to respect from its decode stats.
+	uc, err := stream.NewUncompressor(bytes.NewReader(container), stream.UncompressConfig{})
+	if err != nil {
+		t.Fatalf("NewUncompressor: %v", err)
+	}
+	u, err := uc.Run(context.Background(), bytes.NewBuffer(nil))
+	if err != nil {
+		t.Fatalf("Uncompressor.Run: %v", err)
+	}
+	win := int(u.FarthestBack)
+
+	want, _ := oracleEvents(t, aut, container)
+	got, st := runScanner(t, aut, container, Config{Window: win})
+	assertSameEvents(t, "windowed", got, want)
+	if st.MaxResident > 2*win+1 {
+		t.Fatalf("resident history %d exceeds 2×window %d", st.MaxResident, 2*win)
+	}
+
+	// A window smaller than the farthest back-reference must surface
+	// ErrWindowExceeded, not wrong output.
+	small := win / 4
+	if small < 1 {
+		small = 1
+	}
+	dec2, err := lz.NewDecoder(bytes.NewReader(container))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	_, err = NewScanner(aut, Config{Window: small}).Run(context.Background(), dec2, func(Event) error { return nil })
+	if !errors.Is(err, ErrWindowExceeded) {
+		t.Fatalf("window %d: err = %v, want ErrWindowExceeded", small, err)
+	}
+}
+
+// TestScannerRejectsCorrupt pins typed failures: out-of-range sources, N
+// mismatches, and output caps — never silent wrong output.
+func TestScannerRejectsCorrupt(t *testing.T) {
+	aut := mustAut(t, pats("ab"))
+	run := func(c lz.Compressed, cfg Config) error {
+		container := encode(t, c)
+		dec, err := lz.NewDecoder(bytes.NewReader(container))
+		if err != nil {
+			return err
+		}
+		_, err = NewScanner(aut, cfg).Run(context.Background(), dec, func(Event) error { return nil })
+		return err
+	}
+	if err := run(lz.Compressed{N: 3, Tokens: []lz.Token{{Lit: 'a'}, {Src: 5, Len: 2}}}, Config{}); err == nil {
+		t.Fatal("future source accepted")
+	}
+	if err := run(lz.Compressed{N: 9, Tokens: []lz.Token{{Lit: 'a'}, {Src: 0, Len: 3}}}, Config{}); err == nil {
+		t.Fatal("N mismatch accepted")
+	}
+	err := run(lz.Compressed{N: 100, Tokens: []lz.Token{{Lit: 'a'}, {Src: 0, Len: 99}}}, Config{MaxOutput: 10})
+	if !errors.Is(err, ErrOutputExceeded) {
+		t.Fatalf("output cap: err = %v, want ErrOutputExceeded", err)
+	}
+}
+
+// TestScannerSinkAbort pins that a sink error stops the scan and surfaces.
+func TestScannerSinkAbort(t *testing.T) {
+	aut := mustAut(t, pats("ab"))
+	container := compress(t, bytes.Repeat([]byte("ab"), 200))
+	dec, err := lz.NewDecoder(bytes.NewReader(container))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	boom := errors.New("sink says no")
+	seen := 0
+	_, err = NewScanner(aut, Config{}).Run(context.Background(), dec, func(Event) error {
+		seen++
+		if seen == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if seen != 3 {
+		t.Fatalf("sink called %d times after aborting at 3", seen)
+	}
+}
+
+// TestScannerReuse pins pooling semantics: the same Scanner produces
+// identical output across Runs over different containers, with no state
+// (history, memo, pending events) leaking between them.
+func TestScannerReuse(t *testing.T) {
+	gen := textgen.New(23)
+	aut := mustAut(t, pats("ab", "bc", "abc"))
+	s := NewScanner(aut, Config{})
+	for trial := 0; trial < 4; trial++ {
+		text := gen.Repetitive(2048+511*trial, 32, 0.05)
+		container := compress(t, text)
+		want, _ := oracleEvents(t, aut, container)
+		dec, err := lz.NewDecoder(bytes.NewReader(container))
+		if err != nil {
+			t.Fatalf("NewDecoder: %v", err)
+		}
+		var got []Event
+		if _, err := s.Run(context.Background(), dec, func(e Event) error {
+			got = append(got, e)
+			return nil
+		}); err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+		assertSameEvents(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestFallbackEquivalence pins the tree-walk engine: the fused
+// uncompress+match pipeline emits the same events as the dense scanner and
+// reports full-cost accounting (touched == represented).
+func TestFallbackEquivalence(t *testing.T) {
+	gen := textgen.New(31)
+	patterns := pats("he", "she", "hers", "aba")
+	aut := mustAut(t, patterns)
+	m := pram.New(2)
+	defer m.Close()
+	d := core.Preprocess(m, patterns, core.Options{Seed: 3})
+
+	for _, text := range [][]byte{
+		[]byte("ushers say hershel is his"),
+		gen.Repetitive(8192, 64, 0.02),
+	} {
+		container := compress(t, text)
+		want, _ := oracleEvents(t, aut, container)
+
+		f, err := NewFallback(bytes.NewReader(container), Config{})
+		if err != nil {
+			t.Fatalf("NewFallback: %v", err)
+		}
+		if f.N() != len(text) {
+			t.Fatalf("N = %d, want %d", f.N(), len(text))
+		}
+		var got []Event
+		st, err := f.Run(context.Background(), stream.DictMatcher{Dict: d, M: m}, stream.Config{SegmentBytes: 1024},
+			func(e Event) error {
+				got = append(got, e)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("Fallback.Run: %v", err)
+		}
+		assertSameEvents(t, "fallback", got, want)
+		if st.BytesTouched != st.BytesRepresented || st.BytesRepresented != int64(len(text)) {
+			t.Fatalf("fallback accounting: touched %d, represented %d, text %d",
+				st.BytesTouched, st.BytesRepresented, len(text))
+		}
+	}
+
+	// Non-container input fails at construction with the typed sentinel.
+	if _, err := NewFallback(bytes.NewReader([]byte("not a container")), Config{}); !errors.Is(err, lz.ErrNotLZ1R1) {
+		t.Fatalf("non-container: err = %v, want lz.ErrNotLZ1R1", err)
+	}
+}

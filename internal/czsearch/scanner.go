@@ -1,0 +1,419 @@
+package czsearch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/chaos"
+	"repro/internal/dense"
+	"repro/internal/lz"
+)
+
+// occurrence is one pattern occurrence keyed by its END position. The
+// scanner keeps occurrences of the retained history in nondecreasing end
+// order (same-end entries in the automaton's longest-first output order), so
+// a copy-token replay is a binary search plus a run of appends.
+type occurrence struct {
+	end    int64
+	pat    int32
+	length int32
+}
+
+// ringSlot is the pending longest-match-starting-here for one text position
+// that is not yet final. length 0 means no occurrence seen.
+type ringSlot struct {
+	pat    int32
+	length int32
+}
+
+// memoKey identifies a copy token by its entry state and wire form. Token
+// sources are absolute offsets into this container's represented text, so a
+// key is only meaningful within one run — the cache resets per Run.
+type memoKey struct {
+	state int32
+	src   int32
+	len   int32
+}
+
+// memoEntry is everything needed to replay a token without touching bytes:
+// the exit state, the occurrences relative to the token start, and the
+// destination of the scan that populated the entry (its state history is
+// bulk-copied so the replayed region stays a valid future copy source).
+type memoEntry struct {
+	exit      int32
+	firstDest int64
+	events    []relOcc
+}
+
+// relOcc is an occurrence relative to a token start: end offset in [1, len].
+type relOcc struct {
+	endOff int32
+	pat    int32
+	length int32
+}
+
+// Scanner matches a dictionary against an LZ1R1 token stream on the dense
+// compiled automaton. A Scanner is reusable (Run resets it first) but not
+// safe for concurrent use; the serving layer pools them.
+type Scanner struct {
+	aut      *dense.Automaton
+	cfg      Config
+	maxPat   int
+	ringMask int64
+	memoCap  int
+
+	state     int32
+	pos       int64 // absolute represented bytes consumed
+	hist      []byte
+	stateHist []int32 // stateHist[i] = automaton state after byte histStart+i
+	histStart int64   // absolute offset of hist[0]
+
+	occ []occurrence
+
+	ring    []ringSlot
+	flushed int64 // next start position not yet emitted
+	live    int   // ring slots holding a pending occurrence
+
+	memo map[memoKey]memoEntry
+
+	sink  Sink
+	stats Stats
+}
+
+// NewScanner builds a scanner over a compiled automaton.
+func NewScanner(aut *dense.Automaton, cfg Config) *Scanner {
+	maxPat := aut.MaxPatternLen()
+	ringSize := 1
+	for ringSize < maxPat {
+		ringSize <<= 1
+	}
+	s := &Scanner{
+		aut:      aut,
+		cfg:      cfg,
+		maxPat:   maxPat,
+		ring:     make([]ringSlot, ringSize),
+		ringMask: int64(ringSize - 1),
+	}
+	if cfg.MemoMaxEntries >= 0 {
+		s.memoCap = cfg.MemoMaxEntries
+		if s.memoCap == 0 {
+			s.memoCap = DefaultMemoMaxEntries
+		}
+		s.memo = make(map[memoKey]memoEntry)
+	}
+	return s
+}
+
+// Reset returns the scanner to its initial state, keeping allocations. The
+// memo cache is cleared too: its keys are absolute offsets of one
+// container's text and mean nothing to the next.
+func (s *Scanner) Reset() {
+	s.state = 0
+	s.pos = 0
+	s.histStart = 0
+	s.hist = s.hist[:0]
+	s.stateHist = s.stateHist[:0]
+	s.occ = s.occ[:0]
+	for i := range s.ring {
+		s.ring[i] = ringSlot{}
+	}
+	s.flushed = 0
+	s.live = 0
+	clear(s.memo)
+	s.sink = nil
+	s.stats = Stats{}
+}
+
+// Run consumes every token from dec and emits each represented position's
+// longest match to sink, in position order, exactly as decompress-then-match
+// would. The accounting invariant BytesTouched + SyncSkipped + MemoBytes ==
+// BytesRepresented holds on success: every represented byte is either fed
+// through the automaton, fast-forwarded after a state coincidence, or
+// replayed from the memo.
+func (s *Scanner) Run(ctx context.Context, dec *lz.Decoder, sink Sink) (Stats, error) {
+	s.Reset()
+	s.sink = sink
+	for tok := int64(0); ; tok++ {
+		if tok&0x3ff == 0 {
+			if err := ctx.Err(); err != nil {
+				return s.stats, err
+			}
+		}
+		if err := chaos.Err(chaos.CzTruncate, "read"); err != nil {
+			return s.stats, tokenError(tok, err)
+		}
+		t, err := dec.NextToken()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s.stats, err
+		}
+		s.stats.Tokens++
+		if t.IsLiteral() {
+			err = s.literal(t.Lit)
+		} else {
+			err = s.copyToken(t, tok)
+		}
+		if err != nil {
+			return s.stats, err
+		}
+		// Stream events out promptly: every start more than maxPat behind
+		// the scan frontier is final. O(1) when nothing is pending.
+		if err := s.flushTo(s.pos - int64(s.maxPat) + 1); err != nil {
+			return s.stats, err
+		}
+		if len(s.hist) > s.stats.MaxResident {
+			s.stats.MaxResident = len(s.hist)
+		}
+		s.trim()
+	}
+	if err := s.flushTo(s.pos); err != nil {
+		return s.stats, err
+	}
+	if s.stats.BytesRepresented != int64(dec.N()) {
+		return s.stats, fmt.Errorf("lz: decoded %d bytes, header says %d", s.stats.BytesRepresented, dec.N())
+	}
+	return s.stats, nil
+}
+
+// literal consumes one literal byte: one automaton transition.
+func (s *Scanner) literal(b byte) error {
+	if s.cfg.MaxOutput > 0 && s.stats.BytesRepresented+1 > s.cfg.MaxOutput {
+		return ErrOutputExceeded
+	}
+	s.hist = append(s.hist, b)
+	s.state = s.aut.Step(s.state, b)
+	s.stateHist = append(s.stateHist, s.state)
+	s.pos++
+	s.stats.Literals++
+	s.stats.BytesRepresented++
+	s.stats.BytesTouched++
+	if s.aut.HasOutputs(s.state) {
+		for _, p := range s.aut.Outputs(s.state) {
+			if err := s.record(s.pos, p, s.aut.PatternLen(p)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// copyToken consumes a copy token (src, len): the source bytes are
+// materialized into the history (they may be future copy sources), but the
+// automaton only scans until its state coincides with the recorded state at
+// the same source offset — guaranteed within maxPatLen bytes, because the
+// dense-DFA state is a pure function of the last maxPatLen input bytes and
+// destination and source share those bytes from offset maxPatLen on. The
+// remainder is a bulk state-history copy plus an occurrence replay.
+func (s *Scanner) copyToken(t lz.Token, tok int64) error {
+	srcAbs := int64(t.Src)
+	n := int(t.Len)
+	if srcAbs < 0 || srcAbs >= s.pos {
+		return tokenError(tok, fmt.Errorf("lz: token source %d out of range (have %d bytes)", t.Src, s.pos))
+	}
+	if s.cfg.MaxOutput > 0 && s.stats.BytesRepresented+int64(n) > s.cfg.MaxOutput {
+		return ErrOutputExceeded
+	}
+	if srcAbs < s.histStart {
+		return tokenError(tok, fmt.Errorf("%w: source %d precedes retained offset %d", ErrWindowExceeded, srcAbs, s.histStart))
+	}
+	s.stats.Copies++
+	s.stats.BytesRepresented += int64(n)
+
+	sIdx := int(srcAbs - s.histStart)
+	dIdx := len(s.hist)
+	dAbs := s.pos
+
+	// Materialize the represented bytes. Self-referential copies (source
+	// overlapping destination) are legal LZ1; the periodic copy reads each
+	// byte only after it is written.
+	s.hist = growBytes(s.hist, dIdx+n)
+	copyPeriodic(s.hist, dIdx, sIdx, n)
+	s.stateHist = growInt32(s.stateHist, dIdx+n)
+
+	entry := s.state
+	key := memoKey{state: entry, src: t.Src, len: t.Len}
+	cacheable := s.memo != nil && n <= DefaultMemoMaxTokens
+	if cacheable {
+		if e, ok := s.memo[key]; ok && e.firstDest >= s.histStart {
+			// Memo hit: same entry state, same source bytes ⇒ the whole
+			// state trajectory repeats. Replay it without touching a byte.
+			fIdx := int(e.firstDest - s.histStart)
+			copy(s.stateHist[dIdx:dIdx+n], s.stateHist[fIdx:fIdx+n])
+			for _, ro := range e.events {
+				if err := s.record(dAbs+int64(ro.endOff), ro.pat, ro.length); err != nil {
+					return err
+				}
+			}
+			s.state = e.exit
+			s.pos += int64(n)
+			s.stats.MemoHits++
+			s.stats.MemoBytes += int64(n)
+			return nil
+		}
+	}
+
+	occBefore := len(s.occ)
+	synced := -1
+	for j := 0; j < n; j++ {
+		s.state = s.aut.Step(s.state, s.hist[dIdx+j])
+		s.stateHist[dIdx+j] = s.state
+		s.stats.BytesTouched++
+		if s.aut.HasOutputs(s.state) {
+			end := dAbs + int64(j) + 1
+			for _, p := range s.aut.Outputs(s.state) {
+				if err := s.record(end, p, s.aut.PatternLen(p)); err != nil {
+					return err
+				}
+			}
+		}
+		if s.state == s.stateHist[sIdx+j] {
+			synced = j
+			break
+		}
+	}
+	if synced >= 0 && synced < n-1 {
+		// States coincide at offset `synced`; offsets synced+1..n-1 replay
+		// the source's states and occurrences, shifted by delta.
+		rem := n - synced - 1
+		copyPeriodic(s.stateHist, dIdx+synced+1, sIdx+synced+1, rem)
+		s.state = s.stateHist[dIdx+n-1]
+		s.stats.SyncSkipped += int64(rem)
+		lo := srcAbs + int64(synced) + 1 // replay source ends in (lo, hi]
+		hi := srcAbs + int64(n)
+		delta := dAbs - srcAbs
+		i := sort.Search(len(s.occ), func(k int) bool { return s.occ[k].end > lo })
+		// The loop bound re-reads len(s.occ): with a self-referential copy
+		// the replay appends occurrences that are themselves sources for
+		// later offsets of the same token.
+		for ; i < len(s.occ) && s.occ[i].end <= hi; i++ {
+			o := s.occ[i]
+			if err := s.record(o.end+delta, o.pat, o.length); err != nil {
+				return err
+			}
+		}
+	}
+
+	if cacheable {
+		s.stats.MemoMisses++
+		if evs := s.occ[occBefore:]; len(evs) <= DefaultMemoMaxEvents {
+			rel := make([]relOcc, len(evs))
+			for k, o := range evs {
+				rel[k] = relOcc{endOff: int32(o.end - dAbs), pat: o.pat, length: o.length}
+			}
+			e := memoEntry{exit: s.state, firstDest: dAbs, events: rel}
+			if chaos.Fire(chaos.CzCache) {
+				// Poison the cached exit state: later hits on this key
+				// replay from the wrong state. The sampled decompress-then-
+				// match oracle in the serving layer must catch this.
+				e.exit = (e.exit + 1) % int32(s.aut.NumStates())
+			}
+			if len(s.memo) >= s.memoCap {
+				clear(s.memo)
+			}
+			s.memo[key] = e
+		}
+	}
+	s.pos += int64(n)
+	return nil
+}
+
+// record notes one occurrence by end position: it is appended to the replay
+// history and folded into the pending per-start ring (longest pattern wins;
+// first-recorded wins ties, matching dense.MatchInto). Ends arrive in
+// nondecreasing order, so every start more than maxPat before the newest
+// end is final and can be flushed.
+func (s *Scanner) record(end int64, pat, length int32) error {
+	if err := s.flushTo(end - int64(s.maxPat)); err != nil {
+		return err
+	}
+	s.occ = append(s.occ, occurrence{end: end, pat: pat, length: length})
+	slot := &s.ring[(end-int64(length))&s.ringMask]
+	if slot.length == 0 {
+		*slot = ringSlot{pat: pat, length: length}
+		s.live++
+	} else if length > slot.length {
+		*slot = ringSlot{pat: pat, length: length}
+	}
+	return nil
+}
+
+// flushTo emits events for all pending starts < limit, in start order.
+func (s *Scanner) flushTo(limit int64) error {
+	for s.flushed < limit {
+		if s.live == 0 {
+			s.flushed = limit
+			return nil
+		}
+		slot := &s.ring[s.flushed&s.ringMask]
+		if slot.length != 0 {
+			s.stats.Events++
+			ev := Event{Pos: s.flushed, PatternID: slot.pat, Length: slot.length}
+			*slot = ringSlot{}
+			s.live--
+			if err := s.sink(ev); err != nil {
+				return err
+			}
+		}
+		s.flushed++
+	}
+	return nil
+}
+
+// trim enforces the history window with the uncompressor's lazy discipline:
+// only when the history exceeds twice the window is it cut back to exactly
+// the window. Occurrences whose ends fall behind the retained range can
+// never be replayed again and are dropped in lockstep.
+func (s *Scanner) trim() {
+	win := s.cfg.Window
+	if win <= 0 || len(s.hist) <= 2*win {
+		return
+	}
+	cut := len(s.hist) - win
+	s.histStart += int64(cut)
+	copy(s.hist, s.hist[cut:])
+	s.hist = s.hist[:win]
+	copy(s.stateHist, s.stateHist[cut:])
+	s.stateHist = s.stateHist[:win]
+	k := sort.Search(len(s.occ), func(i int) bool { return s.occ[i].end > s.histStart })
+	if k > 0 {
+		n := copy(s.occ, s.occ[k:])
+		s.occ = s.occ[:n]
+	}
+}
+
+// growBytes extends b to length n, reallocating at most geometrically.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	nb := make([]byte, n, max(2*n, 1024))
+	copy(nb, b)
+	return nb
+}
+
+// growInt32 is growBytes for state history.
+func growInt32(v []int32, n int) []int32 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	nv := make([]int32, n, max(2*n, 1024))
+	copy(nv, v)
+	return nv
+}
+
+// copyPeriodic fills a[dst:dst+n] from a[src:src+n] with LZ copy semantics:
+// each element is read only after any earlier write to it, so an
+// overlapping (self-referential) range produces the periodic repetition,
+// not a memmove of the original contents. Runs in O(n/period) copy calls.
+func copyPeriodic[T byte | int32](a []T, dst, src, n int) {
+	period := dst - src
+	for filled := 0; filled < n; {
+		chunk := min(n-filled, period)
+		copy(a[dst+filled:dst+filled+chunk], a[src+filled:src+filled+chunk])
+		filled += chunk
+	}
+}

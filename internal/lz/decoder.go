@@ -3,10 +3,17 @@ package lz
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 )
+
+// ErrNotLZ1R1 reports input that does not begin with the LZ1R1 container
+// magic. Callers that accept arbitrary files (cmd/dictmatch -compressed, the
+// compressed-matching endpoint) test for it with errors.Is to distinguish
+// "wrong format" from mid-stream corruption.
+var ErrNotLZ1R1 = errors.New("lz: not an LZ1R1 stream")
 
 // Decoder reads an LZ1R1 container incrementally: header first, then one
 // token per Next call. Unlike DecodeStream it never materializes the token
@@ -28,7 +35,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReaderSize(r, 64<<10)
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != Magic {
-		return nil, fmt.Errorf("lz: not an LZ1R1 stream")
+		return nil, ErrNotLZ1R1
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -52,8 +59,14 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 // N returns the header's original (decompressed) length.
 func (d *Decoder) N() int { return d.n }
 
-// Tokens returns the header's token count.
-func (d *Decoder) Tokens() uint64 { return d.count }
+// TokenCount returns the header's token count.
+func (d *Decoder) TokenCount() uint64 { return d.count }
+
+// NextToken yields the next decoded token without expanding it into text —
+// the iteration API compressed-domain consumers (internal/czsearch) build
+// on, so the container is parsed exactly once. It is Next under the name
+// that says what it returns; both share the sticky-error state.
+func (d *Decoder) NextToken() (Token, error) { return d.Next() }
 
 // Next returns the next token, or io.EOF after the last one. After EOF the
 // container must end; trailing bytes are reported as an error instead of

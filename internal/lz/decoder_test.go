@@ -2,6 +2,7 @@ package lz
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand/v2"
 	"testing"
@@ -60,6 +61,46 @@ func TestDecoderMatchesDecodeStream(t *testing.T) {
 				t.Fatalf("trial %d: token %d = %+v, want %+v", trial, i, got.Tokens[i], want.Tokens[i])
 			}
 		}
+	}
+}
+
+// TestDecoderTokenIteration pins the token-iteration surface czsearch
+// consumes: NextToken yields exactly the encoded tokens (identically to
+// Next), TokenCount reports the header count, and a non-container input
+// fails with the typed ErrNotLZ1R1.
+func TestDecoderTokenIteration(t *testing.T) {
+	c := Compressed{N: 7, Tokens: []Token{
+		{Lit: 'a'}, {Lit: 'b'}, {Src: 0, Len: 5}, // self-referential run
+	}}
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, c); err != nil {
+		t.Fatalf("EncodeStream: %v", err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if d.TokenCount() != uint64(len(c.Tokens)) {
+		t.Fatalf("TokenCount = %d, want %d", d.TokenCount(), len(c.Tokens))
+	}
+	for i, want := range c.Tokens {
+		tok, err := d.NextToken()
+		if err != nil {
+			t.Fatalf("NextToken %d: %v", i, err)
+		}
+		if tok != want {
+			t.Fatalf("NextToken %d = %+v, want %+v", i, tok, want)
+		}
+	}
+	if _, err := d.NextToken(); err != io.EOF {
+		t.Fatalf("NextToken after last = %v, want io.EOF", err)
+	}
+
+	if _, err := NewDecoder(bytes.NewReader([]byte("plain text, not a container"))); !errors.Is(err, ErrNotLZ1R1) {
+		t.Fatalf("non-container error = %v, want ErrNotLZ1R1", err)
+	}
+	if _, err := DecodeStream([]byte("plain text, not a container")); !errors.Is(err, ErrNotLZ1R1) {
+		t.Fatalf("DecodeStream non-container error = %v, want ErrNotLZ1R1", err)
 	}
 }
 

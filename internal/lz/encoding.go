@@ -67,7 +67,7 @@ func EncodeStream(w io.Writer, c Compressed) error {
 func DecodeStream(data []byte) (Compressed, error) {
 	var c Compressed
 	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
-		return c, fmt.Errorf("lz: not an LZ1R1 stream")
+		return c, ErrNotLZ1R1
 	}
 	data = data[len(Magic):]
 	get := func() (uint64, error) {

@@ -1,0 +1,391 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/czsearch"
+	"repro/internal/dense"
+	"repro/internal/lz"
+	"repro/internal/stream"
+)
+
+// Compressed-domain matching endpoints. Where /v1/dicts/{id}/match reads
+// text and /v1/decompress/stream expands a container, these two routes fuse
+// the halves: an LZ1R1 container in, dictionary matches over the represented
+// text out, without the server ever materializing that text on the fast
+// path.
+//
+//	POST /v1/dicts/{id}/match/compressed           raw LZ1R1 in → NDJSON events out
+//	POST /v1/dicts/{id}/match/compressed/buffered  JSON {dataB64} in → JSON hits out
+//
+// The streaming route follows the /match/stream conventions: no request
+// deadline, no MaxBodyBytes cap (memory is bounded by the scanner's retained
+// window, not the body size), NDJSON events in position order, and a final
+// {"summary":...} line — or {"error":...}, which clients must treat as a
+// failed stream since the HTTP status is long committed. The represented
+// size from the container header is still capped by MaxExpandBytes: an
+// unbounded-window scan retains the whole represented text as copy-source
+// history, so the cap is the same zip-bomb guard /v1/decompress enforces.
+//
+// Engine selection mirrors the dense serving path: entries with a compiled
+// automaton serve from the czsearch token-stream scanner (engine
+// "czsearch"); the rest decompress through the windowed uncompressor fused
+// to the tree-walk matcher (engine "tree", counted as a fallback). Scanner
+// results are cross-checked against the decompress-then-match oracle on the
+// first request and every verifySampleEvery-th after it — the same sampling
+// the dense path uses — and a divergence fails the request loudly (500 or
+// error trailer) rather than serving unverifiable output: the scanner's
+// memo cache is exactly the kind of state a fault can poison (chaos point
+// czsearch.cache), and the oracle is what detects it.
+
+// engineCz labels responses answered by the compressed-domain scanner.
+const engineCz = "czsearch"
+
+// czFlushEvery bounds how many NDJSON events the streaming route buffers
+// before pushing them to the client.
+const czFlushEvery = 512
+
+// czConfig is the scan configuration shared by both engines: the streaming
+// window bounds retained history, MaxExpandBytes bounds represented output.
+func (s *Server) czConfig() czsearch.Config {
+	return czsearch.Config{Window: s.cfg.StreamWindow, MaxOutput: s.cfg.MaxExpandBytes}
+}
+
+// czAutomaton returns the entry's compiled automaton if the compressed scan
+// may use it (nil = serve the decompress-and-match fallback).
+func (s *Server) czAutomaton(e *Entry) *dense.Automaton {
+	if s.cfg.DenseMode == DenseOff {
+		return nil
+	}
+	return e.denseAut.Load()
+}
+
+// czRunner is a prepared compressed-domain scan: the container header has
+// been validated (so the handler can still choose a proper HTTP status) but
+// no token has been consumed yet.
+type czRunner struct {
+	n      int    // represented size from the container header
+	engine string // engineCz or engineTree
+	run    func(ctx context.Context, sink czsearch.Sink) (czsearch.Stats, error)
+}
+
+// czPrepare validates the container header on body and returns the runner
+// for the fastest correct engine. aut is the caller's automaton decision
+// (czAutomaton), passed in so the engine choice and the caller's sampling
+// decision cannot disagree.
+func (s *Server) czPrepare(e *Entry, aut *dense.Automaton, body io.Reader) (czRunner, error) {
+	if aut != nil {
+		dec, err := lz.NewDecoder(body)
+		if err != nil {
+			return czRunner{}, err
+		}
+		sc, _ := e.czPool.Get().(*czsearch.Scanner)
+		if sc == nil {
+			sc = czsearch.NewScanner(aut, s.czConfig())
+		}
+		return czRunner{n: dec.N(), engine: engineCz, run: func(ctx context.Context, sink czsearch.Sink) (czsearch.Stats, error) {
+			st, err := sc.Run(ctx, dec, sink)
+			// Run resets the scanner up front, so pooling it back even after
+			// an error (or a chaos fault) cannot leak state into the next
+			// request — the chaos suite pins this.
+			e.czPool.Put(sc)
+			return st, err
+		}}, nil
+	}
+	f, err := czsearch.NewFallback(body, s.czConfig())
+	if err != nil {
+		return czRunner{}, err
+	}
+	return czRunner{n: f.N(), engine: engineTree, run: func(ctx context.Context, sink czsearch.Sink) (czsearch.Stats, error) {
+		tm := entryMatcher{e: e, procs: s.cfg.Procs, mt: s.metrics}
+		return f.Run(ctx, tm, stream.Config{SegmentBytes: s.cfg.SegmentBytes}, sink)
+	}}, nil
+}
+
+// czObserve folds one successful scan into the service metrics.
+func (s *Server) czObserve(engine string, st czsearch.Stats) {
+	if engine == engineCz {
+		s.metrics.czServed.Add(1)
+	} else {
+		s.metrics.czFallback.Add(1)
+	}
+	s.metrics.czTokens.Add(st.Tokens)
+	s.metrics.czBytesRepresented.Add(st.BytesRepresented)
+	s.metrics.czBytesTouched.Add(st.BytesTouched)
+	s.metrics.czMemoHits.Add(st.MemoHits)
+}
+
+// czSampled reports whether this scanner-engine request is an oracle sample:
+// the entry's first compressed request and every verifySampleEvery-th after
+// it, the same cadence the dense match path verifies on.
+func (e *Entry) czSampled() bool {
+	n := e.czReqs.Add(1)
+	return n == 1 || n%verifySampleEvery == 0
+}
+
+// czVerify cross-checks a scanner result against the decompress-then-match
+// oracle: the teed container is expanded and run through the checked
+// tree-walk matcher, and the event sets are compared by spelled pattern
+// (duplicate patterns may legitimately resolve to different ids). Returns
+// +1 on agreement, -1 on divergence, 0 when the oracle could not run (a
+// degraded or exhausted oracle cannot indict the scan — the same rule the
+// dense path applies).
+func (s *Server) czVerify(ctx context.Context, e *Entry, container []byte, got []czsearch.Event) int {
+	c, err := lz.DecodeStream(container)
+	if err != nil {
+		return 0 // the scanner consumed it, so this cannot happen; don't indict
+	}
+	text, err := lz.Decode(c)
+	if err != nil {
+		return 0
+	}
+	want, _, _, err := e.MatchChecked(ctx, text, s.cfg.Procs, s.metrics)
+	if err != nil {
+		return 0
+	}
+	if czSameEvents(e.patterns(), got, want) {
+		s.metrics.czVerifyPass.Add(1)
+		return 1
+	}
+	s.metrics.czVerifyFail.Add(1)
+	e.logf("entry %s: compressed match diverged from oracle on %d-byte text", e.ID, len(text))
+	return -1
+}
+
+// czSameEvents reports whether the scanner's event stream equals the
+// oracle's M[] output: same positions, same lengths, and the same spelled
+// pattern everywhere.
+func czSameEvents(patterns [][]byte, got []czsearch.Event, want []core.Match) bool {
+	j := 0
+	for i, m := range want {
+		if m.Length == 0 {
+			continue
+		}
+		if j >= len(got) {
+			return false
+		}
+		g := got[j]
+		j++
+		if g.Pos != int64(i) || g.Length != m.Length {
+			return false
+		}
+		if g.PatternID != m.PatternID {
+			if g.PatternID < 0 || m.PatternID < 0 ||
+				int(g.PatternID) >= len(patterns) || int(m.PatternID) >= len(patterns) ||
+				!bytes.Equal(patterns[g.PatternID], patterns[m.PatternID]) {
+				return false
+			}
+		}
+	}
+	return j == len(got)
+}
+
+// cappedTee records the bytes written through it up to a cap; past the cap
+// it discards everything and reports overflow, so an oversized container
+// skips verification instead of buffering unboundedly.
+type cappedTee struct {
+	buf        bytes.Buffer
+	cap        int64
+	overflowed bool
+}
+
+func (ct *cappedTee) Write(p []byte) (int, error) {
+	if !ct.overflowed {
+		if int64(ct.buf.Len())+int64(len(p)) > ct.cap {
+			ct.overflowed = true
+			ct.buf.Reset()
+		} else {
+			ct.buf.Write(p)
+		}
+	}
+	return len(p), nil
+}
+
+// handleMatchCompressed matches a streamed LZ1R1 container against a
+// resident dictionary without decompressing it on the fast path. Raw
+// container bytes in (chunked encoding welcome, MaxBodyBytes deliberately
+// not applied), NDJSON match events out, {"summary":...} trailer on success.
+func (s *Server) handleMatchCompressed(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+
+	aut := s.czAutomaton(e)
+	verify := aut != nil && e.czSampled()
+	body := io.Reader(r.Body)
+	var tee *cappedTee
+	if verify {
+		// The body streams through once; tee it so the oracle can re-expand
+		// it after the scan. The cap only guards memory — a container too
+		// large to tee just skips its verification turn.
+		tee = &cappedTee{cap: s.cfg.MaxBodyBytes}
+		body = io.TeeReader(r.Body, tee)
+	}
+
+	run, err := s.czPrepare(e, aut, body)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "bad LZ1R1 stream: %v", err)
+		return
+	}
+	if int64(run.n) > s.cfg.MaxExpandBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"represented size %d exceeds %d bytes", run.n, s.cfg.MaxExpandBytes)
+		return
+	}
+
+	s.metrics.streamStarted.Add(1)
+	s.metrics.streamActive.Add(1)
+	defer s.metrics.streamActive.Add(-1)
+
+	rc := http.NewResponseController(w)
+	// Tokens are still being read from the body while events go out; on
+	// HTTP/1.x the first response write would otherwise close the body.
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriterSize(w, 32<<10)
+
+	var events []czsearch.Event // collected only for verification
+	pending := 0
+	sink := func(ev czsearch.Event) error {
+		if verify {
+			events = append(events, ev)
+		}
+		s.metrics.streamEvents.Add(1)
+		if _, err := fmt.Fprintf(bw, `{"pos":%d,"pattern":%d,"length":%d}`+"\n", ev.Pos, ev.PatternID, ev.Length); err != nil {
+			return err
+		}
+		if pending++; pending >= czFlushEvery {
+			pending = 0
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+				return err
+			}
+		}
+		return nil
+	}
+
+	st, err := run.run(r.Context(), sink)
+	s.metrics.streamBytes.Add(st.BytesRepresented)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.metrics.timeouts.Add(1)
+			return // client went away; nothing to tell
+		}
+		// The status line is committed; the error travels as the last line.
+		fmt.Fprintf(bw, `{"error":%q}`+"\n", err.Error())
+		bw.Flush()
+		return
+	}
+	s.czObserve(run.engine, st)
+	if verify && !tee.overflowed && s.czVerify(r.Context(), e, tee.buf.Bytes(), events) < 0 {
+		fmt.Fprintf(bw, `{"error":%q}`+"\n", "compressed match diverged from decompress-then-match oracle")
+		bw.Flush()
+		return
+	}
+	sb, _ := json.Marshal(st)
+	fmt.Fprintf(bw, `{"summary":{"n":%d,"engine":%q,"stats":%s}}`+"\n", run.n, run.engine, sb)
+	bw.Flush()
+}
+
+type matchCompressedRequest struct {
+	DataB64 string `json:"dataB64"`
+}
+
+type matchCompressedResponse struct {
+	N       int            `json:"n"`
+	Matched int            `json:"matched"`
+	Engine  string         `json:"engine"` // "czsearch" or "tree"
+	Stats   czsearch.Stats `json:"stats"`
+	Hits    []matchHit     `json:"hits"`
+}
+
+// handleMatchCompressedBuffered is the batch-friendly variant: one JSON
+// request carrying the container ({"dataB64":...}), one JSON response with
+// every hit. It goes through the ordinary buffered middleware (body cap,
+// request deadline), and a sampled oracle divergence fails it with a clean
+// 500 instead of a mid-stream trailer.
+func (s *Server) handleMatchCompressedBuffered(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+	var req matchCompressedRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	data, err := base64.StdEncoding.DecodeString(req.DataB64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad dataB64: %v", err)
+		return
+	}
+
+	aut := s.czAutomaton(e)
+	run, err := s.czPrepare(e, aut, bytes.NewReader(data))
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "bad LZ1R1 stream: %v", err)
+		return
+	}
+	if int64(run.n) > s.cfg.MaxExpandBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"represented size %d exceeds %d bytes", run.n, s.cfg.MaxExpandBytes)
+		return
+	}
+
+	verify := aut != nil && e.czSampled()
+	resp := matchCompressedResponse{N: run.n, Engine: run.engine, Hits: []matchHit{}}
+	var events []czsearch.Event
+	st, err := run.run(r.Context(), func(ev czsearch.Event) error {
+		if verify {
+			events = append(events, ev)
+		}
+		resp.Hits = append(resp.Hits, matchHit{Pos: int(ev.Pos), Pattern: int(ev.PatternID), Length: int(ev.Length)})
+		return nil
+	})
+	if err != nil {
+		var de *DegradedError
+		if errors.As(err, &de) {
+			writeDegraded(w, de)
+			return
+		}
+		if r.Context().Err() != nil {
+			s.metrics.timeouts.Add(1)
+			writeCtxError(w, err)
+			return
+		}
+		if chaos.IsInjected(err) {
+			// A server-side fault, not a client-data problem.
+			writeError(w, http.StatusInternalServerError, "compressed match failed: %v", err)
+			return
+		}
+		// Everything else the scan can report is container-level: bad
+		// tokens, window violations, a lying header.
+		writeError(w, http.StatusUnprocessableEntity, "bad LZ1R1 stream: %v", err)
+		return
+	}
+	s.czObserve(run.engine, st)
+	if verify && s.czVerify(r.Context(), e, data, events) < 0 {
+		writeError(w, http.StatusInternalServerError,
+			"compressed match diverged from decompress-then-match oracle")
+		return
+	}
+	resp.Stats = st
+	resp.Matched = len(resp.Hits)
+	writeJSON(w, http.StatusOK, resp)
+}

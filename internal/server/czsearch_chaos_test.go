@@ -1,0 +1,130 @@
+//go:build chaos
+
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/lz"
+)
+
+// czChaosFixture registers a dictionary and builds a container whose copy
+// tokens repeat one (entry state, src, len) key over and over — the memo-hit
+// workload the czsearch.cache fault needs (an optimal parse never repeats a
+// token, so the poison would have nothing to land on).
+func czChaosFixture(t *testing.T, base string, reps int) (string, []byte) {
+	t.Helper()
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": []string{"yx", "xyxy"}})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	toks := []lz.Token{{Lit: 'x'}, {Lit: 'y'}}
+	for i := 0; i < reps; i++ {
+		toks = append(toks, lz.Token{Src: 0, Len: 2})
+	}
+	var buf bytes.Buffer
+	if err := lz.EncodeStream(&buf, lz.Compressed{N: 2 + 2*reps, Tokens: toks}); err != nil {
+		t.Fatal(err)
+	}
+	return created.ID, buf.Bytes()
+}
+
+// postCompressedBuffered posts a container to the buffered compressed-match
+// endpoint.
+func postCompressedBuffered(t *testing.T, base, id string, container []byte) (int, []byte) {
+	t.Helper()
+	return postJSON(t, base+"/v1/dicts/"+id+"/match/compressed/buffered",
+		map[string]string{"dataB64": base64.StdEncoding.EncodeToString(container)})
+}
+
+// TestChaosCzPoisonedCacheCaught5xx is the serving half of the czsearch.cache
+// story (the package half lives in internal/czsearch): a poisoned memo entry
+// makes the scanner's output diverge, the sampled decompress-then-match
+// oracle catches it, and the request fails 500 — never a silently wrong 200.
+// The follow-up request on the same entry (same pooled scanner) succeeds
+// with oracle-identical output, so one poisoned request cannot wedge the
+// scanner pool.
+func TestChaosCzPoisonedCacheCaught5xx(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseOn,
+	})
+	id, container := czChaosFixture(t, base, 50)
+
+	// Poison every memo store. Request 1 is always an oracle sample.
+	plan := installPlan(t, 5, "czsearch.cache:p=1")
+	status, body := postCompressedBuffered(t, base, id, container)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("poisoned request: %d %s, want 500", status, body)
+	}
+	if !strings.Contains(string(body), "oracle") {
+		t.Fatalf("poisoned request error does not name the oracle: %s", body)
+	}
+	if firedCount(plan, chaos.CzCache) == 0 {
+		t.Fatal("czsearch.cache never fired — the test exercised nothing")
+	}
+	if n := srv.Metrics().czVerifyFail.Load(); n != 1 {
+		t.Fatalf("czVerifyFail = %d, want 1", n)
+	}
+
+	// Disarm and replay: the pooled scanner is reset per run, so the second
+	// request is clean and byte-identical to decompress-then-match.
+	chaos.Install(nil)
+	status, body = postCompressedBuffered(t, base, id, container)
+	if status != http.StatusOK {
+		t.Fatalf("request after poison: %d %s, want 200", status, body)
+	}
+	var mr matchCompressedResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	want := oracleHits(t, base, id, bytes.Repeat([]byte("xy"), 51))
+	if len(mr.Hits) != len(want) {
+		t.Fatalf("request after poison: %d hits, oracle has %d", len(mr.Hits), len(want))
+	}
+	for i, h := range mr.Hits {
+		if h != want[i] {
+			t.Fatalf("request after poison: hit %d = %+v, oracle %+v", i, h, want[i])
+		}
+	}
+	if mr.Stats.MemoHits == 0 {
+		t.Fatal("request after poison took no memo hits — cache disabled instead of cleaned")
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosCzTruncateIs5xx: a czsearch.truncate fault mid-stream fails the
+// buffered request with a 500 carrying the injected error — never a
+// truncated 200 — and the endpoint serves correctly once disarmed.
+func TestChaosCzTruncateIs5xx(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseOn,
+	})
+	id, container := czChaosFixture(t, base, 50)
+
+	installPlan(t, 9, "czsearch.truncate:every=20")
+	status, body := postCompressedBuffered(t, base, id, container)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("truncated request: %d %s, want 500", status, body)
+	}
+
+	chaos.Install(nil)
+	status, body = postCompressedBuffered(t, base, id, container)
+	if status != http.StatusOK {
+		t.Fatalf("request after truncation: %d %s", status, body)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

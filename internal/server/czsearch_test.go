@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/czsearch"
+	"repro/internal/lz"
+	"repro/internal/pram"
+	"repro/internal/textgen"
+)
+
+// compressPlanted compresses text into an LZ1R1 container.
+func compressPlanted(t *testing.T, text []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := lz.EncodeStream(&buf, lz.Compress(pram.NewSequential(), text)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// createCzDict registers a planted dictionary and returns its ID, the
+// planted text, and the text's LZ1R1 container.
+func createCzDict(t *testing.T, base string, seed uint64) (string, []byte, []byte) {
+	t.Helper()
+	gen := textgen.New(seed)
+	text, patterns := gen.PlantedDictionary(1<<16, 16, 6, 97, 4)
+	strs := make([]string, len(patterns))
+	for i, p := range patterns {
+		strs[i] = string(p)
+	}
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": strs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	return created.ID, text, compressPlanted(t, text)
+}
+
+// oracleHits fetches /v1/dicts/{id}/match for text — the decompress-then-
+// match reference every compressed request must equal.
+func oracleHits(t *testing.T, base, id string, text []byte) []matchHit {
+	t.Helper()
+	status, body := postJSON(t, base+"/v1/dicts/"+id+"/match",
+		map[string]string{"textB64": base64.StdEncoding.EncodeToString(text)})
+	if status != http.StatusOK {
+		t.Fatalf("match: %d %s", status, body)
+	}
+	var mr matchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	return mr.Hits
+}
+
+// TestMatchCompressedBufferedEquivalence: the buffered endpoint reports
+// exactly the hits /match reports on the expanded text, serves from the
+// czsearch engine when the automaton is compiled, and the accounting
+// invariant and /metrics czsearch section hold up.
+func TestMatchCompressedBufferedEquivalence(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 2, DenseMode: DenseOn,
+	})
+	id, text, container := createCzDict(t, base, 41)
+	want := oracleHits(t, base, id, text)
+
+	for req := 0; req < 3; req++ {
+		status, body := postJSON(t, base+"/v1/dicts/"+id+"/match/compressed/buffered",
+			map[string]string{"dataB64": base64.StdEncoding.EncodeToString(container)})
+		if status != http.StatusOK {
+			t.Fatalf("request %d: %d %s", req, status, body)
+		}
+		var mr matchCompressedResponse
+		if err := json.Unmarshal(body, &mr); err != nil {
+			t.Fatal(err)
+		}
+		if mr.Engine != engineCz {
+			t.Fatalf("request %d served by %q, want %q", req, mr.Engine, engineCz)
+		}
+		if mr.N != len(text) || mr.Matched != len(want) || len(mr.Hits) != len(want) {
+			t.Fatalf("request %d: n=%d matched=%d, oracle has %d hits over %d bytes",
+				req, mr.N, mr.Matched, len(want), len(text))
+		}
+		for i, h := range mr.Hits {
+			if h != want[i] {
+				t.Fatalf("request %d: hit %d = %+v, oracle %+v", req, i, h, want[i])
+			}
+		}
+		st := mr.Stats
+		if st.BytesRepresented != int64(len(text)) {
+			t.Fatalf("bytesRepresented = %d, want %d", st.BytesRepresented, len(text))
+		}
+		if st.BytesTouched+st.SyncSkipped+st.MemoBytes != st.BytesRepresented {
+			t.Fatalf("accounting: %d+%d+%d != %d",
+				st.BytesTouched, st.SyncSkipped, st.MemoBytes, st.BytesRepresented)
+		}
+		if st.BytesTouched >= st.BytesRepresented {
+			t.Fatalf("scanner touched every byte (%d of %d) — no compressed-domain savings",
+				st.BytesTouched, st.BytesRepresented)
+		}
+	}
+
+	var snap MetricsSnapshot
+	if code := getJSON(t, base+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	cz := snap.Cz
+	if cz.Served != 3 || cz.Fallback != 0 {
+		t.Fatalf("cz served=%d fallback=%d, want 3/0", cz.Served, cz.Fallback)
+	}
+	if cz.Tokens == 0 || cz.BytesRepresented != 3*int64(len(text)) || cz.BytesTouched >= cz.BytesRepresented {
+		t.Fatalf("cz accounting counters: %+v", cz)
+	}
+	if cz.VerifyPass < 1 || cz.VerifyFail != 0 {
+		t.Fatalf("cz verify: pass=%d fail=%d", cz.VerifyPass, cz.VerifyFail)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ndjsonEvents posts a raw container to the streaming endpoint and returns
+// the event lines plus the parsed summary (nil if the stream ended in an
+// error line or no trailer at all).
+type czStreamSummary struct {
+	N      int64          `json:"n"`
+	Engine string         `json:"engine"`
+	Stats  czsearch.Stats `json:"stats"`
+}
+
+func postCompressedStream(t *testing.T, url string, container []byte) (int, []matchHit, *czStreamSummary, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(container))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, nil, nil, string(body)
+	}
+	var hits []matchHit
+	var summary *czStreamSummary
+	errLine := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var obj struct {
+			Pos     *int             `json:"pos"`
+			Pattern int              `json:"pattern"`
+			Length  int              `json:"length"`
+			Summary *czStreamSummary `json:"summary"`
+			Error   *string          `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch {
+		case obj.Pos != nil:
+			hits = append(hits, matchHit{Pos: *obj.Pos, Pattern: obj.Pattern, Length: obj.Length})
+		case obj.Summary != nil:
+			summary = obj.Summary
+		case obj.Error != nil:
+			errLine = *obj.Error
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, hits, summary, errLine
+}
+
+// TestMatchCompressedStreaming: the NDJSON route emits the oracle's events
+// in position order and closes with a summary naming the czsearch engine.
+func TestMatchCompressedStreaming(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 2, DenseMode: DenseOn,
+	})
+	id, text, container := createCzDict(t, base, 43)
+	want := oracleHits(t, base, id, text)
+
+	status, hits, summary, errLine := postCompressedStream(t, base+"/v1/dicts/"+id+"/match/compressed", container)
+	if status != http.StatusOK {
+		t.Fatalf("stream: %d %s", status, errLine)
+	}
+	if errLine != "" {
+		t.Fatalf("stream error: %s", errLine)
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary trailer")
+	}
+	if summary.Engine != engineCz || summary.N != int64(len(text)) {
+		t.Fatalf("summary = %+v", summary)
+	}
+	st := summary.Stats
+	if st.BytesTouched+st.SyncSkipped+st.MemoBytes != st.BytesRepresented {
+		t.Fatalf("accounting: %d+%d+%d != %d",
+			st.BytesTouched, st.SyncSkipped, st.MemoBytes, st.BytesRepresented)
+	}
+	if len(hits) != len(want) {
+		t.Fatalf("%d events, oracle has %d", len(hits), len(want))
+	}
+	for i, h := range hits {
+		if h != want[i] {
+			t.Fatalf("event %d = %+v, oracle %+v", i, h, want[i])
+		}
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatchCompressedFallback: with dense off, both compressed routes still
+// answer — decompress-and-tree-walk, engine "tree", every byte touched —
+// and the fallback counter records it.
+func TestMatchCompressedFallback(t *testing.T) {
+	srv, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 2, DenseMode: DenseOff,
+	})
+	id, text, container := createCzDict(t, base, 47)
+	want := oracleHits(t, base, id, text)
+
+	status, body := postJSON(t, base+"/v1/dicts/"+id+"/match/compressed/buffered",
+		map[string]string{"dataB64": base64.StdEncoding.EncodeToString(container)})
+	if status != http.StatusOK {
+		t.Fatalf("buffered: %d %s", status, body)
+	}
+	var mr matchCompressedResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Engine != engineTree {
+		t.Fatalf("engine = %q with dense off, want %q", mr.Engine, engineTree)
+	}
+	if mr.Matched != len(want) {
+		t.Fatalf("matched %d, oracle has %d", mr.Matched, len(want))
+	}
+	for i, h := range mr.Hits {
+		if h.Pos != want[i].Pos || h.Length != want[i].Length {
+			t.Fatalf("hit %d = %+v, oracle %+v", i, h, want[i])
+		}
+	}
+	if mr.Stats.BytesTouched != mr.Stats.BytesRepresented {
+		t.Fatalf("fallback claims compressed-domain savings: touched %d of %d",
+			mr.Stats.BytesTouched, mr.Stats.BytesRepresented)
+	}
+
+	status, hits, summary, errLine := postCompressedStream(t, base+"/v1/dicts/"+id+"/match/compressed", container)
+	if status != http.StatusOK || errLine != "" || summary == nil {
+		t.Fatalf("stream: status=%d err=%q summary=%v", status, errLine, summary)
+	}
+	if summary.Engine != engineTree || len(hits) != len(want) {
+		t.Fatalf("stream fallback: engine=%q events=%d want=%d", summary.Engine, len(hits), len(want))
+	}
+
+	if n := srv.Metrics().czFallback.Load(); n != 2 {
+		t.Fatalf("czFallback = %d, want 2", n)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatchCompressedRejects pins the error contract: wrong format is 422
+// with a typed message (not a panic, not a hang), bad base64 is 400, an
+// unknown dictionary 404, and a container whose header promises more than
+// MaxExpandBytes is 413 on both routes.
+func TestMatchCompressedRejects(t *testing.T) {
+	_, base, shutdown := startServer(t, Config{
+		Addr: "127.0.0.1:0", Procs: 1, DenseMode: DenseOn, MaxExpandBytes: 4 << 10,
+	})
+	gen := textgen.New(7)
+	text, patterns := gen.PlantedDictionary(1<<12, 8, 5, 31, 4)
+	strs := make([]string, len(patterns))
+	for i, p := range patterns {
+		strs[i] = string(p)
+	}
+	status, body := postJSON(t, base+"/v1/dicts", map[string]any{"patterns": strs})
+	if status != http.StatusCreated {
+		t.Fatalf("dict create: %d %s", status, body)
+	}
+	var created dictCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	_ = text
+
+	// Wrong format: both routes answer 422 and mention LZ1R1.
+	notLZ := []byte("this is plain text, not a container")
+	status, body = postJSON(t, base+"/v1/dicts/"+id+"/match/compressed/buffered",
+		map[string]string{"dataB64": base64.StdEncoding.EncodeToString(notLZ)})
+	if status != http.StatusUnprocessableEntity || !strings.Contains(string(body), "LZ1R1") {
+		t.Fatalf("buffered non-container: %d %s", status, body)
+	}
+	status, _, _, errBody := postCompressedStream(t, base+"/v1/dicts/"+id+"/match/compressed", notLZ)
+	if status != http.StatusUnprocessableEntity || !strings.Contains(errBody, "LZ1R1") {
+		t.Fatalf("stream non-container: %d %s", status, errBody)
+	}
+
+	// Bad base64 is a 400, unknown dictionary a 404.
+	status, body = postJSON(t, base+"/v1/dicts/"+id+"/match/compressed/buffered",
+		map[string]string{"dataB64": "!!!"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad base64: %d %s", status, body)
+	}
+	status, body = postJSON(t, base+"/v1/dicts/nope/match/compressed/buffered",
+		map[string]string{"dataB64": ""})
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown dict: %d %s", status, body)
+	}
+
+	// Oversized represented length: 8 KiB of text against a 4 KiB cap.
+	big := compressPlanted(t, bytes.Repeat([]byte("ab"), 4<<10))
+	status, body = postJSON(t, base+"/v1/dicts/"+id+"/match/compressed/buffered",
+		map[string]string{"dataB64": base64.StdEncoding.EncodeToString(big)})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized buffered: %d %s", status, body)
+	}
+	status, _, _, errBody = postCompressedStream(t, base+"/v1/dicts/"+id+"/match/compressed", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized stream: %d %s", status, errBody)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -174,6 +174,21 @@ type Metrics struct {
 	denseTableBytes   atomic.Int64
 	denseLoads        atomic.Int64
 
+	// Compressed-domain matching (czsearch.go). czServed/czFallback split the
+	// compressed-match requests by engine (token-stream scanner vs
+	// decompress-and-tree-walk); the byte counters expose the economics —
+	// czBytesRepresented is what the streams stood for, czBytesTouched what
+	// the automaton actually consumed; czVerifyPass/czVerifyFail count
+	// sampled decompress-then-match oracle cross-checks.
+	czServed           atomic.Int64
+	czFallback         atomic.Int64
+	czTokens           atomic.Int64
+	czBytesRepresented atomic.Int64
+	czBytesTouched     atomic.Int64
+	czMemoHits         atomic.Int64
+	czVerifyPass       atomic.Int64
+	czVerifyFail       atomic.Int64
+
 	// Request coalescing (batch.go). batchBatches counts dispatched groups
 	// (at least one live request); batchRequests the requests they carried;
 	// batchBytes their coalesced payload; batchSolo the eligible-mode
@@ -300,6 +315,18 @@ type denseSnapshot struct {
 	Loads        int64 `json:"loads"`        // automata restored from DENSE sections (zero compile)
 }
 
+// czSnapshot is the JSON shape of the compressed-domain matching counters.
+type czSnapshot struct {
+	Served           int64 `json:"served"`           // requests answered by the token-stream scanner
+	Fallback         int64 `json:"fallback"`         // requests decompressed and tree-walked instead
+	Tokens           int64 `json:"tokens"`           // tokens scanned across all requests
+	BytesRepresented int64 `json:"bytesRepresented"` // text bytes the streams stood for
+	BytesTouched     int64 `json:"bytesTouched"`     // bytes actually fed through the automaton
+	MemoHits         int64 `json:"memoHits"`         // copy tokens replayed from the memo cache
+	VerifyPass       int64 `json:"verifyPass"`       // sampled oracle cross-checks that agreed
+	VerifyFail       int64 `json:"verifyFail"`       // divergences (request failed, fault surfaced)
+}
+
 // batchSnapshot is the JSON shape of the request-coalescing counters.
 type batchSnapshot struct {
 	Mode                string  `json:"mode"`                // configured BatchMode
@@ -360,6 +387,7 @@ type MetricsSnapshot struct {
 	Streams       streamsSnapshot           `json:"streams"`
 	Persist       persistSnapshot           `json:"persist"`
 	Dense         denseSnapshot             `json:"dense"`
+	Cz            czSnapshot                `json:"czsearch"`
 	Batch         batchSnapshot             `json:"batch"`
 	Resilience    resilienceSnapshot        `json:"resilience"`
 	Timeouts      int64                     `json:"timeouts"`
@@ -406,6 +434,16 @@ func (mt *Metrics) Snapshot(reg *Registry, lim *Limiter) MetricsSnapshot {
 			CompileFails: mt.denseCompileFails.Load(),
 			TableBytes:   mt.denseTableBytes.Load(),
 			Loads:        mt.denseLoads.Load(),
+		},
+		Cz: czSnapshot{
+			Served:           mt.czServed.Load(),
+			Fallback:         mt.czFallback.Load(),
+			Tokens:           mt.czTokens.Load(),
+			BytesRepresented: mt.czBytesRepresented.Load(),
+			BytesTouched:     mt.czBytesTouched.Load(),
+			MemoHits:         mt.czMemoHits.Load(),
+			VerifyPass:       mt.czVerifyPass.Load(),
+			VerifyFail:       mt.czVerifyFail.Load(),
 		},
 		Resilience: resilienceSnapshot{
 			FpExhaustions:     mt.fpExhaustions.Load(),

@@ -75,6 +75,13 @@ type Entry struct {
 	denseElect atomic.Bool
 	denseReqs  atomic.Int64
 
+	// Compressed-domain serving state (czsearch.go): reusable scanners (one
+	// per in-flight compressed request; Run resets them, so a pooled scanner
+	// carries no state — not even a poisoned memo — into the next request)
+	// and the compressed request count driving sampled oracle verification.
+	czPool sync.Pool
+	czReqs atomic.Int64
+
 	// Request coalescing state (batch.go): per-entry batchers for the match
 	// and parse endpoints, built lazily on the first eligible request. The
 	// executors capture the entry, so the batchers live and die with it.

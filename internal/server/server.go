@@ -257,7 +257,9 @@ func (s *Server) buildMux() http.Handler {
 	api("POST /v1/dicts/{id}/expand", s.handleExpand)
 	api("POST /v1/compress", s.handleCompress)
 	api("POST /v1/decompress", s.handleDecompress)
+	api("POST /v1/dicts/{id}/match/compressed/buffered", s.handleMatchCompressedBuffered)
 	str("POST /v1/dicts/{id}/match/stream", s.handleMatchStream)
+	str("POST /v1/dicts/{id}/match/compressed", s.handleMatchCompressed)
 	str("POST /v1/decompress/stream", s.handleDecompressStream)
 	// Observability must answer even under saturation: no limiter.
 	obs("GET /metrics", s.handleMetrics)

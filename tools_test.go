@@ -78,6 +78,50 @@ func TestToolDictmatch(t *testing.T) {
 	}
 }
 
+// TestToolDictmatchCompressed: -compressed consumes an lzpack container and
+// prints exactly the lines the plain path prints on the expanded text; a
+// file that is not an LZ1R1 container exits non-zero with a typed message,
+// never a panic.
+func TestToolDictmatchCompressed(t *testing.T) {
+	bins := binaries(t)
+	dictmatch := filepath.Join(bins, "dictmatch")
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "pats.txt")
+	if err := os.WriteFile(dict, []byte("she\nhe\nhers\nhis\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("ushers and his heirs "), 100)
+
+	want, _ := run(t, payload, dictmatch, "-dict", dict)
+	packed, _ := run(t, payload, filepath.Join(bins, "lzpack"), "-c")
+	got, _ := run(t, []byte(packed), dictmatch, "-dict", dict, "-compressed")
+	if got != want {
+		t.Fatalf("-compressed output diverges from plain match:\ngot  %q\nwant %q", got, want)
+	}
+	// -stats reports the compressed-domain economics.
+	_, errOut := run(t, []byte(packed), dictmatch, "-dict", dict, "-compressed", "-q", "-stats")
+	if !strings.Contains(errOut, "touched=") || !strings.Contains(errOut, "represented=") {
+		t.Fatalf("compressed stats missing accounting: %q", errOut)
+	}
+
+	// Not a container: non-zero exit, typed message, no panic.
+	cmd := exec.Command(dictmatch, "-dict", dict, "-compressed")
+	cmd.Stdin = bytes.NewReader(payload)
+	combined, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-compressed accepted plain text: %s", combined)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("unexpected run failure: %v", err)
+	}
+	if !strings.Contains(string(combined), "not an LZ1R1 container") {
+		t.Fatalf("rejection message: %q", combined)
+	}
+	if strings.Contains(string(combined), "panic") {
+		t.Fatalf("rejection panicked: %q", combined)
+	}
+}
+
 func TestToolLzpackRoundTrip(t *testing.T) {
 	bins := binaries(t)
 	payload := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200)
