@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json experiments quick-experiments fuzz serve chaos soak clean
+.PHONY: all build test race bench bench-json experiments quick-experiments fuzz serve chaos soak cluster-soak clean
 
 all: build test
 
@@ -25,10 +25,12 @@ bench:
 # D-series (cold preprocess vs snapshot load, internal/bench/persist.go),
 # the C-series (tree walk vs compiled dense automaton,
 # internal/bench/dense.go), the B-series (solo vs batched serving,
-# internal/bench/batch.go), and the Z-series (compressed-domain matching
-# vs decompress-then-match, internal/bench/czsearch.go).
+# internal/bench/batch.go), the Z-series (compressed-domain matching
+# vs decompress-then-match, internal/bench/czsearch.go), and the
+# K-series (1-node vs 3-node cluster throughput and hedged tail,
+# internal/bench/cluster.go).
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR8.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR9.json
 
 experiments:
 	$(GO) run ./cmd/benchtab | tee experiments_raw.txt
@@ -64,6 +66,14 @@ chaos:
 soak:
 	$(GO) build -tags chaos -o /tmp/matchd-chaos ./cmd/matchd
 	$(GO) run ./cmd/chaossoak -bin /tmp/matchd-chaos -duration 30s -seed 42 $(SOAK_FLAGS)
+
+# 30-second 3-node cluster soak: one node SIGKILLed mid-traffic and
+# restarted warm, oracle-verified requests through every node throughout,
+# replication pulls asserted, clean SIGTERM drains. The kill is the fault
+# schedule, so a plain (non-chaos) build suffices.
+cluster-soak:
+	$(GO) build -o /tmp/matchd ./cmd/matchd
+	$(GO) run ./cmd/chaossoak -bin /tmp/matchd -cluster 3 -duration 30s -seed 42 $(SOAK_FLAGS)
 
 clean:
 	rm -rf internal/*/testdata/fuzz

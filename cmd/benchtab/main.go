@@ -18,8 +18,10 @@
 // the B-series (solo vs batched serving of concurrent small requests —
 // req/s, dispatch occupancy, byte-identity check), and the Z-series
 // (compressed-domain matching vs decompress-then-match on the same
-// automaton — represented MB/s, bytes touched, memo hits).
-// This is what `make bench-json` uses to regenerate BENCH_PR8.json.
+// automaton — represented MB/s, bytes touched, memo hits), and the
+// K-series (1-node vs sharded/replicated 3-node cluster serving —
+// aggregate req/s, snapshot-reload thrash, hedged tail latency).
+// This is what `make bench-json` uses to regenerate BENCH_PR9.json.
 package main
 
 import (
@@ -45,6 +47,7 @@ type perfFile struct {
 	Dense      []bench.DensePerfResult   `json:"dense"`
 	Batch      []bench.BatchPerfResult   `json:"batch"`
 	Cz         []bench.CzPerfResult      `json:"czsearch"`
+	Cluster    []bench.ClusterPerfResult `json:"cluster"`
 }
 
 func main() {
@@ -107,6 +110,7 @@ func writePerfJSON(path string, scale bench.Scale) {
 		Dense:      bench.RunDensePerf(scale),
 		Batch:      bench.RunBatchPerf(scale),
 		Cz:         bench.RunCzPerf(scale),
+		Cluster:    bench.RunClusterPerf(scale),
 	}
 	// Also echo a human-readable summary so the run is not silent.
 	for _, r := range doc.Results {
@@ -142,6 +146,18 @@ func writePerfJSON(path string, scale bench.Scale) {
 		}
 		fmt.Println()
 	}
+	for _, r := range doc.Cluster {
+		fmt.Printf("%-4s %-22s %-9s nodes=%d R=%d clients=%-3d n=%-6d", r.ID, r.Name, r.Config, r.Nodes, r.Replicas, r.Clients, r.Requests)
+		if r.ID == "K3" {
+			fmt.Printf(" p50=%.2fms p99=%.2fms hedged=%d won=%d", r.P50Ms, r.P99Ms, r.Hedged, r.HedgeWon)
+		} else {
+			fmt.Printf(" dicts=%-3d %10.0f req/s reloads=%d", r.Dicts, r.ReqPerSec, r.SnapshotReloads)
+		}
+		if r.Speedup > 0 {
+			fmt.Printf("  %.2fx", r.Speedup)
+		}
+		fmt.Println()
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
@@ -152,6 +168,6 @@ func writePerfJSON(path string, scale bench.Scale) {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense, %d batch, %d czsearch)\n",
-		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense), len(doc.Batch), len(doc.Cz))
+	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense, %d batch, %d czsearch, %d cluster)\n",
+		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense), len(doc.Batch), len(doc.Cz), len(doc.Cluster))
 }

@@ -32,6 +32,20 @@
 //
 // Exit status: 0 = soak passed; 1 = oracle mismatch, unclean drain, or the
 // fault schedule never fired.
+//
+// Cluster soak (-cluster N, N ≥ 2): instead of one faulted process,
+// chaossoak starts N matchd processes as a replicated cluster (consistent
+// hashing, -replicas 2, request hedging), registers the dictionary once,
+// warms every node, then hammers all N bases round-robin. A third of the
+// way in it SIGKILLs one node mid-traffic; two thirds in it restarts the
+// same node on the same address and cache directory (a warm start). The
+// fault schedule here is the kill itself, so -plan defaults to empty and a
+// plain (non-chaos) matchd build suffices; passing -plan explicitly arms it
+// on every node. Pass criteria: zero oracle divergences, zero silently
+// truncated streams (a stream either carries its trailer or fails as a
+// broken transfer), the killed node's dictionaries stay servable from
+// replicas, at least one replication pull shows in /metrics, and every
+// surviving node drains cleanly on SIGTERM.
 package main
 
 import (
@@ -78,9 +92,27 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent request loops")
 	textSize := flag.Int("text", 1<<13, "planted text bytes per match request")
 	serverFlags := flag.String("server-flags", "", "extra whitespace-separated flags appended to the matchd command line, e.g. '-batch=on -dense=off'")
+	clusterN := flag.Int("cluster", 0, "run N matchd processes as a replicated cluster and kill/restart one mid-soak (0 = single-node chaos soak)")
 	flag.Parse()
 	if *bin == "" {
 		log.Fatal("-bin is required (build one with: go build -tags chaos -o /tmp/matchd ./cmd/matchd)")
+	}
+	if *clusterN != 0 {
+		if *clusterN < 2 {
+			log.Fatal("-cluster needs at least 2 nodes")
+		}
+		planSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "plan" {
+				planSet = true
+			}
+		})
+		clusterPlan := *plan
+		if !planSet {
+			clusterPlan = "" // the node kill is the fault schedule
+		}
+		runClusterSoak(*bin, *clusterN, *duration, *seed, clusterPlan, *clients, *textSize, *serverFlags)
+		return
 	}
 	if _, err := chaos.ParsePlan(*seed, *plan); err != nil {
 		log.Fatalf("bad -plan: %v", err)
@@ -278,11 +310,13 @@ func createDict(base string, patterns []string, fail func(string, ...any)) strin
 
 // shedStatus reports whether a status is an expected pressure/fault
 // casualty rather than a correctness problem: admission shedding (429),
-// Las Vegas exhaustion (500), breaker/deadline (503).
+// Las Vegas exhaustion (500), breaker/deadline (503), and — in the cluster
+// soak — a proxy whose owner died under it (502).
 func shedStatus(status int) bool {
 	return status == http.StatusTooManyRequests ||
 		status == http.StatusInternalServerError ||
-		status == http.StatusServiceUnavailable
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusBadGateway
 }
 
 func doMatch(base, id string, text []byte, oracle []int32, ac *ahocorasick.Automaton,

@@ -8,7 +8,9 @@
 //	       [-timeout 30s] [-max-body BYTES] [-segment BYTES] [-stream-window BYTES] \
 //	       [-cache-dir DIR] [-dense off|on|auto] [-dense-max-table BYTES] \
 //	       [-batch off|on|auto] [-batch-max N] [-batch-bytes BYTES] [-batch-delay D] \
-//	       [-pprof-addr ADDR] [-chaos-seed N -chaos-plan SPEC]
+//	       [-pprof-addr ADDR] [-chaos-seed N -chaos-plan SPEC] \
+//	       [-cluster-peers LIST -cluster-self NAME] [-replicas N] \
+//	       [-hedge-after D] [-cluster-redirect] [-quota-per-tenant N]
 //
 // Endpoints (JSON bodies; binary payloads base64 in "textB64"/"dataB64"):
 //
@@ -70,6 +72,22 @@
 //
 // e.g.  curl -N --data-binary @big.txt :8080/v1/dicts/d1/match/stream
 //
+// Cluster mode (-cluster-peers + -cluster-self): N matchd processes with
+// the same static peer table form a sharded, replicated cluster. Dictionary
+// IDs become content addresses (the snapshot key of the pattern set), placed
+// on -replicas owners by consistent hashing; any node answers any request —
+// non-owners proxy (or 307-redirect with -cluster-redirect) to an owner,
+// owners missing a dictionary pull its DMSNAP bundle from a peer's GET
+// /v1/dicts/{id}/snapshot with zero re-preprocessing. Proxied requests hedge
+// a second replica after -hedge-after; peers failing /readyz probes are
+// skipped. GET /v1/cluster reports membership, health and placement, and
+// /metrics gains a "cluster" section. -quota-per-tenant additionally caps
+// concurrent requests per X-Tenant header value on every node, e.g.
+//
+//	matchd -addr :8081 -cluster-self n1 -cache-dir /var/a \
+//	    -cluster-peers 'n1=http://10.0.0.1:8081,n2=http://10.0.0.2:8081,n3=http://10.0.0.3:8081' \
+//	    -replicas 2 -hedge-after 20ms
+//
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
 //
@@ -96,6 +114,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -118,6 +137,12 @@ func main() {
 	batchBytes := flag.Int("batch-bytes", 0, "coalesced payload bytes per batch before dispatch (0 = 1 MiB)")
 	batchDelay := flag.Duration("batch-delay", 0, "max time a request waits for batch siblings (0 = 500µs)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address, e.g. localhost:6060 ('' = off)")
+	clusterPeers := flag.String("cluster-peers", "", "static cluster membership as 'name=url,...' (or bare URLs); '' = single-node mode")
+	clusterSelf := flag.String("cluster-self", "", "this node's name in -cluster-peers (required with -cluster-peers)")
+	replicas := flag.Int("replicas", 2, "cluster: owners per dictionary (clamped to the peer count)")
+	hedgeAfter := flag.Duration("hedge-after", 25*time.Millisecond, "cluster: latency budget before a proxied request hedges a second replica")
+	clusterRedirect := flag.Bool("cluster-redirect", false, "cluster: answer non-owned buffered requests with 307 to an owner instead of proxying")
+	quotaPerTenant := flag.Int("quota-per-tenant", 0, "concurrent requests allowed per X-Tenant value before shedding with 429 (0 = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the -chaos-plan fault schedule")
 	chaosPlan := flag.String("chaos-plan", "", "deterministic fault-injection plan, e.g. 'fp.collide:p=0.001;pool.delay:p=0.01,delay=1ms' (requires a -tags chaos build)")
 	flag.Parse()
@@ -132,6 +157,19 @@ func main() {
 		}
 		chaos.Install(plan)
 		log.Printf("chaos: armed with seed %d: %s", *chaosSeed, plan)
+	}
+
+	var peers []cluster.Peer
+	if *clusterPeers != "" {
+		var err error
+		if peers, err = cluster.ParsePeers(*clusterPeers); err != nil {
+			log.Fatalf("-cluster-peers: %v", err)
+		}
+		if *clusterSelf == "" {
+			log.Fatal("-cluster-peers requires -cluster-self")
+		}
+	} else if *clusterSelf != "" {
+		log.Fatal("-cluster-self set without -cluster-peers")
 	}
 
 	srv, err := server.New(server.Config{
@@ -153,6 +191,13 @@ func main() {
 		BatchMaxRequests: *batchMax,
 		BatchMaxBytes:    *batchBytes,
 		BatchMaxDelay:    *batchDelay,
+
+		ClusterSelf:       *clusterSelf,
+		ClusterPeers:      peers,
+		ClusterReplicas:   *replicas,
+		ClusterHedgeAfter: *hedgeAfter,
+		ClusterRedirect:   *clusterRedirect,
+		QuotaPerTenant:    *quotaPerTenant,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -171,7 +216,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := srv.Run(ctx); err != nil {
+	err = srv.Run(ctx)
+	srv.Close() // stop cluster health probes before reporting
+	if err != nil {
 		log.Fatal(err)
 	}
 	if p := chaos.Active(); p != nil {

@@ -142,5 +142,6 @@ func All() []Experiment {
 		E18Dense(),
 		E19BatchedServing(),
 		E20Czsearch(),
+		E21Cluster(),
 	}
 }

@@ -1,0 +1,475 @@
+// E21 and the K-series: sharded, replicated serving (internal/cluster,
+// DESIGN §15). Three claims under test, all shaped for a small machine —
+// on one core a cluster cannot win by parallelism, so the series isolates
+// the wins that survive: (K1) routing overhead is the honest price of the
+// topology — a resident-working-set mix is served at roughly single-node
+// speed, the proxy hop visible but bounded; (K2) the cluster's real
+// resource is aggregate registry capacity — a working set that thrashes
+// one node's LRU (every request a snapshot reload) stays fully resident
+// across three nodes, and throughput multiplies; (K3) hedged proxying
+// cuts the tail a slow replica inflicts — p99 tracks the hedge budget,
+// not the straggler.
+//
+// All three run real HTTP over loopback listeners: the routing, pulling
+// and hedging paths measured are byte-for-byte the ones matchd serves.
+package bench
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/textgen"
+)
+
+// ClusterPerfResult is one K-series measurement for BENCH_PR9.json.
+type ClusterPerfResult struct {
+	ID       string `json:"id"`     // K-series experiment id
+	Name     string `json:"name"`   // workload name
+	Config   string `json:"config"` // "1node", "3node", "unhedged", "hedged"
+	Nodes    int    `json:"nodes"`
+	Replicas int    `json:"replicas"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	Dicts    int    `json:"dicts,omitempty"`
+	NsPerReq int64  `json:"nsPerReq,omitempty"`
+	ReqPerSec float64 `json:"reqPerSec,omitempty"`
+	// Comparative rows only.
+	Speedup float64 `json:"speedup,omitempty"` // vs the row's baseline config
+	// K3 latency rows.
+	P50Ms    float64 `json:"p50Ms,omitempty"`
+	P99Ms    float64 `json:"p99Ms,omitempty"`
+	Hedged   int64   `json:"hedged,omitempty"`
+	HedgeWon int64   `json:"hedgeWon,omitempty"`
+	// Capacity rows: snapshot-store loads during the timed window — the
+	// thrashing node's LRU misses (local reloads and peer pulls both land
+	// here; the resident topology stays at zero).
+	SnapshotReloads int64 `json:"snapshotReloads,omitempty"`
+}
+
+// clusterBenchClients is the client concurrency of the K1/K2 sweeps (the
+// ISSUE's 64-client small-request mix).
+const clusterBenchClients = 64
+
+// benchClusterNode is one in-process cluster member: a real matchd server
+// behind a loopback listener, with an optional deterministic delay
+// injector so K3 can make one replica slow without a chaos build.
+type benchClusterNode struct {
+	name string
+	base string
+	srv  *server.Server
+	hs   *http.Server
+
+	delayEvery atomic.Int64 // delay every Nth match request; 0 = off
+	delayFor   atomic.Int64 // nanoseconds
+	seen       atomic.Int64
+}
+
+func (nd *benchClusterNode) wrap(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n := nd.delayEvery.Load(); n > 0 && strings.HasSuffix(r.URL.Path, "/match") {
+			if nd.seen.Add(1)%n == 0 {
+				time.Sleep(time.Duration(nd.delayFor.Load()))
+			}
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// startBenchCluster boots n cluster members on loopback listeners and
+// returns them with a cleanup closure. Dense and batch serving are off:
+// the K-series measures routing, capacity and hedging, not engines.
+func startBenchCluster(n, replicas, maxDicts int, hedgeAfter time.Duration) ([]*benchClusterNode, func(), error) {
+	lns := make([]net.Listener, n)
+	peers := make([]cluster.Peer, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		lns[i] = ln
+		peers[i] = cluster.Peer{Name: fmt.Sprintf("n%d", i+1), URL: "http://" + ln.Addr().String()}
+	}
+	root, err := os.MkdirTemp("", "bench-cluster-")
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := make([]*benchClusterNode, n)
+	for i := range nodes {
+		srv, err := server.New(server.Config{
+			Procs:                1,
+			MaxDicts:             maxDicts,
+			MaxInflight:          1024,
+			CacheDir:             filepath.Join(root, peers[i].Name),
+			DenseMode:            server.DenseOff,
+			BatchMode:            server.BatchOff,
+			ClusterSelf:          peers[i].Name,
+			ClusterPeers:         peers,
+			ClusterReplicas:      replicas,
+			ClusterHedgeAfter:    hedgeAfter,
+			ClusterProbeInterval: 200 * time.Millisecond,
+			Log:                  log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		nd := &benchClusterNode{name: peers[i].Name, base: peers[i].URL, srv: srv}
+		nd.hs = &http.Server{Handler: nd.wrap(srv.Handler())}
+		go nd.hs.Serve(lns[i])
+		nodes[i] = nd
+	}
+	cleanup := func() {
+		for _, nd := range nodes {
+			_ = nd.hs.Close()
+			nd.srv.Close()
+		}
+		os.RemoveAll(root)
+	}
+	return nodes, cleanup, nil
+}
+
+// clusterBenchDicts registers count distinct planted dictionaries through
+// the first node and returns their content-addressed ids.
+func clusterBenchDicts(nodes []*benchClusterNode, count, patterns int) ([]string, error) {
+	ids := make([]string, count)
+	for i := range ids {
+		gen := textgen.New(uint64(31 + i))
+		_, pats := gen.PlantedDictionary(1<<12, patterns, 12, 97, 8)
+		patStrs := make([]string, len(pats))
+		for j, p := range pats {
+			patStrs[j] = string(p)
+		}
+		body, _ := json.Marshal(map[string]any{"patterns": patStrs})
+		resp, err := http.Post(nodes[0].base+"/v1/dicts", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("create dict %d: %d %s", i, resp.StatusCode, out)
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(out, &created); err != nil {
+			return nil, err
+		}
+		ids[i] = created.ID
+	}
+	return ids, nil
+}
+
+// clusterBenchDrive fires total small match requests from clients
+// goroutines, round-robin over nodes and dictionaries, and returns the
+// wall time. Any non-200 fails the bench loudly — a cluster bench that
+// quietly measures 404s measures nothing.
+func clusterBenchDrive(nodes []*benchClusterNode, ids []string, reqBody []byte, clients, total int) (time.Duration, error) {
+	per := total / clients
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				nd := nodes[(c+i)%len(nodes)]
+				id := ids[(c*7+i)%len(ids)]
+				resp, err := http.Post(nd.base+"/v1/dicts/"+id+"/match", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("match via %s: %v", nd.name, err))
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("match via %s: %d %s", nd.name, resp.StatusCode, body))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, err
+	}
+	return wall, nil
+}
+
+// clusterMetricsOf reads one node's /metrics: snapshot loads (LRU-miss
+// reloads, local or pulled) and the hedging counters.
+func clusterMetricsOf(nd *benchClusterNode) (loads, hedged, hedgeWon int64) {
+	resp, err := http.Get(nd.base + "/metrics")
+	if err != nil {
+		return 0, 0, 0
+	}
+	defer resp.Body.Close()
+	var ms struct {
+		Persist struct {
+			Loads int64 `json:"loads"`
+		} `json:"persist"`
+		Cluster struct {
+			Hedged   int64 `json:"hedged"`
+			HedgeWon int64 `json:"hedgeWon"`
+		} `json:"cluster"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&ms)
+	return ms.Persist.Loads, ms.Cluster.Hedged, ms.Cluster.HedgeWon
+}
+
+// runClusterThroughput measures one topology on one working set and
+// returns (wall, snapshot-store loads summed over nodes).
+func runClusterThroughput(n, replicas, maxDicts, dicts, patterns, total int, reqBody []byte) (time.Duration, int64, error) {
+	nodes, cleanup, err := startBenchCluster(n, replicas, maxDicts, 25*time.Millisecond)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	ids, err := clusterBenchDicts(nodes, dicts, patterns)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Warm: one request per (node, dict) pair so owners pull their replicas
+	// off the clock; on the thrashing topology this also fills the LRU to
+	// its steady state.
+	if _, err := clusterBenchDrive(nodes, ids, reqBody, clusterBenchClients, max(total/8, n*dicts)); err != nil {
+		return 0, 0, err
+	}
+	preLoads := int64(0)
+	for _, nd := range nodes {
+		p, _, _ := clusterMetricsOf(nd)
+		preLoads += p
+	}
+	wall, err := clusterBenchDrive(nodes, ids, reqBody, clusterBenchClients, total)
+	if err != nil {
+		return 0, 0, err
+	}
+	loads := int64(0)
+	for _, nd := range nodes {
+		p, _, _ := clusterMetricsOf(nd)
+		loads += p
+	}
+	return wall, loads - preLoads, nil
+}
+
+// runHedgeTail measures K3: request latency through a non-owner router
+// when the primary replica stalls every 10th match for 10ms, with hedging
+// effectively off (budget ≫ stall) vs on (budget ≪ stall).
+func runHedgeTail(hedgeAfter time.Duration, total int, reqBody []byte) (p50, p99 time.Duration, hedged, hedgeWon int64, err error) {
+	nodes, cleanup, err := startBenchCluster(3, 2, 8, hedgeAfter)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer cleanup()
+	ids, err := clusterBenchDicts(nodes, 1, 64)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	id := ids[0]
+
+	// Place the fault: the ring names the owners (primary first); the one
+	// non-owner is the router every request goes through, so each request
+	// is a proxy with the slow node as first candidate.
+	names := make([]string, len(nodes))
+	byName := map[string]*benchClusterNode{}
+	for i, nd := range nodes {
+		names[i] = nd.name
+		byName[nd.name] = nd
+	}
+	ring, err := cluster.NewRing(names, cluster.DefaultVirtualNodes, 2)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	owners := ring.Owners(id)
+	slow := byName[owners[0]]
+	var router *benchClusterNode
+	for _, nd := range nodes {
+		if nd.name != owners[0] && nd.name != owners[1] {
+			router = nd
+		}
+	}
+	// Warm both owners (replica pull off the clock), then arm the stall.
+	for _, nd := range nodes {
+		if _, derr := clusterBenchDrive([]*benchClusterNode{nd}, ids, reqBody, 1, 4); derr != nil {
+			return 0, 0, 0, 0, derr
+		}
+	}
+	slow.delayFor.Store(int64(10 * time.Millisecond))
+	slow.delayEvery.Store(10)
+
+	lat := make([]time.Duration, 0, total)
+	for i := 0; i < total; i++ {
+		t0 := time.Now()
+		resp, perr := http.Post(router.base+"/v1/dicts/"+id+"/match", "application/json", bytes.NewReader(reqBody))
+		if perr != nil {
+			return 0, 0, 0, 0, perr
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, 0, 0, fmt.Errorf("match via router: %d %s", resp.StatusCode, body)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 = lat[len(lat)/2]
+	p99 = lat[len(lat)*99/100]
+	_, hedged, hedgeWon = clusterMetricsOf(router)
+	return p50, p99, hedged, hedgeWon, nil
+}
+
+// RunClusterPerf measures the K-series.
+func RunClusterPerf(scale Scale) []ClusterPerfResult {
+	reqText := base64.StdEncoding.EncodeToString(bytes.Repeat([]byte("abracadabra "), 6)[:64])
+	reqBody, _ := json.Marshal(map[string]any{"textB64": reqText})
+	var out []ClusterPerfResult
+
+	// K1 — resident working set: 3 dictionaries, everything fits everywhere.
+	// The honest row: on one core the 3-node topology pays a proxy hop on
+	// routed requests and buys no parallelism, so ~1x is the expected shape.
+	{
+		total := scale.pick(1536, 6144)
+		total -= total % clusterBenchClients
+		dicts, patterns := 3, 192
+		wall1, _, err := runClusterThroughput(1, 1, 8, dicts, patterns, total, reqBody)
+		if err != nil {
+			panic(err)
+		}
+		wall3, _, err := runClusterThroughput(3, 2, 8, dicts, patterns, total, reqBody)
+		if err != nil {
+			panic(err)
+		}
+		rps1 := float64(total) / wall1.Seconds()
+		rps3 := float64(total) / wall3.Seconds()
+		out = append(out,
+			ClusterPerfResult{ID: "K1", Name: "resident_mix", Config: "1node", Nodes: 1, Replicas: 1,
+				Clients: clusterBenchClients, Requests: total, Dicts: dicts,
+				NsPerReq: wall1.Nanoseconds() / int64(total), ReqPerSec: rps1},
+			ClusterPerfResult{ID: "K1", Name: "resident_mix", Config: "3node", Nodes: 3, Replicas: 2,
+				Clients: clusterBenchClients, Requests: total, Dicts: dicts,
+				NsPerReq: wall3.Nanoseconds() / int64(total), ReqPerSec: rps3,
+				Speedup: rps3 / rps1})
+	}
+
+	// K2 — capacity thrash: 12 dictionaries against a 6-entry registry.
+	// Round-robin access over 12 > 6 is LRU's pathological case — the one
+	// node reloads a snapshot on nearly every request — while three nodes
+	// hold 4 each (R=1) with room to spare. This is the cluster's real
+	// economics on a small machine: aggregate registry capacity.
+	{
+		total := scale.pick(1024, 4096)
+		total -= total % clusterBenchClients
+		// 8 registry slots per node: the single node faces 12 dictionaries
+		// round-robin — LRU's pathological case, a miss nearly every
+		// request — while across three nodes no member owns more than its
+		// capacity even with ring skew.
+		dicts, patterns, maxDicts := 12, 192, 8
+		wall1, loads1, err := runClusterThroughput(1, 1, maxDicts, dicts, patterns, total, reqBody)
+		if err != nil {
+			panic(err)
+		}
+		wall3, loads3, err := runClusterThroughput(3, 1, maxDicts, dicts, patterns, total, reqBody)
+		if err != nil {
+			panic(err)
+		}
+		rps1 := float64(total) / wall1.Seconds()
+		rps3 := float64(total) / wall3.Seconds()
+		out = append(out,
+			ClusterPerfResult{ID: "K2", Name: "capacity_thrash", Config: "1node", Nodes: 1, Replicas: 1,
+				Clients: clusterBenchClients, Requests: total, Dicts: dicts,
+				NsPerReq: wall1.Nanoseconds() / int64(total), ReqPerSec: rps1,
+				SnapshotReloads: loads1},
+			ClusterPerfResult{ID: "K2", Name: "capacity_thrash", Config: "3node", Nodes: 3, Replicas: 1,
+				Clients: clusterBenchClients, Requests: total, Dicts: dicts,
+				NsPerReq: wall3.Nanoseconds() / int64(total), ReqPerSec: rps3,
+				Speedup: rps3 / rps1, SnapshotReloads: loads3})
+	}
+
+	// K3 — hedged tail: one replica stalls every 10th match for 10ms. With
+	// the hedge budget above the stall the router waits it out (p99 ≈
+	// stall); with a 2ms budget the hedge beats the straggler (p99 ≈
+	// budget + service).
+	{
+		total := scale.pick(400, 1200)
+		p50u, p99u, _, _, err := runHedgeTail(5*time.Second, total, reqBody)
+		if err != nil {
+			panic(err)
+		}
+		p50h, p99h, hedged, hedgeWon, err := runHedgeTail(2*time.Millisecond, total, reqBody)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out,
+			ClusterPerfResult{ID: "K3", Name: "hedged_tail", Config: "unhedged", Nodes: 3, Replicas: 2,
+				Clients: 1, Requests: total,
+				P50Ms: float64(p50u.Nanoseconds()) / 1e6, P99Ms: float64(p99u.Nanoseconds()) / 1e6},
+			ClusterPerfResult{ID: "K3", Name: "hedged_tail", Config: "hedged", Nodes: 3, Replicas: 2,
+				Clients: 1, Requests: total,
+				P50Ms: float64(p50h.Nanoseconds()) / 1e6, P99Ms: float64(p99h.Nanoseconds()) / 1e6,
+				Speedup: float64(p99u) / float64(max64(int64(p99h), 1)),
+				Hedged:  hedged, HedgeWon: hedgeWon})
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E21Cluster prints the human-readable K-series tables.
+func E21Cluster() Experiment {
+	return Experiment{
+		ID:    "E21",
+		Title: "Cluster serving: sharded registry capacity and hedged tails (internal/cluster, DESIGN §15)",
+		Claim: "on a replicated cluster the dictionary registry's aggregate capacity multiplies small-request throughput once the working set overflows one node's LRU, and hedged proxying bounds the tail a slow replica inflicts; a fully resident working set costs only the proxy hop",
+		Run: func(w io.Writer, scale Scale) {
+			results := RunClusterPerf(scale)
+			t := newTable(w, "series", "workload", "config", "nodes", "R", "dicts", "clients", "req/s", "speedup", "reloads")
+			for _, r := range results {
+				if r.ID == "K3" {
+					continue
+				}
+				sp := ""
+				if r.Speedup > 0 {
+					sp = fmt.Sprintf("%.2fx", r.Speedup)
+				}
+				t.row(r.ID, r.Name, r.Config, r.Nodes, r.Replicas, r.Dicts, r.Clients,
+					fmt.Sprintf("%.0f", r.ReqPerSec), sp, r.SnapshotReloads)
+			}
+			t.flush()
+			t2 := newTable(w, "series", "config", "p50 ms", "p99 ms", "hedged", "hedge won", "p99 speedup")
+			for _, r := range results {
+				if r.ID != "K3" {
+					continue
+				}
+				sp := ""
+				if r.Speedup > 0 {
+					sp = fmt.Sprintf("%.1fx", r.Speedup)
+				}
+				t2.row(r.ID, r.Config, fmt.Sprintf("%.2f", r.P50Ms), fmt.Sprintf("%.2f", r.P99Ms),
+					r.Hedged, r.HedgeWon, sp)
+			}
+			t2.flush()
+			fmt.Fprintln(w, "\nexpected shape: K1 below 1x — the honest row: one core buys no parallelism and routed requests pay both proxy hops on the same CPU; K2 ≥2x — the 1-node LRU reloads a snapshot on nearly every request (reloads column) while 3 nodes keep the whole set resident; K3 hedged p99 near the 2ms hedge budget plus one service time, instead of the 10ms stall")
+		},
+	}
+}

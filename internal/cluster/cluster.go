@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Peer is one static-membership cluster member: a stable name (the identity
+// hashed onto the ring) and the base URL its matchd API listens on.
+type Peer struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ParsePeers parses the -cluster-peers flag syntax: a comma-separated list
+// of name=url entries, e.g.
+//
+//	n1=http://10.0.0.1:8080,n2=http://10.0.0.2:8080,n3=http://10.0.0.3:8080
+//
+// Names must be unique; URLs must be absolute http(s) URLs. The bare-URL
+// shorthand (no "name=") derives the name from the URL's host:port.
+func ParsePeers(spec string) ([]Peer, error) {
+	var peers []Peer
+	seen := map[string]bool{}
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(ent, "=")
+		if !ok {
+			raw = ent
+			name = ""
+		}
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme != "http" && u.Scheme != "https" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want name=http://host:port", ent)
+		}
+		if name == "" {
+			name = u.Host
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", name)
+		}
+		seen[name] = true
+		peers = append(peers, Peer{Name: name, URL: strings.TrimRight(u.String(), "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Name < peers[j].Name })
+	return peers, nil
+}
+
+// Membership is the static view one node holds of the cluster: the full
+// peer table, its own identity, and the placement ring built from both.
+type Membership struct {
+	Self  string
+	peers map[string]Peer // by name
+	ring  *Ring
+}
+
+// NewMembership validates the peer table (which must include self) and
+// builds the placement ring. replicas is the owner count per dictionary,
+// clamped to the cluster size; vnodes <= 0 selects DefaultVirtualNodes.
+func NewMembership(peers []Peer, self string, vnodes, replicas int) (*Membership, error) {
+	byName := make(map[string]Peer, len(peers))
+	names := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if _, dup := byName[p.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", p.Name)
+		}
+		byName[p.Name] = p
+		names = append(names, p.Name)
+	}
+	if _, ok := byName[self]; !ok {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer table", self)
+	}
+	ring, err := NewRing(names, vnodes, replicas)
+	if err != nil {
+		return nil, err
+	}
+	return &Membership{Self: self, peers: byName, ring: ring}, nil
+}
+
+// Ring returns the placement ring.
+func (m *Membership) Ring() *Ring { return m.ring }
+
+// Peer returns the peer record for name.
+func (m *Membership) Peer(name string) (Peer, bool) {
+	p, ok := m.peers[name]
+	return p, ok
+}
+
+// Peers returns all peers sorted by name.
+func (m *Membership) Peers() []Peer {
+	out := make([]Peer, 0, len(m.peers))
+	for _, name := range m.ring.Peers() {
+		out = append(out, m.peers[name])
+	}
+	return out
+}
+
+// Others returns all peers except self, sorted by name.
+func (m *Membership) Others() []Peer {
+	out := make([]Peer, 0, len(m.peers)-1)
+	for _, p := range m.Peers() {
+		if p.Name != m.Self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Owners returns the owner peers for a dictionary id, primary first.
+func (m *Membership) Owners(id string) []Peer {
+	names := m.ring.Owners(id)
+	out := make([]Peer, len(names))
+	for i, n := range names {
+		out[i] = m.peers[n]
+	}
+	return out
+}
+
+// OwnsSelf reports whether this node is among the owners of id.
+func (m *Membership) OwnsSelf(id string) bool { return m.ring.IsOwner(id, m.Self) }

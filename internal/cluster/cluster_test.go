@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAndDistinct(t *testing.T) {
+	peers := []string{"n1", "n2", "n3", "n4", "n5"}
+	r1, err := NewRing(peers, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"n5", "n3", "n1", "n4", "n2"}, 0, 3) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("dict-%d", i)
+		o1, o2 := r1.Owners(key), r2.Owners(key)
+		if len(o1) != 3 {
+			t.Fatalf("key %s: %d owners, want 3", key, len(o1))
+		}
+		seen := map[string]bool{}
+		for j, o := range o1 {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner %s", key, o)
+			}
+			seen[o] = true
+			if o != o2[j] {
+				t.Fatalf("key %s: owner list depends on peer-table order: %v vs %v", key, o1, o2)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"n1", "n2", "n3"}
+	r, err := NewRing(peers, DefaultVirtualNodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Primary(fmt.Sprintf("%064x", i))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("peer %s primary share %.2f badly unbalanced (counts %v)", p, share, counts)
+		}
+	}
+}
+
+func TestRingReplicasClamped(t *testing.T) {
+	r, err := NewRing([]string{"a", "b"}, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Owners("x")); got != 2 {
+		t.Fatalf("owners = %d, want clamped 2", got)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("n2=http://h2:8080, n1=http://h1:8080,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].Name != "n1" || peers[1].URL != "http://h2:8080" {
+		t.Fatalf("parsed %+v", peers)
+	}
+	if _, err := ParsePeers("n1=http://h:1,n1=http://h:2"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := ParsePeers("bogus"); err == nil {
+		t.Fatal("non-URL accepted")
+	}
+	if _, err := ParsePeers(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	// Bare-URL shorthand names the peer after host:port.
+	peers, err = ParsePeers("http://h3:9090")
+	if err != nil || peers[0].Name != "h3:9090" {
+		t.Fatalf("shorthand: %+v err %v", peers, err)
+	}
+}
+
+func TestMembershipSelfMustBeMember(t *testing.T) {
+	peers := []Peer{{Name: "a", URL: "http://a:1"}, {Name: "b", URL: "http://b:1"}}
+	if _, err := NewMembership(peers, "zz", 8, 2); err == nil {
+		t.Fatal("foreign self accepted")
+	}
+	m, err := NewMembership(peers, "a", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Others(); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("others = %+v", got)
+	}
+	owners := m.Owners("some-dict")
+	if len(owners) != 2 {
+		t.Fatalf("owners = %+v", owners)
+	}
+}
+
+func TestHealthStatesAndTransitions(t *testing.T) {
+	var mode atomic.Int32 // 0 ready, 1 degraded, 2 down(404)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s", r.URL.Path)
+		}
+		switch mode.Load() {
+		case 0:
+			w.WriteHeader(http.StatusOK)
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	h := NewHealth([]Peer{{Name: "p", URL: ts.URL}}, nil, time.Hour)
+	defer h.Close()
+	if st := h.State("p"); st != StateUnknown {
+		t.Fatalf("initial state %v", st)
+	}
+	if st := h.Probe("p"); st != StateReady {
+		t.Fatalf("ready probe → %v", st)
+	}
+	mode.Store(1)
+	if st := h.Probe("p"); st != StateDegraded {
+		t.Fatalf("degraded probe → %v", st)
+	}
+	mode.Store(2)
+	if st := h.Probe("p"); st != StateDown {
+		t.Fatalf("404 probe → %v", st)
+	}
+	if got := h.Transitions(); got != 3 {
+		t.Fatalf("transitions = %d, want 3", got)
+	}
+	h.MarkDown("p") // already down: no transition
+	if got := h.Transitions(); got != 3 {
+		t.Fatalf("transitions after redundant MarkDown = %d, want 3", got)
+	}
+	st := h.Status()
+	if len(st) != 1 || st[0].State != "down" || st[0].LastProbeMs < 0 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestHealthDownOnTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listens now
+	h := NewHealth([]Peer{{Name: "gone", URL: url}}, nil, time.Hour)
+	defer h.Close()
+	if st := h.Probe("gone"); st != StateDown {
+		t.Fatalf("probe of closed server → %v", st)
+	}
+}
+
+// hedgeServer answers after delay with its own name.
+func hedgeServer(t *testing.T, name string, delay time.Duration, status int, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		w.WriteHeader(status)
+		fmt.Fprint(w, name)
+	}))
+}
+
+func buildGet(url string) func(ctx context.Context, p Peer) (*http.Request, error) {
+	_ = url
+	return func(ctx context.Context, p Peer) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/x", nil)
+	}
+}
+
+func TestHedgerFastPrimaryWinsWithoutHedge(t *testing.T) {
+	var hits2 atomic.Int64
+	s1 := hedgeServer(t, "one", 0, 200, nil)
+	defer s1.Close()
+	s2 := hedgeServer(t, "two", 0, 200, &hits2)
+	defer s2.Close()
+	h := &Hedger{Client: http.DefaultClient, After: 200 * time.Millisecond}
+	res, err := h.Do(context.Background(), []Peer{{Name: "one", URL: s1.URL}, {Name: "two", URL: s2.URL}}, buildGet(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	res.Resp.Body.Close()
+	if res.Peer.Name != "one" || res.Hedged || res.Attempts != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if hits2.Load() != 0 {
+		t.Fatal("secondary was contacted although primary answered fast")
+	}
+}
+
+func TestHedgerSlowPrimaryHedgeWins(t *testing.T) {
+	s1 := hedgeServer(t, "slow", 2*time.Second, 200, nil)
+	defer s1.Close()
+	s2 := hedgeServer(t, "fast", 0, 200, nil)
+	defer s2.Close()
+	h := &Hedger{Client: http.DefaultClient, After: 20 * time.Millisecond}
+	t0 := time.Now()
+	res, err := h.Do(context.Background(), []Peer{{Name: "slow", URL: s1.URL}, {Name: "fast", URL: s2.URL}}, buildGet(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	res.Resp.Body.Close()
+	if res.Peer.Name != "fast" || !res.Hedged || res.Attempts != 2 || res.Index != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if wall := time.Since(t0); wall > time.Second {
+		t.Fatalf("hedged exchange took %v — waited for the slow primary", wall)
+	}
+}
+
+func TestHedgerImmediateFailoverOn5xx(t *testing.T) {
+	s1 := hedgeServer(t, "sick", 0, 503, nil)
+	defer s1.Close()
+	s2 := hedgeServer(t, "ok", 0, 200, nil)
+	defer s2.Close()
+	// Hedging disabled (After=0): failover must still advance on a 5xx.
+	h := &Hedger{Client: http.DefaultClient, After: 0}
+	res, err := h.Do(context.Background(), []Peer{{Name: "sick", URL: s1.URL}, {Name: "ok", URL: s2.URL}}, buildGet(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	res.Resp.Body.Close()
+	if res.Peer.Name != "ok" || res.Resp.StatusCode != 200 || res.Hedged {
+		t.Fatalf("result %+v status %d", res, res.Resp.StatusCode)
+	}
+}
+
+func TestHedgerAllFailedReturnsLast5xx(t *testing.T) {
+	s1 := hedgeServer(t, "a", 0, 503, nil)
+	defer s1.Close()
+	s2 := hedgeServer(t, "b", 0, 500, nil)
+	defer s2.Close()
+	h := &Hedger{Client: http.DefaultClient, After: 10 * time.Millisecond}
+	res, err := h.Do(context.Background(), []Peer{{Name: "a", URL: s1.URL}, {Name: "b", URL: s2.URL}}, buildGet(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	res.Resp.Body.Close()
+	if res.Resp.StatusCode < 500 {
+		t.Fatalf("want a 5xx surfaced, got %d", res.Resp.StatusCode)
+	}
+}
+
+func TestHedgerAllTransportErrors(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := dead.URL
+	dead.Close()
+	h := &Hedger{Client: http.DefaultClient, After: time.Millisecond}
+	_, err := h.Do(context.Background(), []Peer{{Name: "x", URL: url}, {Name: "y", URL: url}}, buildGet(""))
+	if err == nil {
+		t.Fatal("want error when every candidate is unreachable")
+	}
+}
+
+func TestHedgerContextCancel(t *testing.T) {
+	s1 := hedgeServer(t, "slow", 2*time.Second, 200, nil)
+	defer s1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	h := &Hedger{Client: http.DefaultClient, After: time.Second}
+	if _, err := h.Do(ctx, []Peer{{Name: "slow", URL: s1.URL}}, buildGet("")); err == nil {
+		t.Fatal("want context error")
+	}
+}

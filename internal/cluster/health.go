@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peer health states. The router prefers Ready peers, falls back to
+// Degraded ones (a degraded matchd still answers — its breaker 503s are
+// per-dictionary), and skips Down peers except as a last resort.
+type State int32
+
+const (
+	StateUnknown  State = iota // never probed
+	StateReady                 // /readyz answered 200
+	StateDegraded              // /readyz answered 503 (breaker open, store rot, ...)
+	StateDown                  // transport error or non-readyz status
+)
+
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultProbeInterval is how often the background prober re-checks each
+// peer. One second bounds the window in which the router keeps trying a
+// dead peer (hedging covers requests inside that window).
+const DefaultProbeInterval = time.Second
+
+// peerHealth is one peer's mutable probe state.
+type peerHealth struct {
+	state     atomic.Int32 // State
+	lastProbe atomic.Int64 // unix nanos of the last completed probe
+}
+
+// Health probes peers' /readyz endpoints and serves the freshest known
+// state. Probing is lazy-started: the first Start (or ProbeAll) call spins
+// the background loop; Close stops it. All methods are safe for concurrent
+// use.
+type Health struct {
+	client   *http.Client
+	interval time.Duration
+	peers    map[string]*peerHealth // keyed by peer name; immutable map
+	urls     map[string]string
+
+	transitions atomic.Int64 // state changes observed across all peers
+
+	startOnce sync.Once
+	stop      chan struct{}
+	stopOnce  sync.Once
+	done      chan struct{}
+}
+
+// NewHealth builds a tracker over the given peers (usually
+// Membership.Others — a node does not probe itself). client == nil uses a
+// dedicated client with a probe-scale timeout; interval <= 0 selects
+// DefaultProbeInterval.
+func NewHealth(peers []Peer, client *http.Client, interval time.Duration) *Health {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	h := &Health{
+		client:   client,
+		interval: interval,
+		peers:    make(map[string]*peerHealth, len(peers)),
+		urls:     make(map[string]string, len(peers)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, p := range peers {
+		h.peers[p.Name] = &peerHealth{}
+		h.urls[p.Name] = p.URL
+	}
+	return h
+}
+
+// Start launches the background probe loop (idempotent). An immediate full
+// probe runs first so routing decisions right after startup see real states
+// instead of Unknown.
+func (h *Health) Start() {
+	h.startOnce.Do(func() {
+		go func() {
+			defer close(h.done)
+			h.ProbeAll()
+			t := time.NewTicker(h.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-h.stop:
+					return
+				case <-t.C:
+					h.ProbeAll()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the probe loop and waits for it to exit. Safe to call even if
+// Start never ran, and more than once.
+func (h *Health) Close() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.startOnce.Do(func() { close(h.done) }) // loop never started: unblock the wait
+	<-h.done
+}
+
+// ProbeAll probes every peer once, concurrently, and returns when all
+// probes complete.
+func (h *Health) ProbeAll() {
+	var wg sync.WaitGroup
+	for name := range h.peers {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			h.Probe(name)
+		}(name)
+	}
+	wg.Wait()
+}
+
+// Probe checks one peer's /readyz now and returns the new state.
+func (h *Health) Probe(name string) State {
+	ph, ok := h.peers[name]
+	if !ok {
+		return StateUnknown
+	}
+	st := h.probeURL(h.urls[name])
+	old := State(ph.state.Swap(int32(st)))
+	ph.lastProbe.Store(time.Now().UnixNano())
+	if old != st {
+		h.transitions.Add(1)
+	}
+	return st
+}
+
+func (h *Health) probeURL(base string) State {
+	ctx, cancel := context.WithTimeout(context.Background(), h.client.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return StateDown
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return StateDown
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return StateReady
+	case http.StatusServiceUnavailable:
+		return StateDegraded
+	default:
+		return StateDown
+	}
+}
+
+// State returns the last probed state for a peer (StateUnknown for an
+// unprobed or unknown peer).
+func (h *Health) State(name string) State {
+	ph, ok := h.peers[name]
+	if !ok {
+		return StateUnknown
+	}
+	return State(ph.state.Load())
+}
+
+// MarkDown force-sets a peer Down without a probe — the router calls it on
+// a transport error so the very next request already avoids the peer
+// instead of waiting out the probe interval.
+func (h *Health) MarkDown(name string) {
+	ph, ok := h.peers[name]
+	if !ok {
+		return
+	}
+	if State(ph.state.Swap(int32(StateDown))) != StateDown {
+		h.transitions.Add(1)
+	}
+}
+
+// Transitions returns how many peer state changes the tracker has observed.
+func (h *Health) Transitions() int64 { return h.transitions.Load() }
+
+// PeerStatus is one row of the /v1/cluster peers table.
+type PeerStatus struct {
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	State      string `json:"state"`
+	LastProbeMs int64 `json:"lastProbeMs"` // ms since the last probe; -1 = never
+}
+
+// Status reports every tracked peer's current state, sorted by name.
+func (h *Health) Status() []PeerStatus {
+	out := make([]PeerStatus, 0, len(h.peers))
+	for name, ph := range h.peers {
+		ps := PeerStatus{
+			Name:  name,
+			URL:   h.urls[name],
+			State: State(ph.state.Load()).String(),
+		}
+		if t := ph.lastProbe.Load(); t == 0 {
+			ps.LastProbeMs = -1
+		} else {
+			ps.LastProbeMs = time.Since(time.Unix(0, t)).Milliseconds()
+		}
+		out = append(out, ps)
+	}
+	sortPeerStatus(out)
+	return out
+}
+
+func sortPeerStatus(s []PeerStatus) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Name < s[j-1].Name; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Hedged request execution. A proxied request has several equally good
+// answers — every replica of the dictionary — so tail latency is a choice:
+// send to one replica and inherit its worst case, or hedge. The Hedger
+// sends to the first candidate, arms a timer for After, and if no verdict
+// arrived in time fires the same request at the next candidate; the first
+// acceptable response wins and every other in-flight copy is cancelled.
+// A transport error or 5xx fails over to the next candidate immediately —
+// the timer only governs the silent-slowness case. Requests routed this way
+// are reads (match/parse queries), so duplicating them is safe.
+
+// Hedger executes one request against an ordered candidate list with
+// hedging and failover.
+type Hedger struct {
+	Client *http.Client
+	// After is the latency budget before a second copy is sent to the next
+	// candidate (and a third after twice the budget, and so on). Zero
+	// disables hedging: candidates are then tried strictly one at a time,
+	// advancing only on error.
+	After time.Duration
+	// OnError, if set, is called once per attempt that dies of a transport
+	// error (never for HTTP responses, even 5xx). The router hooks it to
+	// Health.MarkDown so the next request already avoids the dead peer.
+	OnError func(p Peer, err error)
+}
+
+// Result is a won hedged exchange. The caller must consume Resp.Body and
+// then call Release, which cancels the per-attempt contexts (including any
+// straggling losers).
+type Result struct {
+	Resp     *http.Response
+	Peer     Peer // who answered
+	Index    int  // candidate position of the winner (0 = primary)
+	Attempts int  // copies actually sent
+	Hedged   bool // a timer-triggered extra copy was sent
+	release  func()
+}
+
+// Release cancels every per-attempt context. Call after Resp.Body is
+// consumed.
+func (r *Result) Release() {
+	if r.release != nil {
+		r.release()
+	}
+}
+
+type attemptOutcome struct {
+	index int
+	resp  *http.Response
+	err   error
+}
+
+// acceptable reports whether a response settles the exchange: anything
+// below 500 is the resource's answer (including 4xx — another replica would
+// say the same); 5xx means this replica is in trouble and a sibling may
+// well be fine.
+func acceptable(resp *http.Response) bool { return resp.StatusCode < 500 }
+
+// Do executes the exchange. build constructs a fresh request per candidate
+// (bodies cannot be shared between copies) against the candidate's base
+// URL, using the context it is given. On success the returned Result holds
+// the winning response; on total failure the error wraps the last attempt's.
+func (h *Hedger) Do(ctx context.Context, candidates []Peer, build func(ctx context.Context, p Peer) (*http.Request, error)) (*Result, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("cluster: no candidates")
+	}
+	results := make(chan attemptOutcome, len(candidates))
+	cancels := make([]context.CancelFunc, len(candidates))
+	releaseAll := func() {
+		for _, c := range cancels {
+			if c != nil {
+				c()
+			}
+		}
+	}
+
+	launched := 0
+	launch := func() {
+		i := launched
+		launched++
+		actx, cancel := context.WithCancel(ctx)
+		cancels[i] = cancel
+		go func() {
+			req, err := build(actx, candidates[i])
+			if err != nil {
+				results <- attemptOutcome{index: i, err: err}
+				return
+			}
+			resp, err := h.Client.Do(req)
+			results <- attemptOutcome{index: i, resp: resp, err: err}
+		}()
+	}
+	launch()
+
+	// The timer channel is nil (never fires) when hedging is off.
+	var timerC <-chan time.Time
+	var timer *time.Timer
+	if h.After > 0 {
+		timer = time.NewTimer(h.After)
+		timerC = timer.C
+		defer timer.Stop()
+	}
+
+	hedged := false
+	settled := 0
+	var lastLoser *http.Response
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			releaseAll()
+			drain(results, launched-settled)
+			if lastLoser != nil {
+				closeBody(lastLoser)
+			}
+			return nil, ctx.Err()
+		case <-timerC:
+			if launched < len(candidates) {
+				hedged = true
+				launch()
+				timer.Reset(h.After)
+			}
+		case out := <-results:
+			settled++
+			if out.err == nil && acceptable(out.resp) {
+				if lastLoser != nil {
+					closeBody(lastLoser)
+				}
+				// Reap stragglers in the background, then cancel their
+				// contexts; the winner's context stays live until Release.
+				win := out.index
+				remaining := launched - settled
+				release := func() {
+					go func() {
+						drain(results, remaining)
+						releaseAll()
+					}()
+				}
+				return &Result{
+					Resp:     out.resp,
+					Peer:     candidates[win],
+					Index:    win,
+					Attempts: launched,
+					Hedged:   hedged,
+					release:  release,
+				}, nil
+			}
+			// Failed attempt: remember it, fail over to the next candidate
+			// immediately if one is left.
+			if out.err != nil {
+				lastErr = out.err
+				if h.OnError != nil && ctx.Err() == nil {
+					h.OnError(candidates[out.index], out.err)
+				}
+			} else {
+				if lastLoser != nil {
+					closeBody(lastLoser)
+				}
+				lastLoser = out.resp
+			}
+			if launched < len(candidates) {
+				launch()
+				if timer != nil {
+					timer.Reset(h.After)
+				}
+				continue
+			}
+			if settled == launched {
+				// Everyone failed. A concrete 5xx response beats a transport
+				// error — the client then sees the replica's real answer.
+				if lastLoser != nil {
+					releaseStraggler := func() { releaseAll() }
+					return &Result{
+						Resp:     lastLoser,
+						Peer:     candidates[len(candidates)-1],
+						Index:    len(candidates) - 1,
+						Attempts: launched,
+						Hedged:   hedged,
+						release:  releaseStraggler,
+					}, nil
+				}
+				releaseAll()
+				return nil, fmt.Errorf("cluster: all %d candidates failed: %w", launched, lastErr)
+			}
+		}
+	}
+}
+
+// drain consumes n straggler outcomes, closing their response bodies.
+func drain(results <-chan attemptOutcome, n int) {
+	for i := 0; i < n; i++ {
+		out := <-results
+		if out.resp != nil {
+			closeBody(out.resp)
+		}
+	}
+}
+
+func closeBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+}

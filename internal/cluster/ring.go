@@ -1,0 +1,159 @@
+// Package cluster is the membership and placement layer for running matchd
+// as a sharded, replicated cluster (DESIGN.md §15). It answers three
+// questions the serving layer (internal/server) asks per request:
+//
+//   - Placement: which nodes own dictionary id X? A consistent-hash ring
+//     with virtual nodes (ring.go) maps every id to an ordered list of R
+//     distinct owners, identically on every node — membership is static, so
+//     no coordination protocol is needed to agree on it.
+//   - Health: which peers are worth sending a request to right now? A
+//     background prober (health.go) polls each peer's /readyz and exposes
+//     ready/degraded/down states with transition counters.
+//   - Hedging: how do we hide a slow or freshly dead replica? A hedged
+//     executor (hedge.go) fires the request at the first candidate, arms a
+//     timer, fires a second copy at the next candidate if the first has not
+//     answered within the latency budget, and cancels the losers.
+//
+// The economics mirror the paper's: §3 preprocessing is paid once, on one
+// owner, and the resulting snapshot bundle (internal/persist DMSNAP) is what
+// ships between nodes — replicas restore tables, they never re-preprocess,
+// which is the same preprocess-once/match-many invariant the single-node
+// warm start already pins.
+//
+// Only the standard library is used.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the number of ring points per peer. 128 keeps the
+// expected per-node share within a few percent of uniform for small
+// clusters while the full ring (N×128 points) still sorts in microseconds.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a static peer set. Every
+// node builds the same ring from the same peer table, so placement decisions
+// agree cluster-wide with zero coordination.
+type Ring struct {
+	peers    []string // distinct peer names, sorted (for introspection)
+	points   []ringPoint
+	replicas int // owners per key (clamped to len(peers))
+}
+
+type ringPoint struct {
+	hash uint64
+	peer int32 // index into peers
+}
+
+// NewRing builds a ring placing each named peer at vnodes points. replicas
+// is the owner-list length Owners returns; it is clamped to the peer count.
+func NewRing(peers []string, vnodes, replicas int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", sorted[i])
+		}
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(sorted) {
+		replicas = len(sorted)
+	}
+	r := &Ring{
+		peers:    sorted,
+		points:   make([]ringPoint, 0, len(sorted)*vnodes),
+		replicas: replicas,
+	}
+	for pi, name := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: mix64(hashString(fmt.Sprintf("%s#%d", name, v))),
+				peer: int32(pi),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// hashString is FNV-1a 64 — stable across processes and Go versions, which
+// is the property placement needs (maphash would differ per process).
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone distributes the short,
+// highly similar "name#vnode" strings unevenly around the ring (adjacent
+// vnode numbers land near each other); the finalizer's avalanche fixes the
+// per-peer share without giving up cross-process stability.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Peers returns the sorted peer names on the ring.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Replicas returns the configured owner-list length.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// VirtualNodes returns the ring points per peer.
+func (r *Ring) VirtualNodes() int { return len(r.points) / len(r.peers) }
+
+// Owners returns the replicas distinct peers owning key, primary first:
+// the ring is walked clockwise from hash(key) and each new peer encountered
+// joins the list. Every node computes the same list for the same key.
+func (r *Ring) Owners(key string) []string {
+	owners := make([]string, 0, r.replicas)
+	r.ownersAppend(key, &owners)
+	return owners
+}
+
+func (r *Ring) ownersAppend(key string, owners *[]string) {
+	h := mix64(hashString(key))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, len(r.peers))
+	for i := 0; i < len(r.points) && len(*owners) < r.replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.peer] {
+			continue
+		}
+		seen[p.peer] = true
+		*owners = append(*owners, r.peers[p.peer])
+	}
+}
+
+// IsOwner reports whether peer is among the owners of key.
+func (r *Ring) IsOwner(key, peer string) bool {
+	for _, o := range r.Owners(key) {
+		if o == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// Primary returns the first owner of key.
+func (r *Ring) Primary(key string) string { return r.Owners(key)[0] }

@@ -62,6 +62,8 @@ func LoadBundle(data []byte) (*core.Dictionary, *dense.Automaton, error) {
 // bytes.
 func (s *Store) PutBundle(k Key, d *core.Dictionary, a *dense.Automaton) (int, error) {
 	data := EncodeBundle(d, a)
+	unlock := s.lockKey(k)
+	defer unlock()
 	if err := s.writeAtomic(s.Path(k), data); err != nil {
 		return 0, err
 	}

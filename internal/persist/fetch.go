@@ -1,0 +1,64 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+// HTTP bundle fetch: the replication pull of cluster mode (DESIGN.md §15).
+// A node that needs a dictionary it does not hold fetches the owner's DMSNAP
+// bundle from GET /v1/dicts/{id}/snapshot and validates it through the same
+// codec the local store trusts — a peer is no more trusted than a disk. The
+// returned raw bytes let the caller persist exactly what was validated.
+
+// DefaultFetchLimit caps how many snapshot bytes one fetch will read. It
+// comfortably exceeds any bundle a default-config server can serve (pattern
+// bytes are bounded by MaxDictBytes=16 MiB, tables are linear in them).
+const DefaultFetchLimit = 256 << 20
+
+// FetchBundle downloads the snapshot bundle for dictionary id from a peer's
+// base URL and decodes it. limit <= 0 selects DefaultFetchLimit; client ==
+// nil uses http.DefaultClient. On success it returns the validated raw bytes
+// (ready for PutBytes) plus the decoded dictionary and automaton (nil when
+// the bundle carries no DENSE section).
+func FetchBundle(ctx context.Context, client *http.Client, base, id string, limit int64) ([]byte, *core.Dictionary, *dense.Automaton, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if limit <= 0 {
+		limit = DefaultFetchLimit
+	}
+	u := base + "/v1/dicts/" + url.PathEscape(id) + "/snapshot"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("persist: fetch %s: %w", u, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("persist: fetch %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then report.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, nil, nil, fmt.Errorf("persist: fetch %s: peer answered %d", u, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("persist: fetch %s: %w", u, err)
+	}
+	if int64(len(data)) > limit {
+		return nil, nil, nil, fmt.Errorf("persist: fetch %s: bundle exceeds %d bytes", u, limit)
+	}
+	d, a, err := LoadBundle(data)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("persist: fetch %s: %w", u, err)
+	}
+	return data, d, a, nil
+}

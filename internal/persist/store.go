@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/chaos"
@@ -84,6 +85,14 @@ type Store struct {
 	dir  string
 	logf func(format string, args ...any) // never nil; defaults to a no-op
 
+	// putLocks serializes writers of the same key (striped by the key's
+	// first byte). Same-key Puts are legitimate — the dense upgrade rewrites
+	// a dictionary's KeyFor entry with a DENSE section added — and without
+	// serialization two interleaved write→verify→rename sequences can
+	// publish the older bytes last. With the stripe held, whichever Put
+	// completes second is the state the file ends in, whole.
+	putLocks [64]sync.Mutex
+
 	quarantined     atomic.Int64 // files renamed aside after failed validation
 	quarantineFails atomic.Int64 // quarantine renames that themselves failed
 }
@@ -143,10 +152,19 @@ func (s *Store) PutBytes(k Key, data []byte) (int, error) {
 	if _, _, err := LoadBundle(data); err != nil {
 		return 0, err
 	}
+	unlock := s.lockKey(k)
+	defer unlock()
 	if err := s.writeAtomic(s.Path(k), data); err != nil {
 		return 0, err
 	}
 	return len(data), nil
+}
+
+// lockKey takes the write stripe for k and returns its unlock.
+func (s *Store) lockKey(k Key) func() {
+	mu := &s.putLocks[int(k[0])%len(s.putLocks)]
+	mu.Lock()
+	return mu.Unlock
 }
 
 // writeAtomic writes data to a temp file, fsyncs, reads the file back and

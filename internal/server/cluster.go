@@ -1,0 +1,512 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/persist"
+)
+
+// Cluster mode (DESIGN.md §15): several matchd processes share one static
+// peer table, dictionary IDs are content addresses (persist.KeyFor hex)
+// placed on R owners by the internal/cluster consistent-hash ring, and any
+// node accepts any request — a non-owner routes match/parse traffic to the
+// owners with hedging, an owner that is missing the dictionary pulls the
+// DMSNAP bundle from a peer and restores it (zero re-preprocessing: the
+// PRAM preprocess ledger does not move on a replication pull).
+
+// clusterFromHeader marks a request as already routed once. A node seeing
+// it serves locally no matter what, so a stale ring view (or a bug) can
+// bounce a request at most once instead of looping.
+const clusterFromHeader = "X-Cluster-From"
+
+// clusterState is the per-server cluster runtime.
+type clusterState struct {
+	membership *cluster.Membership
+	health     *cluster.Health
+	hedger     *cluster.Hedger
+	client     *http.Client // proxy/replication client; no global timeout (ctx-bound)
+	redirect   bool
+
+	// Replication-pull singleflight: one fetch per missing id no matter how
+	// many requests arrive for it at once.
+	pullMu sync.Mutex
+	pulls  map[string]*replicaPull
+}
+
+type replicaPull struct {
+	done chan struct{}
+	err  error
+}
+
+// newClusterState wires membership, the /readyz prober, and the hedged
+// proxy client, and starts probing.
+func newClusterState(cfg *Config, mt *Metrics) (*clusterState, error) {
+	m, err := cluster.NewMembership(cfg.ClusterPeers, cfg.ClusterSelf, 0, cfg.ClusterReplicas)
+	if err != nil {
+		return nil, err
+	}
+	c := &clusterState{
+		membership: m,
+		health:     cluster.NewHealth(m.Others(), nil, cfg.ClusterProbeInterval),
+		client:     &http.Client{},
+		redirect:   cfg.ClusterRedirect,
+		pulls:      make(map[string]*replicaPull),
+	}
+	c.hedger = &cluster.Hedger{
+		Client: c.client,
+		After:  cfg.ClusterHedgeAfter,
+		OnError: func(p cluster.Peer, err error) {
+			c.health.MarkDown(p.Name)
+		},
+	}
+	c.health.Start()
+	return c, nil
+}
+
+// Cluster reports whether the server runs in cluster mode (exported for
+// tests/bench).
+func (s *Server) Cluster() bool { return s.cluster != nil }
+
+// Close releases background resources (the cluster health prober). Safe on
+// a non-cluster server and safe to call more than once.
+func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.health.Close()
+	}
+}
+
+// keyFromID recovers the persist.Key a cluster dictionary ID encodes.
+func keyFromID(id string) (persist.Key, bool) {
+	raw, err := hex.DecodeString(id)
+	if err != nil || len(raw) != len(persist.Key{}) {
+		return persist.Key{}, false
+	}
+	var k persist.Key
+	copy(k[:], raw)
+	return k, true
+}
+
+// clusterDict is the routing middleware for dictionary-scoped routes. An
+// owner (or a node answering an already-routed request) serves locally,
+// pulling the dictionary from a peer first if it is not resident; a
+// non-owner proxies to the owners with hedging, or 307-redirects when
+// configured. streaming routes proxy to a single owner — their bodies are
+// unbounded and cannot be replayed for a hedge.
+func (s *Server) clusterDict(streaming bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c := s.cluster
+		if c == nil {
+			h(w, r)
+			return
+		}
+		id := r.PathValue("id")
+		if r.Header.Get(clusterFromHeader) != "" || c.membership.OwnsSelf(id) {
+			if !s.reg.Has(id) {
+				if err := s.ensureReplica(r.Context(), id); err != nil {
+					// The handler's own lookup produces the 404; just record
+					// why the pull could not fill the gap.
+					s.cfg.Log.Printf("cluster: replication pull of %s failed: %v", id, err)
+				}
+			}
+			h(w, r)
+			return
+		}
+		s.routeAway(w, r, id, streaming)
+	}
+}
+
+// healthyOwners returns the owner peers for id, primary first, with peers
+// the prober considers degraded or down filtered out. If the filter empties
+// the list the unfiltered owners are returned — trying a suspect peer beats
+// refusing the request outright.
+func (c *clusterState) healthyOwners(id string) []cluster.Peer {
+	owners := c.membership.Owners(id)
+	kept := make([]cluster.Peer, 0, len(owners))
+	for _, p := range owners {
+		if p.Name == c.membership.Self {
+			continue
+		}
+		switch c.health.State(p.Name) {
+		case cluster.StateDegraded, cluster.StateDown:
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if len(kept) > 0 {
+		return kept
+	}
+	// Everyone looks sick: fall back to the full owner list (minus self).
+	kept = kept[:0]
+	for _, p := range owners {
+		if p.Name != c.membership.Self {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// routeAway sends a request this node does not own to the owners.
+func (s *Server) routeAway(w http.ResponseWriter, r *http.Request, id string, streaming bool) {
+	c := s.cluster
+	owners := c.healthyOwners(id)
+	if len(owners) == 0 {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no reachable owner for dictionary %q", id)
+		return
+	}
+	if c.redirect && !streaming {
+		s.metrics.clusterRedirected.Add(1)
+		// 307 preserves method and body; the client re-sends to the owner.
+		http.Redirect(w, r, owners[0].URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		return
+	}
+	if streaming {
+		s.proxyStream(w, r, owners[0])
+		return
+	}
+	s.proxyHedged(w, r, owners)
+}
+
+// proxyHeader clones the forwardable request headers and stamps the loop
+// guard.
+func (c *clusterState) proxyHeader(h http.Header) http.Header {
+	out := h.Clone()
+	out.Del("Connection")
+	out.Del("Content-Length") // recomputed per attempt
+	out.Set(clusterFromHeader, c.membership.Self)
+	return out
+}
+
+// proxyHedged forwards a buffered request to the owner list under the
+// hedger: first owner immediately, the next after the latency budget, first
+// acceptable answer wins and the losers are cancelled.
+func (s *Server) proxyHedged(w http.ResponseWriter, r *http.Request, owners []cluster.Peer) {
+	c := s.cluster
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		return
+	}
+	hdr := c.proxyHeader(r.Header)
+	res, err := c.hedger.Do(r.Context(), owners, func(ctx context.Context, p cluster.Peer) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, r.Method, p.URL+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header = hdr.Clone()
+		return req, nil
+	})
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadGateway, "all owners of %q unreachable: %v", r.PathValue("id"), err)
+		return
+	}
+	defer res.Release()
+	s.metrics.clusterProxied.Add(1)
+	if res.Hedged {
+		s.metrics.clusterHedged.Add(1)
+		if res.Index > 0 {
+			s.metrics.clusterHedgeWon.Add(1)
+		}
+	}
+	copyProxyResponse(w, res.Resp)
+}
+
+// proxyStream forwards a streaming request to one owner, relaying the
+// response incrementally (flush per chunk, like the local streaming
+// handlers).
+func (s *Server) proxyStream(w http.ResponseWriter, r *http.Request, owner cluster.Peer) {
+	c := s.cluster
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner.URL+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "proxy: %v", err)
+		return
+	}
+	req.Header = c.proxyHeader(r.Header)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.health.MarkDown(owner.Name)
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadGateway, "owner %s unreachable: %v", owner.Name, err)
+		return
+	}
+	defer resp.Body.Close()
+	s.metrics.clusterProxied.Add(1)
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			_ = rc.Flush()
+		}
+		if rerr == io.EOF {
+			return
+		}
+		if rerr != nil {
+			// The owner died mid-stream. The status line is long gone, so the
+			// only honest signal left is a broken transfer: abort the
+			// connection rather than let the truncated prefix read as a
+			// complete stream. (The NDJSON contract is trailer-or-error;
+			// a clean EOF here would forge a silent truncation.)
+			c.health.MarkDown(owner.Name)
+			panic(http.ErrAbortHandler)
+		}
+	}
+}
+
+// copyProxyResponse relays a buffered upstream response to the client.
+func copyProxyResponse(w http.ResponseWriter, resp *http.Response) {
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// ensureReplica makes dictionary id resident, pulling its snapshot bundle
+// from a peer (or the local store) if needed. Concurrent callers for the
+// same id share one pull.
+func (s *Server) ensureReplica(ctx context.Context, id string) error {
+	c := s.cluster
+	c.pullMu.Lock()
+	if s.reg.Has(id) {
+		c.pullMu.Unlock()
+		return nil
+	}
+	if p, ok := c.pulls[id]; ok {
+		c.pullMu.Unlock()
+		select {
+		case <-p.done:
+			return p.err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	p := &replicaPull{done: make(chan struct{})}
+	c.pulls[id] = p
+	c.pullMu.Unlock()
+
+	p.err = s.pullReplica(ctx, id)
+	close(p.done)
+	c.pullMu.Lock()
+	delete(c.pulls, id)
+	c.pullMu.Unlock()
+	return p.err
+}
+
+// pullReplica restores id from the cheapest source that has it: the local
+// snapshot store (a warm restart already paid the disk write), then each
+// owner peer, then every remaining peer. Either way the restore is a table
+// read — no §3 preprocessing runs on a replica.
+func (s *Server) pullReplica(ctx context.Context, id string) error {
+	c := s.cluster
+	key, isKey := keyFromID(id)
+
+	if isKey && s.store != nil {
+		start := time.Now()
+		if d, aut, _, err := s.store.GetBundle(key); err == nil {
+			s.metrics.recordLoad(time.Since(start))
+			e, _ := s.reg.RegisterPreparedDenseID(id, d, aut, "cache", id, time.Since(start).Nanoseconds())
+			s.armDense(e, s.denseUpgradeFunc(e, key))
+			return nil
+		}
+	}
+
+	// Owners first (they are supposed to have it), then everyone else —
+	// a node that just restarted empty may find the bundle only on a
+	// non-owner that replicated it earlier. Down peers are skipped.
+	candidates := c.membership.Owners(id)
+	for _, p := range c.membership.Others() {
+		dup := false
+		for _, o := range candidates {
+			if o.Name == p.Name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			candidates = append(candidates, p)
+		}
+	}
+	var lastErr error = persist.ErrNotFound
+	for _, p := range candidates {
+		if p.Name == c.membership.Self || c.health.State(p.Name) == cluster.StateDown {
+			continue
+		}
+		start := time.Now()
+		data, d, aut, err := persist.FetchBundle(ctx, c.client, p.URL, id, 0)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		s.metrics.clusterReplPulls.Add(1)
+		s.metrics.clusterReplBytes.Add(int64(len(data)))
+		s.metrics.recordLoad(time.Since(start))
+		if isKey && s.store != nil {
+			if n, err := s.store.PutBytes(key, data); err != nil {
+				s.cfg.Log.Printf("cluster: persisting pulled bundle %s failed: %v", id, err)
+			} else {
+				s.metrics.recordSave(n)
+			}
+		}
+		e, _ := s.reg.RegisterPreparedDenseID(id, d, aut, "replica", id, time.Since(start).Nanoseconds())
+		if isKey {
+			s.armDense(e, s.denseUpgradeFunc(e, key))
+		} else {
+			s.armDense(e, nil)
+		}
+		s.cfg.Log.Printf("cluster: pulled %s from %s (%d bytes)", id, p.Name, len(data))
+		return nil
+	}
+	return lastErr
+}
+
+// forwardCreate proxies a dictionary create to the owners of its content
+// address. Creation is idempotent in cluster mode (the ID is the content
+// address), so failover across owners is safe.
+func (s *Server) forwardCreate(w http.ResponseWriter, r *http.Request, req *dictCreateRequest, id string) {
+	c := s.cluster
+	owners := c.healthyOwners(id)
+	if len(owners) == 0 {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no reachable owner for dictionary %q", id)
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "proxy: %v", err)
+		return
+	}
+	res, err := c.hedger.Do(r.Context(), owners, func(ctx context.Context, p cluster.Peer) (*http.Request, error) {
+		preq, err := http.NewRequestWithContext(ctx, http.MethodPost, p.URL+"/v1/dicts", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		preq.Header.Set("Content-Type", "application/json")
+		preq.Header.Set(clusterFromHeader, c.membership.Self)
+		return preq, nil
+	})
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeCtxError(w, r.Context().Err())
+			return
+		}
+		writeError(w, http.StatusBadGateway, "all owners of %q unreachable: %v", id, err)
+		return
+	}
+	defer res.Release()
+	s.metrics.clusterProxied.Add(1)
+	if res.Hedged {
+		s.metrics.clusterHedged.Add(1)
+		if res.Index > 0 {
+			s.metrics.clusterHedgeWon.Add(1)
+		}
+	}
+	copyProxyResponse(w, res.Resp)
+}
+
+// GET /v1/cluster -----------------------------------------------------------
+
+// clusterDictPlacement is one resident dictionary's placement row.
+type clusterDictPlacement struct {
+	ID      string   `json:"id"`
+	Owners  []string `json:"owners"` // primary first
+	Primary bool     `json:"primary"`
+}
+
+// clusterInfoResponse is the GET /v1/cluster payload: the static peer
+// table, live health, and where this node's resident dictionaries sit on
+// the ring.
+type clusterInfoResponse struct {
+	Enabled      bool                   `json:"enabled"`
+	Self         string                 `json:"self,omitempty"`
+	Replicas     int                    `json:"replicas,omitempty"`
+	VirtualNodes int                    `json:"virtualNodes,omitempty"`
+	Peers        []cluster.Peer         `json:"peers,omitempty"`
+	Health       []cluster.PeerStatus   `json:"health,omitempty"`
+	Resident     []clusterDictPlacement `json:"resident,omitempty"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil {
+		writeJSON(w, http.StatusOK, clusterInfoResponse{Enabled: false})
+		return
+	}
+	ring := c.membership.Ring()
+	resp := clusterInfoResponse{
+		Enabled:      true,
+		Self:         c.membership.Self,
+		Replicas:     ring.Replicas(),
+		VirtualNodes: ring.VirtualNodes(),
+		Peers:        c.membership.Peers(),
+		Health:       c.health.Status(),
+	}
+	for _, info := range s.reg.Infos() {
+		owners := ring.Owners(info.ID)
+		resp.Resident = append(resp.Resident, clusterDictPlacement{
+			ID:      info.ID,
+			Owners:  owners,
+			Primary: len(owners) > 0 && owners[0] == c.membership.Self,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// clusterMetrics assembles the cluster section of /metrics.
+func (s *Server) clusterMetrics() clusterSnapshot {
+	snap := clusterSnapshot{
+		Proxied:          s.metrics.clusterProxied.Load(),
+		Redirected:       s.metrics.clusterRedirected.Load(),
+		Hedged:           s.metrics.clusterHedged.Load(),
+		HedgeWon:         s.metrics.clusterHedgeWon.Load(),
+		ReplicationPulls: s.metrics.clusterReplPulls.Load(),
+		ReplicationBytes: s.metrics.clusterReplBytes.Load(),
+	}
+	c := s.cluster
+	if c == nil {
+		return snap
+	}
+	snap.Enabled = true
+	snap.Self = c.membership.Self
+	snap.Peers = len(c.membership.Peers())
+	snap.Replicas = c.membership.Ring().Replicas()
+	snap.PeerTransitions = c.health.Transitions()
+	for _, info := range s.reg.Infos() {
+		owners := c.membership.Ring().Owners(info.ID)
+		if len(owners) > 0 && owners[0] == c.membership.Self {
+			snap.OwnedDicts++
+		} else {
+			snap.ReplicatedDicts++
+		}
+	}
+	return snap
+}

@@ -152,16 +152,44 @@ func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.Options{Seed: req.Seed}
 
+	// In cluster mode the dictionary's ID is its content address, so every
+	// node derives the same name for the same patterns with zero
+	// coordination — and create becomes idempotent. A node that does not own
+	// the address forwards the create to the owners (once: the routed copy
+	// carries the loop-guard header and is served locally).
+	id := "" // "" = registry assigns d<seq>
 	var key persist.Key
-	keyHex := ""
-	if s.store != nil {
+	keyKnown := false
+	if s.cluster != nil || s.store != nil {
 		key = persist.KeyFor(patterns, opts)
+		keyKnown = true
+	}
+	if c := s.cluster; c != nil {
+		id = key.String()
+		if !c.membership.OwnsSelf(id) && r.Header.Get(clusterFromHeader) == "" {
+			s.forwardCreate(w, r, &req, id)
+			return
+		}
+		if e, ok := s.reg.Get(id); ok {
+			writeJSON(w, http.StatusCreated, dictCreateResponse{
+				ID:          e.ID,
+				Patterns:    e.NumPatterns,
+				TotalLen:    e.TotalLen,
+				Source:      e.Source,
+				SnapshotKey: e.SnapKey,
+			})
+			return
+		}
+	}
+
+	keyHex := ""
+	if s.store != nil && keyKnown {
 		keyHex = key.String()
 		start := time.Now()
 		if d, aut, _, err := s.store.GetBundle(key); err == nil {
 			s.metrics.cacheHits.Add(1)
 			s.metrics.recordLoad(time.Since(start))
-			entry, evicted := s.reg.RegisterPreparedDense(d, aut, "cache", keyHex, time.Since(start).Nanoseconds())
+			entry, evicted := s.registerBundle(id, d, aut, "cache", keyHex, time.Since(start).Nanoseconds())
 			s.armDense(entry, s.denseUpgradeFunc(entry, key))
 			writeJSON(w, http.StatusCreated, dictCreateResponse{
 				ID:          entry.ID,
@@ -196,7 +224,7 @@ func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 			s.metrics.recordSave(n)
 		}
 	}
-	entry, evicted := s.reg.RegisterPrepared(dict, "preprocess", keyHex, prepNs)
+	entry, evicted := s.registerBundle(id, dict, nil, "preprocess", keyHex, prepNs)
 	var upgrade func(*dense.Automaton)
 	if keyHex != "" {
 		upgrade = s.denseUpgradeFunc(entry, key)
@@ -210,6 +238,15 @@ func (s *Server) handleDictCreate(w http.ResponseWriter, r *http.Request) {
 		SnapshotKey: keyHex,
 		Evicted:     evicted,
 	})
+}
+
+// registerBundle inserts a ready dictionary under a caller-chosen ID
+// (cluster content address) or, with id == "", a registry-assigned one.
+func (s *Server) registerBundle(id string, d *core.Dictionary, aut *dense.Automaton, source, snapKey string, prepNs int64) (*Entry, []string) {
+	if id == "" {
+		return s.reg.RegisterPreparedDense(d, aut, source, snapKey, prepNs)
+	}
+	return s.reg.RegisterPreparedDenseID(id, d, aut, source, snapKey, prepNs)
 }
 
 func (s *Server) handleDictList(w http.ResponseWriter, r *http.Request) {
@@ -508,6 +545,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		snap.Persist.Quarantines = s.store.Quarantined()
 		snap.Persist.QuarantineFails = s.store.QuarantineFails()
+	}
+	snap.Cluster = s.clusterMetrics()
+	if s.quota != nil {
+		snap.Quota = quotaSnapshot{
+			Enabled:       true,
+			PerTenant:     s.quota.PerTenant(),
+			ActiveTenants: s.quota.ActiveTenants(),
+			Rejected:      s.quota.Rejected(),
+		}
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

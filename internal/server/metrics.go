@@ -189,6 +189,21 @@ type Metrics struct {
 	czVerifyPass       atomic.Int64
 	czVerifyFail       atomic.Int64
 
+	// Cluster mode (cluster.go). clusterProxied counts requests this node
+	// forwarded to an owner (create forwards included); clusterRedirected
+	// the 307s sent instead when redirect mode is on; clusterHedged the
+	// proxied requests that fired a timer-triggered second copy and
+	// clusterHedgeWon those where that extra copy answered first;
+	// clusterReplPulls/clusterReplBytes the snapshot bundles pulled from
+	// peers to fill local gaps. Peer health transitions live on the
+	// cluster.Health tracker and are copied into the snapshot.
+	clusterProxied    atomic.Int64
+	clusterRedirected atomic.Int64
+	clusterHedged     atomic.Int64
+	clusterHedgeWon   atomic.Int64
+	clusterReplPulls  atomic.Int64
+	clusterReplBytes  atomic.Int64
+
 	// Request coalescing (batch.go). batchBatches counts dispatched groups
 	// (at least one live request); batchRequests the requests they carried;
 	// batchBytes their coalesced payload; batchSolo the eligible-mode
@@ -358,6 +373,25 @@ func (mt *Metrics) observeBatchDelay(admitted time.Time) {
 	mt.batchDelayHist[b].Add(1)
 }
 
+// clusterSnapshot is the JSON shape of the cluster section. OwnedDicts
+// counts resident dictionaries this node is primary for, ReplicatedDicts
+// the resident rest (replica-owned or pulled).
+type clusterSnapshot struct {
+	Enabled          bool   `json:"enabled"`
+	Self             string `json:"self,omitempty"`
+	Peers            int    `json:"peers,omitempty"`
+	Replicas         int    `json:"replicas,omitempty"`
+	OwnedDicts       int    `json:"ownedDicts"`
+	ReplicatedDicts  int    `json:"replicatedDicts"`
+	Proxied          int64  `json:"proxied"`
+	Redirected       int64  `json:"redirected"`
+	Hedged           int64  `json:"hedged"`
+	HedgeWon         int64  `json:"hedgeWon"`
+	ReplicationPulls int64  `json:"replicationPulls"`
+	ReplicationBytes int64  `json:"replicationBytes"`
+	PeerTransitions  int64  `json:"peerTransitions"`
+}
+
 // resilienceSnapshot is the JSON shape of the fault-recovery counters.
 type resilienceSnapshot struct {
 	FpExhaustions     int64 `json:"fpExhaustions"`
@@ -389,6 +423,8 @@ type MetricsSnapshot struct {
 	Dense         denseSnapshot             `json:"dense"`
 	Cz            czSnapshot                `json:"czsearch"`
 	Batch         batchSnapshot             `json:"batch"`
+	Cluster       clusterSnapshot           `json:"cluster"`
+	Quota         quotaSnapshot             `json:"quota"`
 	Resilience    resilienceSnapshot        `json:"resilience"`
 	Timeouts      int64                     `json:"timeouts"`
 	Panics        int64                     `json:"panics"`

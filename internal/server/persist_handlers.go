@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/persist"
@@ -53,6 +54,24 @@ func (s *Server) handleDictSnapshot(w http.ResponseWriter, r *http.Request) {
 		Bytes: n,
 		Path:  s.store.Path(key),
 	})
+}
+
+// handleDictSnapshotGet serves the raw DMSNAP bundle of a resident
+// dictionary — the wire format of cluster replication. Unlike POST
+// .../snapshot it needs no store: the bytes are encoded from the live entry
+// (under its read lock), so the download always reflects the entry's
+// current state, reseeds and compiled dense automaton included.
+func (s *Server) handleDictSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no dictionary %q", id)
+		return
+	}
+	data := e.SnapshotBytes()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
 }
 
 type restoreRequest struct {

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Per-tenant admission quotas, layered on top of the global Limiter. The
+// global semaphore protects the process; the quota protects tenants from
+// each other — one client hammering the service can exhaust its own slice
+// and start seeing 429s while everyone else's requests still clear
+// admission. Tenancy is declared by the X-Tenant request header; requests
+// without it are only subject to the global limit.
+
+// TenantQuota bounds concurrent in-flight requests per tenant.
+type TenantQuota struct {
+	perTenant int
+	mu        sync.Mutex
+	inflight  map[string]int
+	rejected  atomic.Int64
+}
+
+// NewTenantQuota builds a quota allowing perTenant concurrent requests per
+// tenant (perTenant < 1 returns nil — quotas disabled).
+func NewTenantQuota(perTenant int) *TenantQuota {
+	if perTenant < 1 {
+		return nil
+	}
+	return &TenantQuota{perTenant: perTenant, inflight: make(map[string]int)}
+}
+
+// Acquire claims a slot for tenant, reporting whether one was free.
+func (q *TenantQuota) Acquire(tenant string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.inflight[tenant] >= q.perTenant {
+		q.rejected.Add(1)
+		return false
+	}
+	q.inflight[tenant]++
+	return true
+}
+
+// Release returns tenant's slot. The map entry is dropped at zero so the
+// table only holds tenants with live requests, not every tenant ever seen.
+func (q *TenantQuota) Release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n := q.inflight[tenant]; n <= 1 {
+		delete(q.inflight, tenant)
+	} else {
+		q.inflight[tenant] = n - 1
+	}
+}
+
+// PerTenant returns the configured per-tenant concurrency.
+func (q *TenantQuota) PerTenant() int { return q.perTenant }
+
+// ActiveTenants returns how many tenants have requests in flight.
+func (q *TenantQuota) ActiveTenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.inflight)
+}
+
+// Rejected returns how many requests the quota has refused.
+func (q *TenantQuota) Rejected() int64 { return q.rejected.Load() }
+
+// quotaSnapshot is the quota section of the metrics payload.
+type quotaSnapshot struct {
+	Enabled       bool  `json:"enabled"`
+	PerTenant     int   `json:"perTenant"`
+	ActiveTenants int   `json:"activeTenants"`
+	Rejected      int64 `json:"rejected"`
+}

@@ -97,10 +97,20 @@ type Entry struct {
 // Hits returns how many requests have looked this entry up.
 func (e *Entry) Hits() int64 { return e.hits.Load() }
 
-// Info returns the entry's description with the current hit count.
+// Info returns the entry's description with the current hit count and
+// serving state: whether a compiled dense automaton is live (and its size)
+// and whether the circuit breaker is open.
 func (e *Entry) Info() EntryInfo {
 	info := e.info
 	info.Hits = e.hits.Load()
+	info.MaxPatLen = e.MaxPatLen
+	if a := e.denseAut.Load(); a != nil {
+		st := a.Stats()
+		info.Dense = true
+		info.DenseStates = st.States
+		info.DenseTableBytes = st.TableBytes
+	}
+	info.Degraded = e.Degraded()
 	return info
 }
 
@@ -166,14 +176,24 @@ func (r *Registry) RegisterPrepared(dict *core.Dictionary, source, snapKey strin
 // insertion, so no request ever observes the entry without it — and no
 // compile election will run for it (the latch is pre-claimed).
 func (r *Registry) RegisterPreparedDense(dict *core.Dictionary, aut *dense.Automaton, source, snapKey string, prepNs int64) (*Entry, []string) {
-	return r.insertDense(dict, aut, source, snapKey, prepNs)
+	return r.insertDense("", dict, aut, source, snapKey, prepNs)
+}
+
+// RegisterPreparedDenseID is RegisterPreparedDense under a caller-chosen ID
+// instead of a server-assigned one. Cluster mode uses it with the
+// dictionary's content address, so every node names the same patterns the
+// same way with zero coordination. Registering an ID that is already
+// resident replaces the old entry (same content address ⇒ same dictionary;
+// in-flight requests keep their *Entry safely, as with eviction).
+func (r *Registry) RegisterPreparedDenseID(id string, dict *core.Dictionary, aut *dense.Automaton, source, snapKey string, prepNs int64) (*Entry, []string) {
+	return r.insertDense(id, dict, aut, source, snapKey, prepNs)
 }
 
 func (r *Registry) insert(dict *core.Dictionary, source, snapKey string, prepNs int64) (*Entry, []string) {
-	return r.insertDense(dict, nil, source, snapKey, prepNs)
+	return r.insertDense("", dict, nil, source, snapKey, prepNs)
 }
 
-func (r *Registry) insertDense(dict *core.Dictionary, aut *dense.Automaton, source, snapKey string, prepNs int64) (*Entry, []string) {
+func (r *Registry) insertDense(id string, dict *core.Dictionary, aut *dense.Automaton, source, snapKey string, prepNs int64) (*Entry, []string) {
 	total, maxPat := 0, 0
 	for _, p := range dict.Patterns {
 		total += len(p)
@@ -202,8 +222,16 @@ func (r *Registry) insertDense(dict *core.Dictionary, aut *dense.Automaton, sour
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.seq++
-	e.ID = fmt.Sprintf("d%d", r.seq)
+	if id == "" {
+		r.seq++
+		id = fmt.Sprintf("d%d", r.seq)
+	} else if el, dup := r.byID[id]; dup {
+		// Replace-on-same-ID: unlink the old entry exactly like an eviction.
+		r.lru.Remove(el)
+		delete(r.byID, id)
+		r.bytes -= int64(el.Value.(*Entry).TotalLen)
+	}
+	e.ID = id
 	e.logf = r.logf
 	e.info = EntryInfo{
 		ID:       e.ID,
@@ -243,6 +271,16 @@ func (r *Registry) Get(id string) (*Entry, bool) {
 	return e, true
 }
 
+// Has reports whether id is resident without touching its LRU position or
+// hit count (the cluster router asks "do I hold this?" before deciding to
+// pull or proxy; that question is not a use of the entry).
+func (r *Registry) Has(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.byID[id]
+	return ok
+}
+
 // Remove deletes the entry for id, reporting whether it was resident.
 func (r *Registry) Remove(id string) bool {
 	r.mu.Lock()
@@ -276,6 +314,14 @@ type EntryInfo struct {
 	PrepNs   int64     `json:"prepNs"`
 	SnapKey  string    `json:"snapshotKey,omitempty"`
 	Hits     int64     `json:"hits"`
+
+	// Serving state, filled per call: the compiled dense automaton (if one
+	// is live) and the circuit-breaker position.
+	MaxPatLen       int   `json:"maxPatLen"`
+	Dense           bool  `json:"dense"`
+	DenseStates     int   `json:"denseStates,omitempty"`
+	DenseTableBytes int64 `json:"denseTableBytes,omitempty"`
+	Degraded        bool  `json:"degraded"`
 }
 
 // Infos lists the resident entries, most recently used first.

@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/persist"
 	"repro/internal/stream"
 )
@@ -75,6 +76,26 @@ type Config struct {
 	BatchMaxRequests int
 	BatchMaxBytes    int
 	BatchMaxDelay    time.Duration
+
+	// Cluster mode (cluster.go): a non-empty ClusterPeers table (which must
+	// contain ClusterSelf) turns this node into a cluster member. Dictionary
+	// IDs become content addresses placed on ClusterReplicas owners by
+	// consistent hashing; non-owner nodes proxy (or, with ClusterRedirect,
+	// 307-redirect) dictionary traffic to the owners, hedging a second copy
+	// after ClusterHedgeAfter (0 = no hedging, strict failover). Peers are
+	// probed via /readyz every ClusterProbeInterval (0 = 1s).
+	ClusterSelf          string
+	ClusterPeers         []cluster.Peer
+	ClusterReplicas      int
+	ClusterHedgeAfter    time.Duration
+	ClusterProbeInterval time.Duration
+	ClusterRedirect      bool
+
+	// QuotaPerTenant bounds concurrent in-flight requests per X-Tenant
+	// header value, under the global MaxInflight semaphore (0 = no
+	// per-tenant quotas). Requests without the header see only the global
+	// limit.
+	QuotaPerTenant int
 }
 
 func (c *Config) fillDefaults() {
@@ -125,7 +146,9 @@ type Server struct {
 	reg     *Registry
 	metrics *Metrics
 	limiter *Limiter
+	quota   *TenantQuota   // nil when per-tenant quotas are off
 	store   *persist.Store // nil when persistence is off
+	cluster *clusterState  // nil outside cluster mode
 	sweep   persist.SweepReport
 	handler http.Handler
 }
@@ -148,8 +171,16 @@ func New(cfg Config) (*Server, error) {
 		reg:     NewRegistry(cfg.MaxDicts),
 		metrics: newMetrics(),
 		limiter: NewLimiter(cfg.MaxInflight),
+		quota:   NewTenantQuota(cfg.QuotaPerTenant),
 	}
 	s.reg.SetLogf(cfg.Log.Printf)
+	if len(cfg.ClusterPeers) > 0 {
+		c, err := newClusterState(&cfg, s.metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = c
+	}
 	if cfg.CacheDir != "" {
 		store, err := persist.Open(cfg.CacheDir)
 		if err != nil {
@@ -200,7 +231,14 @@ func (s *Server) warmStart() {
 			continue
 		}
 		s.metrics.recordLoad(time.Since(start))
-		e, _ := s.reg.RegisterPreparedDense(d, aut, "cache", k.String(), time.Since(start).Nanoseconds())
+		// In cluster mode the snapshot key IS the dictionary's cluster-wide
+		// ID: register under it so a restarted node serves its owned
+		// dictionaries at the same address the ring placed them.
+		id := ""
+		if s.cluster != nil {
+			id = k.String()
+		}
+		e, _ := s.reg.RegisterPreparedDenseID(id, d, aut, "cache", k.String(), time.Since(start).Nanoseconds())
 		s.armDense(e, s.denseUpgradeFunc(e, k))
 		form := ""
 		if aut != nil {
@@ -249,22 +287,28 @@ func (s *Server) buildMux() http.Handler {
 	api("POST /v1/dicts", s.handleDictCreate)
 	api("GET /v1/dicts", s.handleDictList)
 	api("POST /v1/dicts/restore", s.handleDictRestore)
-	api("GET /v1/dicts/{id}", s.handleDictGet)
+	api("GET /v1/dicts/{id}", s.clusterDict(false, s.handleDictGet))
 	api("DELETE /v1/dicts/{id}", s.handleDictDelete)
 	api("POST /v1/dicts/{id}/snapshot", s.handleDictSnapshot)
-	api("POST /v1/dicts/{id}/match", s.handleMatch)
-	api("POST /v1/dicts/{id}/parse", s.handleParse)
-	api("POST /v1/dicts/{id}/expand", s.handleExpand)
+	// The raw bundle download is deliberately NOT cluster-routed: it answers
+	// only for what this node actually holds, so replication pulls cannot
+	// cascade (a peer that lacks the dictionary says 404, and the puller
+	// tries the next candidate).
+	api("GET /v1/dicts/{id}/snapshot", s.handleDictSnapshotGet)
+	api("POST /v1/dicts/{id}/match", s.clusterDict(false, s.handleMatch))
+	api("POST /v1/dicts/{id}/parse", s.clusterDict(false, s.handleParse))
+	api("POST /v1/dicts/{id}/expand", s.clusterDict(false, s.handleExpand))
 	api("POST /v1/compress", s.handleCompress)
 	api("POST /v1/decompress", s.handleDecompress)
-	api("POST /v1/dicts/{id}/match/compressed/buffered", s.handleMatchCompressedBuffered)
-	str("POST /v1/dicts/{id}/match/stream", s.handleMatchStream)
-	str("POST /v1/dicts/{id}/match/compressed", s.handleMatchCompressed)
+	api("POST /v1/dicts/{id}/match/compressed/buffered", s.clusterDict(false, s.handleMatchCompressedBuffered))
+	str("POST /v1/dicts/{id}/match/stream", s.clusterDict(true, s.handleMatchStream))
+	str("POST /v1/dicts/{id}/match/compressed", s.clusterDict(true, s.handleMatchCompressed))
 	str("POST /v1/decompress/stream", s.handleDecompressStream)
 	// Observability must answer even under saturation: no limiter.
 	obs("GET /metrics", s.handleMetrics)
 	obs("GET /healthz", s.handleHealthz)
 	obs("GET /readyz", s.handleReadyz)
+	obs("GET /v1/cluster", s.handleCluster)
 	return mux
 }
 
@@ -294,6 +338,14 @@ func (s *Server) instrument(pattern string, limited, timed bool, h http.HandlerF
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// Deliberate connection abort (e.g. a stream proxy whose
+					// upstream died mid-body): the broken transfer IS the
+					// error signal. Re-panic so net/http kills the
+					// connection instead of ending the response cleanly.
+					rm.observe(time.Since(start), sr.status)
+					panic(p)
+				}
 				s.metrics.panics.Add(1)
 				s.cfg.Log.Printf("panic in %s: %v", pattern, p)
 				if sr.status == http.StatusOK {
@@ -311,6 +363,18 @@ func (s *Server) instrument(pattern string, limited, timed bool, h http.HandlerF
 				return
 			}
 			defer s.limiter.Release()
+			// Per-tenant quota, under the global semaphore: a tenant that
+			// exhausts its slice sheds without touching anyone else's.
+			if s.quota != nil {
+				if tenant := r.Header.Get("X-Tenant"); tenant != "" {
+					if !s.quota.Acquire(tenant) {
+						sr.Header().Set("Retry-After", "1")
+						writeError(sr, http.StatusTooManyRequests, "tenant %q quota exceeded (%d concurrent)", tenant, s.quota.PerTenant())
+						return
+					}
+					defer s.quota.Release(tenant)
+				}
+			}
 		}
 		if timed {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
