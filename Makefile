@@ -2,13 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json experiments quick-experiments fuzz serve chaos soak cluster-soak clean
+.PHONY: all build test race bench bench-json experiments quick-experiments fuzz serve chaos soak cluster-soak partition-soak fmt-check clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -26,11 +30,13 @@ bench:
 # the C-series (tree walk vs compiled dense automaton,
 # internal/bench/dense.go), the B-series (solo vs batched serving,
 # internal/bench/batch.go), the Z-series (compressed-domain matching
-# vs decompress-then-match, internal/bench/czsearch.go), and the
+# vs decompress-then-match, internal/bench/czsearch.go), the
 # K-series (1-node vs 3-node cluster throughput and hedged tail,
-# internal/bench/cluster.go).
+# internal/bench/cluster.go), and the R-series (resilience layer
+# healthy-path overhead and breaker-guarded blackhole tails,
+# internal/bench/resilience.go).
 bench-json:
-	$(GO) run ./cmd/benchtab -json BENCH_PR9.json
+	$(GO) run ./cmd/benchtab -json BENCH_PR10.json
 
 experiments:
 	$(GO) run ./cmd/benchtab | tee experiments_raw.txt
@@ -74,6 +80,16 @@ soak:
 cluster-soak:
 	$(GO) build -o /tmp/matchd ./cmd/matchd
 	$(GO) run ./cmd/chaossoak -bin /tmp/matchd -cluster 3 -duration 30s -seed 42 $(SOAK_FLAGS)
+
+# 30-second 3-node partition soak: the primary owner is asymmetrically
+# partitioned for the middle third (every other node's transport refuses
+# its connections; the victim itself stays healthy and sees nothing),
+# oracle-verified traffic throughout, breaker open→half-open→closed
+# lifecycle and stale/rerouted serving asserted from /metrics. Bounded
+# well under 90s end to end.
+partition-soak:
+	$(GO) build -o /tmp/matchd ./cmd/matchd
+	$(GO) run ./cmd/chaossoak -bin /tmp/matchd -cluster 3 -partition -duration 30s -seed 42 $(SOAK_FLAGS)
 
 clean:
 	rm -rf internal/*/testdata/fuzz

@@ -20,8 +20,11 @@
 // (compressed-domain matching vs decompress-then-match on the same
 // automaton — represented MB/s, bytes touched, memo hits), and the
 // K-series (1-node vs sharded/replicated 3-node cluster serving —
-// aggregate req/s, snapshot-reload thrash, hedged tail latency).
-// This is what `make bench-json` uses to regenerate BENCH_PR9.json.
+// aggregate req/s, snapshot-reload thrash, hedged tail latency), and the
+// R-series (the partition-tolerance layer: healthy-path overhead of
+// breakers/budget/deadline stamping, and proxied tail latency against a
+// black-holed peer with and without circuit breakers).
+// This is what `make bench-json` uses to regenerate BENCH_PR10.json.
 package main
 
 import (
@@ -38,16 +41,17 @@ import (
 
 // perfFile is the BENCH_PR*.json document shape.
 type perfFile struct {
-	GoMaxProcs int                       `json:"goMaxProcs"`
-	GoVersion  string                    `json:"goVersion"`
-	Scale      string                    `json:"scale"`
-	Results    []bench.PerfResult        `json:"results"`
-	Streaming  []bench.StreamPerfResult  `json:"streaming"`
-	Persist    []bench.PersistPerfResult `json:"persist"`
-	Dense      []bench.DensePerfResult   `json:"dense"`
-	Batch      []bench.BatchPerfResult   `json:"batch"`
-	Cz         []bench.CzPerfResult      `json:"czsearch"`
-	Cluster    []bench.ClusterPerfResult `json:"cluster"`
+	GoMaxProcs int                          `json:"goMaxProcs"`
+	GoVersion  string                       `json:"goVersion"`
+	Scale      string                       `json:"scale"`
+	Results    []bench.PerfResult           `json:"results"`
+	Streaming  []bench.StreamPerfResult     `json:"streaming"`
+	Persist    []bench.PersistPerfResult    `json:"persist"`
+	Dense      []bench.DensePerfResult      `json:"dense"`
+	Batch      []bench.BatchPerfResult      `json:"batch"`
+	Cz         []bench.CzPerfResult         `json:"czsearch"`
+	Cluster    []bench.ClusterPerfResult    `json:"cluster"`
+	Resilience []bench.ResiliencePerfResult `json:"resilience"`
 }
 
 func main() {
@@ -111,6 +115,7 @@ func writePerfJSON(path string, scale bench.Scale) {
 		Batch:      bench.RunBatchPerf(scale),
 		Cz:         bench.RunCzPerf(scale),
 		Cluster:    bench.RunClusterPerf(scale),
+		Resilience: bench.RunResiliencePerf(scale),
 	}
 	// Also echo a human-readable summary so the run is not silent.
 	for _, r := range doc.Results {
@@ -158,6 +163,21 @@ func writePerfJSON(path string, scale bench.Scale) {
 		}
 		fmt.Println()
 	}
+	for _, r := range doc.Resilience {
+		fmt.Printf("%-4s %-22s %-10s nodes=%d R=%d clients=%-3d n=%-6d", r.ID, r.Name, r.Config, r.Nodes, r.Replicas, r.Clients, r.Requests)
+		if r.ID == "R2" {
+			fmt.Printf(" p50=%.2fms p99=%.2fms strikes=%d fastFails=%d", r.P50Ms, r.P99Ms, r.SlowStrikes, r.FastFails)
+		} else {
+			fmt.Printf(" %12d ns/req %10.0f req/s", r.NsPerReq, r.ReqPerSec)
+			if r.Config == "resilient" {
+				fmt.Printf(" overhead=%+.1f%%", r.OverheadPct)
+			}
+		}
+		if r.Speedup > 0 {
+			fmt.Printf("  %.2fx", r.Speedup)
+		}
+		fmt.Println()
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
@@ -168,6 +188,6 @@ func writePerfJSON(path string, scale bench.Scale) {
 		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense, %d batch, %d czsearch, %d cluster)\n",
-		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense), len(doc.Batch), len(doc.Cz), len(doc.Cluster))
+	fmt.Printf("\nwrote %s (%d results, %d streaming, %d persist, %d dense, %d batch, %d czsearch, %d cluster, %d resilience)\n",
+		path, len(doc.Results), len(doc.Streaming), len(doc.Persist), len(doc.Dense), len(doc.Batch), len(doc.Cz), len(doc.Cluster), len(doc.Resilience))
 }

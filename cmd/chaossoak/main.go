@@ -46,6 +46,18 @@
 // broken transfer), the killed node's dictionaries stay servable from
 // replicas, at least one replication pull shows in /metrics, and every
 // surviving node drains cleanly on SIGTERM.
+//
+// Partition soak (-cluster N -partition): instead of a kill/restart, the
+// middle third of the soak asymmetrically partitions the dictionary's
+// primary owner — every other node's outbound pool gets an injected
+// rpc.refuse fault against the victim via POST /v1/rpcfaults, while the
+// victim's own outbound stays clean (A→B dead, B→A alive). Traffic keeps
+// flowing to every node throughout. Pass criteria: zero oracle
+// divergences, zero silent truncations, requests keep succeeding during
+// the partition (rerouted to the surviving replica or served stale), every
+// non-victim's breaker for the victim runs the full open → half-open →
+// closed lifecycle visible in /metrics, the victim's outbound saw zero
+// injected faults (asymmetry), and every node drains cleanly.
 package main
 
 import (
@@ -93,13 +105,21 @@ func main() {
 	textSize := flag.Int("text", 1<<13, "planted text bytes per match request")
 	serverFlags := flag.String("server-flags", "", "extra whitespace-separated flags appended to the matchd command line, e.g. '-batch=on -dense=off'")
 	clusterN := flag.Int("cluster", 0, "run N matchd processes as a replicated cluster and kill/restart one mid-soak (0 = single-node chaos soak)")
+	partition := flag.Bool("partition", false, "with -cluster N: instead of a kill/restart, asymmetrically partition the primary owner mid-soak via injected wire faults and require breaker open→half-open→closed recovery")
 	flag.Parse()
 	if *bin == "" {
 		log.Fatal("-bin is required (build one with: go build -tags chaos -o /tmp/matchd ./cmd/matchd)")
 	}
+	if *partition && *clusterN < 2 {
+		log.Fatal("-partition requires -cluster N (N >= 2)")
+	}
 	if *clusterN != 0 {
 		if *clusterN < 2 {
 			log.Fatal("-cluster needs at least 2 nodes")
+		}
+		if *partition {
+			runPartitionSoak(*bin, *clusterN, *duration, *seed, *clients, *textSize, *serverFlags)
+			return
 		}
 		planSet := false
 		flag.Visit(func(f *flag.Flag) {

@@ -10,7 +10,9 @@
 //	       [-batch off|on|auto] [-batch-max N] [-batch-bytes BYTES] [-batch-delay D] \
 //	       [-pprof-addr ADDR] [-chaos-seed N -chaos-plan SPEC] \
 //	       [-cluster-peers LIST -cluster-self NAME] [-replicas N] \
-//	       [-hedge-after D] [-cluster-redirect] [-quota-per-tenant N]
+//	       [-hedge-after D] [-cluster-redirect] [-quota-per-tenant N] \
+//	       [-breaker-failures N] [-breaker-cooldown D] [-retry-budget PCT] \
+//	       [-hop-floor D] [-rpc-fault-admin] [-rpc-chaos-seed N -rpc-chaos-plan SPEC]
 //
 // Endpoints (JSON bodies; binary payloads base64 in "textB64"/"dataB64"):
 //
@@ -88,6 +90,26 @@
 //	    -cluster-peers 'n1=http://10.0.0.1:8081,n2=http://10.0.0.2:8081,n3=http://10.0.0.3:8081' \
 //	    -replicas 2 -hedge-after 20ms
 //
+// Partition tolerance (cluster mode, DESIGN.md §16): every outbound RPC —
+// proxying, hedging, snapshot pulls, health probes — runs through a
+// per-peer resilience layer. Circuit breakers open a peer after
+// -breaker-failures consecutive failures (or a high error rate) and
+// re-close via /readyz-probe-gated half-open trials after
+// -breaker-cooldown; retries for idempotent GETs and snapshot pulls draw
+// from a cluster-wide token budget (-retry-budget percent of request
+// rate); deadlines propagate across hops via X-Deadline-Ms, and a hop
+// whose remaining budget is below -hop-floor sheds immediately with 503.
+// When every owner of a dictionary is unreachable but a local replica or
+// cached bundle exists, the node serves it with X-Served-Stale: true
+// rather than failing with 502. The /metrics "resilience.rpc" section
+// reports breaker states, retries spent/denied, deadline sheds, stale
+// serves, and injected faults. For chaos drills, -rpc-fault-admin mounts
+// POST /v1/rpcfaults to inject wire faults (connection refusal,
+// black-hole, delay, mid-body reset — per-peer, so partitions can be
+// asymmetric) into the outbound pool at runtime; -rpc-chaos-plan installs
+// such a plan at startup. Unlike -chaos-plan, rpc.* faults work in any
+// build.
+//
 // The process drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
 //
@@ -143,6 +165,13 @@ func main() {
 	hedgeAfter := flag.Duration("hedge-after", 25*time.Millisecond, "cluster: latency budget before a proxied request hedges a second replica")
 	clusterRedirect := flag.Bool("cluster-redirect", false, "cluster: answer non-owned buffered requests with 307 to an owner instead of proxying")
 	quotaPerTenant := flag.Int("quota-per-tenant", 0, "concurrent requests allowed per X-Tenant value before shedding with 429 (0 = off)")
+	breakerFailures := flag.Int("breaker-failures", 5, "cluster: consecutive outbound RPC failures before a peer's circuit breaker opens (0 = breakers off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "cluster: open-breaker dwell before a half-open trial is admitted")
+	retryBudget := flag.Int("retry-budget", 10, "cluster: retries allowed as a percent of outbound request rate (0 = retries off)")
+	hopFloor := flag.Duration("hop-floor", 5*time.Millisecond, "cluster: minimum propagated deadline budget; requests arriving with less are shed with 503 (0 = off)")
+	rpcFaultAdmin := flag.Bool("rpc-fault-admin", false, "cluster: mount POST/GET /v1/rpcfaults for wire-fault injection (chaos drills only; never expose in production)")
+	rpcChaosPlan := flag.String("rpc-chaos-plan", "", "cluster: install an rpc.* wire-fault plan at startup, e.g. 'rpc.delay.n2:p=0.1,delay=5ms' (works in any build)")
+	rpcChaosSeed := flag.Uint64("rpc-chaos-seed", 0, "seed for the -rpc-chaos-plan fault schedule")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the -chaos-plan fault schedule")
 	chaosPlan := flag.String("chaos-plan", "", "deterministic fault-injection plan, e.g. 'fp.collide:p=0.001;pool.delay:p=0.01,delay=1ms' (requires a -tags chaos build)")
 	flag.Parse()
@@ -198,6 +227,14 @@ func main() {
 		ClusterHedgeAfter: *hedgeAfter,
 		ClusterRedirect:   *clusterRedirect,
 		QuotaPerTenant:    *quotaPerTenant,
+
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		RetryBudgetPct:  *retryBudget,
+		HopFloor:        *hopFloor,
+		RPCFaultAdmin:   *rpcFaultAdmin,
+		RPCChaosPlan:    *rpcChaosPlan,
+		RPCChaosSeed:    *rpcChaosSeed,
 	})
 	if err != nil {
 		log.Fatal(err)

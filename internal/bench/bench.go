@@ -143,5 +143,6 @@ func All() []Experiment {
 		E19BatchedServing(),
 		E20Czsearch(),
 		E21Cluster(),
+		E22Resilience(),
 	}
 }

@@ -36,8 +36,8 @@ func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("%s missing metadata", e.ID)
 		}
 	}
-	if len(seen) != 21 {
-		t.Fatalf("expected 21 experiments, have %d", len(seen))
+	if len(seen) != 22 {
+		t.Fatalf("expected 22 experiments, have %d", len(seen))
 	}
 }
 

@@ -38,15 +38,15 @@ import (
 
 // ClusterPerfResult is one K-series measurement for BENCH_PR9.json.
 type ClusterPerfResult struct {
-	ID       string `json:"id"`     // K-series experiment id
-	Name     string `json:"name"`   // workload name
-	Config   string `json:"config"` // "1node", "3node", "unhedged", "hedged"
-	Nodes    int    `json:"nodes"`
-	Replicas int    `json:"replicas"`
-	Clients  int    `json:"clients"`
-	Requests int    `json:"requests"`
-	Dicts    int    `json:"dicts,omitempty"`
-	NsPerReq int64  `json:"nsPerReq,omitempty"`
+	ID        string  `json:"id"`     // K-series experiment id
+	Name      string  `json:"name"`   // workload name
+	Config    string  `json:"config"` // "1node", "3node", "unhedged", "hedged"
+	Nodes     int     `json:"nodes"`
+	Replicas  int     `json:"replicas"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	Dicts     int     `json:"dicts,omitempty"`
+	NsPerReq  int64   `json:"nsPerReq,omitempty"`
 	ReqPerSec float64 `json:"reqPerSec,omitempty"`
 	// Comparative rows only.
 	Speedup float64 `json:"speedup,omitempty"` // vs the row's baseline config
@@ -92,8 +92,10 @@ func (nd *benchClusterNode) wrap(inner http.Handler) http.Handler {
 
 // startBenchCluster boots n cluster members on loopback listeners and
 // returns them with a cleanup closure. Dense and batch serving are off:
-// the K-series measures routing, capacity and hedging, not engines.
-func startBenchCluster(n, replicas, maxDicts int, hedgeAfter time.Duration) ([]*benchClusterNode, func(), error) {
+// the K-series measures routing, capacity and hedging, not engines. mut
+// (optional) tweaks each node's config before start — the R-series uses
+// it to arm the resilience layer.
+func startBenchCluster(n, replicas, maxDicts int, hedgeAfter time.Duration, mut func(cfg *server.Config)) ([]*benchClusterNode, func(), error) {
 	lns := make([]net.Listener, n)
 	peers := make([]cluster.Peer, n)
 	for i := range lns {
@@ -110,7 +112,7 @@ func startBenchCluster(n, replicas, maxDicts int, hedgeAfter time.Duration) ([]*
 	}
 	nodes := make([]*benchClusterNode, n)
 	for i := range nodes {
-		srv, err := server.New(server.Config{
+		cfg := server.Config{
 			Procs:                1,
 			MaxDicts:             maxDicts,
 			MaxInflight:          1024,
@@ -123,7 +125,11 @@ func startBenchCluster(n, replicas, maxDicts int, hedgeAfter time.Duration) ([]*
 			ClusterHedgeAfter:    hedgeAfter,
 			ClusterProbeInterval: 200 * time.Millisecond,
 			Log:                  log.New(io.Discard, "", 0),
-		})
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		srv, err := server.New(cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -235,8 +241,8 @@ func clusterMetricsOf(nd *benchClusterNode) (loads, hedged, hedgeWon int64) {
 
 // runClusterThroughput measures one topology on one working set and
 // returns (wall, snapshot-store loads summed over nodes).
-func runClusterThroughput(n, replicas, maxDicts, dicts, patterns, total int, reqBody []byte) (time.Duration, int64, error) {
-	nodes, cleanup, err := startBenchCluster(n, replicas, maxDicts, 25*time.Millisecond)
+func runClusterThroughput(n, replicas, maxDicts, dicts, patterns, total int, reqBody []byte, mut func(cfg *server.Config)) (time.Duration, int64, error) {
+	nodes, cleanup, err := startBenchCluster(n, replicas, maxDicts, 25*time.Millisecond, mut)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -272,7 +278,7 @@ func runClusterThroughput(n, replicas, maxDicts, dicts, patterns, total int, req
 // when the primary replica stalls every 10th match for 10ms, with hedging
 // effectively off (budget ≫ stall) vs on (budget ≪ stall).
 func runHedgeTail(hedgeAfter time.Duration, total int, reqBody []byte) (p50, p99 time.Duration, hedged, hedgeWon int64, err error) {
-	nodes, cleanup, err := startBenchCluster(3, 2, 8, hedgeAfter)
+	nodes, cleanup, err := startBenchCluster(3, 2, 8, hedgeAfter, nil)
 	if err != nil {
 		return 0, 0, 0, 0, err
 	}
@@ -347,11 +353,11 @@ func RunClusterPerf(scale Scale) []ClusterPerfResult {
 		total := scale.pick(1536, 6144)
 		total -= total % clusterBenchClients
 		dicts, patterns := 3, 192
-		wall1, _, err := runClusterThroughput(1, 1, 8, dicts, patterns, total, reqBody)
+		wall1, _, err := runClusterThroughput(1, 1, 8, dicts, patterns, total, reqBody, nil)
 		if err != nil {
 			panic(err)
 		}
-		wall3, _, err := runClusterThroughput(3, 2, 8, dicts, patterns, total, reqBody)
+		wall3, _, err := runClusterThroughput(3, 2, 8, dicts, patterns, total, reqBody, nil)
 		if err != nil {
 			panic(err)
 		}
@@ -380,11 +386,11 @@ func RunClusterPerf(scale Scale) []ClusterPerfResult {
 		// request — while across three nodes no member owns more than its
 		// capacity even with ring skew.
 		dicts, patterns, maxDicts := 12, 192, 8
-		wall1, loads1, err := runClusterThroughput(1, 1, maxDicts, dicts, patterns, total, reqBody)
+		wall1, loads1, err := runClusterThroughput(1, 1, maxDicts, dicts, patterns, total, reqBody, nil)
 		if err != nil {
 			panic(err)
 		}
-		wall3, loads3, err := runClusterThroughput(3, 1, maxDicts, dicts, patterns, total, reqBody)
+		wall3, loads3, err := runClusterThroughput(3, 1, maxDicts, dicts, patterns, total, reqBody, nil)
 		if err != nil {
 			panic(err)
 		}

@@ -73,7 +73,7 @@ func RunCzPerf(scale Scale) []CzPerfResult {
 	var out []CzPerfResult
 	for i, c := range czCorpora(scale) {
 		id := fmt.Sprintf("Z%d", i+1)
-		patterns := textgen.New(uint64(977 + i)).Dictionary(64, 4, 12, c.sigma)
+		patterns := textgen.New(uint64(977+i)).Dictionary(64, 4, 12, c.sigma)
 		aut, err := dense.Compile(patterns, dense.Options{})
 		if err != nil {
 			panic(err) // sweep sizes are far below any table budget

@@ -1,0 +1,308 @@
+// E22 and the R-series: the partition-tolerance layer's two-sided bill
+// (internal/resilience, DESIGN §16). R1 prices the healthy path — the
+// same resident-mix throughput as K1 with breakers, retry budget and
+// deadline stamping armed; the claim is that bookkeeping on every
+// outbound RPC costs ≤3%. R2 prices the failure path — a black-holed
+// primary owner (connections accepted, bytes never answered) behind a
+// proxying router; without breakers every proxied request pays the
+// hedge budget before the healthy replica answers, with breakers the
+// silence is converted into slow-strikes, the circuit opens, and the
+// router detours before dialing.
+//
+// Like the K-series, everything runs over real loopback HTTP: the
+// transport measured is byte-for-byte the one matchd ships.
+package bench
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// ResiliencePerfResult is one R-series measurement for BENCH_PR10.json.
+type ResiliencePerfResult struct {
+	ID       string `json:"id"`     // R-series experiment id
+	Name     string `json:"name"`   // workload name
+	Config   string `json:"config"` // "baseline", "resilient", "no-breaker", "breaker"
+	Nodes    int    `json:"nodes"`
+	Replicas int    `json:"replicas"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	// R1 throughput rows.
+	NsPerReq  int64   `json:"nsPerReq,omitempty"`
+	ReqPerSec float64 `json:"reqPerSec,omitempty"`
+	// Resilient row only: (resilient − baseline) ns/req as a percentage of
+	// baseline; the ISSUE's acceptance bar is ≤3.
+	OverheadPct float64 `json:"overheadPct,omitempty"`
+	// R2 latency rows.
+	P50Ms   float64 `json:"p50Ms,omitempty"`
+	P99Ms   float64 `json:"p99Ms,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"` // p99 vs the no-breaker row
+	// Router-side breaker accounting for the R2 rows: hedge-timer silence
+	// strikes charged against the black-holed peer, and transport-level
+	// fast-fails (normally 0 here — the proxy filters an open peer out of
+	// its candidate list before a dial ever reaches the breaker).
+	SlowStrikes int64 `json:"slowStrikes,omitempty"`
+	FastFails   int64 `json:"fastFails,omitempty"`
+}
+
+// r1BaseMut shapes both R1 configs identically: a 250ms hedge budget
+// keeps the hedger quiet, because a 64-client closed loop saturating one
+// core pushes tail latency past the default 25ms budget and the
+// resulting slow-strike bursts would open breakers against peers that
+// are merely overloaded — that failure mode is real (the README's
+// troubleshooting table names it) but it is not what R1 prices. Hedging
+// itself is priced by K3.
+func r1BaseMut(cfg *server.Config) {
+	cfg.ClusterHedgeAfter = 250 * time.Millisecond
+}
+
+// r1ResilientMut additionally arms the outbound-RPC layer the way
+// matchd's defaults do: breakers on a 5-failure fuse, a 10% retry
+// budget, and a 5ms hop floor. Deadline stamping needs no switch — with
+// cluster mode on every proxied request carries X-Deadline-Ms either
+// way, so R1's two configs differ only in the breaker/budget bookkeeping
+// being priced.
+func r1ResilientMut(cfg *server.Config) {
+	r1BaseMut(cfg)
+	cfg.BreakerFailures = 5
+	cfg.RetryBudgetPct = 10
+	cfg.HopFloor = 5 * time.Millisecond
+}
+
+// rpcStatsOf reads one node's /metrics resilience.rpc section.
+func rpcStatsOf(nd *benchClusterNode) (slowStrikes, fastFails int64) {
+	resp, err := http.Get(nd.base + "/metrics")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var ms struct {
+		Resilience struct {
+			Rpc struct {
+				SlowStrikes      int64 `json:"slowStrikes"`
+				BreakerFastFails int64 `json:"breakerFastFails"`
+			} `json:"rpc"`
+		} `json:"resilience"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&ms)
+	return ms.Resilience.Rpc.SlowStrikes, ms.Resilience.Rpc.BreakerFastFails
+}
+
+// runBlackholeTail measures R2: sequential request latency through the
+// non-owner router while the router's wire to the primary owner is a
+// black hole (rpc.blackhole, p=1 — connections complete, responses never
+// arrive). breakerFailures 0 leaves the breaker off: recovery then waits
+// on the health prober, whose probe must itself ride out the stall.
+func runBlackholeTail(breakerFailures, total int, reqBody []byte) (p50, p99 time.Duration, slowStrikes, fastFails int64, err error) {
+	mut := func(cfg *server.Config) {
+		cfg.RPCFaultAdmin = true
+		if breakerFailures > 0 {
+			cfg.BreakerFailures = breakerFailures
+			// Longer than the measured window: no half-open trial re-dials
+			// the black hole mid-run and smears slow samples into the tail.
+			cfg.BreakerCooldown = 10 * time.Second
+		}
+	}
+	nodes, cleanup, err := startBenchCluster(3, 2, 8, 20*time.Millisecond, mut)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer cleanup()
+	ids, err := clusterBenchDicts(nodes, 1, 64)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	id := ids[0]
+
+	// The ring names the owners (primary first); the one non-owner routes.
+	names := make([]string, len(nodes))
+	for i, nd := range nodes {
+		names[i] = nd.name
+	}
+	ring, err := cluster.NewRing(names, cluster.DefaultVirtualNodes, 2)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	owners := ring.Owners(id)
+	var router *benchClusterNode
+	for _, nd := range nodes {
+		if nd.name != owners[0] && nd.name != owners[1] {
+			router = nd
+		}
+	}
+	// Warm every node (replica pulls off the clock), then cut the wire:
+	// the fault sits in the router's transport only, so the owners and
+	// their probers see a healthy world — a one-sided partition.
+	for _, nd := range nodes {
+		if _, derr := clusterBenchDrive([]*benchClusterNode{nd}, ids, reqBody, 1, 4); derr != nil {
+			return 0, 0, 0, 0, derr
+		}
+	}
+	plan := fmt.Sprintf("rpc.blackhole.%s:p=1", owners[0])
+	fb, _ := json.Marshal(map[string]any{"seed": 11, "plan": plan})
+	resp, err := http.Post(router.base+"/v1/rpcfaults", "application/json", bytes.NewReader(fb))
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	fbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, 0, fmt.Errorf("install fault plan: %d %s", resp.StatusCode, fbody)
+	}
+
+	lat := make([]time.Duration, 0, total)
+	for i := 0; i < total; i++ {
+		t0 := time.Now()
+		presp, perr := http.Post(router.base+"/v1/dicts/"+id+"/match", "application/json", bytes.NewReader(reqBody))
+		if perr != nil {
+			return 0, 0, 0, 0, perr
+		}
+		body, _ := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			return 0, 0, 0, 0, fmt.Errorf("match via router: %d %s", presp.StatusCode, body)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 = lat[len(lat)/2]
+	p99 = lat[len(lat)*99/100]
+	slowStrikes, fastFails = rpcStatsOf(router)
+	return p50, p99, slowStrikes, fastFails, nil
+}
+
+// RunResiliencePerf measures the R-series.
+func RunResiliencePerf(scale Scale) []ResiliencePerfResult {
+	reqText := base64.StdEncoding.EncodeToString(bytes.Repeat([]byte("abracadabra "), 6)[:64])
+	reqBody, _ := json.Marshal(map[string]any{"textB64": reqText})
+	var out []ResiliencePerfResult
+
+	// R1 — healthy overhead: K1's resident mix on the 3-node topology,
+	// resilience off vs armed.
+	{
+		total := scale.pick(1536, 6144)
+		total -= total % clusterBenchClients
+		dicts, patterns := 3, 192
+		// Interleaved min-of-3 behind a discarded warmup: on one core the
+		// run-to-run spread (GC, scheduler, heap growth across successive
+		// in-process cluster boots) is ~±10%, an order past the effect
+		// being priced. The warmup eats the first-boot penalty, the pair
+		// order alternates so slow drift cannot systematically favor one
+		// side, and each side keeps its best wall.
+		const reps = 3
+		oneRun := func(mut func(cfg *server.Config)) time.Duration {
+			// Each boot leaves dead registries and snapshot buffers behind;
+			// collecting them up front keeps every timed window from
+			// inheriting a different GC debt.
+			runtime.GC()
+			wall, _, err := runClusterThroughput(3, 2, 8, dicts, patterns, total, reqBody, mut)
+			if err != nil {
+				panic(err)
+			}
+			return wall
+		}
+		oneRun(r1BaseMut)
+		var wallBase, wallRes time.Duration
+		keepMin := func(d *time.Duration, w time.Duration) {
+			if *d == 0 || w < *d {
+				*d = w
+			}
+		}
+		for r := 0; r < reps; r++ {
+			if r%2 == 0 {
+				keepMin(&wallBase, oneRun(r1BaseMut))
+				keepMin(&wallRes, oneRun(r1ResilientMut))
+			} else {
+				keepMin(&wallRes, oneRun(r1ResilientMut))
+				keepMin(&wallBase, oneRun(r1BaseMut))
+			}
+		}
+		nsBase := wallBase.Nanoseconds() / int64(total)
+		nsRes := wallRes.Nanoseconds() / int64(total)
+		out = append(out,
+			ResiliencePerfResult{ID: "R1", Name: "healthy_overhead", Config: "baseline", Nodes: 3, Replicas: 2,
+				Clients: clusterBenchClients, Requests: total,
+				NsPerReq: nsBase, ReqPerSec: float64(total) / wallBase.Seconds()},
+			ResiliencePerfResult{ID: "R1", Name: "healthy_overhead", Config: "resilient", Nodes: 3, Replicas: 2,
+				Clients: clusterBenchClients, Requests: total,
+				NsPerReq: nsRes, ReqPerSec: float64(total) / wallRes.Seconds(),
+				OverheadPct: 100 * float64(nsRes-nsBase) / float64(nsBase)})
+	}
+
+	// R2 — black-holed peer: without breakers every proxied request eats
+	// the 20ms hedge budget until the prober's own 2s probe timeout finally
+	// marks the peer down, so the tail sits at hedge+service; with a
+	// 3-strike breaker the router pays the budget three times, the circuit
+	// opens, and everything after detours straight to the live replica.
+	{
+		total := scale.pick(400, 1200)
+		p50n, p99n, strikesN, fastN, err := runBlackholeTail(0, total, reqBody)
+		if err != nil {
+			panic(err)
+		}
+		p50b, p99b, strikesB, fastB, err := runBlackholeTail(3, total, reqBody)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out,
+			ResiliencePerfResult{ID: "R2", Name: "blackholed_peer", Config: "no-breaker", Nodes: 3, Replicas: 2,
+				Clients: 1, Requests: total,
+				P50Ms: float64(p50n.Nanoseconds()) / 1e6, P99Ms: float64(p99n.Nanoseconds()) / 1e6,
+				SlowStrikes: strikesN, FastFails: fastN},
+			ResiliencePerfResult{ID: "R2", Name: "blackholed_peer", Config: "breaker", Nodes: 3, Replicas: 2,
+				Clients: 1, Requests: total,
+				P50Ms: float64(p50b.Nanoseconds()) / 1e6, P99Ms: float64(p99b.Nanoseconds()) / 1e6,
+				Speedup:     float64(p99n) / float64(max64(int64(p99b), 1)),
+				SlowStrikes: strikesB, FastFails: fastB})
+	}
+	return out
+}
+
+// E22Resilience prints the human-readable R-series tables.
+func E22Resilience() Experiment {
+	return Experiment{
+		ID:    "E22",
+		Title: "Partition tolerance: healthy-path overhead and breaker-guarded tails (internal/resilience, DESIGN §16)",
+		Claim: "per-peer circuit breakers, a cluster retry budget and deadline stamping cost ≤3% on the healthy path, and against a black-holed replica the breaker converts a per-request hedge-budget tax into three strikes and a fast detour, cutting proxied p99 by ≥5x",
+		Run: func(w io.Writer, scale Scale) {
+			results := RunResiliencePerf(scale)
+			t := newTable(w, "series", "workload", "config", "nodes", "clients", "ns/req", "req/s", "overhead")
+			for _, r := range results {
+				if r.ID != "R1" {
+					continue
+				}
+				ov := ""
+				if r.Config == "resilient" {
+					ov = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+				}
+				t.row(r.ID, r.Name, r.Config, r.Nodes, r.Clients, r.NsPerReq,
+					fmt.Sprintf("%.0f", r.ReqPerSec), ov)
+			}
+			t.flush()
+			t2 := newTable(w, "series", "config", "p50 ms", "p99 ms", "slow strikes", "fast fails", "p99 speedup")
+			for _, r := range results {
+				if r.ID != "R2" {
+					continue
+				}
+				sp := ""
+				if r.Speedup > 0 {
+					sp = fmt.Sprintf("%.1fx", r.Speedup)
+				}
+				t2.row(r.ID, r.Config, fmt.Sprintf("%.2f", r.P50Ms), fmt.Sprintf("%.2f", r.P99Ms),
+					r.SlowStrikes, r.FastFails, sp)
+			}
+			t2.flush()
+			fmt.Fprintln(w, "\nexpected shape: R1 overhead within ±3% — the armed path adds one breaker check, one budget observe and a header stamp per proxied request; R2 no-breaker p99 near the 20ms hedge budget plus a service time (every request pays it until the prober's 2s probe timeout finally condemns the peer, slow strikes ≈ that window's request count), breaker p99 near a bare proxied service time after exactly the breaker fuse's strikes — the open circuit is filtered out of the candidate list before any dial")
+		},
+	}
+}

@@ -120,6 +120,33 @@ const (
 	// typed error (NDJSON trailer / non-zero CLI exit), never a silently
 	// short match set.
 	CzTruncate Point = "czsearch.truncate"
+
+	// The rpc.* family is consulted by the cluster RPC transport
+	// (internal/resilience), not through the build-tag hooks: the transport
+	// holds its own Plan (installed via matchd -rpc-chaos-plan or POST
+	// /v1/rpcfaults) and calls Decide directly, so wire faults are available
+	// in any build — they never touch the hot single-node paths the hooks
+	// guard. Each point also matches with a ".<peerName>" suffix
+	// (e.g. "rpc.refuse.n2"), scoping the fault to one destination; rules
+	// installed on only one side of a link produce an asymmetric partition
+	// (A→B dead, B→A alive).
+
+	// RPCRefuse fails an outbound request before dialing — connection
+	// refused, the dead-process failure mode.
+	RPCRefuse Point = "rpc.refuse"
+
+	// RPCBlackhole accepts the request and then never answers: the attempt
+	// blocks until its context is canceled — the partitioned-link failure
+	// mode, the one a fast error never simulates.
+	RPCBlackhole Point = "rpc.blackhole"
+
+	// RPCDelay sleeps the rule's delay before forwarding — a slow or
+	// congested link.
+	RPCDelay Point = "rpc.delay"
+
+	// RPCReset returns response headers normally and then fails the body
+	// mid-read — a connection reset after partial transfer.
+	RPCReset Point = "rpc.reset"
 )
 
 // Rule says when one point fires. Exactly one trigger applies: Every > 0
@@ -204,6 +231,15 @@ func decide(s uint64, pt Point, c int64, r *pointState) bool {
 // the firing ordinal (1-based among firings; 0 when not firing) — corrupt
 // points use the ordinal to pick a deterministic bit — and the rule's
 // delay.
+// Decide consults the plan for one named point and returns whether the
+// fault fires, the ordinal of the call, and the rule's delay. It is the
+// exported form of the hook-side decision for callers that hold their own
+// Plan rather than the process-global hook — the cluster RPC transport
+// (internal/resilience) uses it so wire faults work in any build.
+func (p *Plan) Decide(pt Point) (fire bool, ordinal int64, delay time.Duration) {
+	return p.fire(pt)
+}
+
 func (p *Plan) fire(pt Point) (bool, int64, time.Duration) {
 	if p == nil {
 		return false, 0, 0

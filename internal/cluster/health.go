@@ -197,10 +197,10 @@ func (h *Health) Transitions() int64 { return h.transitions.Load() }
 
 // PeerStatus is one row of the /v1/cluster peers table.
 type PeerStatus struct {
-	Name       string `json:"name"`
-	URL        string `json:"url"`
-	State      string `json:"state"`
-	LastProbeMs int64 `json:"lastProbeMs"` // ms since the last probe; -1 = never
+	Name        string `json:"name"`
+	URL         string `json:"url"`
+	State       string `json:"state"`
+	LastProbeMs int64  `json:"lastProbeMs"` // ms since the last probe; -1 = never
 }
 
 // Status reports every tracked peer's current state, sorted by name.

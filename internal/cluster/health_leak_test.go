@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestHealthCloseNoGoroutineLeak cycles the background prober 50 times
+// and asserts the goroutine count settles back to where it started: a
+// prober whose loop survives Close would accumulate one goroutine per
+// server start/stop cycle.
+func TestHealthCloseNoGoroutineLeak(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}))
+	defer ts.Close()
+	// A private transport so idle keep-alive connections can be torn
+	// down deterministically; the shared DefaultTransport would pool
+	// connection goroutines across iterations and muddy the count.
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Timeout: time.Second, Transport: tr}
+	peers := []Peer{{Name: "p1", URL: ts.URL}, {Name: "p2", URL: ts.URL}}
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		h := NewHealth(peers, client, 5*time.Millisecond)
+		h.Start()
+		if i%3 == 0 {
+			time.Sleep(2 * time.Millisecond) // let some probes actually run
+		}
+		h.Close()
+	}
+	tr.CloseIdleConnections()
+
+	// Settle: probe goroutines mid-flight at Close time may take a
+	// moment to observe cancellation and exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after 50 start/stop cycles — prober leak",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHealthCloseIdempotent guards the shutdown path Server.Close relies
+// on: Close before Start, double Close, and Close-then-Start must all be
+// safe.
+func TestHealthCloseIdempotent(t *testing.T) {
+	h := NewHealth([]Peer{{Name: "p", URL: "http://127.0.0.1:1"}}, nil, time.Hour)
+	h.Close()
+	h.Close()
+	h.Start() // startOnce already burned by Close; must not spawn a loop
+	h.Close()
+}

@@ -31,6 +31,15 @@ type Hedger struct {
 	// error (never for HTTP responses, even 5xx). The router hooks it to
 	// Health.MarkDown so the next request already avoids the dead peer.
 	OnError func(p Peer, err error)
+	// OnSlow, if set, is called when the hedge timer fires against a
+	// candidate that was launched but has produced neither headers nor an
+	// error — an affirmative silence signal, recorded before the eventual
+	// cancellation. It is the only evidence a black-holed peer ever
+	// produces from serving traffic: its hedged losers die of
+	// context.Canceled, which deliberately counts as nothing. A peer that
+	// later answers (and merely loses the race) is credited at header
+	// receipt, so sustained strikes single out the truly silent.
+	OnSlow func(p Peer)
 }
 
 // Result is a won hedged exchange. The caller must consume Resp.Body and
@@ -112,6 +121,7 @@ func (h *Hedger) Do(ctx context.Context, candidates []Peer, build func(ctx conte
 
 	hedged := false
 	settled := 0
+	settledIdx := make([]bool, len(candidates))
 	var lastLoser *http.Response
 	var lastErr error
 	for {
@@ -124,6 +134,13 @@ func (h *Hedger) Do(ctx context.Context, candidates []Peer, build func(ctx conte
 			}
 			return nil, ctx.Err()
 		case <-timerC:
+			if h.OnSlow != nil && ctx.Err() == nil {
+				for i := 0; i < launched; i++ {
+					if !settledIdx[i] {
+						h.OnSlow(candidates[i])
+					}
+				}
+			}
 			if launched < len(candidates) {
 				hedged = true
 				launch()
@@ -131,6 +148,7 @@ func (h *Hedger) Do(ctx context.Context, candidates []Peer, build func(ctx conte
 			}
 		case out := <-results:
 			settled++
+			settledIdx[out.index] = true
 			if out.err == nil && acceptable(out.resp) {
 				if lastLoser != nil {
 					closeBody(lastLoser)

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowRecorder collects OnSlow strikes by peer name.
+type slowRecorder struct {
+	mu      sync.Mutex
+	strikes map[string]int
+}
+
+func (r *slowRecorder) onSlow(p Peer) {
+	r.mu.Lock()
+	r.strikes[p.Name]++
+	r.mu.Unlock()
+}
+
+func (r *slowRecorder) get(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.strikes[name]
+}
+
+func TestHedgerOnSlowStrikesSilentPrimary(t *testing.T) {
+	// The primary never answers within the exchange; the hedged
+	// secondary wins. OnSlow must fire for the silent primary — that
+	// strike is the only breaker signal a black-holed peer produces —
+	// and never for the peer that answered.
+	s1 := hedgeServer(t, "silent", 10*time.Second, 200, nil)
+	defer s1.Close()
+	s2 := hedgeServer(t, "fast", 0, 200, nil)
+	defer s2.Close()
+	rec := &slowRecorder{strikes: map[string]int{}}
+	h := &Hedger{Client: http.DefaultClient, After: 15 * time.Millisecond, OnSlow: rec.onSlow}
+	res, err := h.Do(context.Background(), []Peer{{Name: "silent", URL: s1.URL}, {Name: "fast", URL: s2.URL}}, buildGet(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Resp.Body.Close()
+	res.Release()
+	if res.Peer.Name != "fast" {
+		t.Fatalf("winner %s, want fast", res.Peer.Name)
+	}
+	if got := rec.get("silent"); got < 1 {
+		t.Fatal("no OnSlow strike against the silent primary")
+	}
+	if got := rec.get("fast"); got != 0 {
+		t.Fatalf("%d OnSlow strikes against the winning peer, want 0", got)
+	}
+}
+
+func TestHedgerOnSlowNotCalledForFastPrimary(t *testing.T) {
+	s1 := hedgeServer(t, "fast", 0, 200, nil)
+	defer s1.Close()
+	rec := &slowRecorder{strikes: map[string]int{}}
+	h := &Hedger{Client: http.DefaultClient, After: 100 * time.Millisecond, OnSlow: rec.onSlow}
+	for i := 0; i < 3; i++ {
+		res, err := h.Do(context.Background(), []Peer{{Name: "fast", URL: s1.URL}}, buildGet(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Resp.Body.Close()
+		res.Release()
+	}
+	if got := rec.get("fast"); got != 0 {
+		t.Fatalf("%d strikes against a peer that always answered in time", got)
+	}
+}
+
+func TestHedgerOnSlowNotCalledWhenHedgingDisabled(t *testing.T) {
+	// After == 0 means no timer, so no strike source: candidates are
+	// tried one at a time and slowness is indistinguishable from work.
+	s1 := hedgeServer(t, "slowish", 30*time.Millisecond, 200, nil)
+	defer s1.Close()
+	rec := &slowRecorder{strikes: map[string]int{}}
+	h := &Hedger{Client: http.DefaultClient, After: 0, OnSlow: rec.onSlow}
+	res, err := h.Do(context.Background(), []Peer{{Name: "slowish", URL: s1.URL}}, buildGet(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Resp.Body.Close()
+	res.Release()
+	if got := rec.get("slowish"); got != 0 {
+		t.Fatalf("%d strikes with hedging disabled", got)
+	}
+}

@@ -56,12 +56,12 @@ type Options struct {
 // Compile/Restore and safe for concurrent readers.
 type Automaton struct {
 	numStates int32
-	width     int32      // compressed alphabet size including the absent class
+	width     int32       // compressed alphabet size including the absent class
 	symClass  [256]uint16 // byte -> column index; 0 = byte absent from dictionary
-	next      []int32    // numStates × width, goto ∪ failure pre-resolved
-	outOff    []int32    // numStates+1 prefix offsets into outPat
-	outPat    []int32    // per-state pattern ids ending there, longest first
-	patLen    []int32    // pattern lengths by pattern id
+	next      []int32     // numStates × width, goto ∪ failure pre-resolved
+	outOff    []int32     // numStates+1 prefix offsets into outPat
+	outPat    []int32     // per-state pattern ids ending there, longest first
+	patLen    []int32     // pattern lengths by pattern id
 	maxPatLen int32
 }
 

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,6 +22,37 @@ import (
 // comfortably exceeds any bundle a default-config server can serve (pattern
 // bytes are bounded by MaxDictBytes=16 MiB, tables are linear in them).
 const DefaultFetchLimit = 256 << 20
+
+// StatusError is a fetch that reached the peer and got a non-200 answer.
+// The code lets retry policy distinguish "peer is struggling" (5xx, worth
+// retrying) from "peer simply lacks the bundle" (4xx, ask someone else).
+type StatusError struct {
+	URL  string
+	Code int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("persist: fetch %s: peer answered %d", e.URL, e.Code)
+}
+
+// ErrBadBundle marks a fetch whose bytes arrived but failed validation.
+// Bundles are immutable content, so re-fetching the same bytes from the
+// same peer cannot help — not retryable.
+var ErrBadBundle = errors.New("persist: fetched bundle invalid")
+
+// RetryableFetch reports whether a FetchBundle error is worth retrying
+// against the same peer: transport errors and 5xx answers are; 4xx
+// answers, invalid bundles, and the caller's own context expiry are not.
+func RetryableFetch(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	return !errors.Is(err, ErrBadBundle)
+}
 
 // FetchBundle downloads the snapshot bundle for dictionary id from a peer's
 // base URL and decodes it. limit <= 0 selects DefaultFetchLimit; client ==
@@ -47,7 +79,7 @@ func FetchBundle(ctx context.Context, client *http.Client, base, id string, limi
 	if resp.StatusCode != http.StatusOK {
 		// Drain a little so the connection can be reused, then report.
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		return nil, nil, nil, fmt.Errorf("persist: fetch %s: peer answered %d", u, resp.StatusCode)
+		return nil, nil, nil, &StatusError{URL: u, Code: resp.StatusCode}
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
@@ -58,7 +90,7 @@ func FetchBundle(ctx context.Context, client *http.Client, base, id string, limi
 	}
 	d, a, err := LoadBundle(data)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("persist: fetch %s: %w", u, err)
+		return nil, nil, nil, fmt.Errorf("%w: fetch %s: %w", ErrBadBundle, u, err)
 	}
 	return data, d, a, nil
 }

@@ -1,0 +1,213 @@
+package resilience
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+const (
+	// breakerWindow is how many recent outcomes the error-rate trip
+	// remembers; breakerWindowTrip failures among them open the breaker
+	// even when successes keep interrupting the consecutive counter. The
+	// threshold sits above 50% because the hedge-slowness pattern
+	// (strike, then success at header receipt) legitimately alternates
+	// 1:1 against a slow-but-alive peer and must never trip.
+	breakerWindow     = 16
+	breakerWindowTrip = 12
+)
+
+// Breaker is one peer's circuit breaker. Closed admits everything; Open
+// admits nothing until the cooldown elapses; Half-Open admits a single
+// trial whose outcome decides between re-opening and closing. A
+// maxFailures of 0 disables the breaker (always closed, outcomes still
+// counted).
+type Breaker struct {
+	maxFailures int
+	cooldown    time.Duration
+	now         func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	window      uint16
+	windowN     int
+	openedAt    time.Time
+	trial       bool
+	trialAt     time.Time
+
+	failures  atomic.Int64
+	successes atomic.Int64
+	opens     atomic.Int64
+	halfOpens atomic.Int64
+	closes    atomic.Int64
+}
+
+// NewBreaker builds a breaker tripping after maxFailures consecutive
+// failures (or breakerWindowTrip of the last breakerWindow outcomes),
+// with half-open trials admitted every cooldown.
+func NewBreaker(maxFailures int, cooldown time.Duration) *Breaker {
+	return &Breaker{maxFailures: maxFailures, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a regular (non-probe) request may be sent now.
+// The transition Open→Half-Open happens here when the cooldown has
+// elapsed, and the granted request becomes the half-open trial.
+func (b *Breaker) Allow() bool {
+	if b.maxFailures <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.toHalfOpen()
+			b.grantTrial()
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen
+		// One trial at a time; if a trial was abandoned without a
+		// recorded outcome (e.g. canceled), admit a new one after a
+		// cooldown's worth of silence.
+		if !b.trial || b.now().Sub(b.trialAt) >= b.cooldown {
+			b.grantTrial()
+			return true
+		}
+		return false
+	}
+}
+
+// ProbeArm prepares the breaker for a health probe. Probes are never
+// blocked — the prober is the recovery path — but a probe sent after the
+// cooldown is promoted to the half-open trial so its outcome gates
+// recovery exactly like a trial request would.
+func (b *Breaker) ProbeArm() {
+	if b.maxFailures <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.toHalfOpen()
+		b.grantTrial()
+	}
+}
+
+// RecordSuccess notes a successful exchange (response headers received).
+func (b *Breaker) RecordSuccess() {
+	b.successes.Add(1)
+	if b.maxFailures <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.push(false)
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.closes.Add(1)
+		b.trial = false
+		b.window, b.windowN = 0, 0
+	}
+	// A success while still Open (cooldown not yet elapsed) leaves the
+	// breaker open: the cooldown enforces a minimum dwell and the next
+	// armed probe or trial closes it.
+}
+
+// RecordFailure notes a failed exchange attributable to the peer.
+func (b *Breaker) RecordFailure() {
+	b.failures.Add(1)
+	if b.maxFailures <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	b.push(true)
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		if b.consecutive >= b.maxFailures ||
+			(b.windowN >= breakerWindow && bits.OnesCount16(b.window) >= breakerWindowTrip) {
+			b.trip()
+		}
+	}
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	if b.maxFailures <= 0 {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Snapshot returns the breaker's counters for /metrics.
+func (b *Breaker) Snapshot() PeerSnapshot {
+	return PeerSnapshot{
+		State:     b.State().String(),
+		Failures:  b.failures.Load(),
+		Successes: b.successes.Load(),
+		Opens:     b.opens.Load(),
+		HalfOpens: b.halfOpens.Load(),
+		Closes:    b.closes.Load(),
+	}
+}
+
+func (b *Breaker) toHalfOpen() {
+	b.state = BreakerHalfOpen
+	b.halfOpens.Add(1)
+	b.trial = false
+}
+
+func (b *Breaker) grantTrial() {
+	b.trial = true
+	b.trialAt = b.now()
+}
+
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.opens.Add(1)
+	b.trial = false
+	b.consecutive = 0
+	b.window, b.windowN = 0, 0
+}
+
+func (b *Breaker) push(fail bool) {
+	b.window <<= 1
+	if fail {
+		b.window |= 1
+	}
+	if b.windowN < breakerWindow {
+		b.windowN++
+	}
+}

@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock lets breaker tests step time explicitly.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(maxFailures int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(maxFailures, cooldown)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+func TestBreakerConsecutiveTrip(t *testing.T) {
+	b, c := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.RecordFailure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	// Cooldown elapses: one half-open trial is admitted, concurrent
+	// requests are not.
+	c.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open trial after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after trial grant = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while trial in flight")
+	}
+	// Trial succeeds: closed, counters reflect the full lifecycle.
+	b.RecordSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after trial success = %v, want closed", b.State())
+	}
+	s := b.Snapshot()
+	if s.Opens != 1 || s.HalfOpens != 1 || s.Closes != 1 {
+		t.Fatalf("lifecycle counters = opens %d halfOpens %d closes %d, want 1/1/1", s.Opens, s.HalfOpens, s.Closes)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, c := newTestBreaker(2, time.Second)
+	b.RecordFailure()
+	b.RecordFailure()
+	c.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("trial refused")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", b.State())
+	}
+	if got := b.Snapshot().Opens; got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	// The hedging pattern: strike, then success at header receipt. The
+	// consecutive counter must never accumulate across such pairs.
+	b, _ := newTestBreaker(2, time.Second)
+	for i := 0; i < 20; i++ {
+		b.RecordFailure()
+		b.RecordSuccess()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after alternating outcomes, want closed", b.State())
+	}
+}
+
+func TestBreakerWindowTrip(t *testing.T) {
+	// Failures interleaved with successes below the consecutive
+	// threshold still trip once the error-rate window fills: pattern
+	// fail,fail,fail,success repeated is a 75% failure rate while
+	// consecutive never reaches 5.
+	b, _ := newTestBreaker(5, time.Second)
+	for i := 0; b.State() == BreakerClosed && i < 100; i++ {
+		b.RecordFailure()
+		b.RecordFailure()
+		b.RecordFailure()
+		b.RecordSuccess()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("error-rate window never tripped the breaker")
+	}
+}
+
+func TestBreakerProbeArm(t *testing.T) {
+	b, c := newTestBreaker(1, time.Second)
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	// Probe before cooldown: no state change, outcome still counted.
+	b.ProbeArm()
+	if b.State() != BreakerOpen {
+		t.Fatalf("probe before cooldown moved state to %v", b.State())
+	}
+	b.RecordFailure()
+	// Probe after cooldown becomes the trial; success closes.
+	c.advance(time.Second)
+	b.ProbeArm()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("probe after cooldown left state %v, want half-open", b.State())
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerAbandonedTrialRecovers(t *testing.T) {
+	b, c := newTestBreaker(1, time.Second)
+	b.RecordFailure()
+	c.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("trial refused")
+	}
+	// The trial is abandoned (canceled: no outcome recorded). After a
+	// cooldown of silence a new trial must be admitted, or the breaker
+	// would stay half-open forever.
+	if b.Allow() {
+		t.Fatal("second trial admitted immediately")
+	}
+	c.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker deadlocked in half-open after abandoned trial")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := newTestBreaker(0, 0)
+	for i := 0; i < 50; i++ {
+		b.RecordFailure()
+	}
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("disabled breaker tripped")
+	}
+	if got := b.Snapshot().Failures; got != 50 {
+		t.Fatalf("disabled breaker lost counters: failures = %d", got)
+	}
+}

@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Token accounting is integer, in millitokens, so fractional earnings
+// (pct% of each request) accumulate exactly: 10 requests at 10% are one
+// whole token, never 0.9999….
+const (
+	milli = 1000
+	// budgetCap bounds how many retry tokens can pool up during calm
+	// periods, so a long quiet stretch cannot bankroll a burst of
+	// retries at the start of a partition.
+	budgetCap = 32 * milli
+	// budgetSeed is the initial balance: cold-start snapshot pulls must
+	// be retryable before any request traffic has earned tokens.
+	budgetSeed = 8 * milli
+)
+
+// Budget is the cluster-wide retry token bucket: every observed outbound
+// request earns pct/100 tokens, every retry spends one. When the bucket is
+// empty retries are denied, bounding retry amplification to ~pct% of the
+// request rate no matter how bad the network gets.
+type Budget struct {
+	earn int64 // millitokens earned per observed request; 0 = disabled
+
+	mu     sync.Mutex
+	tokens int64 // millitokens
+
+	spent  atomic.Int64
+	denied atomic.Int64
+}
+
+// NewBudget builds a budget earning pct tokens per 100 requests.
+// pct <= 0 disables retries entirely (Allow always false).
+func NewBudget(pct int) *Budget {
+	b := &Budget{}
+	if pct > 0 {
+		b.earn = int64(pct) * milli / 100
+		b.tokens = budgetSeed
+	}
+	return b
+}
+
+// Observe credits the budget for one outbound request.
+func (b *Budget) Observe() {
+	if b.earn == 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += b.earn; b.tokens > budgetCap {
+		b.tokens = budgetCap
+	}
+	b.mu.Unlock()
+}
+
+// Allow spends one token if available.
+func (b *Budget) Allow() bool {
+	if b.earn == 0 {
+		return false
+	}
+	b.mu.Lock()
+	ok := b.tokens >= milli
+	if ok {
+		b.tokens -= milli
+	}
+	b.mu.Unlock()
+	if ok {
+		b.spent.Add(1)
+	} else {
+		b.denied.Add(1)
+	}
+	return ok
+}
+
+// Backoff returns the pause before retry attempt (1-based): base doubled
+// per attempt, capped at max, with deterministic jitter of ±25% derived
+// from seed so concurrent retriers neither stampede in lockstep nor make
+// soak runs irreproducible.
+func Backoff(attempt int, base, max time.Duration, seed uint64) time.Duration {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if span := uint64(d / 2); span > 0 {
+		u := mix64(seed ^ uint64(attempt)*0x9e3779b97f4a7c15)
+		d += time.Duration(u%span) - d/4
+	}
+	return d
+}
+
+// mix64 is the splitmix64 finalizer, the same mixing the chaos planner
+// uses for deterministic per-ordinal decisions.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudgetSeedAndExhaustion(t *testing.T) {
+	b := NewBudget(10)
+	granted := 0
+	for i := 0; i < 100; i++ {
+		if b.Allow() {
+			granted++
+		}
+	}
+	if granted != budgetSeed/milli {
+		t.Fatalf("cold budget granted %d retries, want the %d seed tokens", granted, budgetSeed/milli)
+	}
+	if b.denied.Load() != int64(100-granted) {
+		t.Fatalf("denied = %d, want %d", b.denied.Load(), 100-granted)
+	}
+	// 10 observed requests at 10% earn one more token.
+	for i := 0; i < 10; i++ {
+		b.Observe()
+	}
+	if !b.Allow() {
+		t.Fatal("earned token not spendable")
+	}
+	if b.Allow() {
+		t.Fatal("budget granted more than earned")
+	}
+}
+
+func TestBudgetCap(t *testing.T) {
+	b := NewBudget(10)
+	for i := 0; i < 100000; i++ {
+		b.Observe()
+	}
+	granted := 0
+	for b.Allow() {
+		granted++
+	}
+	if granted != budgetCap/milli {
+		t.Fatalf("calm period pooled %d tokens, want cap %d", granted, budgetCap/milli)
+	}
+}
+
+func TestBudgetDisabled(t *testing.T) {
+	b := NewBudget(0)
+	b.Observe()
+	if b.Allow() {
+		t.Fatal("disabled budget granted a retry")
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	base, max := 25*time.Millisecond, time.Second
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := Backoff(attempt, base, max, 42)
+		if d2 := Backoff(attempt, base, max, 42); d2 != d {
+			t.Fatalf("attempt %d not deterministic: %v vs %v", attempt, d, d2)
+		}
+		// Doubling with ±25% jitter, capped.
+		nominal := base
+		for i := 1; i < attempt && nominal < max; i++ {
+			nominal *= 2
+		}
+		if nominal > max {
+			nominal = max
+		}
+		if d < nominal-nominal/4 || d > nominal+nominal/4 {
+			t.Fatalf("attempt %d backoff %v outside [%v, %v]", attempt, d, nominal-nominal/4, nominal+nominal/4)
+		}
+	}
+	if a, b := Backoff(3, base, max, 1), Backoff(3, base, max, 2); a == b {
+		t.Fatalf("different seeds produced identical jitter %v", a)
+	}
+}

@@ -1,0 +1,65 @@
+package resilience
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// faultPlan pairs a parsed chaos plan with the spec it came from, so
+// /metrics and GET /v1/rpcfaults can echo the installed grammar.
+type faultPlan struct {
+	plan *chaos.Plan
+	spec string
+}
+
+// SetFaults installs a wire-fault plan over the rpc.* point family, or
+// clears it when spec is empty. Unlike the build-tag chaos hooks this is
+// dynamic — soak harnesses flip partitions on and off mid-run — and
+// deterministic under the given seed.
+func (p *Pool) SetFaults(seed uint64, spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		p.plan.Store(nil)
+		return nil
+	}
+	pl, err := chaos.ParsePlan(seed, spec)
+	if err != nil {
+		return err
+	}
+	p.plan.Store(&faultPlan{plan: pl, spec: spec})
+	return nil
+}
+
+// FaultPlan returns the installed plan's spec, or "" when none.
+func (p *Pool) FaultPlan() string {
+	if fp := p.plan.Load(); fp != nil {
+		return fp.spec
+	}
+	return ""
+}
+
+// FaultStats returns per-point fire counters of the installed plan.
+func (p *Pool) FaultStats() []chaos.PointStats {
+	if fp := p.plan.Load(); fp != nil {
+		return fp.plan.Stats()
+	}
+	return nil
+}
+
+// decideFault consults the installed plan for a point, trying the
+// peer-scoped variant ("rpc.refuse.n2") before the cluster-wide one.
+func (p *Pool) decideFault(pt chaos.Point, peer string) (bool, time.Duration) {
+	fp := p.plan.Load()
+	if fp == nil {
+		return false, 0
+	}
+	if fire, _, d := fp.plan.Decide(chaos.Point(string(pt) + "." + peer)); fire {
+		return true, d
+	}
+	if fire, _, d := fp.plan.Decide(pt); fire {
+		return true, d
+	}
+	return false, 0
+}

@@ -1,0 +1,222 @@
+// Package resilience is the failure-domain-aware outbound RPC layer for
+// cluster traffic (DESIGN.md §16).
+//
+// Every inter-peer call — proxying and hedging (internal/server/cluster.go,
+// internal/cluster/hedge.go), snapshot pulls (internal/persist/fetch.go),
+// and /readyz health probes (internal/cluster/health.go) — is routed
+// through one Pool, an http.RoundTripper that layers, in order:
+//
+//   - deadline propagation: the remaining request budget travels as an
+//     X-Deadline-Ms header; a hop with less than the configured floor is
+//     refused locally (a typed DeadlineError) instead of doing doomed work;
+//   - per-peer circuit breakers: closed → open on consecutive failures or
+//     an error-rate window, half-open trials after a cooldown, probe-gated
+//     recovery (the /readyz prober is never blocked, so a healed peer is
+//     always rediscovered);
+//   - chaos-injectable wire faults: a chaos.Plan over the rpc.* point
+//     family (refusal, black-hole, delay, mid-body reset), installable at
+//     runtime so partitions are reproducible in any build;
+//   - outcome accounting: successes reset breakers at header receipt,
+//     transport failures count against the destination peer, and
+//     context.Canceled counts as nothing at all — a hedged loser canceled
+//     mid-body is the caller's choice, not the peer's failure.
+//
+// The Pool also owns the cluster-wide retry Budget (a token bucket earning
+// ~RetryBudgetPct tokens per 100 outbound requests) so idempotent retries
+// cannot amplify a partition into a retry storm.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// DeadlineHeader carries the remaining request budget, in integer
+// milliseconds, from hop to hop. Each receiver re-derives its own context
+// deadline from it; each sender re-stamps it from the live context, so the
+// time a hop spent is subtracted implicitly.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// Peer is one outbound destination, identified by the cluster peer name
+// used in metrics and breaker state.
+type Peer struct {
+	Name string
+	URL  string
+}
+
+// Config tunes the pool. The zero value disables every policy (no
+// breakers, no retries, no hop floor) and the pool degrades to a plain
+// transport, which is what single-node and pre-existing cluster tests get.
+type Config struct {
+	// BreakerFailures is the consecutive-failure count that opens a
+	// peer's breaker. 0 disables breakers entirely.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open trial. Defaults to 1s when breakers are enabled.
+	BreakerCooldown time.Duration
+	// RetryBudgetPct is the number of retry tokens earned per 100
+	// outbound requests. 0 disables budget-gated retries.
+	RetryBudgetPct int
+	// HopFloor is the minimum remaining deadline worth sending a request
+	// with; below it the send is refused locally. 0 disables the floor.
+	HopFloor time.Duration
+	// Base is the underlying transport; nil means a private clone of
+	// http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+// Pool is the shared outbound transport for a node's peer set. It
+// implements http.RoundTripper; requests to hosts that are not registered
+// peers pass through to the base transport untouched.
+type Pool struct {
+	cfg    Config
+	base   http.RoundTripper
+	budget *Budget
+
+	byName map[string]*peerState
+	byHost map[string]*peerState
+
+	plan atomic.Pointer[faultPlan]
+
+	slowStrikes   atomic.Int64
+	fastFails     atomic.Int64
+	deadlineSkips atomic.Int64
+	injected      atomic.Int64
+}
+
+type peerState struct {
+	name    string
+	breaker *Breaker
+}
+
+// NewPool builds a pool over the given peer set (normally everyone but
+// self). Peer URLs must be parseable; unparseable ones are skipped and
+// their traffic falls through to the base transport unobserved.
+func NewPool(cfg Config, peers []Peer) *Pool {
+	if cfg.BreakerFailures > 0 && cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
+	base := cfg.Base
+	if base == nil {
+		if t, ok := http.DefaultTransport.(*http.Transport); ok {
+			base = t.Clone()
+		} else {
+			base = http.DefaultTransport
+		}
+	}
+	p := &Pool{
+		cfg:    cfg,
+		base:   base,
+		budget: NewBudget(cfg.RetryBudgetPct),
+		byName: make(map[string]*peerState, len(peers)),
+		byHost: make(map[string]*peerState, len(peers)),
+	}
+	for _, pe := range peers {
+		ps := &peerState{name: pe.Name, breaker: NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown)}
+		p.byName[pe.Name] = ps
+		if u, err := url.Parse(pe.URL); err == nil && u.Host != "" {
+			p.byHost[u.Host] = ps
+		}
+	}
+	return p
+}
+
+// Client wraps the pool in an http.Client with no client-level timeout
+// (callers bound requests with contexts).
+func (p *Pool) Client() *http.Client { return &http.Client{Transport: p} }
+
+// RecordSlow charges a failure strike against a peer that was launched
+// and produced neither headers nor an error by the time the hedge timer
+// fired — the affirmative silence signal that identifies black-holed
+// peers. A peer that later answers (and merely loses the hedge race)
+// resets its breaker at header receipt, so slow strikes only accumulate
+// against peers that stay silent.
+func (p *Pool) RecordSlow(name string) {
+	if ps := p.byName[name]; ps != nil {
+		p.slowStrikes.Add(1)
+		ps.breaker.RecordFailure()
+	}
+}
+
+// PeerOpen reports whether the peer's breaker is currently open, for
+// routing layers that want to skip known-bad destinations up front.
+func (p *Pool) PeerOpen(name string) bool {
+	ps := p.byName[name]
+	return ps != nil && ps.breaker.State() == BreakerOpen
+}
+
+// RetryAllowed spends one retry token if the budget has any.
+func (p *Pool) RetryAllowed() bool { return p.budget.Allow() }
+
+// BreakerOpenError is returned without touching the network when the
+// destination peer's breaker is open.
+type BreakerOpenError struct{ Peer string }
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("resilience: breaker open for peer %s", e.Peer)
+}
+
+// DeadlineError is returned without touching the network when the
+// remaining context deadline is below the configured hop floor.
+type DeadlineError struct {
+	Peer      string
+	Remaining time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("resilience: %s of deadline left for peer %s, below hop floor", e.Remaining, e.Peer)
+}
+
+// IsLocal reports whether err was manufactured by this layer without
+// touching the network — breaker fast-fails and hop-floor refusals. Local
+// errors say nothing about the peer's actual health, so callers must not
+// mark the peer down for them.
+func IsLocal(err error) bool {
+	var b *BreakerOpenError
+	var d *DeadlineError
+	return errors.As(err, &b) || errors.As(err, &d)
+}
+
+// PeerSnapshot is one peer's breaker accounting for /metrics.
+type PeerSnapshot struct {
+	State     string `json:"state"`
+	Failures  int64  `json:"failures"`
+	Successes int64  `json:"successes"`
+	Opens     int64  `json:"opens"`
+	HalfOpens int64  `json:"halfOpens"`
+	Closes    int64  `json:"closes"`
+}
+
+// Snapshot is the pool's /metrics section.
+type Snapshot struct {
+	Peers            map[string]PeerSnapshot `json:"peers,omitempty"`
+	RetriesSpent     int64                   `json:"retriesSpent"`
+	RetriesDenied    int64                   `json:"retriesDenied"`
+	SlowStrikes      int64                   `json:"slowStrikes"`
+	BreakerFastFails int64                   `json:"breakerFastFails"`
+	DeadlineSkips    int64                   `json:"deadlineSkips"`
+	InjectedFaults   int64                   `json:"injectedFaults"`
+	FaultPlan        string                  `json:"faultPlan,omitempty"`
+}
+
+// Snapshot returns a point-in-time copy of the pool's counters.
+func (p *Pool) Snapshot() Snapshot {
+	s := Snapshot{
+		Peers:            make(map[string]PeerSnapshot, len(p.byName)),
+		RetriesSpent:     p.budget.spent.Load(),
+		RetriesDenied:    p.budget.denied.Load(),
+		SlowStrikes:      p.slowStrikes.Load(),
+		BreakerFastFails: p.fastFails.Load(),
+		DeadlineSkips:    p.deadlineSkips.Load(),
+		InjectedFaults:   p.injected.Load(),
+		FaultPlan:        p.FaultPlan(),
+	}
+	for name, ps := range p.byName {
+		s.Peers[name] = ps.breaker.Snapshot()
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"net/http"
+
+	"repro/internal/chaos"
+)
+
+// rpcDelayDefault is the injected latency when an rpc.delay rule carries
+// no explicit delay.
+const rpcDelayDefault = 5 * time.Millisecond
+
+// RoundTrip implements http.RoundTripper. Requests to registered peers
+// pass through deadline gating, the peer's breaker, the installed fault
+// plan, and outcome accounting; everything else goes straight to the base
+// transport.
+func (p *Pool) RoundTrip(req *http.Request) (*http.Response, error) {
+	ps := p.byHost[req.URL.Host]
+	if ps == nil {
+		return p.base.RoundTrip(req)
+	}
+	ctx := req.Context()
+	isProbe := strings.HasSuffix(req.URL.Path, "/readyz")
+
+	// Deadline propagation: stamp the live remaining budget (the header a
+	// proxy copied in from its own inbound request is deleted upstream, so
+	// the stamp here is always fresh) and refuse sends that cannot finish.
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if !isProbe && p.cfg.HopFloor > 0 && rem < p.cfg.HopFloor {
+			p.deadlineSkips.Add(1)
+			return nil, &DeadlineError{Peer: ps.name, Remaining: rem}
+		}
+		ms := rem.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req = req.Clone(ctx)
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
+
+	if isProbe {
+		// Probes are never blocked — they are the recovery path — but an
+		// open breaker past its cooldown promotes this probe to the
+		// half-open trial, and the outcome below is recorded either way.
+		ps.breaker.ProbeArm()
+	} else {
+		if !ps.breaker.Allow() {
+			p.fastFails.Add(1)
+			return nil, &BreakerOpenError{Peer: ps.name}
+		}
+		p.budget.Observe()
+	}
+
+	// Injected wire faults, evaluated in failure-mode order: refusal
+	// (dead process) before black-hole (partitioned link) before delay
+	// (congestion); mid-body reset arms the body wrapper below.
+	if fire, _ := p.decideFault(chaos.RPCRefuse, ps.name); fire {
+		p.injected.Add(1)
+		err := error(&chaos.InjectedError{Point: chaos.RPCRefuse, Op: "dial"})
+		ps.observe(err)
+		return nil, err
+	}
+	if fire, _ := p.decideFault(chaos.RPCBlackhole, ps.name); fire {
+		p.injected.Add(1)
+		<-ctx.Done()
+		err := errors.Join(&chaos.InjectedError{Point: chaos.RPCBlackhole, Op: "await"}, ctx.Err())
+		ps.observe(err)
+		return nil, err
+	}
+	if fire, d := p.decideFault(chaos.RPCDelay, ps.name); fire {
+		p.injected.Add(1)
+		if d <= 0 {
+			d = rpcDelayDefault
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			ps.observe(ctx.Err())
+			return nil, ctx.Err()
+		}
+	}
+	resetAt := int64(-1)
+	if fire, _ := p.decideFault(chaos.RPCReset, ps.name); fire {
+		p.injected.Add(1)
+		resetAt = 1 << 10
+	}
+
+	resp, err := p.base.RoundTrip(req)
+	if err != nil {
+		ps.observe(err)
+		return nil, err
+	}
+	ps.breaker.RecordSuccess()
+	if resp.Body != nil {
+		resp.Body = &observedBody{rc: resp.Body, ps: ps, resetAt: resetAt}
+	}
+	return resp, nil
+}
+
+// observe charges a transport failure to the peer — unless the error is
+// the caller's own cancellation, which says nothing about the peer (a
+// hedged loser canceled mid-body must not trip breakers).
+func (ps *peerState) observe(err error) {
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	ps.breaker.RecordFailure()
+}
+
+// observedBody watches the response body so mid-body failures (real or
+// injected resets) count against the peer, while EOF and caller
+// cancellation do not.
+type observedBody struct {
+	rc      io.ReadCloser
+	ps      *peerState
+	resetAt int64 // byte offset at which an injected reset fires; <0 = off
+	n       int64
+	failed  bool
+}
+
+func (b *observedBody) Read(out []byte) (int, error) {
+	if b.resetAt >= 0 && b.n >= b.resetAt {
+		b.fail()
+		return 0, errors.Join(&chaos.InjectedError{Point: chaos.RPCReset, Op: "read"}, io.ErrUnexpectedEOF)
+	}
+	if b.resetAt >= 0 && int64(len(out)) > b.resetAt-b.n {
+		out = out[:b.resetAt-b.n]
+	}
+	n, err := b.rc.Read(out)
+	b.n += int64(n)
+	if err != nil && err != io.EOF && !errors.Is(err, context.Canceled) {
+		b.fail()
+	}
+	return n, err
+}
+
+func (b *observedBody) Close() error { return b.rc.Close() }
+
+func (b *observedBody) fail() {
+	if !b.failed {
+		b.failed = true
+		b.ps.breaker.RecordFailure()
+	}
+}

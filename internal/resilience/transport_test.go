@@ -1,0 +1,309 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// newPeerServer returns an httptest server and its Peer row.
+func newPeerServer(t *testing.T, name string, h http.HandlerFunc) (*httptest.Server, Peer) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, Peer{Name: name, URL: ts.URL}
+}
+
+func TestTransportDeadlineStampAndFloor(t *testing.T) {
+	var gotMs int64
+	ts, peer := newPeerServer(t, "n2", func(w http.ResponseWriter, r *http.Request) {
+		gotMs, _ = strconv.ParseInt(r.Header.Get(DeadlineHeader), 10, 64)
+	})
+	_ = ts
+	p := NewPool(Config{HopFloor: 5 * time.Millisecond}, []Peer{peer})
+	cl := p.Client()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", peer.URL+"/x", nil)
+	resp, err := cl.Do(req)
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	resp.Body.Close()
+	if gotMs <= 0 || gotMs > 2000 {
+		t.Fatalf("stamped deadline %dms, want (0, 2000]", gotMs)
+	}
+
+	// Under the floor: refused locally with a typed, IsLocal error.
+	tight, cancel2 := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel2()
+	req2, _ := http.NewRequestWithContext(tight, "GET", peer.URL+"/x", nil)
+	_, err = cl.Do(req2)
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("under-floor send error = %v, want DeadlineError", err)
+	}
+	if !IsLocal(err) {
+		t.Fatal("DeadlineError not classified as local")
+	}
+	if got := p.Snapshot().DeadlineSkips; got != 1 {
+		t.Fatalf("deadlineSkips = %d, want 1", got)
+	}
+}
+
+func TestTransportBreakerTripAndFastFail(t *testing.T) {
+	// A refused-connection peer (closed listener) trips the breaker after
+	// the configured consecutive failures, after which sends fail fast
+	// without touching the network.
+	ts, peer := newPeerServer(t, "n2", func(w http.ResponseWriter, r *http.Request) {})
+	ts.Close() // connection refused from now on
+	p := NewPool(Config{BreakerFailures: 3, BreakerCooldown: time.Hour}, []Peer{peer})
+	cl := p.Client()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Do(mustReq(t, peer.URL)); err == nil {
+			t.Fatal("send to closed listener succeeded")
+		}
+	}
+	if !p.PeerOpen("n2") {
+		t.Fatal("breaker not open after consecutive refusals")
+	}
+	_, err := cl.Do(mustReq(t, peer.URL))
+	var bo *BreakerOpenError
+	if !errors.As(err, &bo) {
+		t.Fatalf("post-trip error = %v, want BreakerOpenError", err)
+	}
+	if !IsLocal(err) {
+		t.Fatal("BreakerOpenError not classified as local")
+	}
+	s := p.Snapshot()
+	if s.BreakerFastFails != 1 || s.Peers["n2"].Opens != 1 {
+		t.Fatalf("fastFails=%d opens=%d, want 1/1", s.BreakerFastFails, s.Peers["n2"].Opens)
+	}
+}
+
+func TestTransportCancellationIsNotPeerFailure(t *testing.T) {
+	// Satellite invariant: a request canceled by its own caller — before
+	// headers or mid-body, the hedged-loser pattern — records nothing
+	// against the peer.
+	release := make(chan struct{})
+	ts, peer := newPeerServer(t, "n2", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.Write(make([]byte, 4096))
+		w.(http.Flusher).Flush()
+		<-release // hold the body open until the client cancels
+	})
+	defer close(release)
+	_ = ts
+	p := NewPool(Config{BreakerFailures: 1, BreakerCooldown: time.Hour}, []Peer{peer})
+	cl := p.Client()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", peer.URL+"/x", nil)
+	resp, err := cl.Do(req)
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	buf := make([]byte, 1024)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("first body read: %v", err)
+	}
+	cancel() // mid-body cancellation
+	for {
+		if _, err := resp.Body.Read(buf); err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	snap := p.Snapshot().Peers["n2"]
+	if snap.State != "closed" || snap.Opens != 0 {
+		t.Fatalf("mid-body cancellation tripped breaker: state=%s opens=%d", snap.State, snap.Opens)
+	}
+	// Pre-header cancellation likewise records nothing.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	req2, _ := http.NewRequestWithContext(ctx2, "GET", peer.URL+"/x", nil)
+	if _, err := cl.Do(req2); err == nil {
+		t.Fatal("canceled request succeeded")
+	}
+	if snap := p.Snapshot().Peers["n2"]; snap.Opens != 0 {
+		t.Fatalf("pre-header cancellation tripped breaker: opens=%d", snap.Opens)
+	}
+}
+
+func TestTransportInjectedFaults(t *testing.T) {
+	ts, peer := newPeerServer(t, "n2", func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 8192))
+	})
+	other := Peer{Name: "n3", URL: ts.URL} // same host alias, different name — unused
+	_ = other
+	p := NewPool(Config{BreakerFailures: 10}, []Peer{peer})
+	cl := p.Client()
+
+	// Refusal, scoped to the peer by name.
+	if err := p.SetFaults(1, "rpc.refuse.n2:p=1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.Do(mustReq(t, peer.URL))
+	if !chaos.IsInjected(err) {
+		t.Fatalf("refuse fault produced %v, want injected error", err)
+	}
+
+	// Black-hole: blocks until the context gives up; the error carries
+	// the deadline cause so it counts as a peer failure, not cancellation.
+	if err := p.SetFaults(1, "rpc.blackhole:p=1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	start := time.Now()
+	req, _ := http.NewRequestWithContext(ctx, "GET", peer.URL+"/x", nil)
+	_, err = cl.Do(req)
+	cancel()
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackhole error = %v, want deadline cause", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("blackhole returned before context expiry")
+	}
+
+	// Delay: succeeds, but not before the rule's delay.
+	if err := p.SetFaults(1, "rpc.delay:p=1,delay=20ms"); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	resp, err := cl.Do(mustReq(t, peer.URL))
+	if err != nil {
+		t.Fatalf("delayed send: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("delay fault did not delay")
+	}
+
+	// Mid-body reset: headers arrive, the body fails partway.
+	if err := p.SetFaults(1, "rpc.reset:p=1"); err != nil {
+		t.Fatal(err)
+	}
+	failsBefore := p.Snapshot().Peers["n2"].Failures
+	resp, err = cl.Do(mustReq(t, peer.URL))
+	if err != nil {
+		t.Fatalf("reset send: %v", err)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err == nil || n == 0 || n >= 8192 {
+		t.Fatalf("reset fault: copied %d bytes with err %v, want partial body and error", n, err)
+	}
+	if got := p.Snapshot().Peers["n2"].Failures; got != failsBefore+1 {
+		t.Fatalf("mid-body reset not charged to peer: failures %d -> %d", failsBefore, got)
+	}
+
+	// Clearing restores clean service.
+	if err := p.SetFaults(0, ""); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = cl.Do(mustReq(t, peer.URL))
+	if err != nil {
+		t.Fatalf("post-clear send: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if p.FaultPlan() != "" {
+		t.Fatal("cleared plan still reported")
+	}
+	if got := p.Snapshot().InjectedFaults; got < 4 {
+		t.Fatalf("injectedFaults = %d, want >= 4", got)
+	}
+}
+
+func TestTransportProbeBypassesOpenBreaker(t *testing.T) {
+	var healthy atomic.Bool
+	ts, peer := newPeerServer(t, "n2", func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			panic(http.ErrAbortHandler) // connection dies: transport error
+		}
+		w.WriteHeader(200)
+	})
+	_ = ts
+	p := NewPool(Config{BreakerFailures: 2, BreakerCooldown: 50 * time.Millisecond}, []Peer{peer})
+	cl := p.Client()
+	for i := 0; i < 2; i++ {
+		if resp, err := cl.Do(mustReq(t, peer.URL)); err == nil {
+			resp.Body.Close()
+			t.Fatal("aborted response did not error")
+		}
+	}
+	if !p.PeerOpen("n2") {
+		t.Fatal("breaker not open")
+	}
+	// Peer heals; regular traffic is still fast-failed, but a probe past
+	// the cooldown goes through and closes the breaker.
+	healthy.Store(true)
+	if _, err := cl.Do(mustReq(t, peer.URL)); !IsLocal(err) {
+		t.Fatalf("open breaker let traffic through: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	resp, err := cl.Do(mustReq(t, peer.URL+"/readyz"))
+	if err != nil {
+		t.Fatalf("probe through open breaker: %v", err)
+	}
+	resp.Body.Close()
+	if p.PeerOpen("n2") {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	snap := p.Snapshot().Peers["n2"]
+	if snap.Opens < 1 || snap.HalfOpens < 1 || snap.Closes < 1 {
+		t.Fatalf("lifecycle counters %+v, want full open/half-open/close cycle", snap)
+	}
+}
+
+func TestTransportPassthroughNonPeer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(DeadlineHeader) != "" {
+			t.Error("non-peer request stamped with deadline header")
+		}
+	}))
+	defer ts.Close()
+	p := NewPool(Config{HopFloor: time.Hour}, nil) // floor would refuse any peer send
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL, nil)
+	resp, err := p.Client().Do(req)
+	if err != nil {
+		t.Fatalf("passthrough: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func mustReq(t *testing.T, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest("GET", url+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestPoolSnapshotFaultSpecRoundTrip(t *testing.T) {
+	p := NewPool(Config{}, []Peer{{Name: "a", URL: "http://127.0.0.1:1"}})
+	if err := p.SetFaults(7, "rpc.refuse.a:p=1;rpc.delay:p=0.5,delay=2ms"); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Snapshot().FaultPlan
+	if !strings.Contains(got, "rpc.refuse.a") || !strings.Contains(got, "rpc.delay") {
+		t.Fatalf("snapshot fault plan %q lost the installed spec", got)
+	}
+	if err := p.SetFaults(7, "rpc.bogus:p=notanumber"); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

@@ -341,11 +341,11 @@ func mustPreprocess(patterns [][]byte) *core.Dictionary {
 // Fuzzing -------------------------------------------------------------------
 
 var (
-	fuzzBatchOnce    sync.Once
-	fuzzBatchSrv   *Server
-	fuzzSoloSrv    *Server
-	fuzzBatchID string
-	fuzzBatchErr     error
+	fuzzBatchOnce sync.Once
+	fuzzBatchSrv  *Server
+	fuzzSoloSrv   *Server
+	fuzzBatchID   string
+	fuzzBatchErr  error
 )
 
 // fuzzServers lazily builds one batch=on and one batch=off server sharing an

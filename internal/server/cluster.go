@@ -5,13 +5,24 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dense"
 	"repro/internal/persist"
+	"repro/internal/resilience"
+)
+
+// Pull retry policy: a few budget-gated attempts with jittered backoff.
+const (
+	pullAttempts    = 3
+	pullBackoffBase = 25 * time.Millisecond
+	pullBackoffMax  = 500 * time.Millisecond
 )
 
 // Cluster mode (DESIGN.md §15): several matchd processes share one static
@@ -32,7 +43,8 @@ type clusterState struct {
 	membership *cluster.Membership
 	health     *cluster.Health
 	hedger     *cluster.Hedger
-	client     *http.Client // proxy/replication client; no global timeout (ctx-bound)
+	pool       *resilience.Pool // shared outbound transport: breakers, budget, faults
+	client     *http.Client     // proxy/replication client over pool; no global timeout (ctx-bound)
 	redirect   bool
 
 	// Replication-pull singleflight: one fetch per missing id no matter how
@@ -46,17 +58,40 @@ type replicaPull struct {
 	err  error
 }
 
-// newClusterState wires membership, the /readyz prober, and the hedged
-// proxy client, and starts probing.
+// probeClientTimeout bounds one health probe; it doubles as the ceiling a
+// black-holed probe waits before counting as a breaker failure.
+const probeClientTimeout = 2 * time.Second
+
+// newClusterState wires membership, the resilience pool every outbound
+// byte flows through, the /readyz prober (probing through the pool, so
+// probe outcomes feed the breakers), and the hedged proxy client, and
+// starts probing.
 func newClusterState(cfg *Config, mt *Metrics) (*clusterState, error) {
 	m, err := cluster.NewMembership(cfg.ClusterPeers, cfg.ClusterSelf, 0, cfg.ClusterReplicas)
 	if err != nil {
 		return nil, err
 	}
+	others := m.Others()
+	rpeers := make([]resilience.Peer, len(others))
+	for i, p := range others {
+		rpeers[i] = resilience.Peer{Name: p.Name, URL: p.URL}
+	}
+	pool := resilience.NewPool(resilience.Config{
+		BreakerFailures: cfg.BreakerFailures,
+		BreakerCooldown: cfg.BreakerCooldown,
+		RetryBudgetPct:  cfg.RetryBudgetPct,
+		HopFloor:        cfg.HopFloor,
+	}, rpeers)
+	if cfg.RPCChaosPlan != "" {
+		if err := pool.SetFaults(cfg.RPCChaosSeed, cfg.RPCChaosPlan); err != nil {
+			return nil, err
+		}
+	}
 	c := &clusterState{
 		membership: m,
-		health:     cluster.NewHealth(m.Others(), nil, cfg.ClusterProbeInterval),
-		client:     &http.Client{},
+		health:     cluster.NewHealth(others, &http.Client{Transport: pool, Timeout: probeClientTimeout}, cfg.ClusterProbeInterval),
+		pool:       pool,
+		client:     pool.Client(),
 		redirect:   cfg.ClusterRedirect,
 		pulls:      make(map[string]*replicaPull),
 	}
@@ -64,7 +99,14 @@ func newClusterState(cfg *Config, mt *Metrics) (*clusterState, error) {
 		Client: c.client,
 		After:  cfg.ClusterHedgeAfter,
 		OnError: func(p cluster.Peer, err error) {
-			c.health.MarkDown(p.Name)
+			// Breaker fast-fails and hop-floor sheds are this node's own
+			// refusals — no evidence about the peer, so no MarkDown.
+			if !resilience.IsLocal(err) {
+				c.health.MarkDown(p.Name)
+			}
+		},
+		OnSlow: func(p cluster.Peer) {
+			c.pool.RecordSlow(p.Name)
 		},
 	}
 	c.health.Start()
@@ -119,14 +161,15 @@ func (s *Server) clusterDict(streaming bool, h http.HandlerFunc) http.HandlerFun
 			h(w, r)
 			return
 		}
-		s.routeAway(w, r, id, streaming)
+		s.routeAway(w, r, id, streaming, h)
 	}
 }
 
 // healthyOwners returns the owner peers for id, primary first, with peers
-// the prober considers degraded or down filtered out. If the filter empties
-// the list the unfiltered owners are returned — trying a suspect peer beats
-// refusing the request outright.
+// the prober considers degraded or down — or whose circuit breaker is
+// open — filtered out. If the filter empties the list the unfiltered
+// owners are returned — trying a suspect peer beats refusing the request
+// outright (and the breaker will fast-fail the truly hopeless attempts).
 func (c *clusterState) healthyOwners(id string) []cluster.Peer {
 	owners := c.membership.Owners(id)
 	kept := make([]cluster.Peer, 0, len(owners))
@@ -136,6 +179,9 @@ func (c *clusterState) healthyOwners(id string) []cluster.Peer {
 		}
 		switch c.health.State(p.Name) {
 		case cluster.StateDegraded, cluster.StateDown:
+			continue
+		}
+		if c.pool.PeerOpen(p.Name) {
 			continue
 		}
 		kept = append(kept, p)
@@ -153,11 +199,17 @@ func (c *clusterState) healthyOwners(id string) []cluster.Peer {
 	return kept
 }
 
-// routeAway sends a request this node does not own to the owners.
-func (s *Server) routeAway(w http.ResponseWriter, r *http.Request, id string, streaming bool) {
+// routeAway sends a request this node does not own to the owners. h is the
+// local handler, kept at hand for the stale-serving fallback: when no
+// owner is reachable but the dictionary is locally restorable, answering
+// from the replica beats a 502.
+func (s *Server) routeAway(w http.ResponseWriter, r *http.Request, id string, streaming bool, h http.HandlerFunc) {
 	c := s.cluster
 	owners := c.healthyOwners(id)
 	if len(owners) == 0 {
+		if s.tryServeStale(w, r, id, nil, h) {
+			return
+		}
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "no reachable owner for dictionary %q", id)
 		return
@@ -169,26 +221,30 @@ func (s *Server) routeAway(w http.ResponseWriter, r *http.Request, id string, st
 		return
 	}
 	if streaming {
-		s.proxyStream(w, r, owners[0])
+		s.proxyStream(w, r, id, owners, h)
 		return
 	}
-	s.proxyHedged(w, r, owners)
+	s.proxyHedged(w, r, id, owners, h)
 }
 
 // proxyHeader clones the forwardable request headers and stamps the loop
-// guard.
+// guard. The deadline header is dropped: the pool transport re-stamps it
+// from the live proxy context at send time, which is how the time this hop
+// already spent gets subtracted from the budget.
 func (c *clusterState) proxyHeader(h http.Header) http.Header {
 	out := h.Clone()
 	out.Del("Connection")
 	out.Del("Content-Length") // recomputed per attempt
+	out.Del(resilience.DeadlineHeader)
 	out.Set(clusterFromHeader, c.membership.Self)
 	return out
 }
 
 // proxyHedged forwards a buffered request to the owner list under the
 // hedger: first owner immediately, the next after the latency budget, first
-// acceptable answer wins and the losers are cancelled.
-func (s *Server) proxyHedged(w http.ResponseWriter, r *http.Request, owners []cluster.Peer) {
+// acceptable answer wins and the losers are cancelled. When every owner is
+// unreachable the stale-serving fallback gets a chance before the 502.
+func (s *Server) proxyHedged(w http.ResponseWriter, r *http.Request, id string, owners []cluster.Peer, h http.HandlerFunc) {
 	c := s.cluster
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -209,7 +265,10 @@ func (s *Server) proxyHedged(w http.ResponseWriter, r *http.Request, owners []cl
 			writeCtxError(w, r.Context().Err())
 			return
 		}
-		writeError(w, http.StatusBadGateway, "all owners of %q unreachable: %v", r.PathValue("id"), err)
+		if s.tryServeStale(w, r, id, io.NopCloser(bytes.NewReader(body)), h) {
+			return
+		}
+		writeError(w, http.StatusBadGateway, "all owners of %q unreachable: %v", id, err)
 		return
 	}
 	defer res.Release()
@@ -223,58 +282,135 @@ func (s *Server) proxyHedged(w http.ResponseWriter, r *http.Request, owners []cl
 	copyProxyResponse(w, res.Resp)
 }
 
-// proxyStream forwards a streaming request to one owner, relaying the
+// streamReplayLimit bounds how much of a streaming request body is
+// buffered for owner failover. A dial-time failure consumes nothing, so
+// in practice failover only needs the bytes the transport buffered before
+// the connection died; beyond the limit the stream is committed to its
+// owner and fails loudly like before.
+const streamReplayLimit = 1 << 20
+
+// proxyStream forwards a streaming request to an owner, relaying the
 // response incrementally (flush per chunk, like the local streaming
-// handlers).
-func (s *Server) proxyStream(w http.ResponseWriter, r *http.Request, owner cluster.Peer) {
+// handlers). Bodies are unbounded, so hedging is off; instead the request
+// body is teed into a bounded replay buffer and a send that dies before
+// any response byte reaches the client fails over to the next owner —
+// during a partition the first owner often refuses instantly, and the
+// stream must survive that.
+func (s *Server) proxyStream(w http.ResponseWriter, r *http.Request, id string, owners []cluster.Peer, h http.HandlerFunc) {
 	c := s.cluster
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner.URL+r.URL.RequestURI(), r.Body)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "proxy: %v", err)
-		return
-	}
-	req.Header = c.proxyHeader(r.Header)
-	resp, err := c.client.Do(req)
-	if err != nil {
-		c.health.MarkDown(owner.Name)
-		if r.Context().Err() != nil {
-			writeCtxError(w, r.Context().Err())
+	rb := newReplayBody(r.Body, streamReplayLimit)
+	var lastOwner cluster.Peer
+	var lastErr error
+	for i, owner := range owners {
+		if i > 0 {
+			if !rb.rewind() {
+				break // upstream consumed past the buffer: cannot replay
+			}
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, owner.URL+r.URL.RequestURI(), io.NopCloser(rb))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "proxy: %v", err)
 			return
 		}
-		writeError(w, http.StatusBadGateway, "owner %s unreachable: %v", owner.Name, err)
-		return
-	}
-	defer resp.Body.Close()
-	s.metrics.clusterProxied.Add(1)
-	for k, vs := range resp.Header {
-		for _, v := range vs {
-			w.Header().Add(k, v)
-		}
-	}
-	w.WriteHeader(resp.StatusCode)
-	rc := http.NewResponseController(w)
-	buf := make([]byte, 32<<10)
-	for {
-		n, rerr := resp.Body.Read(buf)
-		if n > 0 {
-			if _, werr := w.Write(buf[:n]); werr != nil {
+		req.Header = c.proxyHeader(r.Header)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			lastOwner, lastErr = owner, err
+			if !resilience.IsLocal(err) {
+				c.health.MarkDown(owner.Name)
+			}
+			if r.Context().Err() != nil {
+				writeCtxError(w, r.Context().Err())
 				return
 			}
-			_ = rc.Flush()
+			continue
 		}
-		if rerr == io.EOF {
-			return
+		defer resp.Body.Close()
+		s.metrics.clusterProxied.Add(1)
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
 		}
-		if rerr != nil {
-			// The owner died mid-stream. The status line is long gone, so the
-			// only honest signal left is a broken transfer: abort the
-			// connection rather than let the truncated prefix read as a
-			// complete stream. (The NDJSON contract is trailer-or-error;
-			// a clean EOF here would forge a silent truncation.)
-			c.health.MarkDown(owner.Name)
-			panic(http.ErrAbortHandler)
+		w.WriteHeader(resp.StatusCode)
+		rc := http.NewResponseController(w)
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return
+				}
+				_ = rc.Flush()
+			}
+			if rerr == io.EOF {
+				return
+			}
+			if rerr != nil {
+				// The owner died mid-stream. The status line is long gone, so
+				// the only honest signal left is a broken transfer: abort the
+				// connection rather than let the truncated prefix read as a
+				// complete stream. (The NDJSON contract is trailer-or-error;
+				// a clean EOF here would forge a silent truncation.)
+				c.health.MarkDown(owner.Name)
+				panic(http.ErrAbortHandler)
+			}
 		}
 	}
+	// Every owner failed before a single response byte was sent.
+	if rb.rewind() && s.tryServeStale(w, r, id, io.NopCloser(rb), h) {
+		return
+	}
+	writeError(w, http.StatusBadGateway, "owner %s unreachable: %v", lastOwner.Name, lastErr)
+}
+
+// replayBody tees a request body into a bounded buffer so a failed proxy
+// attempt can be replayed against another owner. Once more than limit
+// bytes have been consumed the buffer is abandoned and rewind reports
+// false.
+type replayBody struct {
+	mu       sync.Mutex // a failed attempt's transport may still read asynchronously
+	src      io.Reader
+	buf      []byte
+	limit    int
+	pos      int // next unread offset in buf during replay
+	overflow bool
+}
+
+func newReplayBody(src io.Reader, limit int) *replayBody {
+	return &replayBody{src: src, limit: limit}
+}
+
+func (b *replayBody) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.pos < len(b.buf) {
+		n := copy(p, b.buf[b.pos:])
+		b.pos += n
+		return n, nil
+	}
+	n, err := b.src.Read(p)
+	if n > 0 {
+		if !b.overflow && len(b.buf)+n <= b.limit {
+			b.buf = append(b.buf, p[:n]...)
+			b.pos = len(b.buf)
+		} else {
+			b.overflow = true
+		}
+	}
+	return n, err
+}
+
+// rewind resets the body to its beginning for another attempt; it reports
+// false when bytes beyond the buffer were already consumed.
+func (b *replayBody) rewind() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.overflow {
+		return false
+	}
+	b.pos = 0
+	return true
 }
 
 // copyProxyResponse relays a buffered upstream response to the client.
@@ -286,6 +422,42 @@ func copyProxyResponse(w http.ResponseWriter, resp *http.Response) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// tryServeStale is the graceful-degradation fallback: every owner of id is
+// unreachable, but if this node holds a replica (or can restore one from
+// its local DMSNAP cache) the data is as good as the owner's — dictionary
+// ids are content addresses, so "stale" means served without owner
+// confirmation, not divergent bytes. The response is marked with
+// X-Served-Stale so clients and dashboards can see degradation happening.
+// body, when non-nil, replaces the (already consumed) request body before
+// the local handler runs. Returns false when nothing local can answer.
+func (s *Server) tryServeStale(w http.ResponseWriter, r *http.Request, id string, body io.ReadCloser, h http.HandlerFunc) bool {
+	if s.cluster == nil || h == nil {
+		return false
+	}
+	if !s.reg.Has(id) {
+		key, isKey := keyFromID(id)
+		if !isKey || s.store == nil {
+			return false
+		}
+		start := time.Now()
+		d, aut, _, err := s.store.GetBundle(key)
+		if err != nil {
+			return false
+		}
+		s.metrics.recordLoad(time.Since(start))
+		e, _ := s.reg.RegisterPreparedDenseID(id, d, aut, "cache", id, time.Since(start).Nanoseconds())
+		s.armDense(e, s.denseUpgradeFunc(e, key))
+	}
+	s.metrics.staleServes.Add(1)
+	s.cfg.Log.Printf("cluster: serving %s stale — no reachable owner", id)
+	w.Header().Set("X-Served-Stale", "true")
+	if body != nil {
+		r.Body = body
+	}
+	h(w, r)
+	return true
 }
 
 // ensureReplica makes dictionary id resident, pulling its snapshot bundle
@@ -354,12 +526,36 @@ func (s *Server) pullReplica(ctx context.Context, id string) error {
 		}
 	}
 	var lastErr error = persist.ErrNotFound
+	seed := fnv.New64a()
+	_, _ = seed.Write([]byte(id))
 	for _, p := range candidates {
-		if p.Name == c.membership.Self || c.health.State(p.Name) == cluster.StateDown {
+		if p.Name == c.membership.Self || c.health.State(p.Name) == cluster.StateDown || c.pool.PeerOpen(p.Name) {
 			continue
 		}
+		// Pulls are idempotent GETs of immutable content — the one outbound
+		// class worth retrying, gated by the cluster-wide budget so a
+		// partition cannot turn pull pressure into a retry storm.
+		var data []byte
+		var d *core.Dictionary
+		var aut *dense.Automaton
+		var err error
 		start := time.Now()
-		data, d, aut, err := persist.FetchBundle(ctx, c.client, p.URL, id, 0)
+		for attempt := 1; ; attempt++ {
+			data, d, aut, err = persist.FetchBundle(ctx, c.client, p.URL, id, 0)
+			if err == nil || ctx.Err() != nil {
+				break
+			}
+			if attempt >= pullAttempts || resilience.IsLocal(err) ||
+				!persist.RetryableFetch(err) || !c.pool.RetryAllowed() {
+				break
+			}
+			t := time.NewTimer(resilience.Backoff(attempt, pullBackoffBase, pullBackoffMax, seed.Sum64()))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {

@@ -547,6 +547,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap.Persist.QuarantineFails = s.store.QuarantineFails()
 	}
 	snap.Cluster = s.clusterMetrics()
+	snap.Resilience.Rpc = s.rpcMetrics()
 	if s.quota != nil {
 		snap.Quota = quotaSnapshot{
 			Enabled:       true,

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // histBuckets is the number of latency histogram buckets. Bucket i counts
@@ -134,6 +136,14 @@ type Metrics struct {
 	fpExhaustions     atomic.Int64
 	breakerOpens      atomic.Int64
 	breakerRecoveries atomic.Int64
+
+	// Inbound RPC-resilience counters (DESIGN.md §16): requests shed
+	// because the propagated deadline budget fell below the hop floor,
+	// and requests answered from a local replica because every owner was
+	// unreachable. The outbound counters (per-peer breakers, retry
+	// budget, injected faults) live in the resilience.Pool.
+	deadlineSheds atomic.Int64
+	staleServes   atomic.Int64
 
 	// Streaming endpoints. streamActive is a gauge (in-flight streams);
 	// the rest are totals across completed and in-flight streams.
@@ -397,6 +407,18 @@ type resilienceSnapshot struct {
 	FpExhaustions     int64 `json:"fpExhaustions"`
 	BreakerOpens      int64 `json:"breakerOpens"`
 	BreakerRecoveries int64 `json:"breakerRecoveries"`
+	// Rpc is the outbound-RPC resilience section, present only in
+	// cluster mode (filled by Server.rpcMetrics, not Snapshot).
+	Rpc *rpcSnapshot `json:"rpc,omitempty"`
+}
+
+// rpcSnapshot is the cluster RPC resilience section of /metrics: the
+// pool's per-peer breaker accounting plus the server-side shed/stale
+// counters.
+type rpcSnapshot struct {
+	resilience.Snapshot
+	DeadlineSheds int64 `json:"deadlineSheds"`
+	StaleServes   int64 `json:"staleServes"`
 }
 
 // recordLoad charges one successful snapshot load.

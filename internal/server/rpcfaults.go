@@ -1,0 +1,78 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/chaos"
+)
+
+// RPC fault-injection admin surface (DESIGN.md §16). Only mounted when
+// Config.RPCFaultAdmin is set — it exists for chaos drills (chaossoak
+// -partition) and must never be exposed on a production listener. The
+// routes are registered as observability routes so they bypass the
+// limiter: the whole point is to reach a node mid-partition.
+
+// rpcFaultsRequest is the POST /v1/rpcfaults body. An empty plan clears
+// all installed wire faults.
+type rpcFaultsRequest struct {
+	Seed uint64 `json:"seed"`
+	Plan string `json:"plan"`
+}
+
+// rpcFaultsResponse echoes the installed plan plus per-point fire
+// counters, so a soak harness can confirm its faults actually fired.
+type rpcFaultsResponse struct {
+	Plan   string             `json:"plan"`
+	Points []chaos.PointStats `json:"points,omitempty"`
+}
+
+// handleRPCFaultsSet installs (or clears) a wire-fault plan on the
+// outbound RPC pool.
+func (s *Server) handleRPCFaultsSet(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil || c.pool == nil {
+		writeError(w, http.StatusServiceUnavailable, "rpc fault admin requires cluster mode")
+		return
+	}
+	var req rpcFaultsRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if err := c.pool.SetFaults(req.Seed, req.Plan); err != nil {
+		writeError(w, http.StatusBadRequest, "bad fault plan: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rpcFaultsResponse{
+		Plan:   c.pool.FaultPlan(),
+		Points: c.pool.FaultStats(),
+	})
+}
+
+// handleRPCFaultsGet reports the installed plan and its fire counters.
+func (s *Server) handleRPCFaultsGet(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil || c.pool == nil {
+		writeError(w, http.StatusServiceUnavailable, "rpc fault admin requires cluster mode")
+		return
+	}
+	writeJSON(w, http.StatusOK, rpcFaultsResponse{
+		Plan:   c.pool.FaultPlan(),
+		Points: c.pool.FaultStats(),
+	})
+}
+
+// rpcMetrics builds the /metrics resilience.rpc section: the outbound
+// pool's breaker/budget/fault accounting plus the server-side deadline
+// sheds and stale serves. Nil outside cluster mode, so the section is
+// omitted from single-node snapshots.
+func (s *Server) rpcMetrics() *rpcSnapshot {
+	c := s.cluster
+	if c == nil || c.pool == nil {
+		return nil
+	}
+	return &rpcSnapshot{
+		Snapshot:      c.pool.Snapshot(),
+		DeadlineSheds: s.metrics.deadlineSheds.Load(),
+		StaleServes:   s.metrics.staleServes.Load(),
+	}
+}

@@ -33,10 +33,12 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/persist"
+	"repro/internal/resilience"
 	"repro/internal/stream"
 )
 
@@ -90,6 +92,26 @@ type Config struct {
 	ClusterHedgeAfter    time.Duration
 	ClusterProbeInterval time.Duration
 	ClusterRedirect      bool
+
+	// Outbound RPC resilience (internal/resilience, DESIGN.md §16). Every
+	// zero value disables its policy, so non-cluster servers and existing
+	// cluster configurations are unaffected. BreakerFailures consecutive
+	// outbound failures open a peer's circuit breaker (BreakerCooldown,
+	// default 1s, before a half-open trial); RetryBudgetPct retry tokens
+	// are earned per 100 outbound requests for idempotent re-sends;
+	// HopFloor is the minimum remaining deadline worth doing work for — a
+	// request arriving with less (via the X-Deadline-Ms header) or a
+	// proxy hop that would forward less sheds with 503+Retry-After.
+	// RPCFaultAdmin enables POST /v1/rpcfaults for installing wire-fault
+	// plans at runtime (soak harnesses only); RPCChaosPlan/RPCChaosSeed
+	// install one at startup.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	RetryBudgetPct  int
+	HopFloor        time.Duration
+	RPCFaultAdmin   bool
+	RPCChaosPlan    string
+	RPCChaosSeed    uint64
 
 	// QuotaPerTenant bounds concurrent in-flight requests per X-Tenant
 	// header value, under the global MaxInflight semaphore (0 = no
@@ -309,6 +331,12 @@ func (s *Server) buildMux() http.Handler {
 	obs("GET /healthz", s.handleHealthz)
 	obs("GET /readyz", s.handleReadyz)
 	obs("GET /v1/cluster", s.handleCluster)
+	if s.cfg.RPCFaultAdmin {
+		// Fault administration shares the observability tier: it must
+		// answer mid-partition, which is exactly when the limiter sheds.
+		obs("POST /v1/rpcfaults", s.handleRPCFaultsSet)
+		obs("GET /v1/rpcfaults", s.handleRPCFaultsGet)
+	}
 	return mux
 }
 
@@ -377,12 +405,45 @@ func (s *Server) instrument(pattern string, limited, timed bool, h http.HandlerF
 			}
 		}
 		if timed {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			to := s.cfg.RequestTimeout
+			// Deadline propagation: a proxied request carries the sender's
+			// remaining budget. Adopt it when tighter than our own timeout,
+			// and shed outright when it is below the hop floor — the
+			// upstream would discard our answer anyway, so the honest move
+			// is an immediate 503 the hedger can act on.
+			if ms, ok := deadlineHeaderMs(r); ok {
+				rem := time.Duration(ms) * time.Millisecond
+				if s.cfg.HopFloor > 0 && rem < s.cfg.HopFloor {
+					s.metrics.deadlineSheds.Add(1)
+					sr.Header().Set("Retry-After", "1")
+					writeError(sr, http.StatusServiceUnavailable, "deadline budget %dms below hop floor %s", ms, s.cfg.HopFloor)
+					return
+				}
+				if rem < to {
+					to = rem
+				}
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), to)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
 		h(sr, r)
 	})
+}
+
+// deadlineHeaderMs parses the propagated-deadline header; ok is false when
+// the header is absent or malformed (malformed budgets are ignored rather
+// than shed — an honest client bug should not look like a partition).
+func deadlineHeaderMs(r *http.Request) (int64, bool) {
+	v := r.Header.Get(resilience.DeadlineHeader)
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, false
+	}
+	return ms, true
 }
 
 // Run listens on cfg.Addr and serves until ctx is cancelled, then drains
